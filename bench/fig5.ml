@@ -1,0 +1,57 @@
+(* Figure 5: Spanner vs Spanner-RSS read-only transaction tail latency on
+   Retwis at three Zipfian skews, plus the §6.1 claim that RW latency is
+   unaffected. One latency-distribution table per sub-figure. *)
+
+let points = [ 50.0; 90.0; 95.0; 99.0; 99.5; 99.9 ]
+
+(* Per-skew session arrival rates: the paper loads each workload to 70-80%
+   of its own maximum throughput, which at higher skews is contention-bound
+   and therefore lower. *)
+let default_loads = [ (0.5, 400.0); (0.75, 40.0); (0.9, 6.0) ]
+
+let run ?(duration_s = 300.0) ?(loads = default_loads) ?(n_keys = 10_000_000)
+    ?(seed = 1) () =
+  Fmt.pr "=== Figure 5: RO transaction tail latency, Retwis, 3 shards x 3 replicas (CA/VA/IR) ===@.";
+  Fmt.pr "partly-open clients (p=0.9, H=0), %d keys, eps=10ms, %gs simulated@.@."
+    n_keys duration_s;
+  List.iteri
+    (fun i (theta, arrival_rate_per_sec) ->
+      let sub = [| "5a"; "5b"; "5c" |].(i) in
+      Fmt.pr "(offered load: %.0f sessions/s)@." arrival_rate_per_sec;
+      let strict =
+        Harness.spanner_wan ~mode:Spanner.Config.Strict ~theta ~n_keys
+          ~arrival_rate_per_sec ~duration_s ~seed ()
+      in
+      let rss =
+        Harness.spanner_wan ~mode:Spanner.Config.Rss ~theta ~n_keys
+          ~arrival_rate_per_sec ~duration_s ~seed ()
+      in
+      Harness.report_check "spanner" strict.Harness.sp_check;
+      Harness.report_check "spanner-rss" rss.Harness.sp_check;
+      Stats.Summary.print_latency_table
+        ~header:(Fmt.str "Fig. %s — skew %.2f: read-only transaction latency (ms)" sub theta)
+        ~rows:[ ("spanner", strict.Harness.sp_ro); ("spanner-rss", rss.Harness.sp_ro) ]
+        ~points ();
+      (if not (Stats.Recorder.is_empty strict.Harness.sp_ro || Stats.Recorder.is_empty rss.Harness.sp_ro)
+       then
+         let p999_s = Stats.Recorder.percentile_ms strict.Harness.sp_ro 99.9 in
+         let p999_r = Stats.Recorder.percentile_ms rss.Harness.sp_ro 99.9 in
+         let p99_s = Stats.Recorder.percentile_ms strict.Harness.sp_ro 99.0 in
+         let p99_r = Stats.Recorder.percentile_ms rss.Harness.sp_ro 99.0 in
+         Fmt.pr
+           "  -> RSS reduces RO p99 by %.0f%% (%.0f -> %.0f ms), p99.9 by %.0f%% (%.0f -> %.0f ms)@."
+           (Stats.Summary.improvement ~baseline:p99_s ~variant:p99_r)
+           p99_s p99_r
+           (Stats.Summary.improvement ~baseline:p999_s ~variant:p999_r)
+           p999_s p999_r);
+      Fmt.pr "  shard-side RO blocking events: spanner=%d rss=%d (of %d / %d ROs)@."
+        strict.Harness.sp_stats.Spanner.Cluster.ro_blocked_at_shards
+        rss.Harness.sp_stats.Spanner.Cluster.ro_blocked_at_shards
+        strict.Harness.sp_stats.Spanner.Cluster.ro_count
+        rss.Harness.sp_stats.Spanner.Cluster.ro_count;
+      Stats.Summary.print_latency_table
+        ~header:"        read-write transaction latency (ms) — must match"
+        ~rows:[ ("spanner", strict.Harness.sp_rw); ("spanner-rss", rss.Harness.sp_rw) ]
+        ~points:[ 50.0; 90.0; 99.0 ] ();
+      Fmt.pr "@.")
+    loads

@@ -1,0 +1,116 @@
+(* Bechamel microbenchmarks of protocol-critical paths: one Test.make per
+   experiment family, measuring the in-process costs that the simulation
+   amortizes (sampling, carstamp ordering, snapshot calculation, checker
+   throughput). *)
+
+open Bechamel
+open Toolkit
+
+let zipf_test =
+  let rng = Sim.Rng.make 1 in
+  let z = Workload.Zipf.create ~rng ~n:10_000_000 ~theta:0.9 in
+  Test.make ~name:"fig5:zipf-sample-10M-keys" (Staged.stage (fun () -> Workload.Zipf.sample z))
+
+let retwis_test =
+  let rng = Sim.Rng.make 2 in
+  let r = Workload.Retwis.create ~rng ~n_keys:10_000_000 ~theta:0.75 in
+  Test.make ~name:"fig5:retwis-txn-sample" (Staged.stage (fun () -> Workload.Retwis.sample r))
+
+let carstamp_test =
+  let a = { Gryff.Carstamp.ts = 12345; rmwc = 3; cid = 7 } in
+  let b = { Gryff.Carstamp.ts = 12345; rmwc = 4; cid = 2 } in
+  Test.make ~name:"fig7:carstamp-compare" (Staged.stage (fun () -> Gryff.Carstamp.compare a b))
+
+let snapshot_test =
+  (* The client-side CalculateSnapshotTS + value selection of Alg. 1. *)
+  let versions =
+    List.init 16 (fun i -> (i, { Spanner.Types.ts = 1000 + (i * 7); writer = i; value = i }))
+  in
+  Test.make ~name:"fig5:ro-snapshot-selection"
+    (Staged.stage (fun () ->
+         List.fold_left
+           (fun acc (_, (v : Spanner.Types.version)) -> max acc v.Spanner.Types.ts)
+           0 versions))
+
+let witness_test =
+  let txns =
+    Array.init 64 (fun i ->
+        if i mod 2 = 0 then
+          {
+            Rss_core.Witness.proc = i mod 8;
+            reads = [];
+            writes = [ (string_of_int (i mod 4), i) ];
+            inv = i * 10;
+            resp = (i * 10) + 5;
+            ts = i;
+            rank = 0;
+          }
+        else
+          {
+            Rss_core.Witness.proc = i mod 8;
+            reads = [ (string_of_int ((i - 1) mod 4), Some (i - 1)) ];
+            writes = [];
+            inv = i * 10;
+            resp = (i * 10) + 5;
+            ts = i - 1;
+            rank = 1;
+          })
+  in
+  Test.make ~name:"all:witness-check-64-txns"
+    (Staged.stage (fun () -> Rss_core.Witness.check ~mode:`Rss txns))
+
+let search_checker_test =
+  let h =
+    Rss_core.Txn_history.make
+      [
+        Rss_core.Txn_history.rw ~id:0 ~proc:0 ~writes:[ ("a", 1); ("b", 2) ] ~inv:0
+          ~resp:100 ();
+        Rss_core.Txn_history.ro ~id:1 ~proc:1
+          ~reads:[ ("a", Some 1); ("b", Some 2) ]
+          ~inv:10 ~resp:20 ();
+        Rss_core.Txn_history.ro ~id:2 ~proc:2 ~reads:[ ("a", None); ("b", None) ]
+          ~inv:30 ~resp:40 ();
+        Rss_core.Txn_history.rw ~id:3 ~proc:3 ~writes:[ ("c", 3) ] ~inv:50 ~resp:60 ();
+      ]
+  in
+  Test.make ~name:"table1:rss-search-checker-fig4"
+    (Staged.stage (fun () -> Rss_core.Check_txn.check h Rss_core.Check_txn.Rss))
+
+let engine_test =
+  Test.make ~name:"all:engine-1000-events"
+    (Staged.stage (fun () ->
+         let e = Sim.Engine.create () in
+         for i = 1 to 1000 do
+           Sim.Engine.schedule e ~after:(i mod 97) (fun () -> ())
+         done;
+         Sim.Engine.run e))
+
+let run () =
+  let tests =
+    [
+      zipf_test; retwis_test; carstamp_test; snapshot_test; witness_test;
+      search_checker_test; engine_test;
+    ]
+  in
+  Fmt.pr "=== Microbenchmarks (bechamel) ===@.@.";
+  let benchmark test =
+    let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:(Some 1000) () in
+    let instances = Instance.[ monotonic_clock ] in
+    let raw = Benchmark.all cfg instances test in
+    let results =
+      List.map (fun i -> Analyze.all (Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]) i raw)
+        instances
+    in
+    let merged = Analyze.merge (Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]) instances results in
+    Hashtbl.iter
+      (fun _clock tbl ->
+        Hashtbl.iter
+          (fun name (ols : Analyze.OLS.t) ->
+            match Analyze.OLS.estimates ols with
+            | Some [ est ] -> Fmt.pr "  %-34s %12.1f ns/op@." name est
+            | Some _ | None -> Fmt.pr "  %-34s %12s@." name "n/a")
+          tbl)
+      merged
+  in
+  List.iter (fun t -> benchmark (Test.make_grouped ~name:"" [ t ])) tests;
+  Fmt.pr "@."

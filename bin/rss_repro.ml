@@ -1,0 +1,245 @@
+(* Command-line driver: run ad-hoc simulations of the four systems with
+   tunable workload parameters and print latency/consistency summaries.
+   The paper's figures live in bench/main.exe; this tool is for exploration.
+
+   Examples:
+     rss_repro spanner --mode rss --theta 0.9 --duration 30
+     rss_repro gryff --mode lin --conflict 0.25 --write-ratio 0.3
+     rss_repro check --demo fig4 *)
+
+open Cmdliner
+
+let points = [ 50.0; 90.0; 99.0; 99.9 ]
+
+let spanner_cmd =
+  let mode =
+    Arg.(
+      value
+      & opt (enum [ ("strict", Spanner.Config.Strict); ("rss", Spanner.Config.Rss) ])
+          Spanner.Config.Rss
+      & info [ "mode" ] ~doc:"Consistency mode: strict or rss.")
+  in
+  let theta = Arg.(value & opt float 0.75 & info [ "theta" ] ~doc:"Zipfian skew.") in
+  let duration =
+    Arg.(value & opt float 30.0 & info [ "duration" ] ~doc:"Simulated seconds.")
+  in
+  let rate =
+    Arg.(value & opt float 40.0 & info [ "rate" ] ~doc:"Session arrivals per second.")
+  in
+  let keys = Arg.(value & opt int 1_000_000 & info [ "keys" ] ~doc:"Keyspace size.") in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Random seed.") in
+  let export =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "export" ] ~docv:"FILE"
+          ~doc:"Save the run's transactional history as a trace (re-checkable \
+                with the trace subcommand; keep runs small for the search \
+                checkers).")
+  in
+  let run mode theta duration rate keys seed export =
+    if rate <= 0.0 then (Fmt.epr "error: --rate must be positive@."; exit 1);
+    if theta < 0.0 then (Fmt.epr "error: --theta must be non-negative@."; exit 1);
+    if duration <= 0.0 then (Fmt.epr "error: --duration must be positive@."; exit 1);
+    let r =
+      Harness.spanner_wan ~mode ~theta ~n_keys:keys ~arrival_rate_per_sec:rate
+        ~duration_s:duration ~seed ()
+    in
+    ignore export;
+    Stats.Summary.print_latency_table ~header:"read-only transactions (ms)"
+      ~rows:[ ("ro", r.Harness.sp_ro) ] ~points ();
+    Stats.Summary.print_latency_table ~header:"read-write transactions (ms)"
+      ~rows:[ ("rw", r.Harness.sp_rw) ] ~points ();
+    let s = r.Harness.sp_stats in
+    Fmt.pr "committed: %d rw, %d ro | aborted attempts: %d | wounds: %d@."
+      s.Spanner.Cluster.rw_committed s.Spanner.Cluster.ro_count
+      s.Spanner.Cluster.rw_aborted_attempts s.Spanner.Cluster.wounds;
+    Fmt.pr "RO slow paths: client %d, shard blocking %d | messages: %d@."
+      s.Spanner.Cluster.ro_slow s.Spanner.Cluster.ro_blocked_at_shards
+      s.Spanner.Cluster.messages;
+    (match r.Harness.sp_check with
+    | Ok () ->
+      Fmt.pr "history: verified (%s)@."
+        (match mode with
+        | Spanner.Config.Strict -> "strict serializability"
+        | Spanner.Config.Rss -> "RSS")
+    | Error m -> Fmt.pr "history: VIOLATION — %s@." m);
+    match export with
+    | None -> ()
+    | Some path ->
+      let txns =
+        Array.to_list r.Harness.sp_records
+        |> List.mapi (fun i (w : Rss_core.Witness.txn) ->
+               {
+                 Rss_core.Txn_history.id = i;
+                 proc = w.Rss_core.Witness.proc;
+                 reads = w.Rss_core.Witness.reads;
+                 writes = w.Rss_core.Witness.writes;
+                 inv = w.Rss_core.Witness.inv;
+                 resp =
+                   (if w.Rss_core.Witness.resp = max_int then None
+                    else Some w.Rss_core.Witness.resp);
+               })
+      in
+      Rss_core.Trace.save ~path (Rss_core.Txn_history.make txns);
+      Fmt.pr "trace: %d transactions written to %s@." (List.length txns) path
+  in
+  Cmd.v
+    (Cmd.info "spanner" ~doc:"Simulate Spanner / Spanner-RSS on Retwis.")
+    Term.(const run $ mode $ theta $ duration $ rate $ keys $ seed $ export)
+
+let gryff_cmd =
+  let mode =
+    Arg.(
+      value
+      & opt (enum [ ("lin", Gryff.Config.Lin); ("rsc", Gryff.Config.Rsc) ])
+          Gryff.Config.Rsc
+      & info [ "mode" ] ~doc:"Consistency mode: lin or rsc.")
+  in
+  let conflict =
+    Arg.(value & opt float 0.1 & info [ "conflict" ] ~doc:"Conflict fraction.")
+  in
+  let write_ratio =
+    Arg.(value & opt float 0.3 & info [ "write-ratio" ] ~doc:"Write fraction.")
+  in
+  let duration =
+    Arg.(value & opt float 30.0 & info [ "duration" ] ~doc:"Simulated seconds.")
+  in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Random seed.") in
+  let run mode conflict write_ratio duration seed =
+    if conflict < 0.0 || conflict > 1.0 then
+      (Fmt.epr "error: --conflict must be in [0, 1]@."; exit 1);
+    if write_ratio < 0.0 || write_ratio > 1.0 then
+      (Fmt.epr "error: --write-ratio must be in [0, 1]@."; exit 1);
+    if duration <= 0.0 then (Fmt.epr "error: --duration must be positive@."; exit 1);
+    let r =
+      Harness.gryff_wan ~mode ~conflict ~write_ratio ~n_keys:100_000
+        ~duration_s:duration ~seed ()
+    in
+    Stats.Summary.print_latency_table ~header:"reads (ms)"
+      ~rows:[ ("read", r.Harness.gr_read) ] ~points ();
+    Stats.Summary.print_latency_table ~header:"writes (ms)"
+      ~rows:[ ("write", r.Harness.gr_write) ] ~points ();
+    let s = r.Harness.gr_stats in
+    Fmt.pr "reads: %d (%d second-round, %d deferred write-backs) | writes: %d@."
+      s.Gryff.Cluster.reads s.Gryff.Cluster.read_second_round
+      s.Gryff.Cluster.deps_created s.Gryff.Cluster.writes;
+    match r.Harness.gr_check with
+    | Ok () -> Fmt.pr "history: verified@."
+    | Error m -> Fmt.pr "history: VIOLATION — %s@." m
+  in
+  Cmd.v
+    (Cmd.info "gryff" ~doc:"Simulate Gryff / Gryff-RSC on YCSB.")
+    Term.(const run $ mode $ conflict $ write_ratio $ duration $ seed)
+
+let check_cmd =
+  let demo =
+    Arg.(
+      value
+      & opt (enum [ ("fig4", `Fig4); ("i2", `I2); ("fig9", `Fig9) ]) `Fig4
+      & info [ "demo" ] ~doc:"Which paper execution to check: fig4, i2, or fig9.")
+  in
+  let run demo =
+    let h =
+      match demo with
+      | `Fig4 ->
+        Rss_core.Txn_history.make
+          [
+            Rss_core.Txn_history.rw ~id:0 ~proc:0 ~writes:[ ("a", 1); ("b", 2) ]
+              ~inv:0 ~resp:100 ();
+            Rss_core.Txn_history.ro ~id:1 ~proc:1
+              ~reads:[ ("a", Some 1); ("b", Some 2) ]
+              ~inv:10 ~resp:20 ();
+            Rss_core.Txn_history.ro ~id:2 ~proc:2
+              ~reads:[ ("a", None); ("b", None) ]
+              ~inv:30 ~resp:40 ();
+          ]
+      | `I2 ->
+        Rss_core.Txn_history.make ~msg_edges:[ (0, 1) ]
+          [
+            Rss_core.Txn_history.rw ~id:0 ~proc:0
+              ~writes:[ ("photo", 7); ("album", 1) ]
+              ~inv:0 ~resp:10 ();
+            Rss_core.Txn_history.ro ~id:1 ~proc:1 ~reads:[ ("photo", None) ]
+              ~inv:20 ~resp:30 ();
+          ]
+      | `Fig9 ->
+        Rss_core.Txn_history.make
+          [
+            Rss_core.Txn_history.rw ~id:0 ~proc:0 ~writes:[ ("x1", 1) ] ~inv:0
+              ~resp:10 ();
+            Rss_core.Txn_history.rw ~id:1 ~proc:1 ~writes:[ ("x2", 1) ] ~inv:20
+              ~resp:30 ();
+            Rss_core.Txn_history.ro ~id:2 ~proc:2
+              ~reads:[ ("x1", None); ("x2", Some 1) ]
+              ~inv:5 ~resp:35 ();
+          ]
+    in
+    Fmt.pr "%-22s %s@." "model" "verdict";
+    List.iter
+      (fun m ->
+        let verdict =
+          match Rss_core.Check_txn.check h m with
+          | Rss_core.Check_txn.Sat order ->
+            Fmt.str "satisfiable  (witness: %s)"
+              (String.concat " < " (List.map string_of_int order))
+          | Rss_core.Check_txn.Unsat -> "violated"
+          | Rss_core.Check_txn.Unknown -> "unknown (budget)"
+        in
+        Fmt.pr "%-22s %s@." (Rss_core.Check_txn.model_name m) verdict)
+      Rss_core.Check_txn.all_models
+  in
+  Cmd.v
+    (Cmd.info "check" ~doc:"Run the consistency checkers on paper executions.")
+    Term.(const run $ demo)
+
+let trace_cmd =
+  let path =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"Trace file.")
+  in
+  let model =
+    Arg.(
+      value
+      & opt
+          (enum
+             (List.map
+                (fun m -> (Rss_core.Check_txn.model_name m, m))
+                Rss_core.Check_txn.all_models))
+          Rss_core.Check_txn.Rss
+      & info [ "model" ] ~doc:"Consistency model to check against.")
+  in
+  let budget =
+    Arg.(value & opt int 2_000_000 & info [ "budget" ] ~doc:"Search state budget.")
+  in
+  let run path model budget =
+    match Rss_core.Trace.load ~path with
+    | Error m ->
+      Fmt.epr "error: %s@." m;
+      exit 1
+    | Ok h -> (
+      Fmt.pr "%d transactions, %d message edges@."
+        (Rss_core.Txn_history.n_txns h)
+        (List.length h.Rss_core.Txn_history.msg_edges);
+      match Rss_core.Check_txn.check ~max_states:budget h model with
+      | Rss_core.Check_txn.Sat order ->
+        Fmt.pr "%s: SATISFIED@.witness: %s@."
+          (Rss_core.Check_txn.model_name model)
+          (String.concat " < " (List.map string_of_int order))
+      | Rss_core.Check_txn.Unsat ->
+        Fmt.pr "%s: VIOLATED@." (Rss_core.Check_txn.model_name model);
+        exit 2
+      | Rss_core.Check_txn.Unknown ->
+        Fmt.pr "%s: UNKNOWN (budget exhausted; raise --budget)@."
+          (Rss_core.Check_txn.model_name model);
+        exit 3)
+  in
+  Cmd.v
+    (Cmd.info "trace" ~doc:"Check a saved transactional trace against a model.")
+    Term.(const run $ path $ model $ budget)
+
+let () =
+  let doc = "RSS / RSC reproduction playground" in
+  exit
+    (Cmd.eval
+       (Cmd.group (Cmd.info "rss_repro" ~doc)
+          [ spanner_cmd; gryff_cmd; check_cmd; trace_cmd ]))

@@ -1,0 +1,63 @@
+open History
+
+(* Real-time: a completes before b is invoked. *)
+let rt_before a b = match a.resp with None -> false | Some r -> r < b.inv
+
+(* Feasibility of one read observing [value] (possibly None): among the
+   writes to its key, is there a serialization (consistent with real time)
+   placing its writer last before it?
+   - value = Some v from writer w: infeasible iff the read wholly precedes w,
+     or some same-key write is real-time-forced strictly between w and the
+     read.
+   - value = None: infeasible iff some same-key write wholly precedes the
+     read. *)
+let read_feasible ~key_writes reader value =
+  match value with
+  | None ->
+    if List.exists (fun w -> rt_before w reader) key_writes then
+      Error
+        (Fmt.str "op %d read nil but a write to %s completed before it" reader.id
+           reader.key)
+    else Ok ()
+  | Some v -> (
+    match List.find_opt (fun w -> written_value w = Some v) key_writes with
+    | None -> Error (Fmt.str "op %d read unwritten value %d" reader.id v)
+    | Some w ->
+      if rt_before reader w then
+        Error (Fmt.str "op %d read from a write invoked after it returned" reader.id)
+      else if
+        List.exists
+          (fun w' -> w'.id <> w.id && rt_before w w' && rt_before w' reader)
+          key_writes
+      then
+        Error
+          (Fmt.str
+             "op %d read a value overwritten before it started (key %s)"
+             reader.id reader.key)
+      else Ok ())
+
+let check_weak (h : History.t) =
+  (* Writes per key (rmws both read and write). *)
+  let writes_of_key = Hashtbl.create 16 in
+  Array.iter
+    (fun o ->
+      if is_mutator o then
+        Hashtbl.replace writes_of_key o.key
+          (o :: (try Hashtbl.find writes_of_key o.key with Not_found -> [])))
+    h.ops;
+  let key_writes key = try Hashtbl.find writes_of_key key with Not_found -> [] in
+  Array.fold_left
+    (fun acc o ->
+      match acc with
+      | Error _ -> acc
+      | Ok () ->
+        if not (is_complete o) then Ok ()
+        else (
+          match observed_value o with
+          | None -> Ok ()
+          | Some value ->
+            let others = List.filter (fun w -> w.id <> o.id) (key_writes o.key) in
+            read_feasible ~key_writes:others o value))
+    (Ok ()) h.ops
+
+let satisfies_weak h = match check_weak h with Ok () -> true | Error _ -> false

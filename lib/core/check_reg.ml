@@ -1,0 +1,30 @@
+type model =
+  | Linearizable
+  | Sequential
+  | Rsc
+  | Regular_vv
+  | Osc_u
+
+let all_models = [ Linearizable; Sequential; Rsc; Regular_vv; Osc_u ]
+
+let model_name = function
+  | Linearizable -> "linearizable"
+  | Sequential -> "sequential"
+  | Rsc -> "rsc"
+  | Regular_vv -> "vv-regular"
+  | Osc_u -> "osc-u"
+
+let to_txn_model = function
+  | Linearizable -> Check_txn.Strict_serializable
+  | Sequential -> Check_txn.Process_ordered
+  | Rsc -> Check_txn.Rss
+  | Regular_vv -> Check_txn.Regular_vv
+  | Osc_u -> Check_txn.Osc_u
+
+let check ?max_states h model =
+  Check_txn.check ?max_states (Txn_history.of_history h) (to_txn_model model)
+
+let satisfies ?max_states h model =
+  Check_txn.satisfies ?max_states (Txn_history.of_history h) (to_txn_model model)
+
+let causal h = Check_txn.causal (Txn_history.of_history h)

@@ -1,0 +1,134 @@
+type key = string
+type value = int
+
+type kind =
+  | Read of value option
+  | Write of value
+  | Rmw of value option * value
+
+type op = {
+  id : int;
+  proc : int;
+  key : key;
+  kind : kind;
+  inv : int;
+  resp : int option;
+}
+
+type t = { ops : op array; msg_edges : (int * int) list }
+
+let is_complete o = o.resp <> None
+
+let is_mutator o =
+  match o.kind with Read _ -> false | Write _ | Rmw _ -> true
+
+let written_value o =
+  match o.kind with
+  | Read _ -> None
+  | Write v -> Some v
+  | Rmw (_, v) -> Some v
+
+let observed_value o =
+  match o.kind with
+  | Read v -> Some v
+  | Rmw (v, _) -> Some v
+  | Write _ -> None
+
+let read ~id ~proc ~key ?value ~inv ?resp () =
+  { id; proc; key; kind = Read value; inv; resp }
+
+let write ~id ~proc ~key ~value ~inv ?resp () =
+  { id; proc; key; kind = Write value; inv; resp }
+
+let rmw ~id ~proc ~key ?observed ~result ~inv ?resp () =
+  { id; proc; key; kind = Rmw (observed, result); inv; resp }
+
+let n_ops t = Array.length t.ops
+
+let op t i = t.ops.(i)
+
+let validate t =
+  let n = Array.length t.ops in
+  let exception Bad of string in
+  try
+    (* Distinct written values per key. *)
+    let written = Hashtbl.create 64 in
+    Array.iter
+      (fun o ->
+        match written_value o with
+        | None -> ()
+        | Some v ->
+          let k = (o.key, v) in
+          if Hashtbl.mem written k then
+            raise (Bad (Fmt.str "duplicate write of %d to %s" v o.key));
+          Hashtbl.add written k o.id)
+      t.ops;
+    (* Per-process sequentiality: sort a process's ops by invocation and
+       require each response to precede the next invocation. *)
+    let by_proc = Hashtbl.create 8 in
+    Array.iter
+      (fun o ->
+        let prev = try Hashtbl.find by_proc o.proc with Not_found -> [] in
+        Hashtbl.replace by_proc o.proc (o :: prev))
+      t.ops;
+    Hashtbl.iter
+      (fun proc ops ->
+        let ops = List.sort (fun a b -> compare a.inv b.inv) ops in
+        let rec check = function
+          | a :: (b :: _ as rest) ->
+            (match a.resp with
+            | None ->
+              raise
+                (Bad (Fmt.str "process %d continues after incomplete op %d" proc a.id))
+            | Some r ->
+              if r > b.inv then
+                raise
+                  (Bad
+                     (Fmt.str "process %d: op %d overlaps op %d" proc a.id b.id)));
+            check rest
+          | [ _ ] | [] -> ()
+        in
+        check ops)
+      by_proc;
+    (* Message edges reference real, complete senders and respect time. *)
+    List.iter
+      (fun (a, b) ->
+        if a < 0 || a >= n || b < 0 || b >= n then
+          raise (Bad (Fmt.str "msg edge (%d,%d) out of range" a b));
+        match t.ops.(a).resp with
+        | None -> raise (Bad (Fmt.str "msg edge from incomplete op %d" a))
+        | Some r ->
+          if r > t.ops.(b).inv then
+            raise (Bad (Fmt.str "msg edge (%d,%d) violates time" a b)))
+      t.msg_edges;
+    Ok ()
+  with Bad m -> Error m
+
+let make ?(msg_edges = []) ops =
+  let n = List.length ops in
+  let arr = Array.make n (List.hd ops) in
+  List.iter
+    (fun o ->
+      if o.id < 0 || o.id >= n then invalid_arg "History.make: ids must be 0..n-1";
+      arr.(o.id) <- o)
+    ops;
+  let ids = Hashtbl.create n in
+  List.iter
+    (fun o ->
+      if Hashtbl.mem ids o.id then invalid_arg "History.make: duplicate id";
+      Hashtbl.add ids o.id ())
+    ops;
+  let t = { ops = arr; msg_edges } in
+  match validate t with Ok () -> t | Error m -> invalid_arg ("History.make: " ^ m)
+
+let pp_op ppf o =
+  let kind =
+    match o.kind with
+    | Read None -> "r->nil"
+    | Read (Some v) -> Fmt.str "r->%d" v
+    | Write v -> Fmt.str "w(%d)" v
+    | Rmw (None, r) -> Fmt.str "rmw(nil->%d)" r
+    | Rmw (Some v, r) -> Fmt.str "rmw(%d->%d)" v r
+  in
+  Fmt.pf ppf "#%d p%d %s[%s] @[%d,%s]" o.id o.proc kind o.key o.inv
+    (match o.resp with None -> "?" | Some r -> string_of_int r)

@@ -1,0 +1,66 @@
+(** Non-transactional execution histories (reads, writes, read-modify-writes
+    on a multi-key register store).
+
+    An operation records its invocation and (optional) response times and the
+    values involved. Checkers derive the reads-from relation from values, so
+    histories must write {e distinct values per key}; {!validate} enforces
+    this. Out-of-band communication between processes (the paper's
+    message-passing causal edges, §3.3) is recorded explicitly as
+    [msg_edges]: [(a, b)] means op [a]'s response happened-before op [b]'s
+    invocation via a message. *)
+
+type key = string
+type value = int
+
+type kind =
+  | Read of value option  (** value returned; [None] = initial/absent *)
+  | Write of value
+  | Rmw of value option * value
+      (** (value observed, value written) — e.g. an atomic increment *)
+
+type op = {
+  id : int;
+  proc : int;
+  key : key;
+  kind : kind;
+  inv : int;
+  resp : int option;
+}
+
+type t = { ops : op array; msg_edges : (int * int) list }
+
+(** {2 Construction} *)
+
+val make : ?msg_edges:(int * int) list -> op list -> t
+(** Ids must be dense [0..n-1]; ops are stored indexed by id.
+    Raises [Invalid_argument] otherwise or if {!validate} fails. *)
+
+val read :
+  id:int -> proc:int -> key:key -> ?value:value -> inv:int -> ?resp:int -> unit -> op
+
+val write :
+  id:int -> proc:int -> key:key -> value:value -> inv:int -> ?resp:int -> unit -> op
+
+val rmw :
+  id:int -> proc:int -> key:key -> ?observed:value -> result:value -> inv:int ->
+  ?resp:int -> unit -> op
+
+(** {2 Accessors} *)
+
+val n_ops : t -> int
+val op : t -> int -> op
+val is_complete : op -> bool
+val is_mutator : op -> bool
+(** Writes and rmws mutate; reads do not. *)
+
+val written_value : op -> value option
+val observed_value : op -> value option option
+(** [Some v] for reads/rmws ([v] itself is the possibly-[None] value seen);
+    [None] for writes. *)
+
+val validate : t -> (unit, string) result
+(** Distinct written values per key; well-formed per-process sequentiality
+    (a process has at most one outstanding op); msg edges reference real ops
+    and respect time. *)
+
+val pp_op : Format.formatter -> op -> unit

@@ -1,0 +1,56 @@
+type fence = (unit -> unit) -> unit
+
+type t = {
+  services : (string, fence) Hashtbl.t;
+  mutable last : string option;
+  mutable n_fences : int;
+}
+
+type context = { last_service : string option }
+
+let create () = { services = Hashtbl.create 8; last = None; n_fences = 0 }
+
+let register_service t ~name ~fence =
+  if Hashtbl.mem t.services name then
+    invalid_arg (Fmt.str "Librss.register_service: %s already registered" name);
+  Hashtbl.replace t.services name fence
+
+let unregister_service t ~name =
+  Hashtbl.remove t.services name;
+  if t.last = Some name then t.last <- None
+
+let is_registered t ~name = Hashtbl.mem t.services name
+
+let start_transaction t ~name k =
+  if not (Hashtbl.mem t.services name) then
+    invalid_arg (Fmt.str "Librss.start_transaction: unknown service %s" name);
+  match t.last with
+  | Some prev when prev <> name && Hashtbl.mem t.services prev ->
+    let fence = Hashtbl.find t.services prev in
+    t.n_fences <- t.n_fences + 1;
+    t.last <- Some name;
+    fence k
+  | Some _ | None ->
+    t.last <- Some name;
+    k ()
+
+let last_service t = t.last
+
+let fences_issued t = t.n_fences
+
+let capture t = { last_service = t.last }
+
+let absorb t ctx =
+  (* The receiver now carries the sender's causal baggage: if the sender
+     last touched a different service, the receiver must fence there before
+     using any other service. We conservatively adopt the sender's last
+     service when it differs from ours — the next start_transaction on any
+     other service then triggers that fence. If both sides have touched
+     different services, fencing at either is required before a third; we
+     fence at the incoming one (the local one was already fenced when the
+     process last switched, or will be on its own next switch). *)
+  match ctx.last_service with
+  | None -> ()
+  | Some s -> if t.last <> Some s then t.last <- Some s
+
+let context_service ctx = ctx.last_service

@@ -1,0 +1,56 @@
+(** The libRSS composition meta-library (§4.1, Fig. 3, Appendix C.4).
+
+    A set of individually-RSS services only guarantees RSS globally if a
+    process issues a {e real-time fence} at the service it last used before
+    interacting with a different one. libRSS automates this: each RSS
+    service's client library registers a fence callback, and notifies the
+    meta-library before starting a transaction; libRSS invokes the previous
+    service's fence exactly when the process switches services.
+
+    Fences may take time (Spanner-RSS's fence waits out a TrueTime window),
+    so the interface is continuation-passing: callbacks complete
+    asynchronously on the simulated clock.
+
+    For processes that also communicate out of band (§4.2), {!capture} /
+    {!absorb} implement the context-propagation metadata: the name of the
+    last service touched travels with the message, so the receiver fences
+    correctly before switching services. *)
+
+type t
+
+type fence = (unit -> unit) -> unit
+(** A fence takes a completion continuation. *)
+
+val create : unit -> t
+(** One instance per application process (client-library registry). *)
+
+val register_service : t -> name:string -> fence:fence -> unit
+(** Raises [Invalid_argument] on duplicate names. *)
+
+val unregister_service : t -> name:string -> unit
+
+val is_registered : t -> name:string -> bool
+
+val start_transaction : t -> name:string -> (unit -> unit) -> unit
+(** [start_transaction t ~name k] runs the previous service's fence if the
+    process is switching services, then continues with [k]. Raises
+    [Invalid_argument] if [name] is not registered. *)
+
+val last_service : t -> string option
+
+val fences_issued : t -> int
+(** How many fences this registry has invoked (overhead accounting). *)
+
+(** {2 Context propagation (§4.2)} *)
+
+type context
+
+val capture : t -> context
+(** Snapshot to attach to an outgoing message. *)
+
+val absorb : t -> context -> unit
+(** Merge an incoming message's context: the receiver behaves as if it had
+    last touched the sender's last service, so the next
+    {!start_transaction} fences if needed. *)
+
+val context_service : context -> string option

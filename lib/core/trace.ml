@@ -1,0 +1,134 @@
+open Txn_history
+
+let encode_reads reads =
+  List.map
+    (fun (k, v) ->
+      match v with None -> Fmt.str "%s:nil" k | Some v -> Fmt.str "%s:%d" k v)
+    reads
+  |> String.concat ","
+
+let encode_writes writes =
+  List.map (fun (k, v) -> Fmt.str "%s:%d" k v) writes |> String.concat ","
+
+let to_string (h : Txn_history.t) =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "# rss-repro transactional history v1\n";
+  Array.iter
+    (fun x ->
+      Buffer.add_string buf
+        (Fmt.str "txn id=%d proc=%d inv=%d resp=%s reads=%s writes=%s\n" x.id x.proc
+           x.inv
+           (match x.resp with None -> "-" | Some r -> string_of_int r)
+           (encode_reads x.reads) (encode_writes x.writes)))
+    h.txns;
+  List.iter
+    (fun (a, b) -> Buffer.add_string buf (Fmt.str "edge %d %d\n" a b))
+    h.msg_edges;
+  Buffer.contents buf
+
+let parse_kv ~with_nil s =
+  if s = "" then Ok []
+  else
+    let parts = String.split_on_char ',' s in
+    let parse_one part =
+      match String.rindex_opt part ':' with
+      | None -> Error (Fmt.str "malformed pair %S" part)
+      | Some i ->
+        let k = String.sub part 0 i in
+        let v = String.sub part (i + 1) (String.length part - i - 1) in
+        if with_nil && v = "nil" then Ok (k, None)
+        else (
+          match int_of_string_opt v with
+          | Some n -> Ok (k, Some n)
+          | None -> Error (Fmt.str "malformed value %S" v))
+    in
+    List.fold_left
+      (fun acc part ->
+        match (acc, parse_one part) with
+        | Error _, _ -> acc
+        | _, Error e -> Error e
+        | Ok l, Ok kv -> Ok (kv :: l))
+      (Ok []) parts
+    |> Result.map List.rev
+
+let parse_field line name =
+  (* fields are space-separated name=value tokens *)
+  let tokens = String.split_on_char ' ' line in
+  let prefix = name ^ "=" in
+  match
+    List.find_opt (fun t -> String.length t > String.length prefix - 1
+                            && String.sub t 0 (String.length prefix) = prefix)
+      tokens
+  with
+  | None -> Error (Fmt.str "missing field %s" name)
+  | Some t ->
+    Ok (String.sub t (String.length prefix) (String.length t - String.length prefix))
+
+let ( let* ) = Result.bind
+
+let parse_txn line =
+  let* id = parse_field line "id" in
+  let* proc = parse_field line "proc" in
+  let* inv = parse_field line "inv" in
+  let* resp = parse_field line "resp" in
+  let* reads_s = parse_field line "reads" in
+  let* writes_s = parse_field line "writes" in
+  let int_of name s =
+    match int_of_string_opt s with
+    | Some n -> Ok n
+    | None -> Error (Fmt.str "bad %s: %S" name s)
+  in
+  let* id = int_of "id" id in
+  let* proc = int_of "proc" proc in
+  let* inv = int_of "inv" inv in
+  let* resp =
+    if resp = "-" then Ok None
+    else Result.map (fun r -> Some r) (int_of "resp" resp)
+  in
+  let* reads = parse_kv ~with_nil:true reads_s in
+  let* writes_opt = parse_kv ~with_nil:false writes_s in
+  let writes =
+    List.filter_map (fun (k, v) -> Option.map (fun v -> (k, v)) v) writes_opt
+  in
+  Ok { id; proc; reads; writes; inv; resp }
+
+let of_string s =
+  let lines = String.split_on_char '\n' s in
+  let result =
+    List.fold_left
+      (fun acc raw ->
+        let* txns, edges = acc in
+        let line = String.trim raw in
+        if line = "" || line.[0] = '#' then Ok (txns, edges)
+        else if String.length line > 4 && String.sub line 0 4 = "txn " then
+          let* t = parse_txn line in
+          Ok (t :: txns, edges)
+        else if String.length line > 5 && String.sub line 0 5 = "edge " then (
+          match String.split_on_char ' ' line with
+          | [ _; a; b ] -> (
+            match (int_of_string_opt a, int_of_string_opt b) with
+            | Some a, Some b -> Ok (txns, (a, b) :: edges)
+            | _ -> Error (Fmt.str "bad edge line %S" line))
+          | _ -> Error (Fmt.str "bad edge line %S" line))
+        else Error (Fmt.str "unrecognized line %S" line))
+      (Ok ([], []))
+      lines
+  in
+  let* txns, edges = result in
+  match Txn_history.make ~msg_edges:(List.rev edges) (List.rev txns) with
+  | h -> Ok h
+  | exception Invalid_argument m -> Error m
+
+let save ~path h =
+  let oc = open_out path in
+  output_string oc (to_string h);
+  close_out oc
+
+let load ~path =
+  match open_in path with
+  | exception Sys_error m -> Error m
+  | ic ->
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    of_string s

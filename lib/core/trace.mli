@@ -1,0 +1,20 @@
+(** Plain-text serialization of transactional histories, so runs can be
+    saved, diffed, shipped in bug reports, and re-checked offline
+    (`rss_repro check` in the CLI loads these).
+
+    Format: one record per line,
+    {v
+    txn id=<n> proc=<n> inv=<n> resp=<n|-> reads=k:v|k:nil,... writes=k:v,...
+    edge <a> <b>
+    # comments and blank lines are ignored
+    v}
+    Keys must not contain [,:|] or whitespace. *)
+
+val to_string : Txn_history.t -> string
+
+val of_string : string -> (Txn_history.t, string) result
+(** Parse and validate; errors carry the offending line. *)
+
+val save : path:string -> Txn_history.t -> unit
+
+val load : path:string -> (Txn_history.t, string) result

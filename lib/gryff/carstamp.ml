@@ -1,0 +1,24 @@
+type t = { ts : int; cid : int; rmwc : int }
+
+let zero = { ts = 0; cid = 0; rmwc = 0 }
+
+let compare a b =
+  let c = Stdlib.compare a.ts b.ts in
+  if c <> 0 then c
+  else
+    let c = Stdlib.compare a.cid b.cid in
+    if c <> 0 then c else Stdlib.compare a.rmwc b.rmwc
+
+let ( < ) a b = compare a b < 0
+
+let ( > ) a b = compare a b > 0
+
+let equal a b = compare a b = 0
+
+let max a b = if compare a b >= 0 then a else b
+
+let for_write ~base ~cid = { ts = base.ts + 1; cid; rmwc = 0 }
+
+let for_rmw ~base = { base with rmwc = base.rmwc + 1 }
+
+let pp ppf t = Fmt.pf ppf "(%d.%d.%d)" t.ts t.cid t.rmwc

@@ -1,0 +1,30 @@
+(** Consensus-after-register timestamps ("carstamps", Gryff §3).
+
+    A carstamp [(ts, cid, rmwc)] names a position in a key's total order of
+    mutations: register writes advance [ts] (tie-broken by the writer's
+    client id) and reset [rmwc]; read-modify-writes {e inherit their base's}
+    [(ts, cid)] and advance [rmwc]. Order is lexicographic on
+    [(ts, cid, rmwc)], so an rmw slots directly after the exact write it
+    observed — before any concurrent write with a higher client id — which
+    is what makes the carstamp order a legal serialization (the triple
+    cs_w < cs_w' < cs_rmw with the rmw reading w is unrepresentable;
+    Gryff's Lemma B.10). Carstamps are per-key. *)
+
+type t = { ts : int; cid : int; rmwc : int }
+
+val zero : t
+
+val compare : t -> t -> int
+val ( < ) : t -> t -> bool
+val ( > ) : t -> t -> bool
+val max : t -> t -> t
+val equal : t -> t -> bool
+
+val for_write : base:t -> cid:int -> t
+(** [ts = base.ts + 1], [rmwc = 0]. *)
+
+val for_rmw : base:t -> t
+(** Inherits [(ts, cid)] from the base, [rmwc = base.rmwc + 1]. Interfering
+    rmws are serialized by the consensus layer, so chains stay distinct. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,94 @@
+type t = {
+  cluster : Cluster.t;
+  site : int;
+  proc : int;
+  mutable deps : Protocol.dep list;
+}
+
+let create cluster ~site =
+  { cluster; site; proc = Cluster.fresh_proc cluster; deps = [] }
+
+let proc t = t.proc
+
+let site t = t.site
+
+let deps t = t.deps
+
+(* Keep at most one dependency per key — the newest. *)
+let add_dep t (d : Protocol.dep) =
+  let others = List.filter (fun (o : Protocol.dep) -> o.Protocol.d_key <> d.Protocol.d_key) t.deps in
+  let d =
+    match List.find_opt (fun (o : Protocol.dep) -> o.Protocol.d_key = d.Protocol.d_key) t.deps with
+    | Some o when Carstamp.(o.Protocol.d_cs > d.Protocol.d_cs) -> o
+    | Some _ | None -> d
+  in
+  t.deps <- d :: others
+
+let now t = Sim.Engine.now (Cluster.engine t.cluster)
+
+let read t ~key k =
+  let inv = now t in
+  let deps = t.deps in
+  (* The read phase propagates the pending dependencies to a quorum. *)
+  t.deps <- [];
+  Protocol.read (Cluster.ctx t.cluster) ~client_site:t.site ~cid:t.proc ~deps ~key
+    (fun res ->
+      (match res.Protocol.r_dep with None -> () | Some d -> add_dep t d);
+      Cluster.record t.cluster
+        {
+          Cluster.g_proc = t.proc;
+          g_kind = Cluster.Read;
+          g_key = key;
+          g_observed = res.Protocol.r_value;
+          g_written = None;
+          g_cs = res.Protocol.r_cs;
+          g_inv = inv;
+          g_resp = now t;
+        };
+      k res)
+
+let write t ~key ~value k =
+  let inv = now t in
+  let deps = t.deps in
+  (* The first phase propagates the dependencies to a quorum. *)
+  t.deps <- [];
+  Protocol.write (Cluster.ctx t.cluster) ~client_site:t.site ~cid:t.proc ~deps ~key
+    ~value (fun res ->
+      Cluster.record t.cluster
+        {
+          Cluster.g_proc = t.proc;
+          g_kind = Cluster.Write;
+          g_key = key;
+          g_observed = None;
+          g_written = Some value;
+          g_cs = res.Protocol.w_cs;
+          g_inv = inv;
+          g_resp = now t;
+        };
+      k res)
+
+let rmw t ~key ~f k =
+  let inv = now t in
+  let deps = t.deps in
+  t.deps <- [];
+  Protocol.rmw (Cluster.ctx t.cluster) ~client_site:t.site ~cid:t.proc ~deps ~key ~f
+    (fun res ->
+      Cluster.record t.cluster
+        {
+          Cluster.g_proc = t.proc;
+          g_kind = Cluster.Rmw;
+          g_key = key;
+          g_observed = res.Protocol.m_observed;
+          g_written = Some res.Protocol.m_value;
+          g_cs = res.Protocol.m_cs;
+          g_inv = inv;
+          g_resp = now t;
+        };
+      k res)
+
+let fence t k =
+  let deps = t.deps in
+  t.deps <- [];
+  Protocol.fence (Cluster.ctx t.cluster) ~client_site:t.site ~deps k
+
+let absorb_deps t incoming = List.iter (add_dep t) incoming

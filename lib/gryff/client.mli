@@ -1,0 +1,31 @@
+(** A Gryff / Gryff-RSC client: owns the per-client dependency tuple d
+    (Algorithm 3) and records operations into the cluster history.
+
+    In Rsc mode, a one-round read that observed a not-yet-quorum-replicated
+    value stores it as the dependency; the next operation's first phase
+    piggybacks and clears it. In Lin mode the dependency is always empty
+    (reads write back synchronously). *)
+
+type t
+
+val create : Cluster.t -> site:int -> t
+
+val proc : t -> int
+val site : t -> int
+
+val deps : t -> Protocol.dep list
+(** Pending dependencies (at most one per key). The paper's clients carry a
+    single tuple; the list generalizes it for out-of-band context
+    propagation between processes. *)
+
+val read : t -> key:int -> (Protocol.read_result -> unit) -> unit
+val write : t -> key:int -> value:int -> (Protocol.write_result -> unit) -> unit
+val rmw : t -> key:int -> f:(int option -> int) -> (Protocol.rmw_result -> unit) -> unit
+
+val fence : t -> (unit -> unit) -> unit
+(** §7.1: write back the pending dependencies so future reads anywhere
+    observe at least this client's causal past. *)
+
+val absorb_deps : t -> Protocol.dep list -> unit
+(** Context propagation: adopt dependencies received out of band (the
+    receiving process propagates them before its next operation). *)

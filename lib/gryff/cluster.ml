@@ -1,0 +1,127 @@
+type op_kind = Read | Write | Rmw
+
+type record = {
+  g_proc : int;
+  g_kind : op_kind;
+  g_key : int;
+  g_observed : int option;
+  g_written : int option;
+  g_cs : Carstamp.t;
+  g_inv : int;
+  g_resp : int;
+}
+
+type t = {
+  engine : Sim.Engine.t;
+  net : Sim.Net.t;
+  config : Config.t;
+  pctx : Protocol.ctx;
+  mutable next_proc : int;
+  mutable record_list : record list;
+}
+
+let create engine ~rng (config : Config.t) =
+  let net =
+    Sim.Net.create engine ~rng:(Sim.Rng.split rng) ~rtt_ms:config.Config.rtt_ms
+      ~jitter:config.Config.jitter ()
+  in
+  let pctx = Protocol.make_ctx engine net config in
+  { engine; net; config; pctx; next_proc = 0; record_list = [] }
+
+let engine t = t.engine
+
+let config t = t.config
+
+let ctx t = t.pctx
+
+let net t = t.net
+
+let fresh_proc t =
+  let p = t.next_proc in
+  t.next_proc <- p + 1;
+  p
+
+let record t r = t.record_list <- r :: t.record_list
+
+let records t = Array.of_list (List.rev t.record_list)
+
+(* Verify each key's subhistory in carstamp order. Carstamps are dense-ranked
+   into witness timestamps; mutators sort before the reads of their value. *)
+let check_history t =
+  let by_key = Hashtbl.create 64 in
+  List.iter
+    (fun r ->
+      let prev = try Hashtbl.find by_key r.g_key with Not_found -> [] in
+      Hashtbl.replace by_key r.g_key (r :: prev))
+    t.record_list;
+  let mode = match t.config.Config.mode with Config.Lin -> `Strict | Config.Rsc -> `Rss in
+  let check_key key rs =
+    let stamps =
+      List.map (fun r -> r.g_cs) rs
+      |> List.sort_uniq Carstamp.compare
+      |> Array.of_list
+    in
+    let rank cs =
+      (* binary search for the dense rank *)
+      let lo = ref 0 and hi = ref (Array.length stamps - 1) in
+      while !lo < !hi do
+        let mid = (!lo + !hi) / 2 in
+        if Carstamp.compare stamps.(mid) cs < 0 then lo := mid + 1 else hi := mid
+      done;
+      !lo
+    in
+    let key_name = string_of_int key in
+    let txns =
+      List.map
+        (fun r ->
+          let reads =
+            match r.g_kind with
+            | Read | Rmw -> [ (key_name, r.g_observed) ]
+            | Write -> []
+          in
+          let writes =
+            match (r.g_kind, r.g_written) with
+            | (Write | Rmw), Some v -> [ (key_name, v) ]
+            | (Write | Rmw), None -> []
+            | Read, _ -> []
+          in
+          {
+            Rss_core.Witness.proc = r.g_proc;
+            reads;
+            writes;
+            inv = r.g_inv;
+            resp = r.g_resp;
+            ts = rank r.g_cs;
+            rank = (match r.g_kind with Read -> 1 | Write | Rmw -> 0);
+          })
+        rs
+      |> Array.of_list
+    in
+    match Rss_core.Witness.check ~mode txns with
+    | Ok () -> Ok ()
+    | Error m -> Error (Fmt.str "key %d: %s" key m)
+  in
+  Hashtbl.fold
+    (fun key rs acc -> match acc with Error _ -> acc | Ok () -> check_key key rs)
+    by_key (Ok ())
+
+type stats = {
+  reads : int;
+  read_second_round : int;
+  deps_created : int;
+  writes : int;
+  rmws : int;
+  rmw_slow : int;
+  messages : int;
+}
+
+let stats t =
+  {
+    reads = t.pctx.Protocol.n_reads;
+    read_second_round = t.pctx.Protocol.n_read_second_round;
+    deps_created = t.pctx.Protocol.n_deps_created;
+    writes = t.pctx.Protocol.n_writes;
+    rmws = t.pctx.Protocol.n_rmws;
+    rmw_slow = t.pctx.Protocol.n_rmw_slow;
+    messages = Sim.Net.messages_sent t.net;
+  }

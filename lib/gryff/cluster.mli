@@ -1,0 +1,52 @@
+(** Assembly of a simulated Gryff / Gryff-RSC deployment, with history
+    recording and per-key witness checking.
+
+    Carstamps are per-key, so large runs are verified per key: each key's
+    operations must be legal, session-monotone, and respect the regular
+    real-time constraint in carstamp order (the RSC restriction to one key;
+    [Lin] mode checks the full real-time order instead). Cross-key causality
+    is exercised by the search-checker tests on small histories. *)
+
+type t
+
+val create : Sim.Engine.t -> rng:Sim.Rng.t -> Config.t -> t
+
+val engine : t -> Sim.Engine.t
+val config : t -> Config.t
+val ctx : t -> Protocol.ctx
+val net : t -> Sim.Net.t
+
+val fresh_proc : t -> int
+
+type op_kind = Read | Write | Rmw
+
+type record = {
+  g_proc : int;
+  g_kind : op_kind;
+  g_key : int;
+  g_observed : int option;  (** value read (reads, rmws) *)
+  g_written : int option;  (** value written (writes, rmws) *)
+  g_cs : Carstamp.t;
+  g_inv : int;
+  g_resp : int;
+}
+
+val record : t -> record -> unit
+
+val records : t -> record array
+
+val check_history : t -> (unit, string) result
+
+(** {2 Run statistics} *)
+
+type stats = {
+  reads : int;
+  read_second_round : int;
+  deps_created : int;
+  writes : int;
+  rmws : int;
+  rmw_slow : int;
+  messages : int;
+}
+
+val stats : t -> stats

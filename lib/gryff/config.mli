@@ -1,0 +1,26 @@
+(** Gryff / Gryff-RSC deployment configuration (§7.2, Table 2). *)
+
+type mode = Lin  (** baseline Gryff: linearizable *) | Rsc
+
+type t = {
+  mode : mode;
+  n_replicas : int;  (** one replica per site *)
+  rtt_ms : float array array;
+  service_time_us : int;
+  jitter : float;
+}
+
+val wan5 : mode:mode -> unit -> t
+(** The paper's five-region deployment (CA, VA, IR, OR, JP) with Table 2's
+    round-trip times. *)
+
+val single_dc : mode:mode -> service_time_us:int -> unit -> t
+(** §7.4's overhead setup: five replicas, in-DC latency. *)
+
+val quorum : t -> int
+(** Majority: ⌈(n+1)/2⌉ = 3 for five replicas. *)
+
+val fast_quorum : t -> int
+(** EPaxos fast-path quorum: F + ⌊(F+1)/2⌋ = 3 for five replicas. *)
+
+val site_name : t -> int -> string

@@ -1,0 +1,308 @@
+type dep = { d_key : int; d_value : int; d_cs : Carstamp.t }
+
+type rmw_pending = {
+  mutable p_local : Replica.instance option;  (* coordinator executed *)
+  mutable p_acks : int;  (* remote replicas that applied the result *)
+  p_needed : int;
+  p_reply : Replica.instance -> unit;
+}
+
+type ctx = {
+  engine : Sim.Engine.t;
+  net : Sim.Net.t;
+  config : Config.t;
+  replicas : Replica.t array;
+  rmw_waiters : (Replica.instance_id, rmw_pending) Hashtbl.t;
+  mutable n_reads : int;
+  mutable n_read_second_round : int;
+  mutable n_deps_created : int;
+  mutable n_writes : int;
+  mutable n_rmws : int;
+  mutable n_rmw_slow : int;
+}
+
+let make_ctx engine net config =
+  let replicas =
+    Array.init config.Config.n_replicas (fun replica_id ->
+        Replica.create engine config ~replica_id)
+  in
+  let ctx =
+    {
+      engine;
+      net;
+      config;
+      replicas;
+      rmw_waiters = Hashtbl.create 256;
+      n_reads = 0;
+      n_read_second_round = 0;
+      n_deps_created = 0;
+      n_writes = 0;
+      n_rmws = 0;
+      n_rmw_slow = 0;
+    }
+  in
+  (* An rmw completes only once its result is applied at a quorum: the
+     coordinator's own execution plus execution acks from other replicas —
+     otherwise a subsequent read's quorum could miss a "completed" rmw. *)
+  let maybe_reply inst_id (p : rmw_pending) =
+    match p.p_local with
+    | Some inst when p.p_acks >= p.p_needed ->
+      Hashtbl.remove ctx.rmw_waiters inst_id;
+      p.p_reply inst
+    | Some _ | None -> ()
+  in
+  Array.iter
+    (fun (r : Replica.t) ->
+      r.Replica.executed_hook <-
+        (fun inst ->
+          let inst_id = inst.Replica.inst_id in
+          let coord = fst inst_id in
+          if coord = r.Replica.replica_id then (
+            match Hashtbl.find_opt ctx.rmw_waiters inst_id with
+            | Some p ->
+              p.p_local <- Some inst;
+              maybe_reply inst_id p
+            | None -> ())
+          else
+            (* execution ack back to the coordinator *)
+            Sim.Net.send ~bytes:32 ctx.net ~src:r.Replica.replica_id ~dst:coord
+              (fun () ->
+                Sim.Station.submit ctx.replicas.(coord).Replica.station (fun () ->
+                    match Hashtbl.find_opt ctx.rmw_waiters inst_id with
+                    | Some p ->
+                      p.p_acks <- p.p_acks + 1;
+                      maybe_reply inst_id p
+                    | None -> ()))))
+    replicas;
+  ctx
+
+let to_replica ctx ~src ?(bytes = 64) replica_id handler =
+  let r = ctx.replicas.(replica_id) in
+  Sim.Net.send ~bytes ctx.net ~src ~dst:replica_id (fun () ->
+      Sim.Station.submit r.Replica.station (fun () -> handler r))
+
+let to_client ctx ~src ?(bytes = 64) ~dst handler =
+  Sim.Net.send ~bytes ctx.net ~src ~dst handler
+
+let apply_deps (r : Replica.t) deps =
+  List.iter
+    (fun { d_key; d_value; d_cs } -> Replica.apply r ~key:d_key ~value:d_value ~cs:d_cs)
+    deps
+
+(* Collect the first [quorum] replies; later ones are dropped. *)
+let quorum_collector ~quorum k =
+  let got = ref [] in
+  let n = ref 0 in
+  fun reply ->
+    incr n;
+    if !n <= quorum then begin
+      got := reply :: !got;
+      if !n = quorum then k !got
+    end
+
+(* Propagate (key, value, cs) to a quorum — a read's write-back phase, a
+   write's second phase, or a fence. *)
+let propagate ctx ~client_site ~key ~value ~cs k =
+  let quorum = Config.quorum ctx.config in
+  let on_ack = quorum_collector ~quorum (fun _ -> k ()) in
+  Array.iteri
+    (fun i _ ->
+      to_replica ctx ~src:client_site i (fun r ->
+          (match value with
+          | Some v -> Replica.apply r ~key ~value:v ~cs
+          | None -> ());
+          to_client ctx ~src:i ~dst:client_site (fun () -> on_ack ())))
+    ctx.replicas
+
+(* ------------------------------------------------------------------ *)
+(* Reads (Algorithm 3 / 4)                                             *)
+(* ------------------------------------------------------------------ *)
+
+type read_result = {
+  r_value : int option;
+  r_cs : Carstamp.t;
+  r_rounds : int;
+  r_dep : dep option;
+}
+
+let read ctx ~client_site ~cid:_ ~deps ~key k =
+  ctx.n_reads <- ctx.n_reads + 1;
+  let quorum = Config.quorum ctx.config in
+  let process replies =
+    let best_v, best_cs =
+      match replies with
+      | first :: rest ->
+        List.fold_left
+          (fun (bv, bc) (v, cs) -> if Carstamp.(cs > bc) then (v, cs) else (bv, bc))
+          first rest
+      | [] -> assert false (* quorum_collector delivers exactly [quorum] replies *)
+    in
+    let all_equal = List.for_all (fun (_, cs) -> Carstamp.equal cs best_cs) replies in
+    if all_equal then
+      (* The chosen carstamp is already at a quorum: one round in both
+         modes (Gryff's fast-path read optimization). *)
+      k { r_value = best_v; r_cs = best_cs; r_rounds = 1; r_dep = None }
+    else begin
+      match (ctx.config.Config.mode, best_v) with
+      | Config.Lin, Some v ->
+        (* Linearizability requires the write-back phase before returning. *)
+        ctx.n_read_second_round <- ctx.n_read_second_round + 1;
+        propagate ctx ~client_site ~key ~value:(Some v) ~cs:best_cs (fun () ->
+            k { r_value = best_v; r_cs = best_cs; r_rounds = 2; r_dep = None })
+      | Config.Lin, None ->
+        k { r_value = None; r_cs = best_cs; r_rounds = 1; r_dep = None }
+      | Config.Rsc, Some v ->
+        (* RSC: defer the write-back by piggybacking on the next op. *)
+        ctx.n_deps_created <- ctx.n_deps_created + 1;
+        k
+          {
+            r_value = best_v;
+            r_cs = best_cs;
+            r_rounds = 1;
+            r_dep = Some { d_key = key; d_value = v; d_cs = best_cs };
+          }
+      | Config.Rsc, None ->
+        k { r_value = None; r_cs = best_cs; r_rounds = 1; r_dep = None }
+    end
+  in
+  let on_reply = quorum_collector ~quorum process in
+  Array.iteri
+    (fun i _ ->
+      to_replica ctx ~src:client_site i (fun r ->
+          apply_deps r deps;
+          let v, cs = Replica.get r key in
+          to_client ctx ~src:i ~dst:client_site (fun () -> on_reply (v, cs))))
+    ctx.replicas
+
+(* ------------------------------------------------------------------ *)
+(* Writes                                                              *)
+(* ------------------------------------------------------------------ *)
+
+type write_result = { w_cs : Carstamp.t }
+
+let write ctx ~client_site ~cid ~deps ~key ~value k =
+  ctx.n_writes <- ctx.n_writes + 1;
+  let quorum = Config.quorum ctx.config in
+  let phase2 base_cs =
+    let cs = Carstamp.for_write ~base:base_cs ~cid in
+    propagate ctx ~client_site ~key ~value:(Some value) ~cs (fun () ->
+        k { w_cs = cs })
+  in
+  let process replies =
+    phase2 (List.fold_left (fun acc cs -> Carstamp.max acc cs) Carstamp.zero replies)
+  in
+  let on_reply = quorum_collector ~quorum process in
+  Array.iteri
+    (fun i _ ->
+      to_replica ctx ~src:client_site i (fun r ->
+          apply_deps r deps;
+          let _, cs = Replica.get r key in
+          to_client ctx ~src:i ~dst:client_site (fun () -> on_reply cs)))
+    ctx.replicas
+
+(* ------------------------------------------------------------------ *)
+(* Read-modify-writes (Algorithm 5)                                    *)
+(* ------------------------------------------------------------------ *)
+
+type rmw_result = {
+  m_observed : int option;
+  m_value : int;
+  m_cs : Carstamp.t;
+  m_slow : bool;
+}
+
+let same_attrs (seq, deps, base) (seq', deps', base') =
+  seq = seq'
+  && List.sort compare deps = List.sort compare deps'
+  && Carstamp.equal (snd base) (snd base')
+
+let rmw ctx ~client_site ~cid:_ ~deps ~key ~f k =
+  ctx.n_rmws <- ctx.n_rmws + 1;
+  let coord_id = client_site in
+  (* coordinate at the local replica *)
+  to_replica ctx ~src:client_site coord_id (fun coord ->
+      apply_deps coord deps;
+      let inst = Replica.fresh_instance coord ~key ~f in
+      let inst_id = inst.Replica.inst_id in
+      let orig = (inst.Replica.i_seq, inst.Replica.i_deps, inst.Replica.i_base) in
+      let commit ~slow (seq, deps, base) =
+        if slow then ctx.n_rmw_slow <- ctx.n_rmw_slow + 1;
+        let reply (i : Replica.instance) =
+          match i.Replica.i_result with
+          | Some (v, cs) ->
+            to_client ctx ~src:coord_id ~dst:client_site (fun () ->
+                k
+                  {
+                    m_observed = i.Replica.i_observed;
+                    m_value = v;
+                    m_cs = cs;
+                    m_slow = slow;
+                  })
+          | None -> assert false
+        in
+        Hashtbl.replace ctx.rmw_waiters inst_id
+          {
+            p_local = None;
+            p_acks = 0;
+            p_needed = Config.quorum ctx.config - 1;
+            p_reply = reply;
+          };
+        Array.iteri
+          (fun i _ ->
+            if i <> coord_id then
+              to_replica ctx ~src:coord_id i (fun r ->
+                  Replica.record_decision r ~inst_id ~key ~f ~seq ~deps ~base
+                    Replica.Committed))
+          ctx.replicas;
+        Replica.record_decision coord ~inst_id ~key ~f ~seq ~deps ~base
+          Replica.Committed
+      in
+      let slow_path (seq, deps, base) =
+        (* Accept round to a majority with the merged attributes. *)
+        let needed = Config.quorum ctx.config - 1 in
+        let on_ack = quorum_collector ~quorum:needed (fun _ -> commit ~slow:true (seq, deps, base)) in
+        Array.iteri
+          (fun i _ ->
+            if i <> coord_id then
+              to_replica ctx ~src:coord_id i (fun r ->
+                  Replica.record_decision r ~inst_id ~key ~f ~seq ~deps ~base
+                    Replica.Accepted;
+                  to_client ctx ~src:i ~dst:coord_id (fun () -> on_ack ())))
+          ctx.replicas
+      in
+      let needed = Config.fast_quorum ctx.config - 1 in
+      let process replies =
+        if List.for_all (fun attrs -> same_attrs attrs orig) replies then
+          commit ~slow:false orig
+        else begin
+          let seq, deps, base =
+            List.fold_left
+              (fun (s, d, b) (s', d', b') ->
+                ( max s s',
+                  List.sort_uniq compare (d @ d'),
+                  if Carstamp.(snd b' > snd b) then b' else b ))
+              orig replies
+          in
+          slow_path (seq, deps, base)
+        end
+      in
+      let on_reply = quorum_collector ~quorum:needed process in
+      Array.iteri
+        (fun i _ ->
+          if i <> coord_id then
+            to_replica ctx ~src:coord_id i (fun r ->
+                apply_deps r deps;
+                let attrs =
+                  Replica.merge_preaccept r ~inst_id ~key ~f
+                    ~seq:inst.Replica.i_seq ~deps:inst.Replica.i_deps
+                    ~base:inst.Replica.i_base
+                in
+                to_client ctx ~src:i ~dst:coord_id (fun () -> on_reply attrs)))
+        ctx.replicas)
+
+let rec fence ctx ~client_site ~deps k =
+  match deps with
+  | [] -> k ()
+  | { d_key; d_value; d_cs } :: rest ->
+    propagate ctx ~client_site ~key:d_key ~value:(Some d_value) ~cs:d_cs (fun () ->
+        fence ctx ~client_site ~deps:rest k)

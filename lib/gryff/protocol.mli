@@ -1,0 +1,69 @@
+(** Gryff / Gryff-RSC wire protocols (§7, Appendix B, Algorithms 3-5).
+
+    Reads: a read phase to a quorum; if the quorum disagrees, baseline Gryff
+    pays a write-back phase (two WAN round trips) while Gryff-RSC returns
+    immediately and hands the caller a {e dependency} — the key/value/
+    carstamp that must be piggybacked onto the client's next operation so
+    causally later operations observe it.
+
+    Writes: always two phases (carstamp query, then propagate).
+
+    Rmws: EPaxos-style consensus among the replicas — pre-accept to a fast
+    quorum, slow-path accept round on disagreement, deterministic execution
+    in dependency order with carstamps slotted after the base write.
+
+    Real-time fence: write the pending dependency back to a quorum (§7.1). *)
+
+type dep = { d_key : int; d_value : int; d_cs : Carstamp.t }
+
+type rmw_pending
+(** Coordinator-side completion state: an rmw replies only once its result
+    is applied at a quorum (coordinator execution + execution acks). *)
+
+type ctx = {
+  engine : Sim.Engine.t;
+  net : Sim.Net.t;
+  config : Config.t;
+  replicas : Replica.t array;
+  rmw_waiters : (Replica.instance_id, rmw_pending) Hashtbl.t;
+  mutable n_reads : int;
+  mutable n_read_second_round : int;  (** Lin-mode write-backs *)
+  mutable n_deps_created : int;  (** Rsc-mode deferred write-backs *)
+  mutable n_writes : int;
+  mutable n_rmws : int;
+  mutable n_rmw_slow : int;  (** rmws that needed the accept round *)
+}
+
+val make_ctx : Sim.Engine.t -> Sim.Net.t -> Config.t -> ctx
+
+type read_result = {
+  r_value : int option;
+  r_cs : Carstamp.t;
+  r_rounds : int;  (** 1 or 2 *)
+  r_dep : dep option;  (** new dependency to track (Rsc mode) *)
+}
+
+val read :
+  ctx -> client_site:int -> cid:int -> deps:dep list -> key:int ->
+  (read_result -> unit) -> unit
+
+type write_result = { w_cs : Carstamp.t }
+
+val write :
+  ctx -> client_site:int -> cid:int -> deps:dep list -> key:int -> value:int ->
+  (write_result -> unit) -> unit
+(** The dependencies are propagated by the first phase; callers clear them. *)
+
+type rmw_result = {
+  m_observed : int option;  (** value the function was applied to *)
+  m_value : int;  (** value written *)
+  m_cs : Carstamp.t;
+  m_slow : bool;
+}
+
+val rmw :
+  ctx -> client_site:int -> cid:int -> deps:dep list -> key:int ->
+  f:(int option -> int) -> (rmw_result -> unit) -> unit
+
+val fence : ctx -> client_site:int -> deps:dep list -> (unit -> unit) -> unit
+(** Write the pending dependencies back to a quorum; no-op without any. *)

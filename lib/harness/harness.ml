@@ -1,0 +1,205 @@
+(* Shared experiment drivers for the benchmark suite: each returns latency
+   recorders and run statistics, and verifies the run's history against its
+   consistency model (a bench that produced an inconsistent run would be
+   measuring a broken system). *)
+
+type spanner_run = {
+  sp_ro : Stats.Recorder.t;
+  sp_rw : Stats.Recorder.t;
+  sp_stats : Spanner.Cluster.stats;
+  sp_committed : int;
+  sp_duration_us : int;
+  sp_check : (unit, string) result;
+  sp_records : Rss_core.Witness.txn array;
+}
+
+(* The paper's §6.1 wide-area Retwis experiment: partly-open clients
+   (sessions at [arrival_rate_per_sec], stay probability 0.9, zero think
+   time, a fresh t_min per session), Zipfian keys. *)
+let spanner_wan ?(config = None) ~mode ~theta ~n_keys ~arrival_rate_per_sec
+    ~duration_s ~seed () =
+  let engine = Sim.Engine.create () in
+  let rng = Sim.Rng.make seed in
+  let config =
+    match config with Some c -> c | None -> Spanner.Config.wan3 ~mode ()
+  in
+  let cluster = Spanner.Cluster.create engine ~rng config in
+  let retwis = Workload.Retwis.create ~rng:(Sim.Rng.split rng) ~n_keys ~theta in
+  let ro = Stats.Recorder.create () and rw = Stats.Recorder.create () in
+  let n_sites = Array.length config.Spanner.Config.client_sites in
+  let sessions : (int, Spanner.Client.t) Hashtbl.t = Hashtbl.create 1024 in
+  let session_client s =
+    match Hashtbl.find_opt sessions s with
+    | Some c -> c
+    | None ->
+      let c =
+        Spanner.Client.create cluster
+          ~site:config.Spanner.Config.client_sites.(s mod n_sites)
+      in
+      Hashtbl.add sessions s c;
+      c
+  in
+  let until = Sim.Engine.sec duration_s in
+  let warmup = Sim.Engine.sec (duration_s /. 10.0) in
+  let body ~client k =
+    let c = session_client client in
+    let txn = Workload.Retwis.sample retwis in
+    let t0 = Sim.Engine.now engine in
+    let finish recorder () =
+      if t0 >= warmup then Stats.Recorder.add recorder (Sim.Engine.now engine - t0);
+      k ()
+    in
+    if Workload.Retwis.is_read_only txn then
+      Spanner.Client.ro c ~keys:txn.Workload.Retwis.read_keys (fun _ -> finish ro ())
+    else
+      Spanner.Client.rw c ~read_keys:txn.Workload.Retwis.read_keys
+        ~write_keys:txn.Workload.Retwis.write_keys (fun _ -> finish rw ())
+  in
+  ignore
+    (Workload.Client_model.partly_open engine ~rng:(Sim.Rng.split rng)
+       ~arrival_rate_per_sec ~stay:0.9 ~body ~until ());
+  Sim.Engine.run ~max_events:600_000_000 engine;
+  let stats = Spanner.Cluster.stats cluster in
+  {
+    sp_ro = ro;
+    sp_rw = rw;
+    sp_stats = stats;
+    sp_committed = stats.Spanner.Cluster.rw_committed + stats.Spanner.Cluster.ro_count;
+    sp_duration_us = Sim.Engine.now engine;
+    sp_check = Spanner.Cluster.check_history cluster;
+    sp_records = Spanner.Cluster.records cluster;
+  }
+
+(* The §6.2 single-data-center saturation experiment: closed-loop clients,
+   uniform keys, ε = 0, per-message CPU cost at shard leaders. *)
+let spanner_dc ~mode ~n_shards ~service_time_us ~n_clients ~n_keys ~duration_s
+    ~seed () =
+  let engine = Sim.Engine.create () in
+  let rng = Sim.Rng.make seed in
+  let config = Spanner.Config.single_dc ~mode ~n_shards ~service_time_us () in
+  let cluster = Spanner.Cluster.create engine ~rng config in
+  let retwis = Workload.Retwis.create ~rng:(Sim.Rng.split rng) ~n_keys ~theta:0.0 in
+  let lat = Stats.Recorder.create () in
+  let completed = ref 0 in
+  let until = Sim.Engine.sec duration_s in
+  let warmup = Sim.Engine.sec (duration_s /. 5.0) in
+  let clients = Array.init n_clients (fun _ -> Spanner.Client.create cluster ~site:0) in
+  Workload.Client_model.closed_loop engine ~n_clients
+    ~body:(fun ~client k ->
+      let c = clients.(client) in
+      let txn = Workload.Retwis.sample retwis in
+      let t0 = Sim.Engine.now engine in
+      let finish () =
+        if t0 >= warmup && t0 < until then begin
+          incr completed;
+          Stats.Recorder.add lat (Sim.Engine.now engine - t0)
+        end;
+        k ()
+      in
+      if Workload.Retwis.is_read_only txn then
+        Spanner.Client.ro c ~keys:txn.Workload.Retwis.read_keys (fun _ -> finish ())
+      else
+        Spanner.Client.rw c ~read_keys:txn.Workload.Retwis.read_keys
+          ~write_keys:txn.Workload.Retwis.write_keys (fun _ -> finish ()))
+    ~until ();
+  Sim.Engine.run ~max_events:600_000_000 engine;
+  let measured_us = until - warmup in
+  let throughput = Stats.Summary.throughput ~count:!completed ~duration_us:measured_us in
+  let median = if Stats.Recorder.is_empty lat then 0.0 else Stats.Recorder.percentile_ms lat 50.0 in
+  let stats = Spanner.Cluster.stats cluster in
+  let total_txns = stats.Spanner.Cluster.rw_committed + stats.Spanner.Cluster.ro_count in
+  let msgs_per_txn =
+    if total_txns = 0 then 0.0
+    else float_of_int stats.Spanner.Cluster.messages /. float_of_int total_txns
+  in
+  (throughput, median, msgs_per_txn, Spanner.Cluster.check_history cluster)
+
+type gryff_run = {
+  gr_read : Stats.Recorder.t;
+  gr_write : Stats.Recorder.t;
+  gr_stats : Gryff.Cluster.stats;
+  gr_duration_us : int;
+  gr_check : (unit, string) result;
+}
+
+(* The §7.2 YCSB experiment: 16 closed-loop clients spread over five
+   regions, tunable conflict percentage and write ratio. *)
+let gryff_wan ?(n_clients = 16) ~mode ~conflict ~write_ratio ~n_keys ~duration_s
+    ~seed () =
+  let engine = Sim.Engine.create () in
+  let rng = Sim.Rng.make seed in
+  let config = Gryff.Config.wan5 ~mode () in
+  let cluster = Gryff.Cluster.create engine ~rng config in
+  let ycsb = Workload.Ycsb.create ~rng:(Sim.Rng.split rng) ~n_keys ~write_ratio ~conflict in
+  let read_lat = Stats.Recorder.create () and write_lat = Stats.Recorder.create () in
+  let next_val = ref 0 in
+  let until = Sim.Engine.sec duration_s in
+  let warmup = Sim.Engine.sec (duration_s /. 10.0) in
+  let clients = Array.init n_clients (fun i -> Gryff.Client.create cluster ~site:(i mod 5)) in
+  Workload.Client_model.closed_loop engine ~n_clients
+    ~body:(fun ~client k ->
+      let c = clients.(client) in
+      let op = Workload.Ycsb.sample ycsb in
+      let t0 = Sim.Engine.now engine in
+      let finish recorder () =
+        if t0 >= warmup then Stats.Recorder.add recorder (Sim.Engine.now engine - t0);
+        k ()
+      in
+      if op.Workload.Ycsb.is_write then begin
+        incr next_val;
+        Gryff.Client.write c ~key:op.Workload.Ycsb.key ~value:!next_val (fun _ ->
+            finish write_lat ())
+      end
+      else Gryff.Client.read c ~key:op.Workload.Ycsb.key (fun _ -> finish read_lat ()))
+    ~until ();
+  Sim.Engine.run ~max_events:600_000_000 engine;
+  {
+    gr_read = read_lat;
+    gr_write = write_lat;
+    gr_stats = Gryff.Cluster.stats cluster;
+    gr_duration_us = Sim.Engine.now engine;
+    gr_check = Gryff.Cluster.check_history cluster;
+  }
+
+(* The §7.4 overhead experiment: in-DC latencies, per-message CPU cost. *)
+let gryff_dc ~mode ~service_time_us ~n_clients ~conflict ~write_ratio ~n_keys
+    ~duration_s ~seed () =
+  let engine = Sim.Engine.create () in
+  let rng = Sim.Rng.make seed in
+  let config = Gryff.Config.single_dc ~mode ~service_time_us () in
+  let cluster = Gryff.Cluster.create engine ~rng config in
+  let ycsb = Workload.Ycsb.create ~rng:(Sim.Rng.split rng) ~n_keys ~write_ratio ~conflict in
+  let lat = Stats.Recorder.create () in
+  let completed = ref 0 in
+  let next_val = ref 0 in
+  let until = Sim.Engine.sec duration_s in
+  let warmup = Sim.Engine.sec (duration_s /. 5.0) in
+  let clients = Array.init n_clients (fun i -> Gryff.Client.create cluster ~site:(i mod 5)) in
+  Workload.Client_model.closed_loop engine ~n_clients
+    ~body:(fun ~client k ->
+      let c = clients.(client) in
+      let op = Workload.Ycsb.sample ycsb in
+      let t0 = Sim.Engine.now engine in
+      let finish () =
+        if t0 >= warmup && t0 < until then begin
+          incr completed;
+          Stats.Recorder.add lat (Sim.Engine.now engine - t0)
+        end;
+        k ()
+      in
+      if op.Workload.Ycsb.is_write then begin
+        incr next_val;
+        Gryff.Client.write c ~key:op.Workload.Ycsb.key ~value:!next_val (fun _ ->
+            finish ())
+      end
+      else Gryff.Client.read c ~key:op.Workload.Ycsb.key (fun _ -> finish ()))
+    ~until ();
+  Sim.Engine.run ~max_events:600_000_000 engine;
+  let measured_us = until - warmup in
+  let throughput = Stats.Summary.throughput ~count:!completed ~duration_us:measured_us in
+  let median = if Stats.Recorder.is_empty lat then 0.0 else Stats.Recorder.percentile_ms lat 50.0 in
+  (throughput, median, Gryff.Cluster.check_history cluster)
+
+let report_check name = function
+  | Ok () -> ()
+  | Error m -> Fmt.pr "  !! %s: consistency violation in run history: %s@." name m

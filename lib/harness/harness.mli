@@ -1,0 +1,51 @@
+(** Experiment drivers shared by the benchmark harness (bench/) and the CLI
+    (bin/): run one configured simulation to completion and return latency
+    recorders, protocol statistics, and the history-verification verdict. *)
+
+type spanner_run = {
+  sp_ro : Stats.Recorder.t;  (** read-only transaction latencies (µs) *)
+  sp_rw : Stats.Recorder.t;
+  sp_stats : Spanner.Cluster.stats;
+  sp_committed : int;
+  sp_duration_us : int;
+  sp_check : (unit, string) result;
+  sp_records : Rss_core.Witness.txn array;  (** full history of the run *)
+}
+
+val spanner_wan :
+  ?config:Spanner.Config.t option -> mode:Spanner.Config.mode -> theta:float ->
+  n_keys:int -> arrival_rate_per_sec:float -> duration_s:float -> seed:int ->
+  unit -> spanner_run
+(** §6.1: Retwis over the CA/VA/IR deployment with partly-open clients
+    (a fresh session — and t_min — per arrival, stay probability 0.9).
+    The first 10% of the run is warm-up and is not recorded. *)
+
+val spanner_dc :
+  mode:Spanner.Config.mode -> n_shards:int -> service_time_us:int ->
+  n_clients:int -> n_keys:int -> duration_s:float -> seed:int -> unit ->
+  float * float * float * (unit, string) result
+(** §6.2 saturation: returns (throughput tx/s, median latency ms,
+    messages per transaction, check). *)
+
+type gryff_run = {
+  gr_read : Stats.Recorder.t;
+  gr_write : Stats.Recorder.t;
+  gr_stats : Gryff.Cluster.stats;
+  gr_duration_us : int;
+  gr_check : (unit, string) result;
+}
+
+val gryff_wan :
+  ?n_clients:int -> mode:Gryff.Config.mode -> conflict:float ->
+  write_ratio:float -> n_keys:int -> duration_s:float -> seed:int -> unit ->
+  gryff_run
+(** §7.2: YCSB over the five-region deployment, closed-loop clients. *)
+
+val gryff_dc :
+  mode:Gryff.Config.mode -> service_time_us:int -> n_clients:int ->
+  conflict:float -> write_ratio:float -> n_keys:int -> duration_s:float ->
+  seed:int -> unit -> float * float * (unit, string) result
+(** §7.4 overhead: returns (throughput ops/s, median latency ms, check). *)
+
+val report_check : string -> (unit, string) result -> unit
+(** Print a loud warning if a run's history failed verification. *)

@@ -1,0 +1,34 @@
+type t =
+  | Internal of { proc : int; tag : int }
+  | Sendto of { src : int; dst : int; msg : int }
+  | Sent of { src : int; dst : int }
+  | Recvfrom of { src : int; dst : int }
+  | Received of { src : int; dst : int; msg : int }
+  | Invoke of { proc : int; op : int }
+  | Response of { proc : int; op : int }
+
+let proc_of = function
+  | Internal { proc; _ } | Invoke { proc; _ } | Response { proc; _ } -> proc
+  | Sendto { src; _ } | Sent { src; _ } -> src
+  | Recvfrom { dst; _ } | Received { dst; _ } -> dst
+
+let channel_of = function
+  | Sendto { src; dst; _ }
+  | Sent { src; dst }
+  | Recvfrom { src; dst }
+  | Received { src; dst; _ } ->
+    Some (src, dst)
+  | Internal _ | Invoke _ | Response _ -> None
+
+let is_system_facing = function
+  | Invoke _ | Response _ -> true
+  | Internal _ | Sendto _ | Sent _ | Recvfrom _ | Received _ -> false
+
+let pp ppf = function
+  | Internal { proc; tag } -> Fmt.pf ppf "int(p%d,%d)" proc tag
+  | Sendto { src; dst; msg } -> Fmt.pf ppf "sendto(%d->%d,%d)" src dst msg
+  | Sent { src; dst } -> Fmt.pf ppf "sent(%d->%d)" src dst
+  | Recvfrom { src; dst } -> Fmt.pf ppf "recvfrom(%d->%d)" src dst
+  | Received { src; dst; msg } -> Fmt.pf ppf "received(%d->%d,%d)" src dst msg
+  | Invoke { proc; op } -> Fmt.pf ppf "inv(p%d,op%d)" proc op
+  | Response { proc; op } -> Fmt.pf ppf "resp(p%d,op%d)" proc op

@@ -1,0 +1,28 @@
+(** Actions of the paper's formal system model (Appendix C.1.6): an
+    application is the composition of process automata and buffered channel
+    automata, plus system-facing invocation/response actions at a (possibly
+    composite) service. This concrete action alphabet is what executions,
+    schedules, and the Lemma C.5 transformation operate on. *)
+
+type t =
+  | Internal of { proc : int; tag : int }  (** local computation *)
+  | Sendto of { src : int; dst : int; msg : int }
+      (** process [src]'s output action at channel C_{src,dst} *)
+  | Sent of { src : int; dst : int }  (** the channel's transmission ack *)
+  | Recvfrom of { src : int; dst : int }
+      (** process [dst] asks the channel for the next message *)
+  | Received of { src : int; dst : int; msg : int }  (** delivery to [dst] *)
+  | Invoke of { proc : int; op : int }  (** system-facing invocation of op *)
+  | Response of { proc : int; op : int }  (** matching response *)
+
+val proc_of : t -> int
+(** The process that takes the step ([Sent]/[Received] are channel outputs
+    delivered to the sender/receiver respectively — they appear in that
+    process's sub-execution, §C.1.4). *)
+
+val channel_of : t -> (int * int) option
+(** [(src, dst)] for the four channel action kinds. *)
+
+val is_system_facing : t -> bool
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,59 @@
+type state = { queue : int list; e : bool; r : bool }
+
+let initial = { queue = []; e = false; r = false }
+
+let step s (a : Action.t) =
+  match a with
+  | Action.Sendto { msg; _ } -> Ok { s with queue = s.queue @ [ msg ]; e = true }
+  | Action.Sent _ ->
+    if s.e then Ok { s with e = false } else Error "sent without pending sendto"
+  | Action.Recvfrom _ -> Ok { s with r = true }
+  | Action.Received { msg; _ } -> (
+    if not s.r then Error "received without recvfrom"
+    else
+      match s.queue with
+      | head :: rest when head = msg -> Ok { queue = rest; e = s.e; r = false }
+      | head :: _ -> Error (Fmt.str "received %d but head is %d" msg head)
+      | [] -> Error "received from empty queue")
+  | Action.Internal _ | Action.Invoke _ | Action.Response _ ->
+    Error "not a channel action"
+
+let replay actions =
+  List.fold_left
+    (fun acc a -> match acc with Error _ -> acc | Ok s -> step s a)
+    (Ok initial) actions
+
+let well_formed actions =
+  let send_side = ref `Idle and recv_side = ref `Idle in
+  let rec walk = function
+    | [] -> Ok ()
+    | a :: rest -> (
+      match (a : Action.t) with
+      | Action.Sendto _ ->
+        if !send_side = `Idle then begin
+          send_side := `Pending;
+          walk rest
+        end
+        else Error "sendto while a send is outstanding"
+      | Action.Sent _ ->
+        if !send_side = `Pending then begin
+          send_side := `Idle;
+          walk rest
+        end
+        else Error "sent without sendto"
+      | Action.Recvfrom _ ->
+        if !recv_side = `Idle then begin
+          recv_side := `Pending;
+          walk rest
+        end
+        else Error "recvfrom while a receive is outstanding"
+      | Action.Received _ ->
+        if !recv_side = `Pending then begin
+          recv_side := `Idle;
+          walk rest
+        end
+        else Error "received without recvfrom"
+      | Action.Internal _ | Action.Invoke _ | Action.Response _ ->
+        Error "not a channel action")
+  in
+  walk actions

@@ -1,0 +1,28 @@
+(** The buffered channel I/O automaton of Fig. 17 (Appendix C.1.4).
+
+    State: a FIFO queue [Q] of messages, an unacknowledged-send flag [e],
+    and an outstanding-receive flag [r]. Transitions:
+    - [sendto(m)]: always enabled; pushes [m], sets [e];
+    - [sent]: enabled iff [e]; clears it;
+    - [recvfrom]: always enabled; sets [r];
+    - [received(m)]: enabled iff [r] and [m] is the head of [Q]; pops, clears [r].
+
+    {!replay} validates a sequence of one channel's actions against these
+    preconditions — the tool the commutation lemmas and the transformation
+    checker are built on. *)
+
+type state = { queue : int list; e : bool; r : bool }
+
+val initial : state
+
+val step : state -> Action.t -> (state, string) result
+(** Apply one action of this channel (the caller filters by channel);
+    [Error] if its precondition fails. *)
+
+val replay : Action.t list -> (state, string) result
+(** Fold {!step} from {!initial}. *)
+
+val well_formed : Action.t list -> (unit, string) result
+(** §C.1.4 client-side well-formedness: the send-side projection alternates
+    sendto/sent starting with sendto; the receive side alternates
+    recvfrom/received starting with recvfrom. *)

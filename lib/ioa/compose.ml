@@ -1,0 +1,105 @@
+type op = {
+  o_id : int;
+  o_service : int;
+  o_proc : int;
+  o_inv : int;
+  o_is_fence : bool;
+}
+
+let ( let* ) = Result.bind
+
+let compose ~ops ~orders =
+  (* Index ops and validate. *)
+  let by_id = Hashtbl.create 64 in
+  let* () =
+    List.fold_left
+      (fun acc o ->
+        let* () = acc in
+        if Hashtbl.mem by_id o.o_id then Error (Fmt.str "duplicate op id %d" o.o_id)
+        else begin
+          Hashtbl.add by_id o.o_id o;
+          Ok ()
+        end)
+      (Ok ()) ops
+  in
+  let* () =
+    List.fold_left
+      (fun acc (service, order) ->
+        let* () = acc in
+        List.fold_left
+          (fun acc id ->
+            let* () = acc in
+            match Hashtbl.find_opt by_id id with
+            | None -> Error (Fmt.str "order of service %d mentions unknown op %d" service id)
+            | Some o when o.o_service <> service ->
+              Error (Fmt.str "op %d serialized at service %d but belongs to %d" id service o.o_service)
+            | Some _ -> Ok ())
+          (Ok ()) order)
+      (Ok ()) orders
+  in
+  (* Position of each op within its service's serialization. *)
+  let pos = Hashtbl.create 64 in
+  List.iter
+    (fun (_, order) -> List.iteri (fun i id -> Hashtbl.replace pos id i) order)
+    orders;
+  let* () =
+    List.fold_left
+      (fun acc o ->
+        let* () = acc in
+        if Hashtbl.mem pos o.o_id then Ok ()
+        else Error (Fmt.str "op %d missing from service %d's order" o.o_id o.o_service))
+      (Ok ()) ops
+  in
+  (* Next fence nf(π): for each service, walk its order backwards carrying
+     the nearest fence at-or-after each position. A virtual terminal fence
+     (id -service-1, L = +∞-ish) closes each service (§C.4's i_⊤). *)
+  let terminal service = -(service + 1) in
+  let next_fence = Hashtbl.create 64 in
+  let fence_last_inv = Hashtbl.create 16 in
+  List.iter
+    (fun (service, order) ->
+      (* L(f): the latest invocation among ops at or before f in this
+         service's order (computed in a forward pass). *)
+      let running = ref min_int in
+      List.iter
+        (fun id ->
+          let o = Hashtbl.find by_id id in
+          if o.o_inv > !running then running := o.o_inv;
+          if o.o_is_fence then Hashtbl.replace fence_last_inv id !running)
+        order;
+      Hashtbl.replace fence_last_inv (terminal service) max_int;
+      let nearest = ref (terminal service) in
+      List.iter
+        (fun id ->
+          let o = Hashtbl.find by_id id in
+          if o.o_is_fence then nearest := id;
+          Hashtbl.replace next_fence id !nearest)
+        (List.rev order))
+    orders;
+  (* ⊲ over fences; ≺ over ops. *)
+  let service_of id =
+    if id < 0 then -id - 1 else (Hashtbl.find by_id id).o_service
+  in
+  let fence_lt f1 f2 =
+    if service_of f1 = service_of f2 then
+      (* same service: serialization order (terminal fence last) *)
+      if f1 < 0 then false
+      else if f2 < 0 then true
+      else Hashtbl.find pos f1 < Hashtbl.find pos f2
+    else
+      let l1 = Hashtbl.find fence_last_inv f1
+      and l2 = Hashtbl.find fence_last_inv f2 in
+      if l1 <> l2 then l1 < l2 else service_of f1 < service_of f2
+  in
+  let op_compare a b =
+    let fa = Hashtbl.find next_fence a.o_id and fb = Hashtbl.find next_fence b.o_id in
+    if fa = fb then compare (Hashtbl.find pos a.o_id) (Hashtbl.find pos b.o_id)
+    else if fence_lt fa fb then -1
+    else 1
+  in
+  let result =
+    List.filter (fun o -> not o.o_is_fence) ops
+    |> List.sort op_compare
+    |> List.map (fun o -> o.o_id)
+  in
+  Ok result

@@ -1,0 +1,35 @@
+(** The Appendix C.4 composition construction, executably.
+
+    Given operations spread over several services, each service's own
+    serialization (which must individually satisfy RSC/RSS), and the
+    real-time fences processes issued, this builds the global total order of
+    Theorem C.14:
+
+    - fences are ordered by [⊲]: same service → that service's serialization;
+      different services → by their {e last invocation} [L(f)] (the latest
+      invocation among operations serialized at or before the fence);
+    - every operation is lifted by its {e next fence} [nf(π)] (the earliest
+      same-service fence at or after it, with a virtual terminal fence per
+      service), and [π₁ ≺ π₂] iff [nf π₁ ⊲ nf π₂], falling back to the
+      service order when the fences coincide.
+
+    The theorem: if each process issues the previous service's fence before
+    switching services, [≺] is a total order satisfying RSC. The tests pair
+    this with the checkers: composed orders of fence-disciplined executions
+    replay legally; fence-free executions can produce the §4.1 cycle, which
+    this construction surfaces as an inconsistent (non-legal) global order. *)
+
+type op = {
+  o_id : int;
+  o_service : int;
+  o_proc : int;
+  o_inv : int;  (** invocation time in the real execution *)
+  o_is_fence : bool;
+}
+
+val compose :
+  ops:op list -> orders:(int * int list) list -> (int list, string) result
+(** [orders] maps each service to its serialization (op ids, fences
+    included). Returns the global order of non-fence operations. Errors on
+    malformed input (an op missing from its service's order, duplicate ids,
+    an order mentioning unknown ops). *)

@@ -1,0 +1,15 @@
+type 'ctx t = { engine : Sim.Engine.t; rtt_us : int; items : (int * 'ctx) Queue.t }
+
+let create engine ~rtt_us = { engine; rtt_us; items = Queue.create () }
+
+let enqueue t ~payload ~ctx k =
+  Sim.Engine.schedule t.engine ~after:(t.rtt_us / 2) (fun () ->
+      Queue.push (payload, ctx) t.items;
+      Sim.Engine.schedule t.engine ~after:(t.rtt_us / 2) k)
+
+let dequeue t k =
+  Sim.Engine.schedule t.engine ~after:(t.rtt_us / 2) (fun () ->
+      let item = if Queue.is_empty t.items then None else Some (Queue.pop t.items) in
+      Sim.Engine.schedule t.engine ~after:(t.rtt_us / 2) (fun () -> k item))
+
+let length t = Queue.length t.items

@@ -1,0 +1,18 @@
+(** The photo-sharing application's second service (§2.2): a linearizable
+    FIFO message queue used to hand work to asynchronous workers.
+
+    A centralized queue server with round-trip latency; payloads carry an
+    opaque causal context (§4.2's context-propagation metadata). Being
+    linearizable, its real-time fence is a no-op — composition with an RSS
+    store only requires fencing on the {e store} side (§4.1). *)
+
+type 'ctx t
+
+val create : Sim.Engine.t -> rtt_us:int -> 'ctx t
+
+val enqueue : 'ctx t -> payload:int -> ctx:'ctx -> (unit -> unit) -> unit
+
+val dequeue : 'ctx t -> ((int * 'ctx) option -> unit) -> unit
+(** [None] when empty at the time the request reaches the server. *)
+
+val length : 'ctx t -> int

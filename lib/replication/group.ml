@@ -1,0 +1,40 @@
+type t = {
+  net : Sim.Net.t;
+  station : Sim.Station.t option;
+  leader_site : int;
+  replica_sites : int list;
+  majority : int;
+  mutable log_length : int;
+}
+
+let create net ?station ~leader_site ~replica_sites () =
+  let n = 1 + List.length replica_sites in
+  { net; station; leader_site; replica_sites; majority = (n / 2) + 1; log_length = 0 }
+
+let majority t = t.majority
+
+let log_length t = t.log_length
+
+let replicate t ?(bytes = 128) k =
+  t.log_length <- t.log_length + 1;
+  let needed = t.majority - 1 in
+  if needed = 0 then k ()
+  else begin
+    let acks = ref 0 in
+    let on_ack () =
+      incr acks;
+      if !acks = needed then k ()
+    in
+    let receive_ack () =
+      match t.station with
+      | None -> on_ack ()
+      | Some st -> Sim.Station.submit st on_ack
+    in
+    List.iter
+      (fun site ->
+        Sim.Net.send ~bytes t.net ~src:t.leader_site ~dst:site (fun () ->
+            (* Replica appends and acks; replica CPU is not the bottleneck
+               we model. *)
+            Sim.Net.send ~bytes:16 t.net ~src:site ~dst:t.leader_site receive_ack))
+      t.replica_sites
+  end

@@ -1,0 +1,26 @@
+(** Leader-based majority replication for one shard group.
+
+    Stands in for Multi-Paxos / Viewstamped Replication in the Spanner
+    protocols: the leader appends an entry, ships it to its replicas, and
+    learns commit once a majority of the group (counting itself) has
+    acknowledged. Failure-free — leadership never changes — because the
+    paper's evaluation is failure-free too; latency-wise this is exactly one
+    round trip to the nearest ⌈n/2⌉-1 replicas, which is what the protocols
+    pay per prepare/commit record. *)
+
+type t
+
+val create :
+  Sim.Net.t -> ?station:Sim.Station.t -> leader_site:int ->
+  replica_sites:int list -> unit -> t
+(** [station], when given, charges the leader's CPU for processing each
+    acknowledgement (throughput experiments). *)
+
+val replicate : t -> ?bytes:int -> (unit -> unit) -> unit
+(** Append an entry; the callback fires when a majority has acknowledged.
+    With no replicas the callback fires synchronously. *)
+
+val log_length : t -> int
+
+val majority : t -> int
+(** Majority size of the group (including the leader). *)

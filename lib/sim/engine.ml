@@ -1,0 +1,63 @@
+type event = { time : int; seq : int; action : unit -> unit }
+
+type t = {
+  mutable clock : int;
+  mutable next_seq : int;
+  mutable n_executed : int;
+  queue : event Heap.t;
+}
+
+let compare_event a b =
+  if a.time <> b.time then compare a.time b.time else compare a.seq b.seq
+
+let create () =
+  { clock = 0; next_seq = 0; n_executed = 0; queue = Heap.create ~cmp:compare_event }
+
+let now t = t.clock
+
+let schedule_at t ~at action =
+  let time = if at < t.clock then t.clock else at in
+  Heap.add t.queue { time; seq = t.next_seq; action };
+  t.next_seq <- t.next_seq + 1
+
+let schedule t ~after action =
+  let after = if after < 0 then 0 else after in
+  schedule_at t ~at:(t.clock + after) action
+
+let step t =
+  match Heap.pop t.queue with
+  | None -> false
+  | Some ev ->
+    t.clock <- ev.time;
+    t.n_executed <- t.n_executed + 1;
+    ev.action ();
+    true
+
+let run ?until ?max_events t =
+  let stop_time = match until with None -> max_int | Some u -> u in
+  let budget = ref (match max_events with None -> max_int | Some m -> m) in
+  let continue = ref true in
+  while !continue && !budget > 0 do
+    match Heap.peek t.queue with
+    | None -> continue := false
+    | Some ev when ev.time > stop_time ->
+      t.clock <- stop_time;
+      continue := false
+    | Some _ ->
+      ignore (step t);
+      decr budget
+  done
+
+let pending t = Heap.size t.queue
+
+let executed t = t.n_executed
+
+let us n = n
+
+let ms f = int_of_float (f *. 1_000.0 +. 0.5)
+
+let sec f = int_of_float (f *. 1_000_000.0 +. 0.5)
+
+let to_ms n = float_of_int n /. 1_000.0
+
+let to_sec n = float_of_int n /. 1_000_000.0

@@ -1,0 +1,41 @@
+(** Deterministic discrete-event simulation engine.
+
+    Time is an [int] count of microseconds since simulation start. Events
+    scheduled for the same instant fire in scheduling order (FIFO), which
+    makes whole-simulation runs reproducible. *)
+
+type t
+
+val create : unit -> t
+
+val now : t -> int
+(** Current simulated time in microseconds. *)
+
+val schedule : t -> after:int -> (unit -> unit) -> unit
+(** [schedule t ~after f] runs [f] [after] microseconds from now.
+    [after < 0] is clamped to [0]. *)
+
+val schedule_at : t -> at:int -> (unit -> unit) -> unit
+(** Absolute-time variant of {!schedule}. Times in the past fire "now". *)
+
+val step : t -> bool
+(** Execute the next event. [false] if the queue was empty. *)
+
+val run : ?until:int -> ?max_events:int -> t -> unit
+(** Drain the event queue. [until] stops the clock at an absolute time
+    (events beyond it stay queued); [max_events] bounds work as a runaway
+    guard. *)
+
+val pending : t -> int
+(** Number of queued events. *)
+
+val executed : t -> int
+(** Number of events executed so far. *)
+
+(** {2 Time helpers} — all return microseconds. *)
+
+val us : int -> int
+val ms : float -> int
+val sec : float -> int
+val to_ms : int -> float
+val to_sec : int -> float

@@ -1,0 +1,28 @@
+type _ Effect.t += Await : (('a -> unit) -> unit) -> 'a Effect.t
+
+let await start = Effect.perform (Await start)
+
+let sleep engine us = await (fun k -> Engine.schedule engine ~after:us k)
+
+let spawn body =
+  let open Effect.Deep in
+  match_with body ()
+    {
+      retc = (fun () -> ());
+      exnc = (fun e -> raise e);
+      effc =
+        (fun (type b) (eff : b Effect.t) ->
+          match eff with
+          | Await start ->
+            Some
+              (fun (k : (b, unit) continuation) ->
+                let resumed = ref false in
+                start (fun v ->
+                    if !resumed then
+                      invalid_arg "Fiber.await: callback invoked twice"
+                    else begin
+                      resumed := true;
+                      continue k v
+                    end))
+          | _ -> None);
+    }

@@ -1,0 +1,28 @@
+(** Direct-style coroutines over the simulator, via OCaml 5 effects.
+
+    Protocol code is continuation-passing (every step is an event); fibers
+    let {e client/driver} code read sequentially instead:
+
+    {[
+      Sim.Fiber.spawn (fun () ->
+          let r1 = Sim.Fiber.await (fun k -> Client.ro c ~keys k) in
+          Sim.Fiber.sleep engine 5_000;
+          let r2 = Sim.Fiber.await (fun k -> Client.ro c ~keys k) in
+          ...)
+    ]}
+
+    A fiber suspends at {!await}/{!sleep} and resumes when the underlying
+    callback fires on the simulated clock. Continuations are one-shot: the
+    callback must be invoked exactly once (invoking twice raises). *)
+
+val spawn : (unit -> unit) -> unit
+(** Run a fiber body now (synchronously until its first suspension). *)
+
+val await : (('a -> unit) -> unit) -> 'a
+(** [await start] calls [start k] and suspends until [k v] is invoked;
+    evaluates to [v]. Only valid inside a fiber. *)
+
+val sleep : Engine.t -> int -> unit
+(** Suspend for the given number of simulated microseconds. *)
+
+(** {!await} and {!sleep} outside {!spawn} raise [Effect.Unhandled]. *)

@@ -1,0 +1,69 @@
+type 'a t = {
+  cmp : 'a -> 'a -> int;
+  mutable data : 'a array;
+  mutable len : int;
+}
+
+let create ~cmp = { cmp; data = [||]; len = 0 }
+
+let size h = h.len
+
+let is_empty h = h.len = 0
+
+let clear h =
+  h.data <- [||];
+  h.len <- 0
+
+let grow h x =
+  let cap = Array.length h.data in
+  if h.len = cap then begin
+    let ncap = if cap = 0 then 16 else cap * 2 in
+    let data = Array.make ncap x in
+    Array.blit h.data 0 data 0 h.len;
+    h.data <- data
+  end
+
+let rec sift_up h i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if h.cmp h.data.(i) h.data.(parent) < 0 then begin
+      let tmp = h.data.(i) in
+      h.data.(i) <- h.data.(parent);
+      h.data.(parent) <- tmp;
+      sift_up h parent
+    end
+  end
+
+let add h x =
+  grow h x;
+  h.data.(h.len) <- x;
+  h.len <- h.len + 1;
+  sift_up h (h.len - 1)
+
+let rec sift_down h i =
+  let left = (2 * i) + 1 and right = (2 * i) + 2 in
+  let smallest = ref i in
+  if left < h.len && h.cmp h.data.(left) h.data.(!smallest) < 0 then
+    smallest := left;
+  if right < h.len && h.cmp h.data.(right) h.data.(!smallest) < 0 then
+    smallest := right;
+  if !smallest <> i then begin
+    let tmp = h.data.(i) in
+    h.data.(i) <- h.data.(!smallest);
+    h.data.(!smallest) <- tmp;
+    sift_down h !smallest
+  end
+
+let peek h = if h.len = 0 then None else Some h.data.(0)
+
+let pop h =
+  if h.len = 0 then None
+  else begin
+    let top = h.data.(0) in
+    h.len <- h.len - 1;
+    if h.len > 0 then begin
+      h.data.(0) <- h.data.(h.len);
+      sift_down h 0
+    end;
+    Some top
+  end

@@ -1,0 +1,22 @@
+(** Array-backed binary min-heap.
+
+    Used as the event queue of {!Engine}; generic so tests can exercise it
+    directly and other components (e.g. timer wheels) can reuse it. *)
+
+type 'a t
+
+val create : cmp:('a -> 'a -> int) -> 'a t
+(** [create ~cmp] is an empty heap ordered by [cmp] (smallest first). *)
+
+val add : 'a t -> 'a -> unit
+
+val pop : 'a t -> 'a option
+(** Remove and return the smallest element, if any. *)
+
+val peek : 'a t -> 'a option
+
+val size : 'a t -> int
+
+val is_empty : 'a t -> bool
+
+val clear : 'a t -> unit

@@ -1,0 +1,74 @@
+type site = int
+
+type t = {
+  engine : Engine.t;
+  rng : Rng.t;
+  one_way_us : int array array;
+  rtt : float array array;
+  jitter : float;
+  down : bool array;
+  mutable n_messages : int;
+  mutable n_bytes : int;
+  mutable n_dropped : int;
+}
+
+let create engine ~rng ~rtt_ms ?(jitter = 0.02) () =
+  let n = Array.length rtt_ms in
+  let rtt = Array.make_matrix n n 0.0 in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      (* Accept triangular input: take whichever entry is non-zero. *)
+      let v = if rtt_ms.(i).(j) > 0.0 then rtt_ms.(i).(j) else rtt_ms.(j).(i) in
+      rtt.(i).(j) <- v
+    done
+  done;
+  let one_way_us =
+    Array.init n (fun i -> Array.init n (fun j -> Engine.ms (rtt.(i).(j) /. 2.0)))
+  in
+  {
+    engine;
+    rng;
+    one_way_us;
+    rtt;
+    jitter;
+    down = Array.make n false;
+    n_messages = 0;
+    n_bytes = 0;
+    n_dropped = 0;
+  }
+
+let n_sites t = Array.length t.one_way_us
+
+let base_one_way t ~src ~dst = t.one_way_us.(src).(dst)
+
+let rec send ?(bytes = 64) t ~src ~dst handler =
+  if t.down.(src) || t.down.(dst) then t.n_dropped <- t.n_dropped + 1
+  else begin
+    send_live ~bytes t ~src ~dst handler
+  end
+
+and send_live ~bytes t ~src ~dst handler =
+  t.n_messages <- t.n_messages + 1;
+  t.n_bytes <- t.n_bytes + bytes;
+  let base = t.one_way_us.(src).(dst) in
+  let delay =
+    if t.jitter <= 0.0 then base
+    else
+      let factor = 1.0 +. Rng.float t.rng t.jitter in
+      int_of_float (float_of_int base *. factor)
+  in
+  Engine.schedule t.engine ~after:delay handler
+
+let set_down t site = t.down.(site) <- true
+
+let set_up t site = t.down.(site) <- false
+
+let is_down t site = t.down.(site)
+
+let messages_dropped t = t.n_dropped
+
+let messages_sent t = t.n_messages
+
+let bytes_sent t = t.n_bytes
+
+let rtt_ms t ~src ~dst = t.rtt.(src).(dst)

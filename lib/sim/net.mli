@@ -1,0 +1,40 @@
+(** Simulated wide-area network between sites.
+
+    Built from a (symmetric) round-trip-time matrix in milliseconds;
+    one message delivery takes half the RTT, optionally inflated by
+    multiplicative jitter. Local delivery ([src = dst]) still pays the
+    diagonal RTT (the paper's testbeds report ~0.2 ms in-DC). *)
+
+type site = int
+
+type t
+
+val create :
+  Engine.t -> rng:Rng.t -> rtt_ms:float array array -> ?jitter:float -> unit -> t
+(** [jitter] (default 0.02) inflates each delivery by a uniform factor in
+    [\[1, 1 + jitter)]. The matrix may be given as upper- or lower-triangular
+    (zeros mirrored); the diagonal is the in-site RTT. *)
+
+val n_sites : t -> int
+
+val base_one_way : t -> src:site -> dst:site -> int
+(** Deterministic one-way delay (µs), before jitter. *)
+
+val send : ?bytes:int -> t -> src:site -> dst:site -> (unit -> unit) -> unit
+(** Deliver a message: schedule the handler after a sampled one-way delay. *)
+
+val messages_sent : t -> int
+val bytes_sent : t -> int
+val rtt_ms : t -> src:site -> dst:site -> float
+
+(** {2 Failure injection} *)
+
+val set_down : t -> site -> unit
+(** Crash a site: every message to or from it is silently dropped until
+    {!set_up}. Quorum protocols should ride out up to f such crashes. *)
+
+val set_up : t -> site -> unit
+
+val is_down : t -> site -> bool
+
+val messages_dropped : t -> int

@@ -1,0 +1,32 @@
+(** Seeded, splittable pseudo-random number streams.
+
+    Every simulated component takes its own stream so that adding randomness
+    in one place never perturbs another — runs are reproducible from a single
+    root seed. *)
+
+type t
+
+val make : int -> t
+(** [make seed] is a fresh root stream. *)
+
+val split : t -> t
+(** An independent child stream; the parent advances deterministically. *)
+
+val int : t -> int -> int
+(** [int t n] is uniform in [\[0, n)]. Requires [n > 0]. *)
+
+val int64 : t -> int64 -> int64
+
+val uniform : t -> float
+(** Uniform in [\[0, 1)]. *)
+
+val float : t -> float -> float
+(** [float t x] is uniform in [\[0, x)]. *)
+
+val bool : t -> float -> bool
+(** [bool t p] is [true] with probability [p]. *)
+
+val exponential : t -> mean:float -> float
+(** Exponentially distributed sample with the given mean. *)
+
+val shuffle : t -> 'a array -> unit

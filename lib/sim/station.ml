@@ -1,0 +1,27 @@
+type t = {
+  engine : Engine.t;
+  service_time_us : int;
+  mutable busy_until : int;
+  mutable busy_total : int;
+  mutable n_jobs : int;
+}
+
+let create engine ~service_time_us =
+  { engine; service_time_us; busy_until = 0; busy_total = 0; n_jobs = 0 }
+
+let submit ?cost t job =
+  let cost = match cost with None -> t.service_time_us | Some c -> c in
+  t.n_jobs <- t.n_jobs + 1;
+  if cost = 0 then job ()
+  else begin
+    let now = Engine.now t.engine in
+    let start = if t.busy_until > now then t.busy_until else now in
+    let finish = start + cost in
+    t.busy_until <- finish;
+    t.busy_total <- t.busy_total + cost;
+    Engine.schedule_at t.engine ~at:finish job
+  end
+
+let busy_us t = t.busy_total
+
+let jobs t = t.n_jobs

@@ -1,0 +1,20 @@
+(** Single-threaded service station (M/D/1-style queueing).
+
+    Models the CPU of a single-threaded server process: each submitted job
+    occupies the station for a fixed service time; jobs queue FIFO. Used by
+    the saturation-throughput experiments (Fig. 6, §7.4), where the
+    interesting behaviour is the knee of the throughput curve, not absolute
+    speed. A zero service time degenerates to immediate execution. *)
+
+type t
+
+val create : Engine.t -> service_time_us:int -> t
+
+val submit : ?cost:int -> t -> (unit -> unit) -> unit
+(** Enqueue a job; it runs when the station reaches it. [cost] overrides the
+    default service time for this job. *)
+
+val busy_us : t -> int
+(** Total busy time accumulated, for utilization reporting. *)
+
+val jobs : t -> int

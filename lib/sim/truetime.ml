@@ -1,0 +1,13 @@
+type t = { engine : Engine.t; epsilon_us : int }
+
+type interval = { earliest : int; latest : int }
+
+let create engine ~epsilon_us = { engine; epsilon_us }
+
+let now t =
+  let c = Engine.now t.engine in
+  { earliest = c - t.epsilon_us; latest = c + t.epsilon_us }
+
+let epsilon t = t.epsilon_us
+
+let after t ts = ts < (now t).earliest

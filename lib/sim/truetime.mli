@@ -1,0 +1,20 @@
+(** TrueTime-style interval clock (Spanner §2, Corbett et al. 2013).
+
+    [now] returns an interval guaranteed to contain "absolute" time — here,
+    the simulator clock — with a configurable error bound ε. The evaluation
+    uses ε = 10 ms, the p99.9 value Spanner reports in practice. *)
+
+type t
+
+type interval = { earliest : int; latest : int }
+
+val create : Engine.t -> epsilon_us:int -> t
+
+val now : t -> interval
+(** [{earliest; latest}] = [\[clock - ε, clock + ε\]]. *)
+
+val epsilon : t -> int
+
+val after : t -> int -> bool
+(** [after t ts] is [true] once [ts] is definitely in the past
+    ([ts < now.earliest]) — the commit-wait test. *)

@@ -1,0 +1,87 @@
+type t = {
+  cluster : Cluster.t;
+  site : int;
+  proc : int;
+  mutable t_min : int;
+}
+
+let create cluster ~site = { cluster; site; proc = Cluster.fresh_proc cluster; t_min = 0 }
+
+let proc t = t.proc
+
+let site t = t.site
+
+let t_min t = t.t_min
+
+let key_name = string_of_int
+
+let rw_kv t ~read_keys ~writes k =
+  let ctx = Cluster.ctx t.cluster in
+  let inv = Sim.Engine.now (Cluster.engine t.cluster) in
+  Protocol.rw_txn ctx ~client_site:t.site ~proc:t.proc ~read_keys ~writes
+    (fun res ->
+      let resp = Sim.Engine.now (Cluster.engine t.cluster) in
+      if res.Protocol.rw_commit_ts > t.t_min then t.t_min <- res.Protocol.rw_commit_ts;
+      Cluster.record t.cluster
+        {
+          Rss_core.Witness.proc = t.proc;
+          reads = List.map (fun (key, v) -> (key_name key, v)) res.Protocol.rw_reads;
+          writes = List.map (fun (key, v) -> (key_name key, v)) writes;
+          inv;
+          resp;
+          ts = res.Protocol.rw_commit_ts;
+          rank = 0;
+        };
+      k res)
+
+let rw t ~read_keys ~write_keys k =
+  (* History checking needs per-key-unique stored values. *)
+  let writes = List.map (fun key -> (key, Cluster.fresh_value t.cluster)) write_keys in
+  rw_kv t ~read_keys ~writes k
+
+let rw_detached t ~write_keys =
+  (* A client that stops (§3.2's stop failures) before its response: the
+     transaction may still commit and its effects stay visible, so the
+     history records it with no response time and no observed reads —
+     exactly how complete(α) treats it. *)
+  let ctx = Cluster.ctx t.cluster in
+  let inv = Sim.Engine.now (Cluster.engine t.cluster) in
+  let writes = List.map (fun key -> (key, Cluster.fresh_value t.cluster)) write_keys in
+  Protocol.rw_txn ctx ~client_site:t.site ~proc:t.proc ~read_keys:[] ~writes
+    (fun res ->
+      Cluster.record t.cluster
+        {
+          Rss_core.Witness.proc = t.proc;
+          reads = [];
+          writes = List.map (fun (key, v) -> (key_name key, v)) writes;
+          inv;
+          resp = max_int;
+          ts = res.Protocol.rw_commit_ts;
+          rank = 0;
+        })
+
+let ro t ~keys k =
+  let ctx = Cluster.ctx t.cluster in
+  let inv = Sim.Engine.now (Cluster.engine t.cluster) in
+  Protocol.ro_txn ctx ~client_site:t.site ~proc:t.proc ~t_min:t.t_min ~keys
+    (fun res ->
+      let resp = Sim.Engine.now (Cluster.engine t.cluster) in
+      if res.Protocol.ro_snap_ts > t.t_min then t.t_min <- res.Protocol.ro_snap_ts;
+      Cluster.record t.cluster
+        {
+          Rss_core.Witness.proc = t.proc;
+          reads = List.map (fun (key, v) -> (key_name key, v)) res.Protocol.ro_reads;
+          writes = [];
+          inv;
+          resp;
+          ts = res.Protocol.ro_snap_ts;
+          rank = 1;
+        };
+      k res)
+
+let snapshot_read t ~ts ~keys k =
+  Protocol.snapshot_read (Cluster.ctx t.cluster) ~client_site:t.site ~ts ~keys k
+
+let fence t k = Protocol.fence (Cluster.ctx t.cluster) ~t_min:t.t_min k
+
+let absorb_t_min t other = if other > t.t_min then t.t_min <- other

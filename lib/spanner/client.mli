@@ -1,0 +1,52 @@
+(** A Spanner / Spanner-RSS client session.
+
+    Tracks the session's minimum read timestamp t_min (§5): after a
+    read-write transaction it advances to the commit timestamp; after a
+    read-only transaction to the snapshot timestamp. The paper's partly-open
+    clients use one session — and hence one t_min — per arriving user
+    session, which is what keeps t_min from advancing too quickly.
+
+    The session records every completed transaction into the owning
+    {!Cluster}'s history for witness checking. *)
+
+type t
+
+val create : Cluster.t -> site:int -> t
+(** [site] is where the client runs; the session id (process id for history
+    purposes) is assigned by the cluster. *)
+
+val proc : t -> int
+val site : t -> int
+val t_min : t -> int
+
+val rw :
+  t -> read_keys:int list -> write_keys:int list -> (Protocol.rw_result -> unit) -> unit
+(** Writes fresh unique values (history checking needs per-key-unique
+    stored values). *)
+
+val rw_kv :
+  t -> read_keys:int list -> writes:(int * int) list ->
+  (Protocol.rw_result -> unit) -> unit
+(** Explicit (key, value) writes — application code; values must stay unique
+    per key across the run for history checking. *)
+
+val rw_detached : t -> write_keys:int list -> unit
+(** Issue a blind write transaction from a client that stops before its
+    response arrives (a §3.2 stop failure): the transaction still commits and
+    is recorded as incomplete (no response, no real-time obligations). The
+    session must not be used afterwards. *)
+
+val ro : t -> keys:int list -> (Protocol.ro_result -> unit) -> unit
+
+val snapshot_read :
+  t -> ts:int -> keys:int list -> ((int * int option) list -> unit) -> unit
+(** Read a consistent snapshot at an explicit (usually past) timestamp —
+    Spanner's time-travel read. Not part of the session's RSS history. *)
+
+val fence : t -> (unit -> unit) -> unit
+(** §5.1 real-time fence: all future read-only transactions anywhere will
+    observe state at least as recent as this session's t_min. *)
+
+val absorb_t_min : t -> int -> unit
+(** Context propagation (§4.2): merge causal metadata received out of band
+    from another session. *)

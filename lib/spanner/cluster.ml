@@ -1,0 +1,89 @@
+type t = {
+  engine : Sim.Engine.t;
+  net : Sim.Net.t;
+  tt : Sim.Truetime.t;
+  config : Config.t;
+  txns : Types.table;
+  pctx : Protocol.ctx;
+  mutable next_proc : int;
+  mutable next_value : int;
+  mutable record_list : Rss_core.Witness.txn list;
+  mutable n_records : int;
+}
+
+let create engine ~rng (config : Config.t) =
+  let net =
+    Sim.Net.create engine ~rng:(Sim.Rng.split rng) ~rtt_ms:config.Config.rtt_ms
+      ~jitter:config.Config.jitter ()
+  in
+  let tt = Sim.Truetime.create engine ~epsilon_us:config.Config.epsilon_us in
+  let txns = Types.table_create () in
+  let pctx = Protocol.make_ctx engine net tt txns config in
+  {
+    engine;
+    net;
+    tt;
+    config;
+    txns;
+    pctx;
+    next_proc = 0;
+    next_value = 1_000_000_000;
+    record_list = [];
+    n_records = 0;
+  }
+
+let engine t = t.engine
+
+let config t = t.config
+
+let ctx t = t.pctx
+
+let net t = t.net
+
+let fresh_proc t =
+  let p = t.next_proc in
+  t.next_proc <- p + 1;
+  p
+
+let fresh_value t =
+  let v = t.next_value in
+  t.next_value <- v + 1;
+  v
+
+let record t r =
+  t.record_list <- r :: t.record_list;
+  t.n_records <- t.n_records + 1
+
+let records t = Array.of_list (List.rev t.record_list)
+
+let check_history t =
+  let mode =
+    match t.config.Config.mode with Config.Strict -> `Strict | Config.Rss -> `Rss
+  in
+  Rss_core.Witness.check ~mode (records t)
+
+type stats = {
+  rw_committed : int;
+  rw_aborted_attempts : int;
+  wounds : int;
+  ro_count : int;
+  ro_slow : int;
+  ro_blocked_at_shards : int;
+  messages : int;
+}
+
+let stats t =
+  let ro_blocked =
+    Array.fold_left
+      (fun acc sh -> acc + sh.Shard.n_ro_blocked)
+      0 t.pctx.Protocol.shards
+  in
+  {
+    rw_committed = t.pctx.Protocol.n_rw_committed;
+    rw_aborted_attempts = t.pctx.Protocol.n_rw_aborted_attempts;
+    wounds = Types.wounds t.txns;
+    ro_count = t.pctx.Protocol.n_ro;
+    ro_slow = t.pctx.Protocol.n_ro_slow;
+    ro_blocked_at_shards = ro_blocked;
+    messages = Sim.Net.messages_sent t.net;
+  }

@@ -1,0 +1,40 @@
+(** Top-level assembly of a simulated Spanner / Spanner-RSS deployment:
+    engine wiring, shards, protocol context, and the execution history used
+    to verify each run against its consistency model. *)
+
+type t
+
+val create : Sim.Engine.t -> rng:Sim.Rng.t -> Config.t -> t
+
+val engine : t -> Sim.Engine.t
+val config : t -> Config.t
+val ctx : t -> Protocol.ctx
+val net : t -> Sim.Net.t
+
+val fresh_proc : t -> int
+(** A new session (process) id for history purposes. *)
+
+val fresh_value : t -> int
+(** A run-unique stored value (for auto-valued writes). *)
+
+val record : t -> Rss_core.Witness.txn -> unit
+
+val records : t -> Rss_core.Witness.txn array
+
+val check_history : t -> (unit, string) result
+(** Verify the collected history against the cluster's own consistency model
+    (strict serializability or RSS) using the timestamp witness. *)
+
+(** {2 Run statistics} *)
+
+type stats = {
+  rw_committed : int;
+  rw_aborted_attempts : int;
+  wounds : int;
+  ro_count : int;
+  ro_slow : int;  (** client had to wait for slow replies *)
+  ro_blocked_at_shards : int;  (** shard-side blocking events *)
+  messages : int;
+}
+
+val stats : t -> stats

@@ -1,0 +1,102 @@
+type mode = Strict | Rss
+
+type t = {
+  mode : mode;
+  n_shards : int;
+  rtt_ms : float array array;
+  leader_site : int array;
+  replica_sites : int list array;
+  client_sites : int array;
+  epsilon_us : int;
+  service_time_us : int;
+  jitter : float;
+  fence_l_us : int;
+  tee_pad_us : int;
+}
+
+let wan3_names = [| "CA"; "VA"; "IR" |]
+
+let wan3 ~mode () =
+  let rtt_ms =
+    [| [| 0.2; 62.0; 136.0 |]; [| 62.0; 0.2; 68.0 |]; [| 136.0; 68.0; 0.2 |] |]
+  in
+  {
+    mode;
+    n_shards = 3;
+    rtt_ms;
+    leader_site = [| 0; 1; 2 |];
+    replica_sites = [| [ 1; 2 ]; [ 0; 2 ]; [ 0; 1 ] |];
+    client_sites = [| 0; 1; 2 |];
+    epsilon_us = 10_000;
+    service_time_us = 0;
+    jitter = 0.02;
+    fence_l_us = 400_000;
+    tee_pad_us = 0;
+  }
+
+let single_dc ~mode ~n_shards ~service_time_us () =
+  (* Everything in one site; replicas are distinct machines but latency is
+     the in-DC 0.2 ms. We keep a single logical site. *)
+  let rtt_ms = [| [| 0.2 |] |] in
+  {
+    mode;
+    n_shards;
+    rtt_ms;
+    leader_site = Array.make n_shards 0;
+    replica_sites = Array.make n_shards [ 0; 0 ];
+    client_sites = [| 0 |];
+    epsilon_us = 0;
+    service_time_us;
+    jitter = 0.02;
+    fence_l_us = 50_000;
+    tee_pad_us = 0;
+  }
+
+let site_name t site =
+  if Array.length t.rtt_ms = 3 then wan3_names.(site) else Fmt.str "site%d" site
+
+let shard_of_key t key = key mod t.n_shards
+
+let rtt_us t a b = Sim.Engine.ms t.rtt_ms.(a).(b)
+
+let one_way_us t a b = rtt_us t a b / 2
+
+let replicate_us t ~shard =
+  let leader = t.leader_site.(shard) in
+  let rtts =
+    List.map (fun site -> rtt_us t leader site) t.replica_sites.(shard)
+    |> List.sort compare
+  in
+  let n = 1 + List.length t.replica_sites.(shard) in
+  let needed = (n / 2) + 1 - 1 in
+  if needed = 0 then 0
+  else List.nth rtts (needed - 1)
+
+let estimate_commit_latency_us t ~client_site ~participants =
+  let latency_with_coord coord =
+    let prepare_paths =
+      List.filter_map
+        (fun p ->
+          if p = coord then None
+          else
+            Some
+              (one_way_us t client_site t.leader_site.(p)
+              + replicate_us t ~shard:p
+              + one_way_us t t.leader_site.(p) t.leader_site.(coord)))
+        participants
+    in
+    let to_coord = one_way_us t client_site t.leader_site.(coord) in
+    let slowest = List.fold_left max to_coord prepare_paths in
+    slowest
+    + replicate_us t ~shard:coord
+    + one_way_us t t.leader_site.(coord) client_site
+  in
+  match participants with
+  | [] -> invalid_arg "estimate_commit_latency_us: no participants"
+  | first :: rest ->
+    List.fold_left
+      (fun (best, best_lat) coord ->
+        let lat = latency_with_coord coord in
+        if lat < best_lat then (coord, lat) else (best, best_lat))
+      (first, latency_with_coord first)
+      rest

@@ -1,0 +1,645 @@
+type coord_state = {
+  mutable cs_expected : int option;  (* participant votes expected *)
+  mutable cs_votes : int;
+  mutable cs_max_tp : int;
+  mutable cs_max_tee : int;
+  mutable cs_abort : bool;
+  mutable cs_local_ready : bool;  (* coordinator's own locks + prepare done *)
+  mutable cs_decided : bool;
+  mutable cs_client : (Types.outcome * int) -> unit;  (* outcome, max_tee *)
+  mutable cs_participants : int list;
+  mutable cs_coord : int;  (* coordinator shard id *)
+  mutable cs_start_latest : int;
+}
+
+type ctx = {
+  engine : Sim.Engine.t;
+  net : Sim.Net.t;
+  tt : Sim.Truetime.t;
+  config : Config.t;
+  txns : Types.table;
+  shards : Shard.t array;
+  coord_states : (int, coord_state) Hashtbl.t;
+  mutable n_rw_committed : int;
+  mutable n_rw_aborted_attempts : int;
+  mutable n_ro : int;
+  mutable n_ro_slow : int;
+}
+
+(* Deliver a message to a shard leader: network hop + leader CPU. *)
+let to_shard ctx ~src ?(bytes = 96) shard_id handler =
+  let shard = ctx.shards.(shard_id) in
+  Sim.Net.send ~bytes ctx.net ~src ~dst:shard.Shard.leader_site (fun () ->
+      Sim.Station.submit shard.Shard.station (fun () -> handler shard))
+
+(* Deliver a reply to a client (client CPUs are not the modelled bottleneck). *)
+let to_client ctx ~src ?(bytes = 96) ~dst handler =
+  Sim.Net.send ~bytes ctx.net ~src ~dst handler
+
+let shard_of_key ctx key = Config.shard_of_key ctx.config key
+
+let group_by_shard ctx keys =
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun key ->
+      let s = shard_of_key ctx key in
+      let prev = try Hashtbl.find tbl s with Not_found -> [] in
+      Hashtbl.replace tbl s (key :: prev))
+    keys;
+  Hashtbl.fold (fun s keys acc -> (s, keys) :: acc) tbl []
+
+(* Wait until [ts] is definitely past: TT.now.earliest > ts. *)
+let wait_truetime ctx ts k =
+  let iv = Sim.Truetime.now ctx.tt in
+  if ts < iv.Sim.Truetime.earliest then k ()
+  else
+    Sim.Engine.schedule ctx.engine
+      ~after:(ts + Sim.Truetime.epsilon ctx.tt - Sim.Engine.now ctx.engine + 1)
+      k
+
+(* ------------------------------------------------------------------ *)
+(* Read-write transactions: 2PL + 2PC with timestamps and commit wait  *)
+(* ------------------------------------------------------------------ *)
+
+type rw_result = {
+  rw_commit_ts : int;
+  rw_txn_id : int;
+  rw_reads : (int * int option) list;
+}
+
+let coord_state ctx txn =
+  match Hashtbl.find_opt ctx.coord_states txn with
+  | Some cs -> cs
+  | None ->
+    let cs =
+      {
+        cs_expected = None;
+        cs_votes = 0;
+        cs_max_tp = 0;
+        cs_max_tee = 0;
+        cs_abort = false;
+        cs_local_ready = false;
+        cs_decided = false;
+        cs_client = (fun _ -> ());
+        cs_participants = [];
+        cs_coord = -1;
+        cs_start_latest = 0;
+      }
+    in
+    Hashtbl.add ctx.coord_states txn cs;
+    cs
+
+(* Drop the 2PC state once no more messages can reference it. *)
+let coord_gc ctx txn cs =
+  match cs.cs_expected with
+  | Some e when cs.cs_decided && cs.cs_votes >= e -> Hashtbl.remove ctx.coord_states txn
+  | Some _ | None -> ()
+
+(* Acquire write locks for [keys] one at a time (CPS). *)
+let rec acquire_writes shard ~txn ~priority keys ~blocked k =
+  match keys with
+  | [] -> k (Ok blocked)
+  | key :: rest ->
+    Locks.acquire_write shard.Shard.locks ~key ~txn ~priority (function
+      | Locks.Aborted -> k (Error ())
+      | Locks.Granted { blocked_us } ->
+        acquire_writes shard ~txn ~priority rest ~blocked:(blocked + blocked_us) k)
+
+let release_at_shard shard ~txn outcome =
+  Shard.resolve_prepared shard ~txn outcome;
+  Locks.release_all shard.Shard.locks ~txn
+
+let rec handle_vote ctx coord_shard ~txn outcome =
+  let cs = coord_state ctx txn in
+  (match outcome with
+  | `Abort -> cs.cs_abort <- true
+  | `Ok (tp, tee) ->
+    if tp > cs.cs_max_tp then cs.cs_max_tp <- tp;
+    if tee > cs.cs_max_tee then cs.cs_max_tee <- tee);
+  cs.cs_votes <- cs.cs_votes + 1;
+  maybe_decide ctx coord_shard ~txn;
+  coord_gc ctx txn cs
+
+and maybe_decide ctx coord_shard ~txn =
+  let cs = coord_state ctx txn in
+  match cs.cs_expected with
+  | Some expected
+    when (not cs.cs_decided) && cs.cs_local_ready && cs.cs_votes >= expected ->
+    if cs.cs_abort || Types.is_wounded ctx.txns txn then
+      decide_abort ctx coord_shard ~txn
+    else decide_commit ctx coord_shard ~txn
+  | Some _ | None -> ()
+
+and decide_abort ctx coord_shard ~txn =
+  let cs = coord_state ctx txn in
+  if not cs.cs_decided then begin
+    cs.cs_decided <- true;
+    (Types.find ctx.txns txn).Types.outcome <- Some Types.Aborted;
+    release_at_shard coord_shard ~txn Types.Aborted;
+    List.iter
+      (fun p ->
+        if p <> coord_shard.Shard.shard_id then
+          to_shard ctx ~src:coord_shard.Shard.leader_site ~bytes:32 p (fun sh ->
+              release_at_shard sh ~txn Types.Aborted))
+      cs.cs_participants;
+    cs.cs_client (Types.Aborted, cs.cs_max_tee);
+    coord_gc ctx txn cs
+  end
+
+and decide_commit ctx coord_shard ~txn =
+  let cs = coord_state ctx txn in
+  cs.cs_decided <- true;
+  let now_latest = (Sim.Truetime.now ctx.tt).Sim.Truetime.latest in
+  let tc =
+    List.fold_left max 1
+      [ cs.cs_max_tp; now_latest; cs.cs_start_latest + 1;
+        coord_shard.Shard.max_write_ts + 1 ]
+  in
+  Replication.Group.replicate coord_shard.Shard.repl (fun () ->
+      (* Commit wait: no server reveals the data before tc definitely
+         passed. *)
+      wait_truetime ctx tc (fun () ->
+          (Types.find ctx.txns txn).Types.outcome <- Some (Types.Committed tc);
+          release_at_shard coord_shard ~txn (Types.Committed tc);
+          List.iter
+            (fun p ->
+              if p <> coord_shard.Shard.shard_id then
+                to_shard ctx ~src:coord_shard.Shard.leader_site p (fun sh ->
+                    release_at_shard sh ~txn (Types.Committed tc)))
+            cs.cs_participants;
+          cs.cs_client (Types.Committed tc, cs.cs_max_tee);
+          coord_gc ctx txn cs))
+
+(* Participant prepare: validate, lock, choose tp, replicate, vote. The §6
+   wound-wait optimization advances the stored t_ee by the blocked time. *)
+let participant_prepare ctx shard ~txn ~priority ~writes_here ~tee ~coord =
+  let vote outcome =
+    to_shard ctx ~src:shard.Shard.leader_site coord (fun coord_shard ->
+        handle_vote ctx coord_shard ~txn outcome)
+  in
+  if Types.is_wounded ctx.txns txn then vote `Abort
+  else
+    let keys = List.map fst writes_here in
+    acquire_writes shard ~txn ~priority keys ~blocked:0 (function
+      | Error () -> vote `Abort
+      | Ok blocked_us ->
+        if Types.is_wounded ctx.txns txn then begin
+          Locks.release_all shard.Shard.locks ~txn;
+          vote `Abort
+        end
+        else begin
+          let tp = Shard.choose_prepare_ts shard in
+          let p =
+            {
+              Shard.p_txn = txn;
+              p_tp = tp;
+              p_tee = tee + blocked_us;
+              p_writes = writes_here;
+              p_waiters = [];
+            }
+          in
+          Shard.add_prepared shard p;
+          if writes_here = [] then vote (`Ok (0, p.Shard.p_tee))
+          else
+            Replication.Group.replicate shard.Shard.repl (fun () ->
+                vote (`Ok (tp, p.Shard.p_tee)))
+        end)
+
+(* Coordinator's half: its own locks and prepare timestamp, then decide once
+   all votes arrive. Votes can overtake the CommitRequest on WANs that
+   violate the triangle inequality, so the state may pre-exist. *)
+let coordinator_request ctx coord_shard ~txn ~priority ~writes_here ~tee
+    ~participants ~start_latest ~(client : (Types.outcome * int) -> unit) =
+  let cs = coord_state ctx txn in
+  cs.cs_expected <- Some (List.length participants - 1);
+  cs.cs_client <- client;
+  cs.cs_participants <- participants;
+  cs.cs_coord <- coord_shard.Shard.shard_id;
+  cs.cs_start_latest <- start_latest;
+  if tee > cs.cs_max_tee then cs.cs_max_tee <- tee;
+  if cs.cs_decided then
+    (* Aborted via a wound that raced ahead of this request. *)
+    client (Types.Aborted, cs.cs_max_tee)
+  else if Types.is_wounded ctx.txns txn then decide_abort ctx coord_shard ~txn
+  else
+    let keys = List.map fst writes_here in
+    acquire_writes coord_shard ~txn ~priority keys ~blocked:0 (fun res ->
+        if not cs.cs_decided then begin
+          (match res with
+          | Error () -> cs.cs_abort <- true
+          | Ok blocked_us ->
+            if Types.is_wounded ctx.txns txn then cs.cs_abort <- true
+            else begin
+              let tp = Shard.choose_prepare_ts coord_shard in
+              if tp > cs.cs_max_tp then cs.cs_max_tp <- tp;
+              let tee_local = tee + blocked_us in
+              if tee_local > cs.cs_max_tee then cs.cs_max_tee <- tee_local;
+              Shard.add_prepared coord_shard
+                {
+                  Shard.p_txn = txn;
+                  p_tp = tp;
+                  p_tee = tee_local;
+                  p_writes = writes_here;
+                  p_waiters = [];
+                }
+            end);
+          cs.cs_local_ready <- true;
+          maybe_decide ctx coord_shard ~txn
+        end)
+
+(* A wound against a prepared holder: ask its coordinator to abort. If the
+   decision already happened, the requester just waits out the commit. *)
+let wound_prepared ctx txn =
+  Types.wound ctx.txns txn;
+  match Hashtbl.find_opt ctx.coord_states txn with
+  | Some cs when (not cs.cs_decided) && cs.cs_coord >= 0 ->
+    decide_abort ctx ctx.shards.(cs.cs_coord) ~txn
+  | Some _ | None -> ()
+
+let make_ctx engine net tt txns config =
+  let shards =
+    Array.init config.Config.n_shards (fun shard_id ->
+        Shard.create engine net tt txns config ~shard_id)
+  in
+  let ctx =
+    {
+      engine;
+      net;
+      tt;
+      config;
+      txns;
+      shards;
+      coord_states = Hashtbl.create 1024;
+      n_rw_committed = 0;
+      n_rw_aborted_attempts = 0;
+      n_ro = 0;
+      n_ro_slow = 0;
+    }
+  in
+  Array.iter
+    (fun sh -> sh.Shard.wound_prepared_hook := fun txn -> wound_prepared ctx txn)
+    shards;
+  ctx
+
+(* Execution-phase read at a shard: 2PL read lock, then the newest version. *)
+let handle_rw_read ctx shard ~txn ~priority ~keys
+    ~(reply : (int * int option) list option -> unit) =
+  let rec loop keys acc =
+    match keys with
+    | [] -> reply (Some acc)
+    | key :: rest ->
+      Locks.acquire_read shard.Shard.locks ~key ~txn ~priority (function
+        | Locks.Aborted -> reply None
+        | Locks.Granted _ ->
+          let v = Shard.read_version_at shard ~key ~ts:max_int in
+          let observed = Option.map (fun (v : Types.version) -> v.Types.value) v in
+          loop rest ((key, observed) :: acc))
+  in
+  if Types.is_wounded ctx.txns txn then reply None else loop keys []
+
+let rw_txn ctx ~client_site ~proc ~read_keys ~writes k =
+  if writes = [] then invalid_arg "Protocol.rw_txn: empty write set";
+  let write_keys = List.map fst writes in
+  if List.length (List.sort_uniq compare write_keys) <> List.length write_keys then
+    invalid_arg "Protocol.rw_txn: duplicate write keys";
+  let read_keys = List.sort_uniq compare read_keys in
+  (* Retries keep this first-attempt priority (classic wound-wait), and the
+     tiebreak makes priorities a strict total order. *)
+  let priority = (Sim.Engine.now ctx.engine, Types.tiebreak ctx.txns) in
+  let write_shards = group_by_shard ctx (List.map fst writes) in
+  let read_shards = group_by_shard ctx read_keys in
+  let participant_ids =
+    List.sort_uniq compare (List.map fst write_shards @ List.map fst read_shards)
+  in
+  let coord, est_latency =
+    Config.estimate_commit_latency_us ctx.config ~client_site
+      ~participants:(List.map fst write_shards)
+  in
+  let attempts = ref 0 in
+  let rec attempt () =
+    let meta = Types.fresh ctx.txns ~proc ~priority in
+    let txn = meta.Types.id in
+    (* --- execution (read) phase --- *)
+    let pending = ref (List.length read_shards) in
+    let observed = ref [] in
+    let failed = ref false in
+    let commit_phase () =
+      let start_latest = (Sim.Truetime.now ctx.tt).Sim.Truetime.latest in
+      let tee =
+        (Sim.Truetime.now ctx.tt).Sim.Truetime.earliest
+        + est_latency
+        + (2 * Sim.Truetime.epsilon ctx.tt)
+        + ctx.config.Config.tee_pad_us
+      in
+      let on_outcome (outcome, max_tee) =
+        match outcome with
+        | Types.Committed tc ->
+          ctx.n_rw_committed <- ctx.n_rw_committed + 1;
+          (* Complete only once every shard's stored t_ee is a definite
+             lower bound on this (real) end time. *)
+          wait_truetime ctx (max_tee - Sim.Truetime.epsilon ctx.tt) (fun () ->
+              k { rw_commit_ts = tc; rw_txn_id = txn; rw_reads = !observed })
+        | Types.Aborted ->
+          ctx.n_rw_aborted_attempts <- ctx.n_rw_aborted_attempts + 1;
+          retry txn
+      in
+      let reply_to_client out =
+        to_client ctx ~src:ctx.shards.(coord).Shard.leader_site ~dst:client_site
+          (fun () -> on_outcome out)
+      in
+      List.iter
+        (fun shard_id ->
+          let writes_here =
+            match List.assoc_opt shard_id write_shards with
+            | None -> []
+            | Some keys -> List.map (fun key -> (key, List.assoc key writes)) keys
+          in
+          if shard_id = coord then
+            to_shard ctx ~src:client_site shard_id (fun sh ->
+                coordinator_request ctx sh ~txn ~priority ~writes_here ~tee
+                  ~participants:participant_ids ~start_latest
+                  ~client:reply_to_client)
+          else
+            to_shard ctx ~src:client_site shard_id (fun sh ->
+                participant_prepare ctx sh ~txn ~priority ~writes_here ~tee ~coord))
+        participant_ids
+    in
+    let read_done () =
+      decr pending;
+      if !pending = 0 then
+        if !failed then begin
+          ctx.n_rw_aborted_attempts <- ctx.n_rw_aborted_attempts + 1;
+          retry txn
+        end
+        else commit_phase ()
+    in
+    if read_shards = [] then commit_phase ()
+    else
+      List.iter
+        (fun (shard_id, keys) ->
+          to_shard ctx ~src:client_site shard_id (fun sh ->
+              handle_rw_read ctx sh ~txn ~priority ~keys ~reply:(fun res ->
+                  to_client ctx ~src:sh.Shard.leader_site ~dst:client_site
+                    (fun () ->
+                      (match res with
+                      | None -> failed := true
+                      | Some vals -> observed := vals @ !observed);
+                      read_done ()))))
+        read_shards
+  and retry txn =
+    (* Release everything this attempt still holds, then retry with the
+       original wound-wait priority. *)
+    (Types.find ctx.txns txn).Types.outcome <- Some Types.Aborted;
+    List.iter
+      (fun shard_id ->
+        to_shard ctx ~src:client_site ~bytes:32 shard_id (fun sh ->
+            release_at_shard sh ~txn Types.Aborted))
+      participant_ids;
+    (* Exponential backoff, capped: retry storms on hot keys otherwise
+       multiply wound-wait convoys. *)
+    incr attempts;
+    let shift = min !attempts 5 in
+    let backoff = (5_000 * (1 lsl shift)) + (txn mod 5_000) in
+    Sim.Engine.schedule ctx.engine ~after:backoff attempt
+  in
+  attempt ()
+
+(* ------------------------------------------------------------------ *)
+(* Read-only transactions (Algorithms 1 and 2)                         *)
+(* ------------------------------------------------------------------ *)
+
+type ro_result = {
+  ro_snap_ts : int;
+  ro_reads : (int * int option) list;
+  ro_slow : bool;
+}
+
+type fast_reply = {
+  fr_values : (int * Types.version option) list;
+  fr_skipped : (int * int * (int * int) list) list;
+      (* (txn, tp, its writes to the requested keys) — §6 optimization 1 *)
+}
+
+type slow_reply = { sr_txn : int; sr_outcome : Types.outcome }
+
+(* Shard-side RO handler (Algorithm 2). In Strict mode every conflicting
+   prepared transaction with tp <= t_read blocks; in RSS mode only those
+   that must be observed (tp <= t_min) or could have ended before the RO
+   began (t_ee <= t_read). *)
+let handle_ro ctx shard ~keys ~t_read ~t_min ~(fast : fast_reply -> unit)
+    ~(slow : slow_reply -> unit) =
+  shard.Shard.n_ro_served <- shard.Shard.n_ro_served + 1;
+  (* Leader lease: advancing max_write_ts guarantees all future prepare
+     timestamps exceed t_read, so Alg. 2's "wait until t_read <= MaxWriteTS"
+     never blocks at a leader. *)
+  Shard.advance_max_write_ts shard t_read;
+  let p0 = Shard.conflicting_prepared shard ~keys ~max_tp:t_read in
+  let blocking =
+    match ctx.config.Config.mode with
+    | Config.Strict -> p0
+    | Config.Rss ->
+      List.filter
+        (fun (p : Shard.prepared) -> p.Shard.p_tp <= t_min || p.Shard.p_tee <= t_read)
+        p0
+  in
+  if blocking <> [] then shard.Shard.n_ro_blocked <- shard.Shard.n_ro_blocked + 1;
+  let finish () =
+    let remaining =
+      List.filter
+        (fun (p : Shard.prepared) -> Shard.prepared shard p.Shard.p_txn <> None)
+        p0
+    in
+    let values =
+      List.map (fun key -> (key, Shard.read_version_at shard ~key ~ts:t_read)) keys
+    in
+    let skipped =
+      List.map
+        (fun (p : Shard.prepared) ->
+          let writes = List.filter (fun (k, _) -> List.mem k keys) p.Shard.p_writes in
+          (p.Shard.p_txn, p.Shard.p_tp, writes))
+        remaining
+    in
+    fast { fr_values = values; fr_skipped = skipped };
+    List.iter
+      (fun (p : Shard.prepared) ->
+        Shard.wait_prepared shard p (fun outcome ->
+            slow { sr_txn = p.Shard.p_txn; sr_outcome = outcome }))
+      remaining
+  in
+  match blocking with
+  | [] -> finish ()
+  | _ ->
+    let pending = ref (List.length blocking) in
+    List.iter
+      (fun p ->
+        Shard.wait_prepared shard p (fun _ ->
+            decr pending;
+            if !pending = 0 then finish ()))
+      blocking
+
+let ro_txn ctx ~client_site ~proc:_ ~t_min ~keys k =
+  ctx.n_ro <- ctx.n_ro + 1;
+  let t_read = (Sim.Truetime.now ctx.tt).Sim.Truetime.latest in
+  let by_shard = group_by_shard ctx keys in
+  let pending_fast = ref (List.length by_shard) in
+  let versions : (int, Types.version list) Hashtbl.t = Hashtbl.create 8 in
+  (* Newest timestamp per key among the fast-path values only: t_snap must
+     be computed from Alg. 2's V, not from slow-path resolutions (whose
+     commit timestamps may exceed t_read). *)
+  let fast_newest = ref 0 in
+  let skipped : (int, int * (int * int) list) Hashtbl.t = Hashtbl.create 8 in
+  (* Slow replies that overtook their shard's fast reply on the network. *)
+  let early_outcomes : (int, Types.outcome) Hashtbl.t = Hashtbl.create 4 in
+  let went_slow = ref false in
+  let finished = ref false in
+  let t_snap = ref 0 in
+  let add_version key (v : Types.version) =
+    let prev = try Hashtbl.find versions key with Not_found -> [] in
+    Hashtbl.replace versions key (v :: prev)
+  in
+  let resolve txn outcome =
+    match Hashtbl.find_opt skipped txn with
+    | None -> Hashtbl.replace early_outcomes txn outcome
+    | Some (_tp, writes) ->
+      Hashtbl.remove skipped txn;
+      (match outcome with
+      | Types.Aborted -> ()
+      | Types.Committed tc ->
+        List.iter
+          (fun (key, value) -> add_version key { Types.ts = tc; writer = txn; value })
+          writes)
+  in
+  (* §6 optimization 1: a committed version returned by one shard reveals the
+     commit timestamp of a transaction another shard skipped. *)
+  let resolve_from_committed () =
+    let found = ref [] in
+    Hashtbl.iter
+      (fun _ vs ->
+        List.iter
+          (fun (v : Types.version) ->
+            if Hashtbl.mem skipped v.Types.writer then
+              found := (v.Types.writer, v.Types.ts) :: !found)
+          vs)
+      versions;
+    List.iter (fun (txn, tc) -> resolve txn (Types.Committed tc)) !found
+  in
+  let min_skipped_tp () = Hashtbl.fold (fun _ (tp, _) acc -> min tp acc) skipped max_int in
+  let finish () =
+    finished := true;
+    let reads =
+      List.map
+        (fun key ->
+          let vs = try Hashtbl.find versions key with Not_found -> [] in
+          let best =
+            List.fold_left
+              (fun acc (v : Types.version) ->
+                if v.Types.ts <= !t_snap then
+                  match acc with
+                  | Some (b : Types.version) when b.Types.ts >= v.Types.ts -> acc
+                  | _ -> Some v
+                else acc)
+              None vs
+          in
+          (key, Option.map (fun (v : Types.version) -> v.Types.value) best))
+        keys
+    in
+    if !went_slow then ctx.n_ro_slow <- ctx.n_ro_slow + 1;
+    let witness_ts =
+      match ctx.config.Config.mode with
+      | Config.Strict -> t_read
+      | Config.Rss -> max !t_snap t_min
+    in
+    k { ro_snap_ts = witness_ts; ro_reads = reads; ro_slow = !went_slow }
+  in
+  let check_done () =
+    if (not !finished) && !pending_fast = 0 then
+      if min_skipped_tp () > !t_snap then finish () else went_slow := true
+  in
+  let on_slow sr =
+    resolve sr.sr_txn sr.sr_outcome;
+    check_done ()
+  in
+  let on_fast fr =
+    List.iter
+      (fun (key, v) ->
+        match v with
+        | None -> ()
+        | Some v ->
+          add_version key v;
+          if v.Types.ts > !fast_newest then fast_newest := v.Types.ts)
+      fr.fr_values;
+    List.iter
+      (fun (txn, tp, writes) ->
+        match Hashtbl.find_opt early_outcomes txn with
+        | Some outcome ->
+          Hashtbl.remove early_outcomes txn;
+          (match outcome with
+          | Types.Aborted -> ()
+          | Types.Committed tc ->
+            List.iter
+              (fun (key, value) ->
+                add_version key { Types.ts = tc; writer = txn; value })
+              writes)
+        | None -> Hashtbl.replace skipped txn (tp, writes))
+      fr.fr_skipped;
+    decr pending_fast;
+    if !pending_fast = 0 then begin
+      (* CalculateSnapshotTS: the earliest time at which a (fast) value is
+         known for every key. *)
+      t_snap := !fast_newest;
+      resolve_from_committed ();
+      check_done ()
+    end
+  in
+  List.iter
+    (fun (shard_id, shard_keys) ->
+      to_shard ctx ~src:client_site shard_id (fun sh ->
+          handle_ro ctx sh ~keys:shard_keys ~t_read ~t_min
+            ~fast:(fun fr ->
+              to_client ctx ~src:sh.Shard.leader_site ~dst:client_site (fun () ->
+                  on_fast fr))
+            ~slow:(fun sr ->
+              to_client ctx ~src:sh.Shard.leader_site ~dst:client_site (fun () ->
+                  on_slow sr))))
+    by_shard
+
+let fence ctx ~t_min k = wait_truetime ctx (t_min + ctx.config.Config.fence_l_us) k
+
+(* Snapshot reads (Spanner's read-at-timestamp API): a consistent view as of
+   a caller-chosen timestamp. Shards block on prepared transactions that
+   might still commit at or before [ts], then serve the versioned read. *)
+let snapshot_read ctx ~client_site ~ts ~keys k =
+  let by_shard = group_by_shard ctx keys in
+  let pending = ref (List.length by_shard) in
+  let acc = ref [] in
+  List.iter
+    (fun (shard_id, shard_keys) ->
+      to_shard ctx ~src:client_site shard_id (fun sh ->
+          Shard.advance_max_write_ts sh ts;
+          let blocking = Shard.conflicting_prepared sh ~keys:shard_keys ~max_tp:ts in
+          let finish () =
+            let values =
+              List.map
+                (fun key ->
+                  ( key,
+                    Option.map
+                      (fun (v : Types.version) -> v.Types.value)
+                      (Shard.read_version_at sh ~key ~ts) ))
+                shard_keys
+            in
+            to_client ctx ~src:sh.Shard.leader_site ~dst:client_site (fun () ->
+                acc := values @ !acc;
+                decr pending;
+                if !pending = 0 then k !acc)
+          in
+          match blocking with
+          | [] -> finish ()
+          | _ ->
+            let waiting = ref (List.length blocking) in
+            List.iter
+              (fun prepared ->
+                Shard.wait_prepared sh prepared (fun _ ->
+                    decr waiting;
+                    if !waiting = 0 then finish ()))
+              blocking))
+    by_shard

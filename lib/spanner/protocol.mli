@@ -1,0 +1,74 @@
+(** The Spanner / Spanner-RSS wire protocols over the simulated network.
+
+    Read-write transactions (§5 "Spanner background"): two-phase locking with
+    wound-wait during an execution (read) phase, then two-phase commit across
+    the participant shard leaders with prepare/commit timestamps, commit
+    wait, and the client-side earliest-end-time (t_ee) estimate including
+    both §6 optimizations.
+
+    Read-only transactions: the strict-serializable protocol (block on every
+    conflicting prepared transaction with tp <= t_read), or Algorithms 1-2
+    when the cluster mode is {!Config.Rss} (skip prepared transactions unless
+    tp <= t_min or t_ee <= t_read; fast replies carry prepared timestamps and
+    skipped writes; slow replies resolve them; the client computes t_snap).
+
+    All entry points are continuation-passing: they return immediately and
+    fire their callback on the simulated clock. *)
+
+type coord_state
+
+type ctx = {
+  engine : Sim.Engine.t;
+  net : Sim.Net.t;
+  tt : Sim.Truetime.t;
+  config : Config.t;
+  txns : Types.table;
+  shards : Shard.t array;
+  coord_states : (int, coord_state) Hashtbl.t;  (** per-txn 2PC state *)
+  mutable n_rw_committed : int;
+  mutable n_rw_aborted_attempts : int;
+  mutable n_ro : int;
+  mutable n_ro_slow : int;
+}
+
+val make_ctx :
+  Sim.Engine.t -> Sim.Net.t -> Sim.Truetime.t -> Types.table -> Config.t -> ctx
+
+type rw_result = {
+  rw_commit_ts : int;
+  rw_txn_id : int;  (** id of the committed attempt *)
+  rw_reads : (int * int option) list;  (** (key, stored value observed) *)
+}
+
+val rw_txn :
+  ctx -> client_site:int -> proc:int -> read_keys:int list ->
+  writes:(int * int) list -> (rw_result -> unit) -> unit
+(** Runs to commit, retrying internally on wound-wait aborts with the
+    original priority. [writes] are (key, value) pairs, non-empty, one per
+    key (duplicates raise [Invalid_argument]); duplicate [read_keys] are
+    deduplicated. The continuation receives the commit timestamp
+    and the values observed by the execution-phase reads (valid at the
+    commit timestamp, by 2PL). *)
+
+type ro_result = {
+  ro_snap_ts : int;  (** witness serialization timestamp *)
+  ro_reads : (int * int option) list;  (** (key, stored value) *)
+  ro_slow : bool;  (** did the client have to wait for slow replies / blocking? *)
+}
+
+val ro_txn :
+  ctx -> client_site:int -> proc:int -> t_min:int -> keys:int list ->
+  (ro_result -> unit) -> unit
+(** The caller owns t_min tracking: pass the session's current t_min and
+    update it to [max t_min ro_snap_ts] on completion (Client does this). *)
+
+val fence : ctx -> t_min:int -> (unit -> unit) -> unit
+(** §5.1: block until t_min + L < TT.now.earliest. *)
+
+val snapshot_read :
+  ctx -> client_site:int -> ts:int -> keys:int list ->
+  ((int * int option) list -> unit) -> unit
+(** Spanner's read-at-timestamp API: a consistent multi-key snapshot as of
+    [ts] (typically in the past). Blocks only on transactions prepared at or
+    before [ts]. Deliberately outside the session/t_min machinery — it reads
+    history — so it is not recorded into the run's consistency witness. *)

@@ -1,0 +1,119 @@
+type prepared = {
+  p_txn : int;
+  p_tp : int;
+  mutable p_tee : int;
+  p_writes : (int * int) list;
+  mutable p_waiters : (Types.outcome -> unit) list;
+}
+
+type t = {
+  shard_id : int;
+  leader_site : int;
+  engine : Sim.Engine.t;
+  tt : Sim.Truetime.t;
+  station : Sim.Station.t;
+  repl : Replication.Group.t;
+  locks : Locks.t;
+  store : (int, Types.version list) Hashtbl.t;
+  prepared_tbl : (int, prepared) Hashtbl.t;
+  mutable max_write_ts : int;
+  mutable n_ro_served : int;
+  mutable n_ro_blocked : int;
+  wound_prepared_hook : (int -> unit) ref;
+}
+
+let create engine net tt txns (config : Config.t) ~shard_id =
+  let station =
+    Sim.Station.create engine ~service_time_us:config.Config.service_time_us
+  in
+  let station_opt = if config.Config.service_time_us > 0 then Some station else None in
+  let repl =
+    Replication.Group.create net ?station:station_opt
+      ~leader_site:config.Config.leader_site.(shard_id)
+      ~replica_sites:config.Config.replica_sites.(shard_id)
+      ()
+  in
+  let prepared_tbl = Hashtbl.create 64 in
+  let wound_prepared_hook = ref (fun (_ : int) -> ()) in
+  let locks =
+    Locks.create engine
+      ~is_prepared:(fun txn -> Hashtbl.mem prepared_tbl txn)
+      ~is_wounded:(fun txn -> Types.is_wounded txns txn)
+      ~wound:(fun txn -> Types.wound txns txn)
+      ~wound_prepared:(fun txn -> !wound_prepared_hook txn)
+  in
+  {
+    shard_id;
+    leader_site = config.Config.leader_site.(shard_id);
+    engine;
+    tt;
+    station;
+    repl;
+    locks;
+    store = Hashtbl.create 4096;
+    prepared_tbl;
+    max_write_ts = 0;
+    n_ro_served = 0;
+    n_ro_blocked = 0;
+    wound_prepared_hook;
+  }
+
+let read_version_at t ~key ~ts =
+  match Hashtbl.find_opt t.store key with
+  | None -> None
+  | Some versions -> List.find_opt (fun (v : Types.version) -> v.Types.ts <= ts) versions
+
+let apply_write t ~key ~ts ~writer ~value =
+  let versions = try Hashtbl.find t.store key with Not_found -> [] in
+  (match versions with
+  | { Types.ts = newest; writer = prev; _ } :: _ when newest >= ts ->
+    invalid_arg
+      (Fmt.str
+         "Shard.apply_write: non-monotonic commit ts %d (txn %d) after %d (txn %d) on key %d"
+         ts writer newest prev key)
+  | _ -> ());
+  Hashtbl.replace t.store key ({ Types.ts; writer; value } :: versions)
+
+let advance_max_write_ts t ts = if ts > t.max_write_ts then t.max_write_ts <- ts
+
+let choose_prepare_ts t =
+  let tp = t.max_write_ts + 1 in
+  t.max_write_ts <- tp;
+  tp
+
+let trace_txn = ref (-1)
+
+let add_prepared t p =
+  if p.p_txn = !trace_txn then
+    Fmt.epr "[shard %d] add_prepared txn %d tp=%d@." t.shard_id p.p_txn p.p_tp;
+  Hashtbl.replace t.prepared_tbl p.p_txn p
+
+let prepared t txn = Hashtbl.find_opt t.prepared_tbl txn
+
+let conflicting_prepared t ~keys ~max_tp =
+  Hashtbl.fold
+    (fun _ p acc ->
+      if p.p_tp <= max_tp && List.exists (fun (k, _) -> List.mem k keys) p.p_writes
+      then p :: acc
+      else acc)
+    t.prepared_tbl []
+
+let wait_prepared _t p k = p.p_waiters <- k :: p.p_waiters
+
+let resolve_prepared t ~txn outcome =
+  if txn = !trace_txn then
+    Fmt.epr "[shard %d] resolve txn %d present=%b outcome=%s@." t.shard_id txn
+      (Hashtbl.mem t.prepared_tbl txn)
+      (match outcome with Types.Committed tc -> Fmt.str "commit@%d" tc | Types.Aborted -> "abort");
+  match Hashtbl.find_opt t.prepared_tbl txn with
+  | None -> ()
+  | Some p ->
+    Hashtbl.remove t.prepared_tbl txn;
+    (match outcome with
+    | Types.Committed tc ->
+      List.iter (fun (key, value) -> apply_write t ~key ~ts:tc ~writer:txn ~value) p.p_writes;
+      advance_max_write_ts t tc
+    | Types.Aborted -> ());
+    let waiters = p.p_waiters in
+    p.p_waiters <- [];
+    List.iter (fun k -> k outcome) waiters

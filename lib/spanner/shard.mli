@@ -1,0 +1,68 @@
+(** Per-shard leader state: multi-version store, prepared-transaction table,
+    lock table, replication group, Paxos max-write timestamp.
+
+    Protocol logic (2PC, read-only transactions) lives in {!Protocol}; this
+    module owns the data structures and the local invariants:
+    - versions per key are kept newest-first; commit timestamps of writes to
+      a key are strictly increasing (Observation 1 of Appendix D.1);
+    - a prepared transaction's waiters fire exactly once, when it resolves;
+    - [max_write_ts] only advances, and every prepare timestamp exceeds it
+      at choice time. *)
+
+type prepared = {
+  p_txn : int;
+  p_tp : int;  (** prepare timestamp *)
+  mutable p_tee : int;  (** earliest client end estimate (absolute) *)
+  p_writes : (int * int) list;  (** (key, value) this txn will write here *)
+  mutable p_waiters : (Types.outcome -> unit) list;
+}
+
+type t = {
+  shard_id : int;
+  leader_site : int;
+  engine : Sim.Engine.t;
+  tt : Sim.Truetime.t;
+  station : Sim.Station.t;
+  repl : Replication.Group.t;
+  locks : Locks.t;
+  store : (int, Types.version list) Hashtbl.t;
+  prepared_tbl : (int, prepared) Hashtbl.t;
+  mutable max_write_ts : int;
+  mutable n_ro_served : int;
+  mutable n_ro_blocked : int;
+  wound_prepared_hook : (int -> unit) ref;
+      (** set by {!Protocol.make_ctx}: routes a wound against a prepared
+          holder to its 2PC coordinator *)
+}
+
+val create :
+  Sim.Engine.t -> Sim.Net.t -> Sim.Truetime.t -> Types.table -> Config.t ->
+  shard_id:int -> t
+
+val read_version_at : t -> key:int -> ts:int -> Types.version option
+(** Latest committed version with [ts' <= ts]. *)
+
+val apply_write : t -> key:int -> ts:int -> writer:int -> value:int -> unit
+(** Raises [Invalid_argument] if [ts] does not exceed the key's newest
+    version (the per-key monotonicity invariant). *)
+
+val advance_max_write_ts : t -> int -> unit
+
+val choose_prepare_ts : t -> int
+(** A fresh prepare timestamp > [max_write_ts]; advances [max_write_ts]. *)
+
+val trace_txn : int ref
+(** Diagnostic: print prepared-table events for this txn id to stderr. *)
+
+val add_prepared : t -> prepared -> unit
+
+val prepared : t -> int -> prepared option
+
+val conflicting_prepared : t -> keys:int list -> max_tp:int -> prepared list
+(** Prepared transactions writing any of [keys] here with tp <= [max_tp]. *)
+
+val wait_prepared : t -> prepared -> (Types.outcome -> unit) -> unit
+
+val resolve_prepared : t -> txn:int -> Types.outcome -> unit
+(** Apply writes (on commit), drop the entry, fire waiters. Does not touch
+    locks — callers release via [t.locks]. No-op if absent. *)

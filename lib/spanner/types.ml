@@ -1,0 +1,46 @@
+type outcome = Committed of int | Aborted
+
+type version = { ts : int; writer : int; value : int }
+
+type meta = {
+  id : int;
+  proc : int;
+  priority : int * int;
+  mutable wounded : bool;
+  mutable outcome : outcome option;
+}
+
+type table = {
+  metas : (int, meta) Hashtbl.t;
+  mutable next_id : int;
+  mutable next_tiebreak : int;
+  mutable n_wounds : int;
+}
+
+let table_create () =
+  { metas = Hashtbl.create 1024; next_id = 0; next_tiebreak = 0; n_wounds = 0 }
+
+let tiebreak t =
+  let x = t.next_tiebreak in
+  t.next_tiebreak <- x + 1;
+  x
+
+let fresh t ~proc ~priority =
+  let id = t.next_id in
+  t.next_id <- t.next_id + 1;
+  let m = { id; proc; priority; wounded = false; outcome = None } in
+  Hashtbl.add t.metas id m;
+  m
+
+let find t id = Hashtbl.find t.metas id
+
+let wound t id =
+  let m = find t id in
+  if not m.wounded then begin
+    m.wounded <- true;
+    t.n_wounds <- t.n_wounds + 1
+  end
+
+let is_wounded t id = (find t id).wounded
+
+let wounds t = t.n_wounds

@@ -1,0 +1,33 @@
+(** Shared Spanner types: transaction metadata, versions, 2PC outcomes. *)
+
+type outcome = Committed of int  (** commit timestamp *) | Aborted
+
+type version = { ts : int; writer : int; value : int }
+(** One multi-version store entry; [writer] is the transaction id, which is
+    also the (per-key unique) stored value used for history checking. *)
+
+type meta = {
+  id : int;
+  proc : int;
+  priority : int * int;  (** (first-attempt start time, first txn id) *)
+  mutable wounded : bool;
+  mutable outcome : outcome option;
+}
+
+type table
+(** Global (cluster-wide) transaction metadata table — stands in for the
+    client-driven abort/wound notifications of the real system. *)
+
+val table_create : unit -> table
+
+val tiebreak : table -> int
+(** A run-unique integer. Wound-wait priorities are (start time, tiebreak):
+    two transactions must never compare equal, or neither can wound the
+    other and a mutual wait deadlocks — reachable when sessions share a
+    client, so the tiebreak cannot be the process id. *)
+
+val fresh : table -> proc:int -> priority:int * int -> meta
+val find : table -> int -> meta
+val wound : table -> int -> unit
+val is_wounded : table -> int -> bool
+val wounds : table -> int

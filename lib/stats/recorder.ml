@@ -1,0 +1,83 @@
+type t = {
+  mutable data : int array;
+  mutable len : int;
+  mutable sorted : bool;
+}
+
+let create () = { data = [||]; len = 0; sorted = true }
+
+let add t x =
+  let cap = Array.length t.data in
+  if t.len = cap then begin
+    let data = Array.make (if cap = 0 then 1024 else cap * 2) 0 in
+    Array.blit t.data 0 data 0 t.len;
+    t.data <- data
+  end;
+  t.data.(t.len) <- x;
+  t.len <- t.len + 1;
+  t.sorted <- false
+
+let count t = t.len
+
+let is_empty t = t.len = 0
+
+let ensure_sorted t =
+  if not t.sorted then begin
+    let live = Array.sub t.data 0 t.len in
+    Array.sort compare live;
+    Array.blit live 0 t.data 0 t.len;
+    t.sorted <- true
+  end
+
+let mean t =
+  if t.len = 0 then 0.0
+  else begin
+    let sum = ref 0.0 in
+    for i = 0 to t.len - 1 do
+      sum := !sum +. float_of_int t.data.(i)
+    done;
+    !sum /. float_of_int t.len
+  end
+
+let min t =
+  if t.len = 0 then invalid_arg "Recorder.min: empty";
+  ensure_sorted t;
+  t.data.(0)
+
+let max t =
+  if t.len = 0 then invalid_arg "Recorder.max: empty";
+  ensure_sorted t;
+  t.data.(t.len - 1)
+
+let percentile t p =
+  if t.len = 0 then invalid_arg "Recorder.percentile: empty";
+  if p < 0.0 || p > 100.0 then invalid_arg "Recorder.percentile: p out of range";
+  ensure_sorted t;
+  if t.len = 1 then float_of_int t.data.(0)
+  else begin
+    let rank = p /. 100.0 *. float_of_int (t.len - 1) in
+    let lo = int_of_float (floor rank) in
+    let hi = int_of_float (ceil rank) in
+    if lo = hi then float_of_int t.data.(lo)
+    else begin
+      let frac = rank -. float_of_int lo in
+      ((1.0 -. frac) *. float_of_int t.data.(lo))
+      +. (frac *. float_of_int t.data.(hi))
+    end
+  end
+
+let percentile_ms t p = percentile t p /. 1000.0
+
+let to_sorted_array t =
+  ensure_sorted t;
+  Array.sub t.data 0 t.len
+
+let merge a b =
+  let t = create () in
+  for i = 0 to a.len - 1 do
+    add t a.data.(i)
+  done;
+  for i = 0 to b.len - 1 do
+    add t b.data.(i)
+  done;
+  t

@@ -1,0 +1,23 @@
+let tail_points = [ 50.0; 90.0; 95.0; 99.0; 99.5; 99.9 ]
+
+let row_ms rec_ points = List.map (fun p -> Recorder.percentile_ms rec_ p) points
+
+let print_latency_table ~header ~rows ?(points = tail_points) () =
+  Fmt.pr "%s@." header;
+  Fmt.pr "  %-16s %8s" "system" "count";
+  List.iter (fun p -> Fmt.pr " %9s" (Fmt.str "p%g" p)) points;
+  Fmt.pr "@.";
+  List.iter
+    (fun (name, r) ->
+      Fmt.pr "  %-16s %8d" name (Recorder.count r);
+      if Recorder.is_empty r then Fmt.pr " %9s" "-"
+      else List.iter (fun v -> Fmt.pr " %9.1f" v) (row_ms r points);
+      Fmt.pr "@.")
+    rows
+
+let improvement ~baseline ~variant =
+  if baseline = 0.0 then 0.0 else (baseline -. variant) /. baseline *. 100.0
+
+let throughput ~count ~duration_us =
+  if duration_us = 0 then 0.0
+  else float_of_int count /. (float_of_int duration_us /. 1_000_000.0)

@@ -1,0 +1,50 @@
+type kind = Add_user | Follow | Post_tweet | Load_timeline
+
+type txn = { kind : kind; read_keys : int list; write_keys : int list }
+
+type t = { rng : Sim.Rng.t; zipf : Zipf.t }
+
+let mix =
+  [ (Add_user, 0.05); (Follow, 0.15); (Post_tweet, 0.30); (Load_timeline, 0.50) ]
+
+let kind_name = function
+  | Add_user -> "add-user"
+  | Follow -> "follow"
+  | Post_tweet -> "post-tweet"
+  | Load_timeline -> "load-timeline"
+
+let create ~rng ~n_keys ~theta = { rng; zipf = Zipf.create ~rng ~n:n_keys ~theta }
+
+(* Draw [n] distinct Zipfian keys. *)
+let distinct_keys t n =
+  let rec draw acc remaining guard =
+    if remaining = 0 then acc
+    else begin
+      let k = Zipf.sample t.zipf in
+      if List.mem k acc && guard < 100 then draw acc remaining (guard + 1)
+      else draw (k :: acc) (remaining - 1) 0
+    end
+  in
+  draw [] n 0
+
+let sample t =
+  let p = Sim.Rng.uniform t.rng in
+  (* Key counts per transaction type follow TAPIR's Retwis benchmark. *)
+  if p < 0.05 then
+    match distinct_keys t 4 with
+    | a :: rest -> { kind = Add_user; read_keys = [ a ]; write_keys = a :: rest }
+    | [] -> assert false
+  else if p < 0.20 then
+    let keys = distinct_keys t 2 in
+    { kind = Follow; read_keys = keys; write_keys = keys }
+  else if p < 0.50 then
+    match distinct_keys t 5 with
+    | a :: b :: c :: _ as keys ->
+      { kind = Post_tweet; read_keys = [ a; b; c ]; write_keys = keys }
+    | _ -> assert false
+  else begin
+    let n = 1 + Sim.Rng.int t.rng 10 in
+    { kind = Load_timeline; read_keys = distinct_keys t n; write_keys = [] }
+  end
+
+let is_read_only txn = txn.write_keys = []

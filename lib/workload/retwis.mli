@@ -1,0 +1,27 @@
+(** The Retwis workload (§6): a Twitter-clone transaction mix over a Zipfian
+    key distribution, with the paper's proportions — 5% add-user,
+    15% follow/unfollow, 30% post-tweet (all read-write) and
+    50% load-timeline (read-only). Key counts per transaction follow the
+    TAPIR benchmark the paper's implementation reuses. *)
+
+type kind = Add_user | Follow | Post_tweet | Load_timeline
+
+type txn = {
+  kind : kind;
+  read_keys : int list;  (** keys read (also read by RW transactions) *)
+  write_keys : int list;  (** keys written; empty iff read-only *)
+}
+
+type t
+
+val create : rng:Sim.Rng.t -> n_keys:int -> theta:float -> t
+
+val sample : t -> txn
+(** Keys within one transaction are distinct. *)
+
+val is_read_only : txn -> bool
+
+val kind_name : kind -> string
+
+val mix : (kind * float) list
+(** The paper's proportions, for reporting. *)

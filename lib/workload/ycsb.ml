@@ -1,0 +1,21 @@
+type op = { is_write : bool; key : int }
+
+type t = { rng : Sim.Rng.t; n_keys : int; write_ratio : float; conflict : float }
+
+let hot_key = 0
+
+let create ~rng ~n_keys ~write_ratio ~conflict =
+  if write_ratio < 0.0 || write_ratio > 1.0 then
+    invalid_arg "Ycsb.create: write_ratio out of range";
+  if conflict < 0.0 || conflict > 1.0 then
+    invalid_arg "Ycsb.create: conflict out of range";
+  if n_keys < 2 then invalid_arg "Ycsb.create: need at least 2 keys";
+  { rng; n_keys; write_ratio; conflict }
+
+let sample t =
+  let is_write = Sim.Rng.bool t.rng t.write_ratio in
+  let key =
+    if Sim.Rng.bool t.rng t.conflict then hot_key
+    else 1 + Sim.Rng.int t.rng (t.n_keys - 1)
+  in
+  { is_write; key }

@@ -1,0 +1,20 @@
+(** The YCSB-style read/write workload used by the Gryff evaluation (§7):
+    single-key reads and writes with a tunable write ratio and conflict
+    percentage. Following the Gryff paper's methodology, a conflicting
+    operation targets the single shared hot key; non-conflicting operations
+    spread uniformly over a large private keyspace, so concurrent clients
+    virtually never collide on them. *)
+
+type op = { is_write : bool; key : int }
+
+type t
+
+val create :
+  rng:Sim.Rng.t -> n_keys:int -> write_ratio:float -> conflict:float -> t
+(** [conflict] is the probability an operation targets the hot key (key 0).
+    Raises [Invalid_argument] if ratios are outside [\[0, 1\]]. *)
+
+val sample : t -> op
+
+val hot_key : int
+(** = 0 *)

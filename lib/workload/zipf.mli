@@ -1,0 +1,17 @@
+(** Zipfian key sampling by rejection-inversion (Hörmann & Derflinger 1996),
+    the generator the paper cites for its Retwis key distribution.
+
+    Draws ranks from [{1..n}] with P(k) ∝ k^-θ in O(1) expected time and O(1)
+    memory — no precomputed tables, so ten-million-key keyspaces cost
+    nothing. θ = 0 degenerates to uniform. *)
+
+type t
+
+val create : rng:Sim.Rng.t -> n:int -> theta:float -> t
+(** Raises [Invalid_argument] if [n < 1] or [theta < 0]. *)
+
+val sample : t -> int
+(** A 0-based key index; 0 is the hottest key. *)
+
+val n : t -> int
+val theta : t -> float

@@ -1,0 +1,179 @@
+(* Cross-service composition (§4.1, Appendix C.4): multiple RSS services
+   plus libRSS fences must behave like one RSS service. These tests drive
+   two independent Spanner-RSS clusters through the libRSS registry. *)
+
+let check = Alcotest.check
+let bool = Alcotest.bool
+let int = Alcotest.int
+
+type services = {
+  engine : Sim.Engine.t;
+  users : Spanner.Cluster.t;
+  billing : Spanner.Cluster.t;
+}
+
+let mk ?(seed = 1) () =
+  let engine = Sim.Engine.create () in
+  let mk_cluster s =
+    Spanner.Cluster.create engine ~rng:(Sim.Rng.make s)
+      (Spanner.Config.wan3 ~mode:Spanner.Config.Rss ())
+  in
+  { engine; users = mk_cluster seed; billing = mk_cluster (seed + 100) }
+
+(* A process with one client library per service, wired through libRSS. *)
+let process sv ~site =
+  let u = Spanner.Client.create sv.users ~site in
+  let b = Spanner.Client.create sv.billing ~site in
+  let lib = Rss_core.Librss.create () in
+  Rss_core.Librss.register_service lib ~name:"users"
+    ~fence:(fun k -> Spanner.Client.fence u k);
+  Rss_core.Librss.register_service lib ~name:"billing"
+    ~fence:(fun k -> Spanner.Client.fence b k);
+  (lib, u, b)
+
+let test_fence_spans_services () =
+  (* P1 writes at users, switches (libRSS fences users), writes at billing.
+     P2 — causally unrelated — reads billing, then users: once P2 sees P1's
+     billing write, it must see the users write: the fence guaranteed every
+     users-RO after it observes t_min. *)
+  let sv = mk () in
+  let lib1, u1, b1 = process sv ~site:0 in
+  let _lib2, u2, b2 = process sv ~site:2 in
+  let outcome = ref `Pending in
+  Rss_core.Librss.start_transaction lib1 ~name:"users" (fun () ->
+      Spanner.Client.rw_kv u1 ~read_keys:[] ~writes:[ (1, 11) ] (fun _ ->
+          Rss_core.Librss.start_transaction lib1 ~name:"billing" (fun () ->
+              Spanner.Client.rw_kv b1 ~read_keys:[] ~writes:[ (2, 22) ] (fun _ ->
+                  (* P2's turn: poll billing until the write is visible. *)
+                  let rec poll () =
+                    Spanner.Client.ro b2 ~keys:[ 2 ] (fun ro ->
+                        match ro.Spanner.Protocol.ro_reads with
+                        | [ (_, Some 22) ] ->
+                          Spanner.Client.ro u2 ~keys:[ 1 ] (fun ro2 ->
+                              outcome :=
+                                (match ro2.Spanner.Protocol.ro_reads with
+                                | [ (_, Some 11) ] -> `Saw_both
+                                | _ -> `Cross_service_stale))
+                        | _ -> poll ())
+                  in
+                  poll ()))));
+  Sim.Engine.run sv.engine;
+  check bool "fence prevents cross-service staleness" true (!outcome = `Saw_both);
+  check int "one fence (users -> billing switch)" 1
+    (Rss_core.Librss.fences_issued lib1)
+
+let test_fence_only_on_switch () =
+  let sv = mk ~seed:2 () in
+  let lib, u, _b = process sv ~site:0 in
+  let steps = ref 0 in
+  let rec chain n =
+    if n > 0 then
+      Rss_core.Librss.start_transaction lib ~name:"users" (fun () ->
+          Spanner.Client.rw_kv u ~read_keys:[] ~writes:[ (n, 100 + n) ] (fun _ ->
+              incr steps;
+              chain (n - 1)))
+  in
+  chain 5;
+  Sim.Engine.run sv.engine;
+  check int "all ran" 5 !steps;
+  check int "no fences without switches" 0 (Rss_core.Librss.fences_issued lib)
+
+let test_context_propagation_across_processes () =
+  (* §4.2: P1 touches users then messages P2 (capturing its libRSS context
+     and t_min); P2 then uses billing. P2's libRSS must fence users before
+     billing, and the absorbed t_min must make P2's users-reads current. *)
+  let sv = mk ~seed:3 () in
+  let lib1, u1, _ = process sv ~site:0 in
+  let lib2, u2, b2 = process sv ~site:1 in
+  let fence_count_before = ref 0 in
+  let saw = ref None in
+  Rss_core.Librss.start_transaction lib1 ~name:"users" (fun () ->
+      Spanner.Client.rw_kv u1 ~read_keys:[] ~writes:[ (5, 55) ] (fun _ ->
+          (* message: context + store metadata travel to P2 *)
+          let ctx = Rss_core.Librss.capture lib1 in
+          Spanner.Client.absorb_t_min u2 (Spanner.Client.t_min u1);
+          Rss_core.Librss.absorb lib2 ctx;
+          fence_count_before := Rss_core.Librss.fences_issued lib2;
+          Rss_core.Librss.start_transaction lib2 ~name:"billing" (fun () ->
+              Spanner.Client.rw_kv b2 ~read_keys:[] ~writes:[ (6, 66) ] (fun _ ->
+                  Rss_core.Librss.start_transaction lib2 ~name:"users" (fun () ->
+                      Spanner.Client.ro u2 ~keys:[ 5 ] (fun ro ->
+                          saw := Some ro.Spanner.Protocol.ro_reads))))));
+  Sim.Engine.run sv.engine;
+  check bool "P2 fenced users before billing" true
+    (Rss_core.Librss.fences_issued lib2 >= !fence_count_before + 1);
+  check bool "P2 sees P1's users write" true (!saw = Some [ (5, Some 55) ])
+
+let test_histories_of_both_services_verify () =
+  let sv = mk ~seed:4 () in
+  let lib, u, b = process sv ~site:0 in
+  let rec mix n =
+    if n > 0 then
+      Rss_core.Librss.start_transaction lib ~name:(if n mod 2 = 0 then "users" else "billing")
+        (fun () ->
+          let client = if n mod 2 = 0 then u else b in
+          if n mod 3 = 0 then Spanner.Client.ro client ~keys:[ 0; 1 ] (fun _ -> mix (n - 1))
+          else
+            Spanner.Client.rw_kv client ~read_keys:[ 0 ]
+              ~writes:[ (1, 1000 + n) ] (fun _ -> mix (n - 1)))
+  in
+  mix 12;
+  Sim.Engine.run sv.engine;
+  (match Spanner.Cluster.check_history sv.users with
+  | Ok () -> ()
+  | Error m -> Alcotest.fail ("users history: " ^ m));
+  match Spanner.Cluster.check_history sv.billing with
+  | Ok () -> ()
+  | Error m -> Alcotest.fail ("billing history: " ^ m)
+
+let test_cycle_without_fences_checker_level () =
+  (* §4.1's motivation, at the model level: two services, each individually
+     RSS, can jointly show a cycle — P1 reads x=1 then y=nil while P2 reads
+     y=1 then x=nil (both writes in flight). Each service's sub-history
+     satisfies RSS; the combined history does not. Fences exist precisely to
+     exclude this. *)
+  let w_x = Rss_core.Txn_history.rw ~id:0 ~proc:2 ~writes:[ ("x", 1) ] ~inv:0 ~resp:1_000 () in
+  let w_y = Rss_core.Txn_history.rw ~id:1 ~proc:3 ~writes:[ ("y", 1) ] ~inv:0 ~resp:1_000 () in
+  let p1_a = Rss_core.Txn_history.ro ~id:2 ~proc:0 ~reads:[ ("x", Some 1) ] ~inv:10 ~resp:20 () in
+  let p1_b = Rss_core.Txn_history.ro ~id:3 ~proc:0 ~reads:[ ("y", None) ] ~inv:30 ~resp:40 () in
+  let p2_b = Rss_core.Txn_history.ro ~id:4 ~proc:1 ~reads:[ ("y", Some 1) ] ~inv:10 ~resp:20 () in
+  let p2_a = Rss_core.Txn_history.ro ~id:5 ~proc:1 ~reads:[ ("x", None) ] ~inv:30 ~resp:40 () in
+  let combined = Rss_core.Txn_history.make [ w_x; w_y; p1_a; p1_b; p2_b; p2_a ] in
+  check bool "combined history violates RSS (the cycle)" false
+    (Rss_core.Check_txn.satisfies combined Rss_core.Check_txn.Rss);
+  (* Per-service sub-histories (re-indexed) are each RSS. *)
+  let service_a =
+    Rss_core.Txn_history.make
+      [
+        Rss_core.Txn_history.rw ~id:0 ~proc:2 ~writes:[ ("x", 1) ] ~inv:0 ~resp:1_000 ();
+        Rss_core.Txn_history.ro ~id:1 ~proc:0 ~reads:[ ("x", Some 1) ] ~inv:10 ~resp:20 ();
+        Rss_core.Txn_history.ro ~id:2 ~proc:1 ~reads:[ ("x", None) ] ~inv:30 ~resp:40 ();
+      ]
+  in
+  let service_b =
+    Rss_core.Txn_history.make
+      [
+        Rss_core.Txn_history.rw ~id:0 ~proc:3 ~writes:[ ("y", 1) ] ~inv:0 ~resp:1_000 ();
+        Rss_core.Txn_history.ro ~id:1 ~proc:1 ~reads:[ ("y", Some 1) ] ~inv:10 ~resp:20 ();
+        Rss_core.Txn_history.ro ~id:2 ~proc:0 ~reads:[ ("y", None) ] ~inv:30 ~resp:40 ();
+      ]
+  in
+  check bool "service A alone satisfies RSS" true
+    (Rss_core.Check_txn.satisfies service_a Rss_core.Check_txn.Rss);
+  check bool "service B alone satisfies RSS" true
+    (Rss_core.Check_txn.satisfies service_b Rss_core.Check_txn.Rss)
+
+let suites =
+  [
+    ( "composition",
+      [
+        Alcotest.test_case "fence spans services" `Quick test_fence_spans_services;
+        Alcotest.test_case "fence only on switch" `Quick test_fence_only_on_switch;
+        Alcotest.test_case "context propagation" `Quick
+          test_context_propagation_across_processes;
+        Alcotest.test_case "both histories verify" `Quick
+          test_histories_of_both_services_verify;
+        Alcotest.test_case "cross-service cycle (4.1)" `Quick
+          test_cycle_without_fences_checker_level;
+      ] );
+  ]

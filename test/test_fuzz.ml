@@ -1,0 +1,122 @@
+(* Seed-sweep fuzzing: many short randomized runs of each system under
+   contention-heavy parameters, every one verified against its consistency
+   model. These are the tests most likely to shake out protocol races
+   (network jitter reorders messages differently under every seed). *)
+
+let check = Alcotest.check
+let bool = Alcotest.bool
+
+let spanner_fuzz_one ~mode ~seed =
+  let engine = Sim.Engine.create () in
+  let rng = Sim.Rng.make seed in
+  let config = Spanner.Config.wan3 ~mode () in
+  let cluster = Spanner.Cluster.create engine ~rng config in
+  let wl = Sim.Rng.split rng in
+  (* Tiny keyspace = maximal contention; mixed shapes incl. upgrades. *)
+  let clients = Array.init 8 (fun i -> Spanner.Client.create cluster ~site:(i mod 3)) in
+  Workload.Client_model.closed_loop engine ~n_clients:8
+    ~body:(fun ~client k ->
+      let c = clients.(client) in
+      let key () = Sim.Rng.int wl 6 in
+      match Sim.Rng.int wl 4 with
+      | 0 -> Spanner.Client.ro c ~keys:[ key (); key () ] (fun _ -> k ())
+      | 1 -> Spanner.Client.ro c ~keys:[ key () ] (fun _ -> k ())
+      | 2 ->
+        let a = key () in
+        Spanner.Client.rw c ~read_keys:[ a ] ~write_keys:[ a ] (fun _ -> k ())
+      | _ ->
+        let a = key () in
+        let b = (a + 1 + Sim.Rng.int wl 5) mod 6 in
+        Spanner.Client.rw c ~read_keys:[ key () ] ~write_keys:[ a; b ]
+          (fun _ -> k ()))
+    ~until:(Sim.Engine.sec 4.0) ();
+  Sim.Engine.run ~max_events:20_000_000 engine;
+  let drained = Sim.Engine.pending engine = 0 in
+  (drained, Spanner.Cluster.check_history cluster)
+
+let test_spanner_fuzz mode () =
+  for seed = 1 to 25 do
+    let drained, verdict = spanner_fuzz_one ~mode ~seed in
+    check bool (Fmt.str "seed %d drained" seed) true drained;
+    match verdict with
+    | Ok () -> ()
+    | Error m -> Alcotest.fail (Fmt.str "seed %d: %s" seed m)
+  done
+
+let gryff_fuzz_one ~mode ~seed =
+  let engine = Sim.Engine.create () in
+  let rng = Sim.Rng.make seed in
+  let config = Gryff.Config.wan5 ~mode () in
+  let cluster = Gryff.Cluster.create engine ~rng config in
+  let wl = Sim.Rng.split rng in
+  (* Write values must not collide with rmw counter results (history
+     checking derives reads-from from values). *)
+  let next_val = ref 1_000_000 in
+  let clients = Array.init 10 (fun i -> Gryff.Client.create cluster ~site:(i mod 5)) in
+  Workload.Client_model.closed_loop engine ~n_clients:10
+    ~body:(fun ~client k ->
+      let c = clients.(client) in
+      let key = Sim.Rng.int wl 4 in
+      match Sim.Rng.int wl 3 with
+      | 0 -> Gryff.Client.read c ~key (fun _ -> k ())
+      | 1 ->
+        incr next_val;
+        Gryff.Client.write c ~key ~value:!next_val (fun _ -> k ())
+      | _ ->
+        Gryff.Client.rmw c ~key
+          ~f:(fun v -> match v with None -> 1 | Some x -> x + 1)
+          (fun _ -> k ()))
+    ~until:(Sim.Engine.sec 4.0) ();
+  Sim.Engine.run ~max_events:20_000_000 engine;
+  let drained = Sim.Engine.pending engine = 0 in
+  (drained, Gryff.Cluster.check_history cluster)
+
+let test_gryff_fuzz mode () =
+  for seed = 1 to 25 do
+    let drained, verdict = gryff_fuzz_one ~mode ~seed in
+    check bool (Fmt.str "seed %d drained" seed) true drained;
+    match verdict with
+    | Ok () -> ()
+    | Error m -> Alcotest.fail (Fmt.str "seed %d: %s" seed m)
+  done
+
+let test_postore_fuzz () =
+  for seed = 1 to 25 do
+    let engine = Sim.Engine.create () in
+    let store = Postore.Store.create engine ~rng:(Sim.Rng.make seed) () in
+    let wl = Sim.Rng.make (seed * 17) in
+    let sessions = Array.init 5 (fun _ -> Postore.Store.session store) in
+    Array.iteri
+      (fun i s ->
+        let rec loop n =
+          if n > 0 then
+            let key = Fmt.str "k%d" (Sim.Rng.int wl 3) in
+            if Sim.Rng.bool wl 0.5 then
+              Postore.Store.rw s ~reads:[ key ]
+                ~writes:[ (key, (seed * 10_000) + (i * 1_000) + n) ]
+                (fun _ -> loop (n - 1))
+            else Postore.Store.ro s ~keys:[ key ] (fun _ -> loop (n - 1))
+        in
+        loop 12)
+      sessions;
+    Sim.Engine.run engine;
+    match Postore.Store.check_history store with
+    | Ok () -> ()
+    | Error m -> Alcotest.fail (Fmt.str "seed %d: %s" seed m)
+  done
+
+let suites =
+  [
+    ( "fuzz",
+      [
+        Alcotest.test_case "spanner strict, 25 seeds" `Slow
+          (test_spanner_fuzz Spanner.Config.Strict);
+        Alcotest.test_case "spanner rss, 25 seeds" `Slow
+          (test_spanner_fuzz Spanner.Config.Rss);
+        Alcotest.test_case "gryff lin, 25 seeds" `Slow
+          (test_gryff_fuzz Gryff.Config.Lin);
+        Alcotest.test_case "gryff rsc, 25 seeds" `Slow
+          (test_gryff_fuzz Gryff.Config.Rsc);
+        Alcotest.test_case "postore, 25 seeds" `Slow test_postore_fuzz;
+      ] );
+  ]

@@ -1,0 +1,140 @@
+(* Tests for the replication substrate and the message-queue service. *)
+
+let check = Alcotest.check
+let bool = Alcotest.bool
+let int = Alcotest.int
+
+let mk_net () =
+  let engine = Sim.Engine.create () in
+  let rng = Sim.Rng.make 1 in
+  (* sites: 0 leader, 1 near (RTT 20ms), 2 far (RTT 100ms) *)
+  let rtt = [| [| 0.2; 20.0; 100.0 |]; [| 20.0; 0.2; 50.0 |]; [| 100.0; 50.0; 0.2 |] |] in
+  (engine, Sim.Net.create engine ~rng ~rtt_ms:rtt ~jitter:0.0 ())
+
+let test_majority_is_nearest () =
+  let engine, net = mk_net () in
+  let g = Replication.Group.create net ~leader_site:0 ~replica_sites:[ 1; 2 ] () in
+  check int "majority of 3" 2 (Replication.Group.majority g);
+  let done_at = ref (-1) in
+  Replication.Group.replicate g (fun () -> done_at := Sim.Engine.now engine);
+  Sim.Engine.run engine;
+  (* One ack needed: round trip to the 20ms replica. *)
+  check int "commit at nearest replica RTT" 20_000 !done_at;
+  check int "log grew" 1 (Replication.Group.log_length g)
+
+let test_no_replicas_immediate () =
+  let engine, net = mk_net () in
+  let g = Replication.Group.create net ~leader_site:0 ~replica_sites:[] () in
+  let fired = ref false in
+  Replication.Group.replicate g (fun () -> fired := true);
+  check bool "synchronous" true !fired;
+  ignore engine
+
+let test_five_replicas_needs_two_acks () =
+  let engine = Sim.Engine.create () in
+  let rng = Sim.Rng.make 1 in
+  let rtt =
+    [|
+      [| 0.2; 10.0; 30.0; 50.0; 70.0 |];
+      [| 10.0; 0.2; 0.0; 0.0; 0.0 |];
+      [| 30.0; 0.0; 0.2; 0.0; 0.0 |];
+      [| 50.0; 0.0; 0.0; 0.2; 0.0 |];
+      [| 70.0; 0.0; 0.0; 0.0; 0.2 |];
+    |]
+  in
+  let net = Sim.Net.create engine ~rng ~rtt_ms:rtt ~jitter:0.0 () in
+  let g = Replication.Group.create net ~leader_site:0 ~replica_sites:[ 1; 2; 3; 4 ] () in
+  check int "majority of 5" 3 (Replication.Group.majority g);
+  let done_at = ref (-1) in
+  Replication.Group.replicate g (fun () -> done_at := Sim.Engine.now engine);
+  Sim.Engine.run engine;
+  (* Leader + 2 acks: second-nearest replica at 30ms RTT. *)
+  check int "second ack decides" 30_000 !done_at
+
+let test_concurrent_replications_independent () =
+  let engine, net = mk_net () in
+  let g = Replication.Group.create net ~leader_site:0 ~replica_sites:[ 1; 2 ] () in
+  let order = ref [] in
+  Replication.Group.replicate g (fun () -> order := 1 :: !order);
+  Sim.Engine.schedule engine ~after:5_000 (fun () ->
+      Replication.Group.replicate g (fun () -> order := 2 :: !order));
+  Sim.Engine.run engine;
+  check (Alcotest.list int) "both committed in order" [ 1; 2 ] (List.rev !order);
+  check int "log" 2 (Replication.Group.log_length g)
+
+let test_station_charges_acks () =
+  let engine, net = mk_net () in
+  let station = Sim.Station.create engine ~service_time_us:500 in
+  let g =
+    Replication.Group.create net ~station ~leader_site:0 ~replica_sites:[ 1; 2 ] ()
+  in
+  let done_at = ref (-1) in
+  Replication.Group.replicate g (fun () -> done_at := Sim.Engine.now engine);
+  Sim.Engine.run engine;
+  check int "ack pays CPU" 20_500 !done_at;
+  check bool "station busy time" true (Sim.Station.busy_us station >= 500)
+
+(* ------------------------------------------------------------------ *)
+(* Message queue                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_mqueue_fifo () =
+  let engine = Sim.Engine.create () in
+  let q = Photoapp.Mqueue.create engine ~rtt_us:2_000 in
+  let got = ref [] in
+  Photoapp.Mqueue.enqueue q ~payload:1 ~ctx:() (fun () ->
+      Photoapp.Mqueue.enqueue q ~payload:2 ~ctx:() (fun () ->
+          Photoapp.Mqueue.dequeue q (fun a ->
+              Photoapp.Mqueue.dequeue q (fun b -> got := [ a; b ]))));
+  Sim.Engine.run engine;
+  (match !got with
+  | [ Some (1, ()); Some (2, ()) ] -> ()
+  | _ -> Alcotest.fail "not FIFO");
+  check int "empty after" 0 (Photoapp.Mqueue.length q)
+
+let test_mqueue_empty_dequeue () =
+  let engine = Sim.Engine.create () in
+  let q = Photoapp.Mqueue.create engine ~rtt_us:2_000 in
+  let got = ref (Some (0, ())) in
+  Photoapp.Mqueue.dequeue q (fun x -> got := x);
+  Sim.Engine.run engine;
+  check bool "none" true (!got = None)
+
+let test_mqueue_latency () =
+  let engine = Sim.Engine.create () in
+  let q = Photoapp.Mqueue.create engine ~rtt_us:2_000 in
+  let at = ref (-1) in
+  Photoapp.Mqueue.enqueue q ~payload:1 ~ctx:42 (fun () -> at := Sim.Engine.now engine);
+  Sim.Engine.run engine;
+  check int "enqueue costs one RTT" 2_000 !at
+
+let test_mqueue_carries_context () =
+  let engine = Sim.Engine.create () in
+  let q = Photoapp.Mqueue.create engine ~rtt_us:1_000 in
+  let ctx = ref 0 in
+  Photoapp.Mqueue.enqueue q ~payload:7 ~ctx:99 (fun () ->
+      Photoapp.Mqueue.dequeue q (function
+        | Some (7, c) -> ctx := c
+        | Some _ | None -> ()));
+  Sim.Engine.run engine;
+  check int "context delivered" 99 !ctx
+
+let suites =
+  [
+    ( "replication",
+      [
+        Alcotest.test_case "majority = nearest" `Quick test_majority_is_nearest;
+        Alcotest.test_case "no replicas" `Quick test_no_replicas_immediate;
+        Alcotest.test_case "five replicas" `Quick test_five_replicas_needs_two_acks;
+        Alcotest.test_case "concurrent entries" `Quick
+          test_concurrent_replications_independent;
+        Alcotest.test_case "station charges acks" `Quick test_station_charges_acks;
+      ] );
+    ( "photoapp.mqueue",
+      [
+        Alcotest.test_case "fifo" `Quick test_mqueue_fifo;
+        Alcotest.test_case "empty dequeue" `Quick test_mqueue_empty_dequeue;
+        Alcotest.test_case "latency" `Quick test_mqueue_latency;
+        Alcotest.test_case "carries context" `Quick test_mqueue_carries_context;
+      ] );
+  ]

@@ -1,0 +1,502 @@
+(* Tests for the discrete-event simulation substrate. *)
+
+let check = Alcotest.check
+let int = Alcotest.int
+let bool = Alcotest.bool
+
+(* ------------------------------------------------------------------ *)
+(* Heap                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_heap_order () =
+  let h = Sim.Heap.create ~cmp:compare in
+  List.iter (Sim.Heap.add h) [ 5; 3; 8; 1; 9; 2; 7; 4; 6; 0 ];
+  let out = ref [] in
+  let rec drain () =
+    match Sim.Heap.pop h with
+    | None -> ()
+    | Some x ->
+      out := x :: !out;
+      drain ()
+  in
+  drain ();
+  check (Alcotest.list int) "sorted ascending" [ 0; 1; 2; 3; 4; 5; 6; 7; 8; 9 ]
+    (List.rev !out)
+
+let test_heap_empty () =
+  let h = Sim.Heap.create ~cmp:compare in
+  check bool "empty" true (Sim.Heap.is_empty h);
+  check bool "pop none" true (Sim.Heap.pop h = None);
+  check bool "peek none" true (Sim.Heap.peek h = None);
+  Sim.Heap.add h 42;
+  check int "size" 1 (Sim.Heap.size h);
+  check bool "peek" true (Sim.Heap.peek h = Some 42);
+  check bool "pop" true (Sim.Heap.pop h = Some 42);
+  check bool "empty again" true (Sim.Heap.is_empty h)
+
+let test_heap_duplicates () =
+  let h = Sim.Heap.create ~cmp:compare in
+  List.iter (Sim.Heap.add h) [ 3; 1; 3; 1; 2 ];
+  let rec drain acc =
+    match Sim.Heap.pop h with None -> List.rev acc | Some x -> drain (x :: acc)
+  in
+  check (Alcotest.list int) "dups kept" [ 1; 1; 2; 3; 3 ] (drain [])
+
+let prop_heap_sorts =
+  QCheck.Test.make ~name:"heap drains any list sorted" ~count:200
+    QCheck.(list small_int)
+    (fun xs ->
+      let h = Sim.Heap.create ~cmp:compare in
+      List.iter (Sim.Heap.add h) xs;
+      let rec drain acc =
+        match Sim.Heap.pop h with None -> List.rev acc | Some x -> drain (x :: acc)
+      in
+      drain [] = List.sort compare xs)
+
+(* ------------------------------------------------------------------ *)
+(* Engine                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_engine_ordering () =
+  let e = Sim.Engine.create () in
+  let log = ref [] in
+  Sim.Engine.schedule e ~after:30 (fun () -> log := "c" :: !log);
+  Sim.Engine.schedule e ~after:10 (fun () -> log := "a" :: !log);
+  Sim.Engine.schedule e ~after:20 (fun () -> log := "b" :: !log);
+  Sim.Engine.run e;
+  check (Alcotest.list Alcotest.string) "time order" [ "a"; "b"; "c" ]
+    (List.rev !log);
+  check int "clock at last event" 30 (Sim.Engine.now e)
+
+let test_engine_fifo_same_time () =
+  let e = Sim.Engine.create () in
+  let log = ref [] in
+  for i = 0 to 9 do
+    Sim.Engine.schedule e ~after:5 (fun () -> log := i :: !log)
+  done;
+  Sim.Engine.run e;
+  check (Alcotest.list int) "FIFO at equal times" [ 0; 1; 2; 3; 4; 5; 6; 7; 8; 9 ]
+    (List.rev !log)
+
+let test_engine_nested_scheduling () =
+  let e = Sim.Engine.create () in
+  let hits = ref 0 in
+  let rec tick n =
+    if n > 0 then begin
+      incr hits;
+      Sim.Engine.schedule e ~after:7 (fun () -> tick (n - 1))
+    end
+  in
+  Sim.Engine.schedule e ~after:0 (fun () -> tick 5);
+  Sim.Engine.run e;
+  check int "five ticks" 5 !hits;
+  (* tick(0) still fires (and does nothing) at t=35 *)
+  check int "clock at final tick" 35 (Sim.Engine.now e)
+
+let test_engine_until () =
+  let e = Sim.Engine.create () in
+  let hits = ref 0 in
+  for i = 1 to 10 do
+    Sim.Engine.schedule e ~after:(i * 10) (fun () -> incr hits)
+  done;
+  Sim.Engine.run ~until:55 e;
+  check int "only events <= 55 ran" 5 !hits;
+  check int "clock stopped at until" 55 (Sim.Engine.now e);
+  check int "rest still pending" 5 (Sim.Engine.pending e);
+  Sim.Engine.run e;
+  check int "drained" 10 !hits
+
+let test_engine_past_schedule () =
+  let e = Sim.Engine.create () in
+  let at = ref (-1) in
+  Sim.Engine.schedule e ~after:100 (fun () ->
+      Sim.Engine.schedule_at e ~at:5 (fun () -> at := Sim.Engine.now e));
+  Sim.Engine.run e;
+  check int "past event fires now" 100 !at
+
+let test_time_conversions () =
+  check int "ms" 62_000 (Sim.Engine.ms 62.0);
+  check int "sec" 1_500_000 (Sim.Engine.sec 1.5);
+  check bool "roundtrip" true (abs_float (Sim.Engine.to_ms 62_000 -. 62.0) < 1e-9);
+  check bool "to_sec" true (abs_float (Sim.Engine.to_sec 500_000 -. 0.5) < 1e-9)
+
+(* ------------------------------------------------------------------ *)
+(* Rng                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_rng_deterministic () =
+  let a = Sim.Rng.make 42 and b = Sim.Rng.make 42 in
+  let xs = List.init 20 (fun _ -> Sim.Rng.int a 1000) in
+  let ys = List.init 20 (fun _ -> Sim.Rng.int b 1000) in
+  check (Alcotest.list int) "same seed, same stream" xs ys
+
+let test_rng_split_independent () =
+  let root = Sim.Rng.make 7 in
+  let child = Sim.Rng.split root in
+  let xs = List.init 20 (fun _ -> Sim.Rng.int child 1000) in
+  (* Drawing from the parent must not change what the child would produce:
+     recreate the same child from a fresh root. *)
+  let root' = Sim.Rng.make 7 in
+  let child' = Sim.Rng.split root' in
+  ignore (Sim.Rng.int root' 1000);
+  let ys = List.init 20 (fun _ -> Sim.Rng.int child' 1000) in
+  check (Alcotest.list int) "child stream reproducible" xs ys
+
+let prop_rng_int_range =
+  QCheck.Test.make ~name:"rng int in range" ~count:500
+    QCheck.(pair small_int (int_range 1 1000))
+    (fun (seed, n) ->
+      let r = Sim.Rng.make seed in
+      let x = Sim.Rng.int r n in
+      x >= 0 && x < n)
+
+let prop_rng_exponential_positive =
+  QCheck.Test.make ~name:"exponential samples positive" ~count:500
+    QCheck.(pair small_int (float_range 0.001 1000.0))
+    (fun (seed, mean) ->
+      let r = Sim.Rng.make seed in
+      Sim.Rng.exponential r ~mean >= 0.0)
+
+let test_rng_exponential_mean () =
+  let r = Sim.Rng.make 11 in
+  let n = 200_000 in
+  let sum = ref 0.0 in
+  for _ = 1 to n do
+    sum := !sum +. Sim.Rng.exponential r ~mean:10.0
+  done;
+  let mean = !sum /. float_of_int n in
+  check bool "mean within 2%" true (abs_float (mean -. 10.0) < 0.2)
+
+let test_rng_bool_bias () =
+  let r = Sim.Rng.make 13 in
+  let n = 100_000 in
+  let hits = ref 0 in
+  for _ = 1 to n do
+    if Sim.Rng.bool r 0.3 then incr hits
+  done;
+  let p = float_of_int !hits /. float_of_int n in
+  check bool "p=0.3 within 2%" true (abs_float (p -. 0.3) < 0.02)
+
+(* ------------------------------------------------------------------ *)
+(* Net                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let mk_net ?(jitter = 0.0) () =
+  let e = Sim.Engine.create () in
+  let rng = Sim.Rng.make 1 in
+  let rtt = [| [| 0.2; 62.0 |]; [| 62.0; 0.2 |] |] in
+  (e, Sim.Net.create e ~rng ~rtt_ms:rtt ~jitter ())
+
+let test_net_delay () =
+  let e, net = mk_net () in
+  let arrived = ref (-1) in
+  Sim.Net.send net ~src:0 ~dst:1 (fun () -> arrived := Sim.Engine.now e);
+  Sim.Engine.run e;
+  check int "one-way = RTT/2" 31_000 !arrived
+
+let test_net_local_delay () =
+  let e, net = mk_net () in
+  let arrived = ref (-1) in
+  Sim.Net.send net ~src:1 ~dst:1 (fun () -> arrived := Sim.Engine.now e);
+  Sim.Engine.run e;
+  check int "local = diagonal/2" 100 !arrived
+
+let test_net_triangular_matrix () =
+  let e = Sim.Engine.create () in
+  let rng = Sim.Rng.make 1 in
+  (* lower-triangular input: upper entries zero *)
+  let rtt = [| [| 0.2; 0.0 |]; [| 80.0; 0.2 |] |] in
+  let net = Sim.Net.create e ~rng ~rtt_ms:rtt ~jitter:0.0 () in
+  check int "mirrored" (Sim.Net.base_one_way net ~src:0 ~dst:1) 40_000;
+  check int "given" (Sim.Net.base_one_way net ~src:1 ~dst:0) 40_000
+
+let test_net_jitter_bounds () =
+  let e, net = mk_net ~jitter:0.1 () in
+  let count = ref 0 in
+  for _ = 1 to 100 do
+    Sim.Net.send net ~src:0 ~dst:1 (fun () -> incr count)
+  done;
+  Sim.Engine.run e;
+  check int "all delivered" 100 !count;
+  (* Last delivery cannot be later than base * 1.1. *)
+  check bool "bounded by jitter" true (Sim.Engine.now e <= 34_100);
+  check int "messages counted" 100 (Sim.Net.messages_sent net)
+
+let test_net_message_accounting () =
+  let e, net = mk_net () in
+  Sim.Net.send ~bytes:100 net ~src:0 ~dst:1 (fun () -> ());
+  Sim.Net.send ~bytes:50 net ~src:1 ~dst:0 (fun () -> ());
+  Sim.Engine.run e;
+  check int "messages" 2 (Sim.Net.messages_sent net);
+  check int "bytes" 150 (Sim.Net.bytes_sent net)
+
+(* ------------------------------------------------------------------ *)
+(* Truetime                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_truetime_interval () =
+  let e = Sim.Engine.create () in
+  let tt = Sim.Truetime.create e ~epsilon_us:10_000 in
+  Sim.Engine.schedule e ~after:50_000 (fun () ->
+      let iv = Sim.Truetime.now tt in
+      check int "earliest" 40_000 iv.Sim.Truetime.earliest;
+      check int "latest" 60_000 iv.Sim.Truetime.latest);
+  Sim.Engine.run e
+
+let test_truetime_after () =
+  let e = Sim.Engine.create () in
+  let tt = Sim.Truetime.create e ~epsilon_us:10_000 in
+  Sim.Engine.schedule e ~after:50_000 (fun () ->
+      check bool "39999 passed" true (Sim.Truetime.after tt 39_999);
+      check bool "40000 not yet definitely past" false (Sim.Truetime.after tt 40_000));
+  Sim.Engine.run e
+
+let test_truetime_zero_epsilon () =
+  let e = Sim.Engine.create () in
+  let tt = Sim.Truetime.create e ~epsilon_us:0 in
+  Sim.Engine.schedule e ~after:123 (fun () ->
+      let iv = Sim.Truetime.now tt in
+      check int "pointlike earliest" 123 iv.Sim.Truetime.earliest;
+      check int "pointlike latest" 123 iv.Sim.Truetime.latest);
+  Sim.Engine.run e
+
+(* ------------------------------------------------------------------ *)
+(* Station                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_station_queueing () =
+  let e = Sim.Engine.create () in
+  let st = Sim.Station.create e ~service_time_us:10 in
+  let finish = Array.make 3 (-1) in
+  for i = 0 to 2 do
+    Sim.Station.submit st (fun () -> finish.(i) <- Sim.Engine.now e)
+  done;
+  Sim.Engine.run e;
+  check (Alcotest.array int) "serialized" [| 10; 20; 30 |] finish;
+  check int "busy time" 30 (Sim.Station.busy_us st);
+  check int "jobs" 3 (Sim.Station.jobs st)
+
+let test_station_idle_gap () =
+  let e = Sim.Engine.create () in
+  let st = Sim.Station.create e ~service_time_us:10 in
+  let t2 = ref (-1) in
+  Sim.Station.submit st (fun () -> ());
+  Sim.Engine.schedule e ~after:100 (fun () ->
+      Sim.Station.submit st (fun () -> t2 := Sim.Engine.now e));
+  Sim.Engine.run e;
+  check int "idle station starts immediately" 110 !t2
+
+let test_station_zero_cost () =
+  let e = Sim.Engine.create () in
+  let st = Sim.Station.create e ~service_time_us:0 in
+  let ran = ref false in
+  Sim.Station.submit st (fun () -> ran := true);
+  check bool "runs synchronously" true !ran
+
+(* ------------------------------------------------------------------ *)
+(* Fiber                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_fiber_sequencing () =
+  let e = Sim.Engine.create () in
+  let log = ref [] in
+  Sim.Fiber.spawn (fun () ->
+      log := "a" :: !log;
+      Sim.Fiber.sleep e 100;
+      log := "b" :: !log;
+      Sim.Fiber.sleep e 100;
+      log := "c" :: !log);
+  check (Alcotest.list Alcotest.string) "ran to first suspension" [ "a" ]
+    (List.rev !log);
+  Sim.Engine.run e;
+  check (Alcotest.list Alcotest.string) "sequenced" [ "a"; "b"; "c" ] (List.rev !log);
+  check int "time advanced" 200 (Sim.Engine.now e)
+
+let test_fiber_await_value () =
+  let e = Sim.Engine.create () in
+  let got = ref 0 in
+  Sim.Fiber.spawn (fun () ->
+      let v =
+        Sim.Fiber.await (fun k -> Sim.Engine.schedule e ~after:50 (fun () -> k 42))
+      in
+      got := v);
+  Sim.Engine.run e;
+  check int "value delivered" 42 !got
+
+let test_fiber_interleaving () =
+  let e = Sim.Engine.create () in
+  let log = ref [] in
+  let fiber name delay =
+    Sim.Fiber.spawn (fun () ->
+        Sim.Fiber.sleep e delay;
+        log := name :: !log;
+        Sim.Fiber.sleep e delay;
+        log := name :: !log)
+  in
+  fiber "slow" 30;
+  fiber "fast" 10;
+  Sim.Engine.run e;
+  check (Alcotest.list Alcotest.string) "interleaved by time"
+    [ "fast"; "fast"; "slow"; "slow" ] (List.rev !log)
+
+let test_fiber_double_resume_rejected () =
+  let e = Sim.Engine.create () in
+  let raised = ref false in
+  Sim.Fiber.spawn (fun () ->
+      ignore
+        (Sim.Fiber.await (fun k ->
+             Sim.Engine.schedule e ~after:1 (fun () -> k 1);
+             Sim.Engine.schedule e ~after:2 (fun () ->
+                 match k 2 with
+                 | () -> ()
+                 | exception Invalid_argument _ -> raised := true))));
+  Sim.Engine.run e;
+  check bool "second resume rejected" true !raised
+
+(* ------------------------------------------------------------------ *)
+(* Stats                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_recorder_percentiles () =
+  let r = Stats.Recorder.create () in
+  for i = 1 to 100 do
+    Stats.Recorder.add r (i * 1000)
+  done;
+  check bool "p50" true (abs_float (Stats.Recorder.percentile r 50.0 -. 50_500.0) < 1.0);
+  check bool "p0 = min" true (Stats.Recorder.percentile r 0.0 = 1000.0);
+  check bool "p100 = max" true (Stats.Recorder.percentile r 100.0 = 100_000.0);
+  check int "min" 1000 (Stats.Recorder.min r);
+  check int "max" 100_000 (Stats.Recorder.max r);
+  check bool "mean" true (abs_float (Stats.Recorder.mean r -. 50_500.0) < 1.0)
+
+let test_recorder_single () =
+  let r = Stats.Recorder.create () in
+  Stats.Recorder.add r 7;
+  check bool "all percentiles = sample" true
+    (List.for_all
+       (fun p -> Stats.Recorder.percentile r p = 7.0)
+       [ 0.0; 50.0; 99.9; 100.0 ])
+
+let test_recorder_empty () =
+  let r = Stats.Recorder.create () in
+  check bool "empty" true (Stats.Recorder.is_empty r);
+  Alcotest.check_raises "percentile raises"
+    (Invalid_argument "Recorder.percentile: empty") (fun () ->
+      ignore (Stats.Recorder.percentile r 50.0))
+
+let test_recorder_unsorted_inserts () =
+  let r = Stats.Recorder.create () in
+  List.iter (Stats.Recorder.add r) [ 5; 1; 9; 3; 7 ];
+  check (Alcotest.array int) "sorted view" [| 1; 3; 5; 7; 9 |]
+    (Stats.Recorder.to_sorted_array r);
+  (* Interleave queries and inserts: sorting must be re-done. *)
+  ignore (Stats.Recorder.percentile r 50.0);
+  Stats.Recorder.add r 0;
+  check int "new min visible" 0 (Stats.Recorder.min r)
+
+let test_recorder_merge () =
+  let a = Stats.Recorder.create () and b = Stats.Recorder.create () in
+  List.iter (Stats.Recorder.add a) [ 1; 2; 3 ];
+  List.iter (Stats.Recorder.add b) [ 4; 5 ];
+  let m = Stats.Recorder.merge a b in
+  check int "merged count" 5 (Stats.Recorder.count m);
+  check int "merged max" 5 (Stats.Recorder.max m)
+
+let prop_recorder_percentile_monotone =
+  QCheck.Test.make ~name:"percentiles monotone in p" ~count:200
+    QCheck.(list_of_size (Gen.int_range 1 50) (int_range 0 10_000))
+    (fun xs ->
+      let r = Stats.Recorder.create () in
+      List.iter (Stats.Recorder.add r) xs;
+      let ps = [ 0.0; 10.0; 25.0; 50.0; 75.0; 90.0; 99.0; 100.0 ] in
+      let vs = List.map (Stats.Recorder.percentile r) ps in
+      let rec mono = function
+        | a :: (b :: _ as rest) -> a <= b && mono rest
+        | [ _ ] | [] -> true
+      in
+      mono vs)
+
+let prop_recorder_percentile_bounded =
+  QCheck.Test.make ~name:"percentile within [min,max]" ~count:200
+    QCheck.(pair (list_of_size (Gen.int_range 1 50) (int_range 0 10_000)) (float_range 0.0 100.0))
+    (fun (xs, p) ->
+      let r = Stats.Recorder.create () in
+      List.iter (Stats.Recorder.add r) xs;
+      let v = Stats.Recorder.percentile r p in
+      v >= float_of_int (Stats.Recorder.min r)
+      && v <= float_of_int (Stats.Recorder.max r))
+
+let test_summary_helpers () =
+  check bool "improvement" true
+    (abs_float (Stats.Summary.improvement ~baseline:200.0 ~variant:100.0 -. 50.0) < 1e-9);
+  check bool "throughput" true
+    (abs_float (Stats.Summary.throughput ~count:500 ~duration_us:1_000_000 -. 500.0) < 1e-9)
+
+let qt = QCheck_alcotest.to_alcotest
+
+let suites =
+  [
+    ( "sim.heap",
+      [
+        Alcotest.test_case "orders elements" `Quick test_heap_order;
+        Alcotest.test_case "empty behaviour" `Quick test_heap_empty;
+        Alcotest.test_case "keeps duplicates" `Quick test_heap_duplicates;
+        qt prop_heap_sorts;
+      ] );
+    ( "sim.engine",
+      [
+        Alcotest.test_case "time ordering" `Quick test_engine_ordering;
+        Alcotest.test_case "FIFO at same time" `Quick test_engine_fifo_same_time;
+        Alcotest.test_case "nested scheduling" `Quick test_engine_nested_scheduling;
+        Alcotest.test_case "run ~until" `Quick test_engine_until;
+        Alcotest.test_case "past schedule clamps" `Quick test_engine_past_schedule;
+        Alcotest.test_case "time conversions" `Quick test_time_conversions;
+      ] );
+    ( "sim.rng",
+      [
+        Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+        Alcotest.test_case "split independence" `Quick test_rng_split_independent;
+        Alcotest.test_case "exponential mean" `Slow test_rng_exponential_mean;
+        Alcotest.test_case "bernoulli bias" `Slow test_rng_bool_bias;
+        qt prop_rng_int_range;
+        qt prop_rng_exponential_positive;
+      ] );
+    ( "sim.net",
+      [
+        Alcotest.test_case "one-way delay" `Quick test_net_delay;
+        Alcotest.test_case "local delay" `Quick test_net_local_delay;
+        Alcotest.test_case "triangular matrix" `Quick test_net_triangular_matrix;
+        Alcotest.test_case "jitter bounds" `Quick test_net_jitter_bounds;
+        Alcotest.test_case "message accounting" `Quick test_net_message_accounting;
+      ] );
+    ( "sim.truetime",
+      [
+        Alcotest.test_case "interval" `Quick test_truetime_interval;
+        Alcotest.test_case "after (commit wait)" `Quick test_truetime_after;
+        Alcotest.test_case "zero epsilon" `Quick test_truetime_zero_epsilon;
+      ] );
+    ( "sim.station",
+      [
+        Alcotest.test_case "queueing" `Quick test_station_queueing;
+        Alcotest.test_case "idle gap" `Quick test_station_idle_gap;
+        Alcotest.test_case "zero cost" `Quick test_station_zero_cost;
+      ] );
+    ( "sim.fiber",
+      [
+        Alcotest.test_case "sequencing" `Quick test_fiber_sequencing;
+        Alcotest.test_case "await value" `Quick test_fiber_await_value;
+        Alcotest.test_case "interleaving" `Quick test_fiber_interleaving;
+        Alcotest.test_case "double resume" `Quick test_fiber_double_resume_rejected;
+      ] );
+    ( "stats",
+      [
+        Alcotest.test_case "percentiles" `Quick test_recorder_percentiles;
+        Alcotest.test_case "single sample" `Quick test_recorder_single;
+        Alcotest.test_case "empty recorder" `Quick test_recorder_empty;
+        Alcotest.test_case "interleaved insert/query" `Quick test_recorder_unsorted_inserts;
+        Alcotest.test_case "merge" `Quick test_recorder_merge;
+        Alcotest.test_case "summary helpers" `Quick test_summary_helpers;
+        qt prop_recorder_percentile_monotone;
+        qt prop_recorder_percentile_bounded;
+      ] );
+  ]

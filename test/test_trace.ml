@@ -1,0 +1,127 @@
+(* Tests for the history trace format: round-tripping, parse errors, and
+   checker agreement after a round trip. *)
+
+module T = Rss_core.Txn_history
+
+let check = Alcotest.check
+let bool = Alcotest.bool
+
+let sample =
+  T.make ~msg_edges:[ (0, 2) ]
+    [
+      T.rw ~id:0 ~proc:0 ~writes:[ ("x", 1); ("y", 2) ] ~inv:0 ~resp:10 ();
+      T.ro ~id:1 ~proc:1 ~reads:[ ("x", Some 1); ("z", None) ] ~inv:20 ~resp:30 ();
+      T.rw ~id:2 ~proc:2 ~reads:[ ("y", Some 2) ] ~writes:[ ("z", 3) ] ~inv:40 ();
+    ]
+
+let test_roundtrip () =
+  let s = Rss_core.Trace.to_string sample in
+  match Rss_core.Trace.of_string s with
+  | Error m -> Alcotest.fail m
+  | Ok h ->
+    check Alcotest.int "txn count" (T.n_txns sample) (T.n_txns h);
+    for i = 0 to T.n_txns sample - 1 do
+      let a = T.txn sample i and b = T.txn h i in
+      check bool (Fmt.str "txn %d equal" i) true
+        (a.T.proc = b.T.proc && a.T.inv = b.T.inv && a.T.resp = b.T.resp
+        && List.sort compare a.T.reads = List.sort compare b.T.reads
+        && List.sort compare a.T.writes = List.sort compare b.T.writes)
+    done;
+    check bool "edges preserved" true (h.T.msg_edges = [ (0, 2) ])
+
+let test_checker_agreement_after_roundtrip () =
+  let s = Rss_core.Trace.to_string sample in
+  match Rss_core.Trace.of_string s with
+  | Error m -> Alcotest.fail m
+  | Ok h ->
+    List.iter
+      (fun m ->
+        let before = Rss_core.Check_txn.check sample m in
+        let after = Rss_core.Check_txn.check h m in
+        let same =
+          match (before, after) with
+          | Rss_core.Check_txn.Sat _, Rss_core.Check_txn.Sat _
+          | Rss_core.Check_txn.Unsat, Rss_core.Check_txn.Unsat
+          | Rss_core.Check_txn.Unknown, Rss_core.Check_txn.Unknown ->
+            true
+          | _ -> false
+        in
+        check bool (Rss_core.Check_txn.model_name m ^ " verdict stable") true same)
+      Rss_core.Check_txn.all_models
+
+let test_comments_and_blanks () =
+  let s = "# hello\n\n" ^ Rss_core.Trace.to_string sample ^ "\n# bye\n" in
+  check bool "parses" true (Result.is_ok (Rss_core.Trace.of_string s))
+
+let test_parse_errors () =
+  let cases =
+    [
+      ("garbage line", "wobble\n");
+      ("bad id", "txn id=x proc=0 inv=0 resp=- reads= writes=\n");
+      ("bad edge", "edge 1\n");
+      ("missing field", "txn id=0 proc=0 inv=0 reads= writes=\n");
+      ("dangling edge target", "txn id=0 proc=0 inv=0 resp=5 reads= writes=a:1\nedge 0 9\n");
+    ]
+  in
+  List.iter
+    (fun (name, s) ->
+      check bool name true (Result.is_error (Rss_core.Trace.of_string s)))
+    cases
+
+let test_save_load () =
+  let path = Filename.temp_file "rss_trace" ".txt" in
+  Rss_core.Trace.save ~path sample;
+  (match Rss_core.Trace.load ~path with
+  | Ok h -> check Alcotest.int "loaded" 3 (T.n_txns h)
+  | Error m -> Alcotest.fail m);
+  Sys.remove path
+
+(* Random histories round-trip bit-faithfully. *)
+let prop_trace_roundtrip =
+  QCheck.Test.make ~name:"random histories round-trip" ~count:150
+    QCheck.(pair (int_range 1 12) (int_bound 100_000))
+    (fun (n, seed) ->
+      let rng = Sim.Rng.make seed in
+      let store = Hashtbl.create 4 in
+      let next = ref 0 in
+      let txns =
+        List.init n (fun i ->
+            let key = [| "a"; "b"; "c" |].(Sim.Rng.int rng 3) in
+            let inv = i * 100 and resp = (i * 100) + 50 in
+            let resp = if Sim.Rng.bool rng 0.9 || i < n - 1 then Some resp else None in
+            if Sim.Rng.bool rng 0.5 then begin
+              incr next;
+              Hashtbl.replace store key !next;
+              T.rw ~id:i ~proc:(Sim.Rng.int rng 3 * 100 + i) ~writes:[ (key, !next) ]
+                ~inv ?resp ()
+            end
+            else
+              T.ro ~id:i ~proc:(Sim.Rng.int rng 3 * 100 + i)
+                ~reads:[ (key, Hashtbl.find_opt store key) ]
+                ~inv ?resp ())
+      in
+      let h = T.make txns in
+      match Rss_core.Trace.of_string (Rss_core.Trace.to_string h) with
+      | Error _ -> false
+      | Ok h' ->
+        T.n_txns h = T.n_txns h'
+        && List.for_all
+             (fun i ->
+               let a = T.txn h i and b = T.txn h' i in
+               a.T.proc = b.T.proc && a.T.inv = b.T.inv && a.T.resp = b.T.resp
+               && a.T.reads = b.T.reads && a.T.writes = b.T.writes)
+             (List.init (T.n_txns h) Fun.id))
+
+let suites =
+  [
+    ( "core.trace",
+      [
+        Alcotest.test_case "roundtrip" `Quick test_roundtrip;
+        Alcotest.test_case "checker agreement" `Quick
+          test_checker_agreement_after_roundtrip;
+        Alcotest.test_case "comments/blanks" `Quick test_comments_and_blanks;
+        Alcotest.test_case "parse errors" `Quick test_parse_errors;
+        Alcotest.test_case "save/load" `Quick test_save_load;
+        QCheck_alcotest.to_alcotest prop_trace_roundtrip;
+      ] );
+  ]

@@ -1,0 +1,245 @@
+(* Tests for the workload generators: Zipfian sampling (distribution shape,
+   bounds), Retwis transaction mix, YCSB conflict model, and the client
+   drivers. *)
+
+let check = Alcotest.check
+let bool = Alcotest.bool
+let int = Alcotest.int
+
+(* ------------------------------------------------------------------ *)
+(* Zipf                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_zipf_bounds () =
+  let rng = Sim.Rng.make 1 in
+  let z = Workload.Zipf.create ~rng ~n:100 ~theta:0.9 in
+  for _ = 1 to 10_000 do
+    let k = Workload.Zipf.sample z in
+    if k < 0 || k >= 100 then Alcotest.fail "out of range"
+  done
+
+let test_zipf_single_key () =
+  let rng = Sim.Rng.make 1 in
+  let z = Workload.Zipf.create ~rng ~n:1 ~theta:0.9 in
+  check int "only key" 0 (Workload.Zipf.sample z)
+
+let test_zipf_uniform_when_theta_zero () =
+  let rng = Sim.Rng.make 2 in
+  let z = Workload.Zipf.create ~rng ~n:10 ~theta:0.0 in
+  let counts = Array.make 10 0 in
+  let n = 100_000 in
+  for _ = 1 to n do
+    let k = Workload.Zipf.sample z in
+    counts.(k) <- counts.(k) + 1
+  done;
+  Array.iter
+    (fun c ->
+      let p = float_of_int c /. float_of_int n in
+      check bool "within 2% of uniform" true (abs_float (p -. 0.1) < 0.02))
+    counts
+
+let test_zipf_skew_shape () =
+  let rng = Sim.Rng.make 3 in
+  let z = Workload.Zipf.create ~rng ~n:1000 ~theta:0.9 in
+  let counts = Array.make 1000 0 in
+  let n = 200_000 in
+  for _ = 1 to n do
+    let k = Workload.Zipf.sample z in
+    counts.(k) <- counts.(k) + 1
+  done;
+  (* With theta = 0.9 the hottest key takes a few percent of mass and the
+     distribution is monotone-ish: key 0 much hotter than key 100. *)
+  check bool "key 0 hot" true (counts.(0) > n / 100);
+  check bool "head dominates tail" true (counts.(0) > 20 * counts.(500));
+  (* Empirical ratio P(0)/P(1) should be near 2^0.9 ≈ 1.87. *)
+  let ratio = float_of_int counts.(0) /. float_of_int counts.(1) in
+  check bool "zipf ratio plausible" true (ratio > 1.5 && ratio < 2.4)
+
+let test_zipf_higher_theta_more_skew () =
+  let sample_hot theta =
+    let rng = Sim.Rng.make 4 in
+    let z = Workload.Zipf.create ~rng ~n:1000 ~theta in
+    let hot = ref 0 in
+    for _ = 1 to 50_000 do
+      if Workload.Zipf.sample z = 0 then incr hot
+    done;
+    !hot
+  in
+  check bool "0.9 skews more than 0.5" true (sample_hot 0.9 > sample_hot 0.5)
+
+let test_zipf_invalid_args () =
+  let rng = Sim.Rng.make 1 in
+  check bool "n=0 rejected" true
+    (match Workload.Zipf.create ~rng ~n:0 ~theta:0.5 with
+    | exception Invalid_argument _ -> true
+    | _ -> false);
+  check bool "negative theta rejected" true
+    (match Workload.Zipf.create ~rng ~n:5 ~theta:(-1.0) with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let prop_zipf_in_range =
+  QCheck.Test.make ~name:"zipf sample always in range" ~count:200
+    QCheck.(pair (int_range 1 500) (float_range 0.0 1.2))
+    (fun (n, theta) ->
+      let rng = Sim.Rng.make (n + int_of_float (theta *. 100.0)) in
+      let z = Workload.Zipf.create ~rng ~n ~theta in
+      let ok = ref true in
+      for _ = 1 to 50 do
+        let k = Workload.Zipf.sample z in
+        if k < 0 || k >= n then ok := false
+      done;
+      !ok)
+
+(* ------------------------------------------------------------------ *)
+(* Retwis                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_retwis_mix () =
+  let rng = Sim.Rng.make 5 in
+  let r = Workload.Retwis.create ~rng ~n_keys:10_000 ~theta:0.75 in
+  let counts = Hashtbl.create 4 in
+  let n = 50_000 in
+  for _ = 1 to n do
+    let txn = Workload.Retwis.sample r in
+    let key = Workload.Retwis.kind_name txn.Workload.Retwis.kind in
+    Hashtbl.replace counts key (1 + try Hashtbl.find counts key with Not_found -> 0)
+  done;
+  let frac name = float_of_int (try Hashtbl.find counts name with Not_found -> 0) /. float_of_int n in
+  check bool "5% add-user" true (abs_float (frac "add-user" -. 0.05) < 0.01);
+  check bool "15% follow" true (abs_float (frac "follow" -. 0.15) < 0.015);
+  check bool "30% post-tweet" true (abs_float (frac "post-tweet" -. 0.30) < 0.02);
+  check bool "50% load-timeline" true (abs_float (frac "load-timeline" -. 0.50) < 0.02)
+
+let test_retwis_shapes () =
+  let rng = Sim.Rng.make 6 in
+  let r = Workload.Retwis.create ~rng ~n_keys:1000 ~theta:0.75 in
+  for _ = 1 to 5_000 do
+    let txn = Workload.Retwis.sample r in
+    let distinct l = List.length (List.sort_uniq compare l) = List.length l in
+    if not (distinct txn.Workload.Retwis.write_keys) then
+      Alcotest.fail "duplicate write keys";
+    match txn.Workload.Retwis.kind with
+    | Workload.Retwis.Add_user ->
+      check int "add-user writes" 4 (List.length txn.Workload.Retwis.write_keys);
+      check int "add-user reads" 1 (List.length txn.Workload.Retwis.read_keys)
+    | Workload.Retwis.Follow ->
+      check int "follow writes" 2 (List.length txn.Workload.Retwis.write_keys)
+    | Workload.Retwis.Post_tweet ->
+      check int "post writes" 5 (List.length txn.Workload.Retwis.write_keys);
+      check int "post reads" 3 (List.length txn.Workload.Retwis.read_keys)
+    | Workload.Retwis.Load_timeline ->
+      check bool "timeline read-only" true (Workload.Retwis.is_read_only txn);
+      let n = List.length txn.Workload.Retwis.read_keys in
+      check bool "1..10 reads" true (n >= 1 && n <= 10)
+  done
+
+(* ------------------------------------------------------------------ *)
+(* YCSB                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_ycsb_ratios () =
+  let rng = Sim.Rng.make 7 in
+  let y = Workload.Ycsb.create ~rng ~n_keys:100_000 ~write_ratio:0.3 ~conflict:0.1 in
+  let n = 100_000 in
+  let writes = ref 0 and hot = ref 0 in
+  for _ = 1 to n do
+    let op = Workload.Ycsb.sample y in
+    if op.Workload.Ycsb.is_write then incr writes;
+    if op.Workload.Ycsb.key = Workload.Ycsb.hot_key then incr hot
+  done;
+  let fw = float_of_int !writes /. float_of_int n in
+  let fh = float_of_int !hot /. float_of_int n in
+  check bool "write ratio" true (abs_float (fw -. 0.3) < 0.01);
+  check bool "conflict ratio" true (abs_float (fh -. 0.1) < 0.01)
+
+let test_ycsb_invalid () =
+  let rng = Sim.Rng.make 7 in
+  check bool "bad write ratio" true
+    (match Workload.Ycsb.create ~rng ~n_keys:10 ~write_ratio:1.5 ~conflict:0.0 with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+(* ------------------------------------------------------------------ *)
+(* Client models                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_closed_loop () =
+  let engine = Sim.Engine.create () in
+  let per_client = Hashtbl.create 4 in
+  Workload.Client_model.closed_loop engine ~n_clients:3
+    ~body:(fun ~client k ->
+      Hashtbl.replace per_client client
+        (1 + try Hashtbl.find per_client client with Not_found -> 0);
+      Sim.Engine.schedule engine ~after:10 k)
+    ~until:100 ();
+  Sim.Engine.run engine;
+  (* Each client issues at t=0,10,...,90: 10 ops. *)
+  Hashtbl.iter (fun _ n -> check int "ops per client" 10 n) per_client;
+  check int "three clients" 3 (Hashtbl.length per_client)
+
+let test_closed_loop_think_time () =
+  let engine = Sim.Engine.create () in
+  let count = ref 0 in
+  Workload.Client_model.closed_loop engine ~n_clients:1 ~think_us:40
+    ~body:(fun ~client:_ k ->
+      incr count;
+      Sim.Engine.schedule engine ~after:10 k)
+    ~until:100 ();
+  Sim.Engine.run engine;
+  (* op at 0 (ends 10, think to 50), op at 50 (ends 60, think to 100): 2 ops
+     issued before until. *)
+  check int "think time slows issue rate" 2 !count
+
+let test_partly_open_sessions () =
+  let engine = Sim.Engine.create () in
+  let rng = Sim.Rng.make 8 in
+  let sessions = Hashtbl.create 64 in
+  let ops = ref 0 in
+  ignore
+    (Workload.Client_model.partly_open engine ~rng ~arrival_rate_per_sec:2000.0
+       ~stay:0.9
+       ~body:(fun ~client k ->
+         incr ops;
+         Hashtbl.replace sessions client
+           (1 + try Hashtbl.find sessions client with Not_found -> 0);
+         Sim.Engine.schedule engine ~after:100 k)
+       ~until:(Sim.Engine.sec 1.0) ());
+  Sim.Engine.run engine;
+  let n_sessions = Hashtbl.length sessions in
+  check bool "roughly poisson arrivals" true (n_sessions > 1_000 && n_sessions < 3_500);
+  (* Mean session length should be near 1/(1-0.9) = 10. *)
+  let mean = float_of_int !ops /. float_of_int n_sessions in
+  check bool "mean session length near 10" true (mean > 7.0 && mean < 13.0)
+
+let qt = QCheck_alcotest.to_alcotest
+
+let suites =
+  [
+    ( "workload.zipf",
+      [
+        Alcotest.test_case "bounds" `Quick test_zipf_bounds;
+        Alcotest.test_case "single key" `Quick test_zipf_single_key;
+        Alcotest.test_case "uniform at theta=0" `Slow test_zipf_uniform_when_theta_zero;
+        Alcotest.test_case "skew shape" `Slow test_zipf_skew_shape;
+        Alcotest.test_case "theta ordering" `Slow test_zipf_higher_theta_more_skew;
+        Alcotest.test_case "invalid args" `Quick test_zipf_invalid_args;
+        qt prop_zipf_in_range;
+      ] );
+    ( "workload.retwis",
+      [
+        Alcotest.test_case "transaction mix" `Slow test_retwis_mix;
+        Alcotest.test_case "transaction shapes" `Quick test_retwis_shapes;
+      ] );
+    ( "workload.ycsb",
+      [
+        Alcotest.test_case "ratios" `Slow test_ycsb_ratios;
+        Alcotest.test_case "invalid args" `Quick test_ycsb_invalid;
+      ] );
+    ( "workload.clients",
+      [
+        Alcotest.test_case "closed loop" `Quick test_closed_loop;
+        Alcotest.test_case "closed loop think time" `Quick test_closed_loop_think_time;
+        Alcotest.test_case "partly open sessions" `Slow test_partly_open_sessions;
+      ] );
+  ]
