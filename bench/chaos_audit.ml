@@ -1,0 +1,92 @@
+(* Long-form chaos audit battery — every nemesis preset against every
+   protocol, several seeds each, plus a chaos-wrapped harness benchmark.
+   Excluded from tier-1 `dune runtest`; run with:
+
+     dune exec bench/chaos_audit.exe            # full battery
+     dune exec bench/chaos_audit.exe -- quick   # one seed per cell *)
+
+let seeds = function
+  | [ "quick" ] -> [ 7 ]
+  | _ -> [ 7; 23; 101 ]
+
+let duration_s = 20.0
+
+let audit_cell protocol preset ~seed =
+  let name =
+    Fmt.str "%-12s %-16s seed=%d"
+      (Chaos.Audit.protocol_name protocol)
+      (Chaos.Nemesis.preset_name preset)
+      seed
+  in
+  let schedule =
+    Chaos.Audit.nemesis_schedule protocol preset ~duration_s ~seed
+  in
+  let r = Chaos.Audit.run protocol ~schedule ~duration_s ~seed () in
+  let verdict =
+    match r.Chaos.Audit.check with
+    | Ok () -> "ok"
+    | Error m -> Fmt.str "VIOLATION %s" m
+  in
+  let live = if Chaos.Audit.liveness_ok r then "live" else "STALLED" in
+  Fmt.pr "  %s  %-10s %-8s ops=%-6d unacked=%-4d drops=%d/%d/%d@." name
+    verdict live r.Chaos.Audit.ops_completed r.Chaos.Audit.unacked_commits
+    r.Chaos.Audit.dropped_crash r.Chaos.Audit.dropped_partition
+    r.Chaos.Audit.dropped_loss;
+  (r.Chaos.Audit.check = Ok (), Chaos.Audit.liveness_ok r)
+
+let battery seeds =
+  Fmt.pr "== nemesis battery (%g s simulated per cell) ==@." duration_s;
+  let ok = ref 0 and bad = ref 0 in
+  List.iter
+    (fun protocol ->
+      List.iter
+        (fun (_, preset) ->
+          List.iter
+            (fun seed ->
+              let checked, live = audit_cell protocol preset ~seed in
+              if checked && live then incr ok else incr bad)
+            seeds)
+        Chaos.Nemesis.presets)
+    Chaos.Audit.protocols;
+  Fmt.pr "battery: %d passed, %d failed@.@." !ok !bad;
+  !bad = 0
+
+(* The harness integration path: the paper's §6.1 benchmark wrapped in a
+   partition-heal schedule, fault accounting through the Summary tables. *)
+let harness_demo () =
+  Fmt.pr "== chaos-wrapped spanner_wan (partition-heal) ==@.";
+  let chaos =
+    Chaos.Nemesis.generate Chaos.Nemesis.Partition_heal ~n_sites:3
+      ~duration_us:(Sim.Engine.sec duration_s) ~seed:7 ()
+  in
+  let r =
+    Harness.spanner_wan ~chaos ~mode:Spanner.Config.Rss ~theta:0.5
+      ~n_keys:5_000 ~arrival_rate_per_sec:400.0 ~duration_s ~seed:7 ()
+  in
+  Harness.report_check "spanner-rss" r.Harness.sp_check;
+  Stats.Summary.print_latency_table ~header:"latency (ms)"
+    ~rows:[ ("ro", r.Harness.sp_ro); ("rw", r.Harness.sp_rw) ]
+    ();
+  Harness.print_fault_table r.Harness.sp_faults;
+  Fmt.pr "@.";
+  let gr =
+    Harness.gryff_wan
+      ~chaos:
+        (Chaos.Nemesis.generate Chaos.Nemesis.Link_loss ~n_sites:5
+           ~duration_us:(Sim.Engine.sec duration_s) ~seed:7 ())
+      ~mode:Gryff.Config.Rsc ~conflict:0.1 ~write_ratio:0.3 ~n_keys:2_000
+      ~duration_s ~seed:7 ()
+  in
+  Fmt.pr "== chaos-wrapped gryff_wan (link-loss) ==@.";
+  Harness.report_check "gryff-rsc" gr.Harness.gr_check;
+  Stats.Summary.print_latency_table ~header:"latency (ms)"
+    ~rows:[ ("read", gr.Harness.gr_read); ("write", gr.Harness.gr_write) ]
+    ();
+  Harness.print_fault_table gr.Harness.gr_faults;
+  r.Harness.sp_check = Ok () && gr.Harness.gr_check = Ok ()
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let battery_ok = battery (seeds args) in
+  let harness_ok = harness_demo () in
+  if not (battery_ok && harness_ok) then exit 1

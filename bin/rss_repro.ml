@@ -237,9 +237,78 @@ let trace_cmd =
     (Cmd.info "trace" ~doc:"Check a saved transactional trace against a model.")
     Term.(const run $ path $ model $ budget)
 
+let chaos_cmd =
+  let protocol =
+    Arg.(
+      value
+      & opt
+          (enum
+             (List.map
+                (fun p -> (Chaos.Audit.protocol_name p, p))
+                Chaos.Audit.protocols))
+          Chaos.Audit.Spanner_rss
+      & info [ "protocol" ]
+          ~doc:"Protocol to audit: spanner, spanner-rss, gryff, or gryff-rsc.")
+  in
+  let nemesis =
+    Arg.(
+      value
+      & opt (enum Chaos.Nemesis.presets) Chaos.Nemesis.Mixed
+      & info [ "nemesis" ]
+          ~doc:
+            "Fault preset: partition-heal, link-loss, crash-recover, \
+             latency-spike, eps-inflate, reorder-storm, or mixed.")
+  in
+  let duration =
+    Arg.(value & opt float 20.0 & info [ "duration" ] ~doc:"Simulated seconds.")
+  in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Workload seed.") in
+  let nemesis_seed =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "nemesis-seed" ]
+          ~doc:"Fault-schedule seed (defaults to --seed). A run is \
+                reproducible from (seed, nemesis-seed).")
+  in
+  let slots =
+    Arg.(value & opt int 12 & info [ "slots" ] ~doc:"Concurrent client slots.")
+  in
+  let run protocol nemesis duration seed nemesis_seed slots =
+    if duration <= 0.0 then (Fmt.epr "error: --duration must be positive@."; exit 1);
+    if slots <= 0 then (Fmt.epr "error: --slots must be positive@."; exit 1);
+    let nseed = Option.value nemesis_seed ~default:seed in
+    let schedule =
+      Chaos.Audit.nemesis_schedule protocol nemesis ~duration_s:duration
+        ~seed:nseed
+    in
+    Fmt.pr "nemesis %s (seed %d):@." (Chaos.Nemesis.preset_name nemesis) nseed;
+    List.iter
+      (fun e -> Fmt.pr "  %a@." Chaos.Schedule.pp_event e)
+      (List.stable_sort
+         (fun a b -> compare a.Chaos.Schedule.at_us b.Chaos.Schedule.at_us)
+         schedule);
+    let r =
+      Chaos.Audit.run protocol ~schedule ~n_slots:slots ~duration_s:duration
+        ~seed ()
+    in
+    Chaos.Audit.print_report r;
+    match (r.Chaos.Audit.check, Chaos.Audit.liveness_ok r) with
+    | Ok (), true -> ()
+    | Error _, _ -> exit 2
+    | Ok (), false -> exit 3
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:
+         "Audit a protocol under a nemesis fault schedule: inject faults, \
+          collect the history, verify its consistency model and that \
+          liveness resumes after heal.")
+    Term.(const run $ protocol $ nemesis $ duration $ seed $ nemesis_seed $ slots)
+
 let () =
   let doc = "RSS / RSC reproduction playground" in
   exit
     (Cmd.eval
        (Cmd.group (Cmd.info "rss_repro" ~doc)
-          [ spanner_cmd; gryff_cmd; check_cmd; trace_cmd ]))
+          [ spanner_cmd; gryff_cmd; check_cmd; trace_cmd; chaos_cmd ]))

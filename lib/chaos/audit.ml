@@ -1,0 +1,560 @@
+type protocol = Spanner_strict | Spanner_rss | Gryff_lin | Gryff_rsc
+
+let protocols = [ Spanner_strict; Spanner_rss; Gryff_lin; Gryff_rsc ]
+
+let protocol_name = function
+  | Spanner_strict -> "spanner"
+  | Spanner_rss -> "spanner-rss"
+  | Gryff_lin -> "gryff"
+  | Gryff_rsc -> "gryff-rsc"
+
+let protocol_of_string = function
+  | "spanner" -> Some Spanner_strict
+  | "spanner-rss" -> Some Spanner_rss
+  | "gryff" -> Some Gryff_lin
+  | "gryff-rsc" -> Some Gryff_rsc
+  | _ -> None
+
+let model_name = function
+  | Spanner_strict -> "strict serializability"
+  | Spanner_rss -> "RSS"
+  | Gryff_lin -> "linearizability (per key)"
+  | Gryff_rsc -> "RSC (per key)"
+
+let protocol_sites = function
+  | Spanner_strict | Spanner_rss -> 3 (* wan3 *)
+  | Gryff_lin | Gryff_rsc -> 5 (* wan5 *)
+
+let protocol_epsilon_us = function
+  | Spanner_strict | Spanner_rss -> 10_000
+  | Gryff_lin | Gryff_rsc -> 0
+
+let nemesis_schedule protocol preset ~duration_s ~seed =
+  Nemesis.generate preset ~n_sites:(protocol_sites protocol)
+    ~epsilon_us:(protocol_epsilon_us protocol)
+    ~duration_us:(Sim.Engine.sec duration_s) ~seed ()
+
+type run = {
+  protocol : protocol;
+  check : (unit, string) result;
+  stale_control : unit -> (unit, string) result option;
+  trace : string;
+  history_len : int;
+  ops_completed : int;
+  ops_timed_out : int;
+  post_quiet_completed : int;
+  post_quiet_timed_out : int;
+  aborted_attempts : int;
+  unacked_commits : int;
+  faults_injected : int;
+  msgs_sent : int;
+  dropped_crash : int;
+  dropped_partition : int;
+  dropped_loss : int;
+  duplicated : int;
+  delayed : int;
+  latency : Stats.Recorder.t;
+  duration_us : int;
+}
+
+(* Drive [n_slots] session slots against [issue_op]. Each slot runs one
+   session at a time; an operation that misses [timeout_us] abandons the
+   session (its process id is never reused, so session-order checking stays
+   sound) and a fresh session takes the slot. [quiet_us] is when the
+   schedule's cleanup fires — completions of ops invoked after it prove
+   liveness resumed. *)
+type slot_stats = {
+  mutable completed : int;
+  mutable timed_out : int;
+  mutable post_quiet_completed : int;
+  mutable post_quiet_timed_out : int;
+}
+
+let drive_slots engine ~n_slots ~until ~timeout_us ~quiet_us ~latency
+    ~(new_session : int -> 'c) ~(issue_op : 'c -> finish:(unit -> unit) -> unit) =
+  let stats =
+    { completed = 0; timed_out = 0; post_quiet_completed = 0;
+      post_quiet_timed_out = 0 }
+  in
+  let gen = Array.make n_slots 0 in
+  let rec start_session slot =
+    if Sim.Engine.now engine < until then run_op slot (new_session slot)
+  and run_op slot session =
+    let g = gen.(slot) in
+    let t0 = Sim.Engine.now engine in
+    let finished = ref false in
+    Sim.Engine.schedule engine ~after:timeout_us (fun () ->
+        if (not !finished) && gen.(slot) = g then begin
+          stats.timed_out <- stats.timed_out + 1;
+          if t0 >= quiet_us then
+            stats.post_quiet_timed_out <- stats.post_quiet_timed_out + 1;
+          gen.(slot) <- g + 1;
+          start_session slot
+        end);
+    issue_op session ~finish:(fun () ->
+        finished := true;
+        if gen.(slot) = g then begin
+          stats.completed <- stats.completed + 1;
+          Stats.Recorder.add latency (Sim.Engine.now engine - t0);
+          if t0 >= quiet_us then
+            stats.post_quiet_completed <- stats.post_quiet_completed + 1;
+          if Sim.Engine.now engine < until then run_op slot session
+        end)
+  in
+  for slot = 0 to n_slots - 1 do
+    start_session slot
+  done;
+  stats
+
+(* ------------------------------------------------------------------ *)
+(* Sweeps for operations whose acknowledgement a fault swallowed        *)
+(* ------------------------------------------------------------------ *)
+
+let key_name = string_of_int
+
+(* If attempt [txn] committed, its writes are visible at the shards even
+   though the client never heard back — record it as incomplete
+   (resp = max_int: no real-time obligations, reads not checked), exactly
+   how complete(α) treats a stopped client. Returns whether recorded. *)
+let sweep_spanner_txn cluster ~proc ~inv ~writes ~txn =
+  match Spanner.Cluster.txn_outcome cluster txn with
+  | Some (Spanner.Types.Committed tc) ->
+    Spanner.Cluster.record cluster
+      {
+        Rss_core.Witness.proc;
+        reads = [];
+        writes = List.map (fun (k, v) -> (key_name k, v)) writes;
+        inv;
+        resp = max_int;
+        ts = tc;
+        rank = 0;
+      };
+    true
+  | Some Spanner.Types.Aborted | None -> false
+
+(* A Gryff write whose propagate phase started may sit at some replicas and
+   be observed even though the acks never came back — same convention. *)
+let sweep_gryff_write cluster ~proc ~inv ~key ~value ~cs =
+  Gryff.Cluster.record cluster
+    {
+      Gryff.Cluster.g_proc = proc;
+      g_kind = Gryff.Cluster.Write;
+      g_key = key;
+      g_observed = None;
+      g_written = Some value;
+      g_cs = cs;
+      g_inv = inv;
+      g_resp = max_int;
+    }
+
+(* ------------------------------------------------------------------ *)
+(* Spanner / Spanner-RSS                                               *)
+(* ------------------------------------------------------------------ *)
+
+let spanner_trace records =
+  let buf = Buffer.create 4096 in
+  Array.iter
+    (fun (w : Rss_core.Witness.txn) ->
+      Buffer.add_string buf
+        (Fmt.str "p%d inv=%d resp=%d ts=%d rank=%d R%a W%a\n"
+           w.Rss_core.Witness.proc w.Rss_core.Witness.inv w.Rss_core.Witness.resp
+           w.Rss_core.Witness.ts w.Rss_core.Witness.rank
+           Fmt.(Dump.list (Dump.pair string (Dump.option int)))
+           w.Rss_core.Witness.reads
+           Fmt.(Dump.list (Dump.pair string int))
+           w.Rss_core.Witness.writes))
+    records;
+  Buffer.contents buf
+
+(* Corrupt one read to the key's previous version and re-check: the audit's
+   "control" proving the checker catches stale reads. *)
+let spanner_stale_control ~mode records =
+  let records = Array.copy records in
+  let writes_by_key : (string, (int * int) list) Hashtbl.t = Hashtbl.create 256 in
+  Array.iter
+    (fun (w : Rss_core.Witness.txn) ->
+      List.iter
+        (fun (k, v) ->
+          let prev = try Hashtbl.find writes_by_key k with Not_found -> [] in
+          Hashtbl.replace writes_by_key k ((w.Rss_core.Witness.ts, v) :: prev))
+        w.Rss_core.Witness.writes)
+    records;
+  let prev_version k v =
+    match Hashtbl.find_opt writes_by_key k with
+    | None -> None
+    | Some ws -> (
+      let ws = List.sort compare ws in
+      let rec walk prev = function
+        | (_, v') :: _ when v' = v -> prev
+        | (_, v') :: rest -> walk (Some v') rest
+        | [] -> None
+      in
+      match walk None ws with
+      | Some v' when v' <> v -> Some v'
+      | _ -> None)
+  in
+  (* A value no transaction ever wrote — corrupting a read to it is illegal
+     in any serialization, the fallback when no older version exists. *)
+  let phantom =
+    1
+    + Array.fold_left
+        (fun acc (w : Rss_core.Witness.txn) ->
+          List.fold_left (fun acc (_, v) -> max acc v) acc w.Rss_core.Witness.writes)
+        0 records
+  in
+  let corrupt k ov =
+    match ov with
+    | Some v -> (
+      match prev_version k v with Some stale -> Some stale | None -> Some phantom)
+    | None -> Some phantom
+  in
+  let exception Found of int * (string * int option) list in
+  try
+    Array.iteri
+      (fun i (w : Rss_core.Witness.txn) ->
+        if w.Rss_core.Witness.resp <> max_int then
+          match w.Rss_core.Witness.reads with
+          | (k, ov) :: rest -> raise (Found (i, (k, corrupt k ov) :: rest))
+          | [] -> ())
+      records;
+    None
+  with Found (i, reads) ->
+    records.(i) <- { (records.(i)) with Rss_core.Witness.reads };
+    Some (Rss_core.Witness.check ~mode records)
+
+type pending_rw = {
+  pr_proc : int;
+  pr_inv : int;
+  pr_writes : (int * int) list;
+  mutable pr_last_txn : int;
+  mutable pr_done : bool;
+}
+
+let spanner ?config ~mode ~schedule ?(n_slots = 12) ?(theta = 0.5)
+    ?(n_keys = 5_000) ?(timeout_us = 2_000_000) ~duration_s ~seed () =
+  let engine = Sim.Engine.create () in
+  let rng = Sim.Rng.make seed in
+  let config = match config with Some c -> c | None -> Spanner.Config.wan3 ~mode () in
+  let cluster = Spanner.Cluster.create engine ~rng config in
+  let faults = ref 0 in
+  ignore
+    (Schedule.apply schedule ~engine ~net:(Spanner.Cluster.net cluster)
+       ~tt:(Spanner.Cluster.truetime cluster)
+       ~on_fault:(fun _ -> incr faults)
+       ());
+  let retwis = Workload.Retwis.create ~rng:(Sim.Rng.split rng) ~n_keys ~theta in
+  let until = Sim.Engine.sec duration_s in
+  let quiet_us = Schedule.end_of_faults schedule in
+  let latency = Stats.Recorder.create () in
+  let pending : pending_rw list ref = ref [] in
+  let client_sites = config.Spanner.Config.client_sites in
+  let n_sites = Array.length client_sites in
+  let stats =
+    drive_slots engine ~n_slots ~until ~timeout_us ~quiet_us ~latency
+      ~new_session:(fun slot ->
+        Spanner.Client.create cluster ~site:client_sites.(slot mod n_sites))
+      ~issue_op:(fun c ~finish ->
+        let txn = Workload.Retwis.sample retwis in
+        if Workload.Retwis.is_read_only txn then
+          Spanner.Client.ro c ~keys:txn.Workload.Retwis.read_keys (fun _ ->
+              finish ())
+        else begin
+          let writes =
+            List.map
+              (fun key -> (key, Spanner.Cluster.fresh_value cluster))
+              txn.Workload.Retwis.write_keys
+          in
+          let info =
+            {
+              pr_proc = Spanner.Client.proc c;
+              pr_inv = Sim.Engine.now engine;
+              pr_writes = writes;
+              pr_last_txn = -1;
+              pr_done = false;
+            }
+          in
+          pending := info :: !pending;
+          Spanner.Client.rw_kv c
+            ~on_attempt:(fun id -> info.pr_last_txn <- id)
+            ~read_keys:txn.Workload.Retwis.read_keys ~writes
+            (fun _ ->
+              info.pr_done <- true;
+              finish ())
+        end)
+  in
+  Sim.Engine.run ~max_events:600_000_000 engine;
+  (* Sweep committed-but-unacknowledged transactions into the history: their
+     writes are visible at the shards, so the witness must know about them.
+     resp = max_int marks them incomplete (no real-time obligations, reads
+     not checked) — exactly how complete(α) treats a stopped client. *)
+  let unacked = ref 0 in
+  List.iter
+    (fun info ->
+      if (not info.pr_done) && info.pr_last_txn >= 0 then
+        if
+          sweep_spanner_txn cluster ~proc:info.pr_proc ~inv:info.pr_inv
+            ~writes:info.pr_writes ~txn:info.pr_last_txn
+        then incr unacked)
+    (List.rev !pending);
+  let records = Spanner.Cluster.records cluster in
+  let net = Spanner.Cluster.net cluster in
+  let wmode = match mode with Spanner.Config.Strict -> `Strict | Spanner.Config.Rss -> `Rss in
+  {
+    protocol = (match mode with Spanner.Config.Strict -> Spanner_strict | Spanner.Config.Rss -> Spanner_rss);
+    check = Spanner.Cluster.check_history cluster;
+    stale_control = (fun () -> spanner_stale_control ~mode:wmode records);
+    trace = spanner_trace records;
+    history_len = Array.length records;
+    ops_completed = stats.completed;
+    ops_timed_out = stats.timed_out;
+    post_quiet_completed = stats.post_quiet_completed;
+    post_quiet_timed_out = stats.post_quiet_timed_out;
+    aborted_attempts = (Spanner.Cluster.ctx cluster).Spanner.Protocol.n_rw_aborted_attempts;
+    unacked_commits = !unacked;
+    faults_injected = !faults;
+    msgs_sent = Sim.Net.messages_sent net;
+    dropped_crash = Sim.Net.dropped_crash net;
+    dropped_partition = Sim.Net.dropped_partition net;
+    dropped_loss = Sim.Net.dropped_loss net;
+    duplicated = Sim.Net.messages_duplicated net;
+    delayed = Sim.Net.messages_delayed net;
+    latency;
+    duration_us = Sim.Engine.now engine;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Gryff / Gryff-RSC                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let gryff_trace records =
+  let buf = Buffer.create 4096 in
+  Array.iter
+    (fun (r : Gryff.Cluster.record) ->
+      Buffer.add_string buf
+        (Fmt.str "p%d %s k%d obs=%a wr=%a cs=%a inv=%d resp=%d\n" r.Gryff.Cluster.g_proc
+           (match r.Gryff.Cluster.g_kind with
+           | Gryff.Cluster.Read -> "r"
+           | Gryff.Cluster.Write -> "w"
+           | Gryff.Cluster.Rmw -> "m")
+           r.Gryff.Cluster.g_key
+           Fmt.(Dump.option int)
+           r.Gryff.Cluster.g_observed
+           Fmt.(Dump.option int)
+           r.Gryff.Cluster.g_written Gryff.Carstamp.pp r.Gryff.Cluster.g_cs
+           r.Gryff.Cluster.g_inv r.Gryff.Cluster.g_resp))
+    records;
+  Buffer.contents buf
+
+let gryff_stale_control cluster records =
+  let records = Array.copy records in
+  let writes_by_key : (int, (Gryff.Carstamp.t * int) list) Hashtbl.t =
+    Hashtbl.create 256
+  in
+  Array.iter
+    (fun (r : Gryff.Cluster.record) ->
+      match r.Gryff.Cluster.g_written with
+      | Some v ->
+        let k = r.Gryff.Cluster.g_key in
+        let prev = try Hashtbl.find writes_by_key k with Not_found -> [] in
+        Hashtbl.replace writes_by_key k ((r.Gryff.Cluster.g_cs, v) :: prev)
+      | None -> ())
+    records;
+  let prev_version k v =
+    match Hashtbl.find_opt writes_by_key k with
+    | None -> None
+    | Some ws -> (
+      let ws =
+        List.sort (fun (a, _) (b, _) -> Gryff.Carstamp.compare a b) ws
+      in
+      let rec walk prev = function
+        | (_, v') :: _ when v' = v -> prev
+        | (_, v') :: rest -> walk (Some v') rest
+        | [] -> None
+      in
+      match walk None ws with Some v' when v' <> v -> Some v' | _ -> None)
+  in
+  let phantom =
+    1
+    + Array.fold_left
+        (fun acc (r : Gryff.Cluster.record) ->
+          match r.Gryff.Cluster.g_written with Some v -> max acc v | None -> acc)
+        0 records
+  in
+  let exception Found of int * int in
+  try
+    Array.iteri
+      (fun i (r : Gryff.Cluster.record) ->
+        if r.Gryff.Cluster.g_kind = Gryff.Cluster.Read && r.Gryff.Cluster.g_resp <> max_int
+        then
+          match r.Gryff.Cluster.g_observed with
+          | Some v -> (
+            match prev_version r.Gryff.Cluster.g_key v with
+            | Some stale -> raise (Found (i, stale))
+            | None -> raise (Found (i, phantom)))
+          | None -> raise (Found (i, phantom)))
+      records;
+    None
+  with Found (i, stale) ->
+    records.(i) <- { (records.(i)) with Gryff.Cluster.g_observed = Some stale };
+    Some (Gryff.Cluster.check_history_of cluster (Array.to_list records))
+
+type pending_write = {
+  pw_proc : int;
+  pw_inv : int;
+  pw_key : int;
+  pw_value : int;
+  mutable pw_cs : Gryff.Carstamp.t option;
+  mutable pw_done : bool;
+}
+
+let gryff ?config ?client_sites ~mode ~schedule ?(n_slots = 10)
+    ?(write_ratio = 0.3) ?(conflict = 0.1) ?(n_keys = 2_000)
+    ?(timeout_us = 2_000_000) ?(unsafe_no_deps = false) ~duration_s ~seed () =
+  let engine = Sim.Engine.create () in
+  let rng = Sim.Rng.make seed in
+  let config = match config with Some c -> c | None -> Gryff.Config.wan5 ~mode () in
+  let cluster = Gryff.Cluster.create engine ~rng config in
+  let faults = ref 0 in
+  ignore
+    (Schedule.apply schedule ~engine ~net:(Gryff.Cluster.net cluster)
+       ~on_fault:(fun _ -> incr faults)
+       ());
+  let ycsb =
+    Workload.Ycsb.create ~rng:(Sim.Rng.split rng) ~n_keys ~write_ratio ~conflict
+  in
+  let until = Sim.Engine.sec duration_s in
+  let quiet_us = Schedule.end_of_faults schedule in
+  let latency = Stats.Recorder.create () in
+  let pending : pending_write list ref = ref [] in
+  let next_val = ref 0 in
+  let client_sites =
+    match client_sites with
+    | Some a -> a
+    | None -> Array.init config.Gryff.Config.n_replicas (fun i -> i)
+  in
+  let n_sites = Array.length client_sites in
+  let stats =
+    drive_slots engine ~n_slots ~until ~timeout_us ~quiet_us ~latency
+      ~new_session:(fun slot ->
+        Gryff.Client.create ~unsafe_no_deps cluster
+          ~site:client_sites.(slot mod n_sites))
+      ~issue_op:(fun c ~finish ->
+        let op = Workload.Ycsb.sample ycsb in
+        if op.Workload.Ycsb.is_write then begin
+          incr next_val;
+          let info =
+            {
+              pw_proc = Gryff.Client.proc c;
+              pw_inv = Sim.Engine.now engine;
+              pw_key = op.Workload.Ycsb.key;
+              pw_value = !next_val;
+              pw_cs = None;
+              pw_done = false;
+            }
+          in
+          pending := info :: !pending;
+          Gryff.Client.write c
+            ~on_apply:(fun cs -> info.pw_cs <- Some cs)
+            ~key:op.Workload.Ycsb.key ~value:info.pw_value
+            (fun _ ->
+              info.pw_done <- true;
+              finish ())
+        end
+        else Gryff.Client.read c ~key:op.Workload.Ycsb.key (fun _ -> finish ()))
+  in
+  Sim.Engine.run ~max_events:600_000_000 engine;
+  (* Sweep writes whose propagate phase started but whose acks never came
+     back: the value may sit at some replicas and be observed, so the
+     history must carry it (incomplete, resp = max_int). *)
+  let unacked = ref 0 in
+  List.iter
+    (fun info ->
+      match (info.pw_done, info.pw_cs) with
+      | false, Some cs ->
+        incr unacked;
+        sweep_gryff_write cluster ~proc:info.pw_proc ~inv:info.pw_inv
+          ~key:info.pw_key ~value:info.pw_value ~cs
+      | _ -> ())
+    (List.rev !pending);
+  let records = Gryff.Cluster.records cluster in
+  let net = Gryff.Cluster.net cluster in
+  {
+    protocol = (match mode with Gryff.Config.Lin -> Gryff_lin | Gryff.Config.Rsc -> Gryff_rsc);
+    check = Gryff.Cluster.check_history cluster;
+    stale_control = (fun () -> gryff_stale_control cluster records);
+    trace = gryff_trace records;
+    history_len = Array.length records;
+    ops_completed = stats.completed;
+    ops_timed_out = stats.timed_out;
+    post_quiet_completed = stats.post_quiet_completed;
+    post_quiet_timed_out = stats.post_quiet_timed_out;
+    aborted_attempts = 0;
+    unacked_commits = !unacked;
+    faults_injected = !faults;
+    msgs_sent = Sim.Net.messages_sent net;
+    dropped_crash = Sim.Net.dropped_crash net;
+    dropped_partition = Sim.Net.dropped_partition net;
+    dropped_loss = Sim.Net.dropped_loss net;
+    duplicated = Sim.Net.messages_duplicated net;
+    delayed = Sim.Net.messages_delayed net;
+    latency;
+    duration_us = Sim.Engine.now engine;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Dispatch and reporting                                              *)
+(* ------------------------------------------------------------------ *)
+
+let run protocol ~schedule ?n_slots ?n_keys ?timeout_us ~duration_s ~seed () =
+  match protocol with
+  | Spanner_strict ->
+    spanner ~mode:Spanner.Config.Strict ~schedule ?n_slots ?n_keys ?timeout_us
+      ~duration_s ~seed ()
+  | Spanner_rss ->
+    spanner ~mode:Spanner.Config.Rss ~schedule ?n_slots ?n_keys ?timeout_us
+      ~duration_s ~seed ()
+  | Gryff_lin ->
+    gryff ~mode:Gryff.Config.Lin ~schedule ?n_slots ?n_keys ?timeout_us
+      ~duration_s ~seed ()
+  | Gryff_rsc ->
+    gryff ~mode:Gryff.Config.Rsc ~schedule ?n_slots ?n_keys ?timeout_us
+      ~duration_s ~seed ()
+
+let liveness_ok ?(min_post_quiet = 1) (r : run) =
+  r.post_quiet_completed >= min_post_quiet
+
+let print_report r =
+  Fmt.pr "chaos audit: %s — model: %s@." (protocol_name r.protocol)
+    (model_name r.protocol);
+  Stats.Summary.print_count_table ~header:"operations"
+    ~rows:
+      [
+        ("completed", r.ops_completed);
+        ("timed out", r.ops_timed_out);
+        ("post-heal completed", r.post_quiet_completed);
+        ("post-heal timed out", r.post_quiet_timed_out);
+        ("aborted attempts", r.aborted_attempts);
+        ("unacked commits swept", r.unacked_commits);
+        ("history records", r.history_len);
+      ];
+  Stats.Summary.print_count_table ~header:"faults"
+    ~rows:
+      [
+        ("events injected", r.faults_injected);
+        ("messages sent", r.msgs_sent);
+        ("dropped (crash)", r.dropped_crash);
+        ("dropped (partition)", r.dropped_partition);
+        ("dropped (loss)", r.dropped_loss);
+        ("duplicated", r.duplicated);
+        ("delayed", r.delayed);
+      ];
+  if not (Stats.Recorder.is_empty r.latency) then
+    Stats.Summary.print_latency_table ~header:"op latency (ms)"
+      ~rows:[ ("ops", r.latency) ]
+      ~points:[ 50.0; 90.0; 99.0; 99.9 ] ();
+  (match r.check with
+  | Ok () -> Fmt.pr "history: verified (%s)@." (model_name r.protocol)
+  | Error m -> Fmt.pr "history: VIOLATION — %s@." m);
+  Fmt.pr "liveness: %s (%d ops completed after heal)@."
+    (if liveness_ok r then "ok" else "STALLED")
+    r.post_quiet_completed

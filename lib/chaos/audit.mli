@@ -1,0 +1,99 @@
+(** Nemesis-driven consistency audits.
+
+    An audit runs one protocol under a fault {!Schedule.t} with a
+    timeout-respawning workload, collects the execution history — including
+    operations whose acknowledgement a fault swallowed, swept in as
+    incomplete records — and checks it against the protocol's consistency
+    model. Liveness is asserted separately: operations invoked after the
+    schedule's final heal must complete.
+
+    Every run is a pure function of (workload [seed], [schedule]); the
+    [trace] field is a canonical serialization of the history, so two runs
+    with identical inputs can be compared byte for byte. *)
+
+type protocol = Spanner_strict | Spanner_rss | Gryff_lin | Gryff_rsc
+
+val protocols : protocol list
+
+val protocol_name : protocol -> string
+val protocol_of_string : string -> protocol option
+val model_name : protocol -> string
+
+val protocol_sites : protocol -> int
+(** Site count of the protocol's default deployment (wan3 / wan5). *)
+
+val protocol_epsilon_us : protocol -> int
+
+val nemesis_schedule :
+  protocol -> Nemesis.preset -> duration_s:float -> seed:int -> Schedule.t
+(** A nemesis schedule sized for the protocol's default deployment. *)
+
+type run = {
+  protocol : protocol;
+  check : (unit, string) result;  (** the consistency verdict *)
+  stale_control : unit -> (unit, string) result option;
+      (** Corrupt one read in the collected history to an older version and
+          re-check. [None] if no eligible read exists; otherwise the result
+          should be [Error _] — the audit's proof that the checker has
+          teeth. *)
+  trace : string;  (** canonical history serialization, for determinism diffs *)
+  history_len : int;
+  ops_completed : int;
+  ops_timed_out : int;  (** abandoned after [timeout_us]; session retired *)
+  post_quiet_completed : int;
+      (** ops invoked after {!Schedule.end_of_faults} that completed *)
+  post_quiet_timed_out : int;
+  aborted_attempts : int;  (** wound-wait retries (Spanner only) *)
+  unacked_commits : int;  (** committed-but-unacknowledged ops swept in *)
+  faults_injected : int;
+  msgs_sent : int;
+  dropped_crash : int;
+  dropped_partition : int;
+  dropped_loss : int;
+  duplicated : int;
+  delayed : int;
+  latency : Stats.Recorder.t;  (** completed-op latency *)
+  duration_us : int;
+}
+
+val sweep_spanner_txn :
+  Spanner.Cluster.t -> proc:int -> inv:int -> writes:(int * int) list ->
+  txn:int -> bool
+(** If attempt [txn] committed, record it as an incomplete transaction
+    (resp = max_int) — a committed-but-unacknowledged op whose writes are
+    visible. Returns whether it was recorded. Shared by the audit drivers
+    and the chaos-enabled harness drivers. *)
+
+val sweep_gryff_write :
+  Gryff.Cluster.t -> proc:int -> inv:int -> key:int -> value:int ->
+  cs:Gryff.Carstamp.t -> unit
+(** Record a write whose propagate phase started but whose acknowledgement
+    never arrived, as an incomplete operation. *)
+
+val spanner :
+  ?config:Spanner.Config.t -> mode:Spanner.Config.mode -> schedule:Schedule.t ->
+  ?n_slots:int -> ?theta:float -> ?n_keys:int -> ?timeout_us:int ->
+  duration_s:float -> seed:int -> unit -> run
+(** Retwis over Spanner. [n_slots] concurrent session slots; a slot whose
+    operation misses [timeout_us] abandons that session (fresh process id —
+    session-order checking stays sound) and continues with a new one. *)
+
+val gryff :
+  ?config:Gryff.Config.t -> ?client_sites:int array ->
+  mode:Gryff.Config.mode -> schedule:Schedule.t -> ?n_slots:int ->
+  ?write_ratio:float -> ?conflict:float -> ?n_keys:int -> ?timeout_us:int ->
+  ?unsafe_no_deps:bool -> duration_s:float -> seed:int -> unit -> run
+(** YCSB-style reads/writes over Gryff. [client_sites] restricts where
+    clients run (e.g. off a crash victim); default all replica sites.
+    [unsafe_no_deps] runs the broken control client (RSC fence disabled). *)
+
+val run :
+  protocol -> schedule:Schedule.t -> ?n_slots:int -> ?n_keys:int ->
+  ?timeout_us:int -> duration_s:float -> seed:int -> unit -> run
+(** Dispatch on {!protocol} with that protocol's default deployment. *)
+
+val liveness_ok : ?min_post_quiet:int -> run -> bool
+(** True when at least [min_post_quiet] (default 1) operations invoked after
+    the schedule's last event completed. *)
+
+val print_report : run -> unit

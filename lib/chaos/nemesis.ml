@@ -1,0 +1,120 @@
+type preset =
+  | Partition_heal
+  | Link_loss
+  | Crash_recover
+  | Latency_spike
+  | Eps_inflate
+  | Reorder_storm
+  | Mixed
+
+let presets =
+  [
+    ("partition-heal", Partition_heal);
+    ("link-loss", Link_loss);
+    ("crash-recover", Crash_recover);
+    ("latency-spike", Latency_spike);
+    ("eps-inflate", Eps_inflate);
+    ("reorder-storm", Reorder_storm);
+    ("mixed", Mixed);
+  ]
+
+let preset_name p = fst (List.find (fun (_, q) -> q = p) presets)
+
+let preset_of_string s = List.assoc_opt s presets
+
+(* A nemesis window: one fault armed at [w_start], undone at [w_stop]. *)
+
+let pick_subset rng ~from ~size =
+  let arr = Array.of_list from in
+  Sim.Rng.shuffle rng arr;
+  Array.to_list (Array.sub arr 0 size)
+
+let pick_range rng lo hi = lo + Sim.Rng.int rng (max 1 (hi - lo + 1))
+
+type spec = {
+  n_sites : int;
+  protect : int list;
+  epsilon_us : int;
+  rng : Sim.Rng.t;
+}
+
+let all_sites spec = List.init spec.n_sites (fun i -> i)
+
+let crashable spec =
+  List.filter (fun s -> not (List.mem s spec.protect)) (all_sites spec)
+
+(* One fault window of the given kind; returns (inject fault, undo fault). *)
+let rec window spec kind =
+  let open Schedule in
+  match kind with
+  | Partition_heal ->
+    let g = 1 + Sim.Rng.int spec.rng (max 1 (spec.n_sites - 1)) in
+    let group = pick_subset spec.rng ~from:(all_sites spec) ~size:g in
+    let rest = Schedule.sites_except ~n:spec.n_sites group in
+    if rest = [] then window spec Partition_heal
+    else (Partition (group, rest), Heal)
+  | Link_loss ->
+    let s = List.nth (all_sites spec) (Sim.Rng.int spec.rng spec.n_sites) in
+    let links = Schedule.links_of_site ~n:spec.n_sites s in
+    let prob = 0.02 +. Sim.Rng.float spec.rng 0.13 in
+    (Loss { links; prob }, Clear_links)
+  | Crash_recover ->
+    let from = crashable spec in
+    let max_k = min (List.length from) ((spec.n_sites - 1) / 2) in
+    if max_k = 0 then window spec Latency_spike
+    else
+      let k = pick_range spec.rng 1 max_k in
+      let victims = pick_subset spec.rng ~from ~size:k in
+      (Crash victims, Recover victims)
+  | Latency_spike ->
+    let s = List.nth (all_sites spec) (Sim.Rng.int spec.rng spec.n_sites) in
+    let links = Schedule.links_of_site ~n:spec.n_sites s in
+    let extra_us = pick_range spec.rng 20_000 150_000 in
+    (Delay { links; extra_us }, Clear_links)
+  | Eps_inflate ->
+    let base = if spec.epsilon_us > 0 then spec.epsilon_us else 10_000 in
+    let factor = pick_range spec.rng 3 10 in
+    (Epsilon (base * factor), Epsilon_reset)
+  | Reorder_storm ->
+    let s = List.nth (all_sites spec) (Sim.Rng.int spec.rng spec.n_sites) in
+    let links = Schedule.links_of_site ~n:spec.n_sites s in
+    let prob = 0.2 +. Sim.Rng.float spec.rng 0.3 in
+    let max_extra_us = pick_range spec.rng 5_000 50_000 in
+    (Reorder { links; prob; max_extra_us }, Clear_links)
+  | Mixed ->
+    let kinds =
+      [| Partition_heal; Link_loss; Crash_recover; Latency_spike; Eps_inflate;
+         Reorder_storm |]
+    in
+    window spec kinds.(Sim.Rng.int spec.rng (Array.length kinds))
+
+let generate preset ~n_sites ?(protect = []) ?(epsilon_us = 10_000) ~duration_us
+    ~seed () =
+  if n_sites < 2 then invalid_arg "Nemesis.generate: need at least two sites";
+  let rng = Sim.Rng.make (0x6e656d + seed) in
+  let spec = { n_sites; protect; epsilon_us; rng } in
+  let d = float_of_int duration_us in
+  let frac f = int_of_float (f *. d) in
+  (* 1-2 disjoint fault windows inside [0.15, 0.75) of the run, each open for
+     5-20% of it, then a global cleanup leaving a quiet tail for liveness. *)
+  let n_windows = 1 + Sim.Rng.int rng 2 in
+  let slot = 0.6 /. float_of_int n_windows in
+  let events = ref [] in
+  for w = 0 to n_windows - 1 do
+    let lo = 0.15 +. (slot *. float_of_int w) in
+    let start = frac (lo +. Sim.Rng.float rng (slot *. 0.4)) in
+    let len = frac (0.05 +. Sim.Rng.float rng 0.15) in
+    let stop = min (start + len) (frac (lo +. slot)) in
+    let inject, undo = window spec preset in
+    events :=
+      Schedule.at_us stop undo :: Schedule.at_us start inject :: !events
+  done;
+  let cleanup = frac 0.8 in
+  !events
+  @ Schedule.
+      [
+        at_us cleanup Heal;
+        at_us cleanup (Recover (all_sites spec));
+        at_us cleanup Clear_links;
+        at_us cleanup Epsilon_reset;
+      ]

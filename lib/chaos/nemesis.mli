@@ -1,0 +1,32 @@
+(** Seeded random fault-schedule generation (the "nemesis", after Jepsen's
+    fault-injecting process).
+
+    [generate] expands a fault-mix preset into a concrete {!Schedule.t} using
+    only its own seeded stream, so a chaotic run is reproducible from
+    (workload seed, nemesis seed). Every generated schedule ends with a
+    global cleanup (heal + recover + clear + ε reset) at 80% of the run,
+    leaving a quiet tail against which audits assert that liveness
+    resumes. *)
+
+type preset =
+  | Partition_heal  (** random two-group partitions, later healed *)
+  | Link_loss  (** probabilistic loss on all links of one site *)
+  | Crash_recover  (** crash up to ⌊(n-1)/2⌋ non-protected sites *)
+  | Latency_spike  (** 20-150 ms extra delay on one site's links *)
+  | Eps_inflate  (** TrueTime ε inflated 3-10x *)
+  | Reorder_storm  (** random bounded extra delays, reordering messages *)
+  | Mixed  (** each window picks one of the above *)
+
+val presets : (string * preset) list
+(** CLI-name / preset pairs, e.g. [("partition-heal", Partition_heal)]. *)
+
+val preset_name : preset -> string
+
+val preset_of_string : string -> preset option
+
+val generate :
+  preset -> n_sites:int -> ?protect:int list -> ?epsilon_us:int ->
+  duration_us:int -> seed:int -> unit -> Schedule.t
+(** [protect] lists sites the nemesis must never crash (e.g. enough replicas
+    to keep quorums available — partitions and loss may still hit them).
+    [epsilon_us] is the deployment's base ε, used to scale inflation. *)

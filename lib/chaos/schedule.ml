@@ -1,0 +1,104 @@
+type fault =
+  | Partition of int list * int list
+  | Isolate of int list
+  | Block of int list * int list
+  | Heal
+  | Crash of int list
+  | Recover of int list
+  | Loss of { links : (int * int) list; prob : float }
+  | Duplicate of { links : (int * int) list; prob : float }
+  | Delay of { links : (int * int) list; extra_us : int }
+  | Reorder of { links : (int * int) list; prob : float; max_extra_us : int }
+  | Clear_links
+  | Epsilon of int
+  | Epsilon_reset
+
+type event = { at_us : int; fault : fault }
+
+type t = event list
+
+let at_s s fault = { at_us = Sim.Engine.sec s; fault }
+
+let at_us at_us fault = { at_us; fault }
+
+let links_between a b =
+  List.concat_map (fun i -> List.concat_map (fun j -> [ (i, j); (j, i) ]) b) a
+
+let links_of_site ~n s =
+  List.init n (fun j -> if j = s then [] else [ (s, j); (j, s) ]) |> List.concat
+
+let sites_except ~n excluded =
+  List.init n (fun i -> i) |> List.filter (fun i -> not (List.mem i excluded))
+
+let pp_sites = Fmt.(brackets (list ~sep:semi int))
+
+let pp_fault ppf = function
+  | Partition (a, b) -> Fmt.pf ppf "partition %a from %a" pp_sites a pp_sites b
+  | Isolate s -> Fmt.pf ppf "isolate %a" pp_sites s
+  | Block (a, b) -> Fmt.pf ppf "block %a -> %a" pp_sites a pp_sites b
+  | Heal -> Fmt.pf ppf "heal"
+  | Crash s -> Fmt.pf ppf "crash %a" pp_sites s
+  | Recover s -> Fmt.pf ppf "recover %a" pp_sites s
+  | Loss { links; prob } -> Fmt.pf ppf "loss p=%.3f on %d links" prob (List.length links)
+  | Duplicate { links; prob } ->
+    Fmt.pf ppf "duplicate p=%.3f on %d links" prob (List.length links)
+  | Delay { links; extra_us } ->
+    Fmt.pf ppf "delay +%.1fms on %d links"
+      (float_of_int extra_us /. 1000.0)
+      (List.length links)
+  | Reorder { links; prob; max_extra_us } ->
+    Fmt.pf ppf "reorder p=%.3f (<=%.1fms) on %d links" prob
+      (float_of_int max_extra_us /. 1000.0)
+      (List.length links)
+  | Clear_links -> Fmt.pf ppf "clear link faults"
+  | Epsilon e -> Fmt.pf ppf "truetime epsilon := %.1fms" (float_of_int e /. 1000.0)
+  | Epsilon_reset -> Fmt.pf ppf "truetime epsilon reset"
+
+let pp_event ppf { at_us; fault } =
+  Fmt.pf ppf "at %.2fs: %a" (Sim.Engine.to_sec at_us) pp_fault fault
+
+let pp ppf t = Fmt.(list ~sep:(any "; ") pp_event) ppf t
+
+let sort t = List.stable_sort (fun a b -> compare a.at_us b.at_us) t
+
+(* Time past which every fault has been injected (schedules put their heal /
+   recover / clear events last, so this is also when disruption ends — the
+   liveness checks measure from here). *)
+let end_of_faults t = List.fold_left (fun acc e -> max acc e.at_us) 0 t
+
+let inject ~net ?tt ~epsilon0 fault =
+  match fault with
+  | Partition (a, b) -> Sim.Net.partition net a b
+  | Isolate s ->
+    let others = sites_except ~n:(Sim.Net.n_sites net) s in
+    Sim.Net.partition net s others
+  | Block (a, b) ->
+    List.iter (fun src -> List.iter (fun dst -> Sim.Net.block_link net ~src ~dst) b) a
+  | Heal -> Sim.Net.heal_partitions net
+  | Crash s -> List.iter (Sim.Net.set_down net) s
+  | Recover s -> List.iter (Sim.Net.set_up net) s
+  | Loss { links; prob } ->
+    List.iter (fun (src, dst) -> Sim.Net.set_loss net ~src ~dst prob) links
+  | Duplicate { links; prob } ->
+    List.iter (fun (src, dst) -> Sim.Net.set_dup net ~src ~dst prob) links
+  | Delay { links; extra_us } ->
+    List.iter (fun (src, dst) -> Sim.Net.set_extra_delay net ~src ~dst extra_us) links
+  | Reorder { links; prob; max_extra_us } ->
+    List.iter
+      (fun (src, dst) -> Sim.Net.set_reorder net ~src ~dst ~prob ~max_extra_us)
+      links
+  | Clear_links -> Sim.Net.clear_link_faults net
+  | Epsilon e -> (
+    match tt with None -> () | Some tt -> Sim.Truetime.set_epsilon tt e)
+  | Epsilon_reset -> (
+    match tt with None -> () | Some tt -> Sim.Truetime.set_epsilon tt epsilon0)
+
+let apply t ~engine ~net ?tt ?(on_fault = fun _ -> ()) () =
+  let epsilon0 = match tt with None -> 0 | Some tt -> Sim.Truetime.epsilon tt in
+  List.iter
+    (fun e ->
+      Sim.Engine.schedule_at engine ~at:e.at_us (fun () ->
+          inject ~net ?tt ~epsilon0 e.fault;
+          on_fault e))
+    (sort t);
+  List.length t

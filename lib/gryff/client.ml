@@ -2,11 +2,12 @@ type t = {
   cluster : Cluster.t;
   site : int;
   proc : int;
+  unsafe_no_deps : bool;
   mutable deps : Protocol.dep list;
 }
 
-let create cluster ~site =
-  { cluster; site; proc = Cluster.fresh_proc cluster; deps = [] }
+let create ?(unsafe_no_deps = false) cluster ~site =
+  { cluster; site; proc = Cluster.fresh_proc cluster; unsafe_no_deps; deps = [] }
 
 let proc t = t.proc
 
@@ -33,7 +34,11 @@ let read t ~key k =
   t.deps <- [];
   Protocol.read (Cluster.ctx t.cluster) ~client_site:t.site ~cid:t.proc ~deps ~key
     (fun res ->
-      (match res.Protocol.r_dep with None -> () | Some d -> add_dep t d);
+      (* The deliberately broken control: dropping the dependency disables
+         RSC's deferred write-back, exactly the fence the model needs. *)
+      (match res.Protocol.r_dep with
+      | None -> ()
+      | Some d -> if not t.unsafe_no_deps then add_dep t d);
       Cluster.record t.cluster
         {
           Cluster.g_proc = t.proc;
@@ -47,13 +52,13 @@ let read t ~key k =
         };
       k res)
 
-let write t ~key ~value k =
+let write ?on_apply t ~key ~value k =
   let inv = now t in
   let deps = t.deps in
   (* The first phase propagates the dependencies to a quorum. *)
   t.deps <- [];
-  Protocol.write (Cluster.ctx t.cluster) ~client_site:t.site ~cid:t.proc ~deps ~key
-    ~value (fun res ->
+  Protocol.write ?on_apply (Cluster.ctx t.cluster) ~client_site:t.site
+    ~cid:t.proc ~deps ~key ~value (fun res ->
       Cluster.record t.cluster
         {
           Cluster.g_proc = t.proc;

@@ -8,7 +8,11 @@
 
 type t
 
-val create : Cluster.t -> site:int -> t
+val create : ?unsafe_no_deps:bool -> Cluster.t -> site:int -> t
+(** [unsafe_no_deps] (default false) deliberately discards the dependencies
+    Rsc-mode reads hand back, disabling the deferred write-back that makes
+    Gryff-RSC sequentially consistent. Only for chaos-audit control runs —
+    the resulting histories should fail the checker. *)
 
 val proc : t -> int
 val site : t -> int
@@ -19,7 +23,13 @@ val deps : t -> Protocol.dep list
     propagation between processes. *)
 
 val read : t -> key:int -> (Protocol.read_result -> unit) -> unit
-val write : t -> key:int -> value:int -> (Protocol.write_result -> unit) -> unit
+
+val write :
+  ?on_apply:(Carstamp.t -> unit) -> t -> key:int -> value:int ->
+  (Protocol.write_result -> unit) -> unit
+(** [on_apply] is {!Protocol.write}'s visibility hook (chaos audits use it
+    to account for writes whose acknowledgements a fault swallowed). *)
+
 val rmw : t -> key:int -> f:(int option -> int) -> (Protocol.rmw_result -> unit) -> unit
 
 val fence : t -> (unit -> unit) -> unit

@@ -37,6 +37,11 @@ val records : t -> record array
 
 val check_history : t -> (unit, string) result
 
+val check_history_of : t -> record list -> (unit, string) result
+(** Check an explicit record set instead of the collected history — chaos
+    audits use this to verify deliberately corrupted ("control") histories
+    are caught, proving the checker has teeth. *)
+
 (** {2 Run statistics} *)
 
 type stats = {

@@ -180,11 +180,16 @@ let read ctx ~client_site ~cid:_ ~deps ~key k =
 
 type write_result = { w_cs : Carstamp.t }
 
-let write ctx ~client_site ~cid ~deps ~key ~value k =
+let write ?(on_apply = fun (_ : Carstamp.t) -> ()) ctx ~client_site ~cid ~deps
+    ~key ~value k =
   ctx.n_writes <- ctx.n_writes + 1;
   let quorum = Config.quorum ctx.config in
   let phase2 base_cs =
     let cs = Carstamp.for_write ~base:base_cs ~cid in
+    (* The value is about to reach replicas: from here on the write can be
+       observed even if the client never hears the acks, so chaos audits
+       record the chosen carstamp for post-hoc history accounting. *)
+    on_apply cs;
     propagate ctx ~client_site ~key ~value:(Some value) ~cs (fun () ->
         k { w_cs = cs })
   in

@@ -50,9 +50,12 @@ val read :
 type write_result = { w_cs : Carstamp.t }
 
 val write :
-  ctx -> client_site:int -> cid:int -> deps:dep list -> key:int -> value:int ->
-  (write_result -> unit) -> unit
-(** The dependencies are propagated by the first phase; callers clear them. *)
+  ?on_apply:(Carstamp.t -> unit) -> ctx -> client_site:int -> cid:int ->
+  deps:dep list -> key:int -> value:int -> (write_result -> unit) -> unit
+(** The dependencies are propagated by the first phase; callers clear them.
+    [on_apply] fires with the chosen carstamp when the propagate phase
+    starts — the point past which the value may be visible at replicas even
+    if the acks never reach the client (chaos-audit accounting). *)
 
 type rmw_result = {
   m_observed : int option;  (** value the function was applied to *)

@@ -3,6 +3,61 @@
    consistency model (a bench that produced an inconsistent run would be
    measuring a broken system). *)
 
+(* Fault accounting for chaos-enabled runs (all zero without a schedule). *)
+type fault_stats = {
+  faults_injected : int;
+  dropped_crash : int;
+  dropped_partition : int;
+  dropped_loss : int;
+  duplicated : int;
+  delayed : int;
+}
+
+let no_faults =
+  {
+    faults_injected = 0;
+    dropped_crash = 0;
+    dropped_partition = 0;
+    dropped_loss = 0;
+    duplicated = 0;
+    delayed = 0;
+  }
+
+let fault_stats_of_net ~faults net =
+  {
+    faults_injected = faults;
+    dropped_crash = Sim.Net.dropped_crash net;
+    dropped_partition = Sim.Net.dropped_partition net;
+    dropped_loss = Sim.Net.dropped_loss net;
+    duplicated = Sim.Net.messages_duplicated net;
+    delayed = Sim.Net.messages_delayed net;
+  }
+
+let print_fault_table fs =
+  Stats.Summary.print_count_table ~header:"faults"
+    ~rows:
+      [
+        ("events injected", fs.faults_injected);
+        ("dropped (crash)", fs.dropped_crash);
+        ("dropped (partition)", fs.dropped_partition);
+        ("dropped (loss)", fs.dropped_loss);
+        ("duplicated", fs.duplicated);
+        ("delayed", fs.delayed);
+      ]
+
+(* Arm a chaos schedule on the run's engine; returns the injected-event
+   counter to read after the run. *)
+let arm_chaos ?chaos ~engine ~net ?tt () =
+  match chaos with
+  | None -> ref 0
+  | Some schedule ->
+    let faults = ref 0 in
+    ignore
+      (Chaos.Schedule.apply schedule ~engine ~net ?tt
+         ~on_fault:(fun _ -> incr faults)
+         ());
+    faults
+
 type spanner_run = {
   sp_ro : Stats.Recorder.t;
   sp_rw : Stats.Recorder.t;
@@ -11,19 +66,36 @@ type spanner_run = {
   sp_duration_us : int;
   sp_check : (unit, string) result;
   sp_records : Rss_core.Witness.txn array;
+  sp_faults : fault_stats;
+}
+
+(* Chaos runs must sweep committed-but-unacknowledged attempts into the
+   history before checking it (see Chaos.Audit); both trackers below record
+   via the audit's shared sweep convention. *)
+type pending_rw = {
+  pr_proc : int;
+  pr_inv : int;
+  pr_writes : (int * int) list;
+  mutable pr_last_txn : int;
+  mutable pr_done : bool;
 }
 
 (* The paper's §6.1 wide-area Retwis experiment: partly-open clients
    (sessions at [arrival_rate_per_sec], stay probability 0.9, zero think
    time, a fresh t_min per session), Zipfian keys. *)
-let spanner_wan ?(config = None) ~mode ~theta ~n_keys ~arrival_rate_per_sec
-    ~duration_s ~seed () =
+let spanner_wan ?(config = None) ?chaos ~mode ~theta ~n_keys
+    ~arrival_rate_per_sec ~duration_s ~seed () =
   let engine = Sim.Engine.create () in
   let rng = Sim.Rng.make seed in
   let config =
     match config with Some c -> c | None -> Spanner.Config.wan3 ~mode ()
   in
   let cluster = Spanner.Cluster.create engine ~rng config in
+  let faults =
+    arm_chaos ?chaos ~engine ~net:(Spanner.Cluster.net cluster)
+      ~tt:(Spanner.Cluster.truetime cluster) ()
+  in
+  let pending : pending_rw list ref = ref [] in
   let retwis = Workload.Retwis.create ~rng:(Sim.Rng.split rng) ~n_keys ~theta in
   let ro = Stats.Recorder.create () and rw = Stats.Recorder.create () in
   let n_sites = Array.length config.Spanner.Config.client_sites in
@@ -51,14 +123,46 @@ let spanner_wan ?(config = None) ~mode ~theta ~n_keys ~arrival_rate_per_sec
     in
     if Workload.Retwis.is_read_only txn then
       Spanner.Client.ro c ~keys:txn.Workload.Retwis.read_keys (fun _ -> finish ro ())
-    else
+    else if chaos = None then
       Spanner.Client.rw c ~read_keys:txn.Workload.Retwis.read_keys
         ~write_keys:txn.Workload.Retwis.write_keys (fun _ -> finish rw ())
+    else begin
+      (* Same fresh values Client.rw would pick; tracked so an attempt whose
+         acknowledgement a fault swallows can be swept into the history. *)
+      let writes =
+        List.map
+          (fun key -> (key, Spanner.Cluster.fresh_value cluster))
+          txn.Workload.Retwis.write_keys
+      in
+      let info =
+        {
+          pr_proc = Spanner.Client.proc c;
+          pr_inv = t0;
+          pr_writes = writes;
+          pr_last_txn = -1;
+          pr_done = false;
+        }
+      in
+      pending := info :: !pending;
+      Spanner.Client.rw_kv c
+        ~on_attempt:(fun id -> info.pr_last_txn <- id)
+        ~read_keys:txn.Workload.Retwis.read_keys ~writes
+        (fun _ ->
+          info.pr_done <- true;
+          finish rw ())
+    end
   in
   ignore
     (Workload.Client_model.partly_open engine ~rng:(Sim.Rng.split rng)
        ~arrival_rate_per_sec ~stay:0.9 ~body ~until ());
   Sim.Engine.run ~max_events:600_000_000 engine;
+  List.iter
+    (fun info ->
+      if (not info.pr_done) && info.pr_last_txn >= 0 then
+        ignore
+          (Chaos.Audit.sweep_spanner_txn cluster ~proc:info.pr_proc
+             ~inv:info.pr_inv ~writes:info.pr_writes ~txn:info.pr_last_txn))
+    (List.rev !pending);
   let stats = Spanner.Cluster.stats cluster in
   {
     sp_ro = ro;
@@ -68,16 +172,23 @@ let spanner_wan ?(config = None) ~mode ~theta ~n_keys ~arrival_rate_per_sec
     sp_duration_us = Sim.Engine.now engine;
     sp_check = Spanner.Cluster.check_history cluster;
     sp_records = Spanner.Cluster.records cluster;
+    sp_faults = fault_stats_of_net ~faults:!faults (Spanner.Cluster.net cluster);
   }
 
 (* The §6.2 single-data-center saturation experiment: closed-loop clients,
    uniform keys, ε = 0, per-message CPU cost at shard leaders. *)
-let spanner_dc ~mode ~n_shards ~service_time_us ~n_clients ~n_keys ~duration_s
-    ~seed () =
+let spanner_dc ?chaos ~mode ~n_shards ~service_time_us ~n_clients ~n_keys
+    ~duration_s ~seed () =
   let engine = Sim.Engine.create () in
   let rng = Sim.Rng.make seed in
   let config = Spanner.Config.single_dc ~mode ~n_shards ~service_time_us () in
   let cluster = Spanner.Cluster.create engine ~rng config in
+  let faults =
+    arm_chaos ?chaos ~engine ~net:(Spanner.Cluster.net cluster)
+      ~tt:(Spanner.Cluster.truetime cluster) ()
+  in
+  ignore faults;
+  let pending : pending_rw list ref = ref [] in
   let retwis = Workload.Retwis.create ~rng:(Sim.Rng.split rng) ~n_keys ~theta:0.0 in
   let lat = Stats.Recorder.create () in
   let completed = ref 0 in
@@ -98,11 +209,36 @@ let spanner_dc ~mode ~n_shards ~service_time_us ~n_clients ~n_keys ~duration_s
       in
       if Workload.Retwis.is_read_only txn then
         Spanner.Client.ro c ~keys:txn.Workload.Retwis.read_keys (fun _ -> finish ())
-      else
+      else if chaos = None then
         Spanner.Client.rw c ~read_keys:txn.Workload.Retwis.read_keys
-          ~write_keys:txn.Workload.Retwis.write_keys (fun _ -> finish ()))
+          ~write_keys:txn.Workload.Retwis.write_keys (fun _ -> finish ())
+      else begin
+        let writes =
+          List.map
+            (fun key -> (key, Spanner.Cluster.fresh_value cluster))
+            txn.Workload.Retwis.write_keys
+        in
+        let info =
+          { pr_proc = Spanner.Client.proc c; pr_inv = t0; pr_writes = writes;
+            pr_last_txn = -1; pr_done = false }
+        in
+        pending := info :: !pending;
+        Spanner.Client.rw_kv c
+          ~on_attempt:(fun id -> info.pr_last_txn <- id)
+          ~read_keys:txn.Workload.Retwis.read_keys ~writes
+          (fun _ ->
+            info.pr_done <- true;
+            finish ())
+      end)
     ~until ();
   Sim.Engine.run ~max_events:600_000_000 engine;
+  List.iter
+    (fun info ->
+      if (not info.pr_done) && info.pr_last_txn >= 0 then
+        ignore
+          (Chaos.Audit.sweep_spanner_txn cluster ~proc:info.pr_proc
+             ~inv:info.pr_inv ~writes:info.pr_writes ~txn:info.pr_last_txn))
+    (List.rev !pending);
   let measured_us = until - warmup in
   let throughput = Stats.Summary.throughput ~count:!completed ~duration_us:measured_us in
   let median = if Stats.Recorder.is_empty lat then 0.0 else Stats.Recorder.percentile_ms lat 50.0 in
@@ -120,16 +256,38 @@ type gryff_run = {
   gr_stats : Gryff.Cluster.stats;
   gr_duration_us : int;
   gr_check : (unit, string) result;
+  gr_faults : fault_stats;
 }
+
+type pending_write = {
+  pw_proc : int;
+  pw_inv : int;
+  pw_key : int;
+  pw_value : int;
+  mutable pw_cs : Gryff.Carstamp.t option;
+  mutable pw_done : bool;
+}
+
+let sweep_gryff cluster pending =
+  List.iter
+    (fun info ->
+      match (info.pw_done, info.pw_cs) with
+      | false, Some cs ->
+        Chaos.Audit.sweep_gryff_write cluster ~proc:info.pw_proc
+          ~inv:info.pw_inv ~key:info.pw_key ~value:info.pw_value ~cs
+      | _ -> ())
+    (List.rev pending)
 
 (* The §7.2 YCSB experiment: 16 closed-loop clients spread over five
    regions, tunable conflict percentage and write ratio. *)
-let gryff_wan ?(n_clients = 16) ~mode ~conflict ~write_ratio ~n_keys ~duration_s
-    ~seed () =
+let gryff_wan ?(n_clients = 16) ?chaos ~mode ~conflict ~write_ratio ~n_keys
+    ~duration_s ~seed () =
   let engine = Sim.Engine.create () in
   let rng = Sim.Rng.make seed in
   let config = Gryff.Config.wan5 ~mode () in
   let cluster = Gryff.Cluster.create engine ~rng config in
+  let faults = arm_chaos ?chaos ~engine ~net:(Gryff.Cluster.net cluster) () in
+  let pending : pending_write list ref = ref [] in
   let ycsb = Workload.Ycsb.create ~rng:(Sim.Rng.split rng) ~n_keys ~write_ratio ~conflict in
   let read_lat = Stats.Recorder.create () and write_lat = Stats.Recorder.create () in
   let next_val = ref 0 in
@@ -147,27 +305,47 @@ let gryff_wan ?(n_clients = 16) ~mode ~conflict ~write_ratio ~n_keys ~duration_s
       in
       if op.Workload.Ycsb.is_write then begin
         incr next_val;
-        Gryff.Client.write c ~key:op.Workload.Ycsb.key ~value:!next_val (fun _ ->
-            finish write_lat ())
+        if chaos = None then
+          Gryff.Client.write c ~key:op.Workload.Ycsb.key ~value:!next_val
+            (fun _ -> finish write_lat ())
+        else begin
+          let info =
+            { pw_proc = Gryff.Client.proc c; pw_inv = t0;
+              pw_key = op.Workload.Ycsb.key; pw_value = !next_val;
+              pw_cs = None; pw_done = false }
+          in
+          pending := info :: !pending;
+          Gryff.Client.write c
+            ~on_apply:(fun cs -> info.pw_cs <- Some cs)
+            ~key:op.Workload.Ycsb.key ~value:info.pw_value
+            (fun _ ->
+              info.pw_done <- true;
+              finish write_lat ())
+        end
       end
       else Gryff.Client.read c ~key:op.Workload.Ycsb.key (fun _ -> finish read_lat ()))
     ~until ();
   Sim.Engine.run ~max_events:600_000_000 engine;
+  sweep_gryff cluster !pending;
   {
     gr_read = read_lat;
     gr_write = write_lat;
     gr_stats = Gryff.Cluster.stats cluster;
     gr_duration_us = Sim.Engine.now engine;
     gr_check = Gryff.Cluster.check_history cluster;
+    gr_faults = fault_stats_of_net ~faults:!faults (Gryff.Cluster.net cluster);
   }
 
 (* The §7.4 overhead experiment: in-DC latencies, per-message CPU cost. *)
-let gryff_dc ~mode ~service_time_us ~n_clients ~conflict ~write_ratio ~n_keys
-    ~duration_s ~seed () =
+let gryff_dc ?chaos ~mode ~service_time_us ~n_clients ~conflict ~write_ratio
+    ~n_keys ~duration_s ~seed () =
   let engine = Sim.Engine.create () in
   let rng = Sim.Rng.make seed in
   let config = Gryff.Config.single_dc ~mode ~service_time_us () in
   let cluster = Gryff.Cluster.create engine ~rng config in
+  let faults = arm_chaos ?chaos ~engine ~net:(Gryff.Cluster.net cluster) () in
+  ignore faults;
+  let pending : pending_write list ref = ref [] in
   let ycsb = Workload.Ycsb.create ~rng:(Sim.Rng.split rng) ~n_keys ~write_ratio ~conflict in
   let lat = Stats.Recorder.create () in
   let completed = ref 0 in
@@ -189,12 +367,28 @@ let gryff_dc ~mode ~service_time_us ~n_clients ~conflict ~write_ratio ~n_keys
       in
       if op.Workload.Ycsb.is_write then begin
         incr next_val;
-        Gryff.Client.write c ~key:op.Workload.Ycsb.key ~value:!next_val (fun _ ->
-            finish ())
+        if chaos = None then
+          Gryff.Client.write c ~key:op.Workload.Ycsb.key ~value:!next_val
+            (fun _ -> finish ())
+        else begin
+          let info =
+            { pw_proc = Gryff.Client.proc c; pw_inv = t0;
+              pw_key = op.Workload.Ycsb.key; pw_value = !next_val;
+              pw_cs = None; pw_done = false }
+          in
+          pending := info :: !pending;
+          Gryff.Client.write c
+            ~on_apply:(fun cs -> info.pw_cs <- Some cs)
+            ~key:op.Workload.Ycsb.key ~value:info.pw_value
+            (fun _ ->
+              info.pw_done <- true;
+              finish ())
+        end
       end
       else Gryff.Client.read c ~key:op.Workload.Ycsb.key (fun _ -> finish ()))
     ~until ();
   Sim.Engine.run ~max_events:600_000_000 engine;
+  sweep_gryff cluster !pending;
   let measured_us = until - warmup in
   let throughput = Stats.Summary.throughput ~count:!completed ~duration_us:measured_us in
   let median = if Stats.Recorder.is_empty lat then 0.0 else Stats.Recorder.percentile_ms lat 50.0 in

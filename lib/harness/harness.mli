@@ -1,6 +1,27 @@
 (** Experiment drivers shared by the benchmark harness (bench/) and the CLI
     (bin/): run one configured simulation to completion and return latency
-    recorders, protocol statistics, and the history-verification verdict. *)
+    recorders, protocol statistics, and the history-verification verdict.
+
+    Every driver takes an optional [?chaos] fault schedule. With one armed,
+    the driver (a) injects the schedule's faults into the run's network and
+    TrueTime, (b) tracks in-flight writes so attempts whose acknowledgement
+    a fault swallowed can be swept into the history before checking (see
+    {!Chaos.Audit}), and (c) reports fault accounting in its result. *)
+
+(** Fault accounting for a chaos-enabled run (all zero without a schedule). *)
+type fault_stats = {
+  faults_injected : int;  (** schedule events that fired *)
+  dropped_crash : int;
+  dropped_partition : int;
+  dropped_loss : int;
+  duplicated : int;
+  delayed : int;
+}
+
+val no_faults : fault_stats
+
+val print_fault_table : fault_stats -> unit
+(** Print the accounting as a Summary-style count table. *)
 
 type spanner_run = {
   sp_ro : Stats.Recorder.t;  (** read-only transaction latencies (µs) *)
@@ -10,20 +31,22 @@ type spanner_run = {
   sp_duration_us : int;
   sp_check : (unit, string) result;
   sp_records : Rss_core.Witness.txn array;  (** full history of the run *)
+  sp_faults : fault_stats;
 }
 
 val spanner_wan :
-  ?config:Spanner.Config.t option -> mode:Spanner.Config.mode -> theta:float ->
-  n_keys:int -> arrival_rate_per_sec:float -> duration_s:float -> seed:int ->
-  unit -> spanner_run
+  ?config:Spanner.Config.t option -> ?chaos:Chaos.Schedule.t ->
+  mode:Spanner.Config.mode -> theta:float -> n_keys:int ->
+  arrival_rate_per_sec:float -> duration_s:float -> seed:int -> unit ->
+  spanner_run
 (** §6.1: Retwis over the CA/VA/IR deployment with partly-open clients
     (a fresh session — and t_min — per arrival, stay probability 0.9).
     The first 10% of the run is warm-up and is not recorded. *)
 
 val spanner_dc :
-  mode:Spanner.Config.mode -> n_shards:int -> service_time_us:int ->
-  n_clients:int -> n_keys:int -> duration_s:float -> seed:int -> unit ->
-  float * float * float * (unit, string) result
+  ?chaos:Chaos.Schedule.t -> mode:Spanner.Config.mode -> n_shards:int ->
+  service_time_us:int -> n_clients:int -> n_keys:int -> duration_s:float ->
+  seed:int -> unit -> float * float * float * (unit, string) result
 (** §6.2 saturation: returns (throughput tx/s, median latency ms,
     messages per transaction, check). *)
 
@@ -33,18 +56,20 @@ type gryff_run = {
   gr_stats : Gryff.Cluster.stats;
   gr_duration_us : int;
   gr_check : (unit, string) result;
+  gr_faults : fault_stats;
 }
 
 val gryff_wan :
-  ?n_clients:int -> mode:Gryff.Config.mode -> conflict:float ->
-  write_ratio:float -> n_keys:int -> duration_s:float -> seed:int -> unit ->
-  gryff_run
+  ?n_clients:int -> ?chaos:Chaos.Schedule.t -> mode:Gryff.Config.mode ->
+  conflict:float -> write_ratio:float -> n_keys:int -> duration_s:float ->
+  seed:int -> unit -> gryff_run
 (** §7.2: YCSB over the five-region deployment, closed-loop clients. *)
 
 val gryff_dc :
-  mode:Gryff.Config.mode -> service_time_us:int -> n_clients:int ->
-  conflict:float -> write_ratio:float -> n_keys:int -> duration_s:float ->
-  seed:int -> unit -> float * float * (unit, string) result
+  ?chaos:Chaos.Schedule.t -> mode:Gryff.Config.mode -> service_time_us:int ->
+  n_clients:int -> conflict:float -> write_ratio:float -> n_keys:int ->
+  duration_s:float -> seed:int -> unit ->
+  float * float * (unit, string) result
 (** §7.4 overhead: returns (throughput ops/s, median latency ms, check). *)
 
 val report_check : string -> (unit, string) result -> unit

@@ -1,5 +1,20 @@
 type site = int
 
+type drop_cause = Crash | Partition | Loss
+
+(* Per-directed-link fault state. All fields default to the healthy value;
+   the send path only draws random numbers for a fault that is armed, so a
+   fault-free run consumes exactly the same RNG stream as before the fault
+   model existed (seeded experiments stay byte-identical). *)
+type link = {
+  mutable blocked : bool;
+  mutable loss : float;
+  mutable dup : float;
+  mutable extra_us : int;
+  mutable reorder : float;
+  mutable reorder_max_us : int;
+}
+
 type t = {
   engine : Engine.t;
   rng : Rng.t;
@@ -7,10 +22,25 @@ type t = {
   rtt : float array array;
   jitter : float;
   down : bool array;
+  links : link array array;
   mutable n_messages : int;
   mutable n_bytes : int;
-  mutable n_dropped : int;
+  mutable n_dropped_crash : int;
+  mutable n_dropped_partition : int;
+  mutable n_dropped_loss : int;
+  mutable n_duplicated : int;
+  mutable n_delayed : int;
 }
+
+let fresh_link () =
+  {
+    blocked = false;
+    loss = 0.0;
+    dup = 0.0;
+    extra_us = 0;
+    reorder = 0.0;
+    reorder_max_us = 0;
+  }
 
 let create engine ~rng ~rtt_ms ?(jitter = 0.02) () =
   let n = Array.length rtt_ms in
@@ -32,32 +62,70 @@ let create engine ~rng ~rtt_ms ?(jitter = 0.02) () =
     rtt;
     jitter;
     down = Array.make n false;
+    links = Array.init n (fun _ -> Array.init n (fun _ -> fresh_link ()));
     n_messages = 0;
     n_bytes = 0;
-    n_dropped = 0;
+    n_dropped_crash = 0;
+    n_dropped_partition = 0;
+    n_dropped_loss = 0;
+    n_duplicated = 0;
+    n_delayed = 0;
   }
 
 let n_sites t = Array.length t.one_way_us
 
 let base_one_way t ~src ~dst = t.one_way_us.(src).(dst)
 
-let rec send ?(bytes = 64) t ~src ~dst handler =
-  if t.down.(src) || t.down.(dst) then t.n_dropped <- t.n_dropped + 1
-  else begin
-    send_live ~bytes t ~src ~dst handler
-  end
+(* The single per-link fault predicate every delivery consults. Causes are
+   ordered crash > partition > loss so each dropped message is charged to
+   exactly one counter. The loss draw happens only when the link can
+   actually deliver — a crashed destination does not consume randomness. *)
+let classify t ~src ~dst =
+  if t.down.(src) || t.down.(dst) then Some Crash
+  else
+    let l = t.links.(src).(dst) in
+    if l.blocked then Some Partition
+    else if l.loss > 0.0 && Rng.bool t.rng l.loss then Some Loss
+    else None
 
-and send_live ~bytes t ~src ~dst handler =
-  t.n_messages <- t.n_messages + 1;
-  t.n_bytes <- t.n_bytes + bytes;
+let count_drop t = function
+  | Crash -> t.n_dropped_crash <- t.n_dropped_crash + 1
+  | Partition -> t.n_dropped_partition <- t.n_dropped_partition + 1
+  | Loss -> t.n_dropped_loss <- t.n_dropped_loss + 1
+
+let sample_delay t ~src ~dst =
   let base = t.one_way_us.(src).(dst) in
-  let delay =
+  let d =
     if t.jitter <= 0.0 then base
     else
       let factor = 1.0 +. Rng.float t.rng t.jitter in
       int_of_float (float_of_int base *. factor)
   in
-  Engine.schedule t.engine ~after:delay handler
+  let l = t.links.(src).(dst) in
+  let injected =
+    (if l.extra_us > 0 then l.extra_us else 0)
+    + (if l.reorder > 0.0 && l.reorder_max_us > 0 && Rng.bool t.rng l.reorder
+       then 1 + Rng.int t.rng l.reorder_max_us
+       else 0)
+  in
+  if injected > 0 then t.n_delayed <- t.n_delayed + 1;
+  d + injected
+
+let send ?(bytes = 64) t ~src ~dst handler =
+  match classify t ~src ~dst with
+  | Some cause -> count_drop t cause
+  | None ->
+    t.n_messages <- t.n_messages + 1;
+    t.n_bytes <- t.n_bytes + bytes;
+    Engine.schedule t.engine ~after:(sample_delay t ~src ~dst) handler;
+    let l = t.links.(src).(dst) in
+    if l.dup > 0.0 && Rng.bool t.rng l.dup then begin
+      t.n_duplicated <- t.n_duplicated + 1;
+      Engine.schedule t.engine ~after:(sample_delay t ~src ~dst) handler
+    end
+
+(* {2 Crashes} — kept API; the send path treats a crashed site as every one
+   of its links (in and out) being severed, charged to the crash counter. *)
 
 let set_down t site = t.down.(site) <- true
 
@@ -65,7 +133,71 @@ let set_up t site = t.down.(site) <- false
 
 let is_down t site = t.down.(site)
 
-let messages_dropped t = t.n_dropped
+(* {2 Per-link faults} *)
+
+let block_link t ~src ~dst = t.links.(src).(dst).blocked <- true
+
+let unblock_link t ~src ~dst = t.links.(src).(dst).blocked <- false
+
+let link_blocked t ~src ~dst = t.links.(src).(dst).blocked
+
+let partition t a b =
+  List.iter
+    (fun i ->
+      List.iter
+        (fun j ->
+          block_link t ~src:i ~dst:j;
+          block_link t ~src:j ~dst:i)
+        b)
+    a
+
+let heal_partitions t =
+  Array.iter (fun row -> Array.iter (fun l -> l.blocked <- false) row) t.links
+
+let set_loss t ~src ~dst p =
+  if p < 0.0 || p >= 1.0 then invalid_arg "Net.set_loss: p must be in [0, 1)";
+  t.links.(src).(dst).loss <- p
+
+let set_dup t ~src ~dst p =
+  if p < 0.0 || p >= 1.0 then invalid_arg "Net.set_dup: p must be in [0, 1)";
+  t.links.(src).(dst).dup <- p
+
+let set_extra_delay t ~src ~dst us =
+  if us < 0 then invalid_arg "Net.set_extra_delay: negative delay";
+  t.links.(src).(dst).extra_us <- us
+
+let set_reorder t ~src ~dst ~prob ~max_extra_us =
+  if prob < 0.0 || prob >= 1.0 then invalid_arg "Net.set_reorder: prob in [0, 1)";
+  t.links.(src).(dst).reorder <- prob;
+  t.links.(src).(dst).reorder_max_us <- max_extra_us
+
+let clear_link_faults t =
+  Array.iter
+    (fun row ->
+      Array.iter
+        (fun l ->
+          l.loss <- 0.0;
+          l.dup <- 0.0;
+          l.extra_us <- 0;
+          l.reorder <- 0.0;
+          l.reorder_max_us <- 0)
+        row)
+    t.links
+
+(* {2 Counters} *)
+
+let messages_dropped t =
+  t.n_dropped_crash + t.n_dropped_partition + t.n_dropped_loss
+
+let dropped_crash t = t.n_dropped_crash
+
+let dropped_partition t = t.n_dropped_partition
+
+let dropped_loss t = t.n_dropped_loss
+
+let messages_duplicated t = t.n_duplicated
+
+let messages_delayed t = t.n_delayed
 
 let messages_sent t = t.n_messages
 

@@ -1,13 +1,25 @@
-(** Simulated wide-area network between sites.
+(** Simulated wide-area network between sites, with a per-link fault model.
 
     Built from a (symmetric) round-trip-time matrix in milliseconds;
     one message delivery takes half the RTT, optionally inflated by
     multiplicative jitter. Local delivery ([src = dst]) still pays the
-    diagonal RTT (the paper's testbeds report ~0.2 ms in-DC). *)
+    diagonal RTT (the paper's testbeds report ~0.2 ms in-DC).
+
+    Every delivery consults one per-directed-link fault predicate: site
+    crashes, asymmetric partitions (a blocked [src -> dst] pair), and
+    probabilistic loss drop the message (charged to per-cause counters);
+    duplication delivers the handler twice; latency spikes and
+    reorder-by-extra-delay stretch the sampled delay. A run with no armed
+    faults consumes exactly the same RNG stream as the fault-free network,
+    so seeded experiments are unaffected by the fault machinery. *)
 
 type site = int
 
 type t
+
+(** Why a message was dropped — crash of either endpoint, a severed link, or
+    probabilistic loss, in that precedence order. *)
+type drop_cause = Crash | Partition | Loss
 
 val create :
   Engine.t -> rng:Rng.t -> rtt_ms:float array array -> ?jitter:float -> unit -> t
@@ -21,20 +33,73 @@ val base_one_way : t -> src:site -> dst:site -> int
 (** Deterministic one-way delay (µs), before jitter. *)
 
 val send : ?bytes:int -> t -> src:site -> dst:site -> (unit -> unit) -> unit
-(** Deliver a message: schedule the handler after a sampled one-way delay. *)
+(** Deliver a message: schedule the handler after a sampled one-way delay,
+    subject to the link's fault state. A dropped message never schedules its
+    handler — there is no link-level retransmission, exactly like a severed
+    TCP connection. *)
 
 val messages_sent : t -> int
 val bytes_sent : t -> int
 val rtt_ms : t -> src:site -> dst:site -> float
 
-(** {2 Failure injection} *)
+(** {2 Crash failures} *)
 
 val set_down : t -> site -> unit
 (** Crash a site: every message to or from it is silently dropped until
-    {!set_up}. Quorum protocols should ride out up to f such crashes. *)
+    {!set_up}. Quorum protocols should ride out up to f such crashes.
+    Implemented as the crash layer of the per-link fault predicate. *)
 
 val set_up : t -> site -> unit
 
 val is_down : t -> site -> bool
 
+(** {2 Per-link faults}
+
+    All faults are per {e directed} link, so asymmetric failures (A hears B
+    but not vice versa) are expressible. Probabilities must be in [\[0, 1)]. *)
+
+val block_link : t -> src:site -> dst:site -> unit
+(** Sever one direction of a link (partition building block). *)
+
+val unblock_link : t -> src:site -> dst:site -> unit
+
+val link_blocked : t -> src:site -> dst:site -> bool
+
+val partition : t -> site list -> site list -> unit
+(** [partition t a b] severs both directions between every pair in [a] × [b]
+    (sites absent from both lists keep full connectivity — a partial,
+    "bridge" partition). *)
+
+val heal_partitions : t -> unit
+(** Unblock every link. Does not touch crashes or probabilistic faults. *)
+
+val set_loss : t -> src:site -> dst:site -> float -> unit
+(** Drop each message on the link with the given probability. *)
+
+val set_dup : t -> src:site -> dst:site -> float -> unit
+(** Deliver each message twice with the given probability (the duplicate
+    samples its own delay, so it may arrive before the original). Only
+    protocols with idempotent handlers should be audited under duplication. *)
+
+val set_extra_delay : t -> src:site -> dst:site -> int -> unit
+(** Latency spike: add a fixed extra delay (µs) to every delivery. *)
+
+val set_reorder : t -> src:site -> dst:site -> prob:float -> max_extra_us:int -> unit
+(** Bounded reordering: with probability [prob], a message takes a uniform
+    extra delay in [\[1, max_extra_us\]], letting later sends overtake it. *)
+
+val clear_link_faults : t -> unit
+(** Reset loss, duplication, extra delay, and reordering on every link.
+    Partitions ({!heal_partitions}) and crashes ({!set_up}) are separate. *)
+
+(** {2 Fault counters} *)
+
 val messages_dropped : t -> int
+(** Total drops, all causes — the pre-fault-model counter, preserved. *)
+
+val dropped_crash : t -> int
+val dropped_partition : t -> int
+val dropped_loss : t -> int
+val messages_duplicated : t -> int
+val messages_delayed : t -> int
+(** Deliveries that took fault-injected extra delay (spike or reorder). *)

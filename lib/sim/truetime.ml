@@ -1,4 +1,4 @@
-type t = { engine : Engine.t; epsilon_us : int }
+type t = { engine : Engine.t; mutable epsilon_us : int }
 
 type interval = { earliest : int; latest : int }
 
@@ -9,5 +9,9 @@ let now t =
   { earliest = c - t.epsilon_us; latest = c + t.epsilon_us }
 
 let epsilon t = t.epsilon_us
+
+let set_epsilon t epsilon_us =
+  if epsilon_us < 0 then invalid_arg "Truetime.set_epsilon: negative epsilon";
+  t.epsilon_us <- epsilon_us
 
 let after t ts = ts < (now t).earliest

@@ -2,7 +2,13 @@
 
     [now] returns an interval guaranteed to contain "absolute" time — here,
     the simulator clock — with a configurable error bound ε. The evaluation
-    uses ε = 10 ms, the p99.9 value Spanner reports in practice. *)
+    uses ε = 10 ms, the p99.9 value Spanner reports in practice.
+
+    ε may change during a run ({!set_epsilon} — clock-daemon degradation /
+    chaos injection). Since the simulator clock {e is} absolute time, any
+    ε ≥ 0 keeps the containment invariant; waiters must nevertheless re-check
+    {!after} when they wake rather than pre-computing a sleep from a stale ε
+    (see [Spanner.Protocol.wait_truetime]). *)
 
 type t
 
@@ -14,6 +20,9 @@ val now : t -> interval
 (** [{earliest; latest}] = [\[clock - ε, clock + ε\]]. *)
 
 val epsilon : t -> int
+
+val set_epsilon : t -> int -> unit
+(** Change the uncertainty bound from this instant on. *)
 
 val after : t -> int -> bool
 (** [after t ts] is [true] once [ts] is definitely in the past

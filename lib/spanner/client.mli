@@ -20,13 +20,16 @@ val site : t -> int
 val t_min : t -> int
 
 val rw :
-  t -> read_keys:int list -> write_keys:int list -> (Protocol.rw_result -> unit) -> unit
+  ?on_attempt:(int -> unit) -> t -> read_keys:int list -> write_keys:int list ->
+  (Protocol.rw_result -> unit) -> unit
 (** Writes fresh unique values (history checking needs per-key-unique
-    stored values). *)
+    stored values). [on_attempt] is {!Protocol.rw_txn}'s attempt hook —
+    chaos audits use it to track transactions whose acknowledgement a fault
+    may swallow. *)
 
 val rw_kv :
-  t -> read_keys:int list -> writes:(int * int) list ->
-  (Protocol.rw_result -> unit) -> unit
+  ?on_attempt:(int -> unit) -> t -> read_keys:int list ->
+  writes:(int * int) list -> (Protocol.rw_result -> unit) -> unit
 (** Explicit (key, value) writes — application code; values must stay unique
     per key across the run for history checking. *)
 

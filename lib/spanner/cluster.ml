@@ -40,6 +40,10 @@ let ctx t = t.pctx
 
 let net t = t.net
 
+let truetime t = t.tt
+
+let txn_outcome t id = (Types.find t.txns id).Types.outcome
+
 let fresh_proc t =
   let p = t.next_proc in
   t.next_proc <- p + 1;

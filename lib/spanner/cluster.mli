@@ -10,6 +10,12 @@ val engine : t -> Sim.Engine.t
 val config : t -> Config.t
 val ctx : t -> Protocol.ctx
 val net : t -> Sim.Net.t
+val truetime : t -> Sim.Truetime.t
+
+val txn_outcome : t -> int -> Types.outcome option
+(** The 2PC outcome recorded for a transaction attempt ([None] while
+    undecided). Chaos audits use this to sweep committed-but-unacknowledged
+    attempts into the history after a run. *)
 
 val fresh_proc : t -> int
 (** A new session (process) id for history purposes. *)

@@ -48,14 +48,18 @@ let group_by_shard ctx keys =
     keys;
   Hashtbl.fold (fun s keys acc -> (s, keys) :: acc) tbl []
 
-(* Wait until [ts] is definitely past: TT.now.earliest > ts. *)
-let wait_truetime ctx ts k =
+(* Wait until [ts] is definitely past: TT.now.earliest > ts. The sleep
+   length is an estimate from the current ε, so re-check on wake: if ε was
+   inflated while we slept, sleeping the stale amount would cut commit wait
+   short and break the external-consistency invariant. *)
+let rec wait_truetime ctx ts k =
   let iv = Sim.Truetime.now ctx.tt in
   if ts < iv.Sim.Truetime.earliest then k ()
   else
-    Sim.Engine.schedule ctx.engine
-      ~after:(ts + Sim.Truetime.epsilon ctx.tt - Sim.Engine.now ctx.engine + 1)
-      k
+    let after =
+      max 1 (ts + Sim.Truetime.epsilon ctx.tt - Sim.Engine.now ctx.engine + 1)
+    in
+    Sim.Engine.schedule ctx.engine ~after (fun () -> wait_truetime ctx ts k)
 
 (* ------------------------------------------------------------------ *)
 (* Read-write transactions: 2PL + 2PC with timestamps and commit wait  *)
@@ -297,7 +301,8 @@ let handle_rw_read ctx shard ~txn ~priority ~keys
   in
   if Types.is_wounded ctx.txns txn then reply None else loop keys []
 
-let rw_txn ctx ~client_site ~proc ~read_keys ~writes k =
+let rw_txn ?(on_attempt = fun (_ : int) -> ()) ctx ~client_site ~proc ~read_keys
+    ~writes k =
   if writes = [] then invalid_arg "Protocol.rw_txn: empty write set";
   let write_keys = List.map fst writes in
   if List.length (List.sort_uniq compare write_keys) <> List.length write_keys then
@@ -319,6 +324,7 @@ let rw_txn ctx ~client_site ~proc ~read_keys ~writes k =
   let rec attempt () =
     let meta = Types.fresh ctx.txns ~proc ~priority in
     let txn = meta.Types.id in
+    on_attempt txn;
     (* --- execution (read) phase --- *)
     let pending = ref (List.length read_shards) in
     let observed = ref [] in

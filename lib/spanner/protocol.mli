@@ -41,14 +41,20 @@ type rw_result = {
 }
 
 val rw_txn :
-  ctx -> client_site:int -> proc:int -> read_keys:int list ->
-  writes:(int * int) list -> (rw_result -> unit) -> unit
+  ?on_attempt:(int -> unit) -> ctx -> client_site:int -> proc:int ->
+  read_keys:int list -> writes:(int * int) list -> (rw_result -> unit) -> unit
 (** Runs to commit, retrying internally on wound-wait aborts with the
     original priority. [writes] are (key, value) pairs, non-empty, one per
     key (duplicates raise [Invalid_argument]); duplicate [read_keys] are
     deduplicated. The continuation receives the commit timestamp
     and the values observed by the execution-phase reads (valid at the
-    commit timestamp, by 2PL). *)
+    commit timestamp, by 2PL).
+
+    [on_attempt] fires with each attempt's transaction id as it starts.
+    Under fault injection a client can lose the commit acknowledgement; the
+    last attempt id lets the caller look the outcome up post-hoc
+    ([Cluster.txn_outcome]) and record committed-but-unacknowledged
+    transactions into the history as incomplete. *)
 
 type ro_result = {
   ro_snap_ts : int;  (** witness serialization timestamp *)

@@ -15,6 +15,10 @@ let print_latency_table ~header ~rows ?(points = tail_points) () =
       Fmt.pr "@.")
     rows
 
+let print_count_table ~header ~rows =
+  Fmt.pr "%s@." header;
+  List.iter (fun (name, n) -> Fmt.pr "  %-24s %10d@." name n) rows
+
 let improvement ~baseline ~variant =
   if baseline = 0.0 then 0.0 else (baseline -. variant) /. baseline *. 100.0
 

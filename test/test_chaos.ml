@@ -1,0 +1,515 @@
+(* Chaos subsystem tests: the per-link fault model in Sim.Net, declarative
+   fault schedules, seeded nemesis generation, and the audit battery — every
+   schedule kind against all four protocols, with liveness, determinism,
+   quorum ride-through, and deliberately broken controls proving the
+   checkers catch what they are supposed to catch. *)
+
+let check = Alcotest.check
+let bool = Alcotest.bool
+let int = Alcotest.int
+
+let mk_net ?(n = 3) ?(seed = 1) () =
+  let engine = Sim.Engine.create () in
+  let rng = Sim.Rng.make seed in
+  let rtt_ms = Array.make_matrix n n 10.0 in
+  for i = 0 to n - 1 do
+    rtt_ms.(i).(i) <- 1.0
+  done;
+  (engine, Sim.Net.create engine ~rng ~rtt_ms ())
+
+(* ------------------------------------------------------------------ *)
+(* Sim.Net per-link fault model                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_net_asymmetric_block () =
+  let engine, net = mk_net () in
+  let got = ref [] in
+  Sim.Net.block_link net ~src:0 ~dst:1;
+  Sim.Net.send net ~src:0 ~dst:1 (fun () -> got := "0->1" :: !got);
+  Sim.Net.send net ~src:1 ~dst:0 (fun () -> got := "1->0" :: !got);
+  Sim.Engine.run engine;
+  check (Alcotest.list Alcotest.string) "only reverse direction delivered"
+    [ "1->0" ] !got;
+  check int "charged to partition" 1 (Sim.Net.dropped_partition net);
+  check bool "queryable" true (Sim.Net.link_blocked net ~src:0 ~dst:1);
+  check bool "reverse not blocked" false (Sim.Net.link_blocked net ~src:1 ~dst:0);
+  Sim.Net.unblock_link net ~src:0 ~dst:1;
+  Sim.Net.send net ~src:0 ~dst:1 (fun () -> got := "again" :: !got);
+  Sim.Engine.run engine;
+  check bool "delivered after unblock" true (List.mem "again" !got)
+
+let test_net_loss () =
+  let engine, net = mk_net () in
+  let delivered = ref 0 in
+  Sim.Net.set_loss net ~src:0 ~dst:1 0.5;
+  for _ = 1 to 200 do
+    Sim.Net.send net ~src:0 ~dst:1 (fun () -> incr delivered)
+  done;
+  Sim.Engine.run engine;
+  let lost = Sim.Net.dropped_loss net in
+  check int "every message accounted" 200 (lost + !delivered);
+  check bool "some lost" true (lost > 50);
+  check bool "some delivered" true (!delivered > 50);
+  check int "loss is the only drop cause" lost (Sim.Net.messages_dropped net);
+  Sim.Net.clear_link_faults net;
+  let d0 = !delivered in
+  for _ = 1 to 50 do
+    Sim.Net.send net ~src:0 ~dst:1 (fun () -> incr delivered)
+  done;
+  Sim.Engine.run engine;
+  check int "lossless after clear" (d0 + 50) !delivered
+
+let test_net_duplication () =
+  let engine, net = mk_net () in
+  let delivered = ref 0 in
+  Sim.Net.set_dup net ~src:0 ~dst:1 0.9;
+  for _ = 1 to 100 do
+    Sim.Net.send net ~src:0 ~dst:1 (fun () -> incr delivered)
+  done;
+  Sim.Engine.run engine;
+  check int "duplicates delivered twice" (100 + Sim.Net.messages_duplicated net)
+    !delivered;
+  check bool "some duplicated" true (Sim.Net.messages_duplicated net > 50)
+
+let test_net_drop_cause_precedence () =
+  let engine, net = mk_net () in
+  (* A crashed destination outranks a blocked, lossy link: the drop is
+     charged to the crash, and no loss randomness is consumed. *)
+  Sim.Net.set_down net 1;
+  Sim.Net.block_link net ~src:0 ~dst:1;
+  Sim.Net.set_loss net ~src:0 ~dst:1 0.9;
+  Sim.Net.send net ~src:0 ~dst:1 (fun () -> ());
+  Sim.Engine.run engine;
+  check int "crash charged" 1 (Sim.Net.dropped_crash net);
+  check int "partition not charged" 0 (Sim.Net.dropped_partition net);
+  check int "loss not charged" 0 (Sim.Net.dropped_loss net);
+  check int "total preserved" 1 (Sim.Net.messages_dropped net)
+
+let test_net_crash_recover () =
+  let engine, net = mk_net () in
+  let delivered = ref 0 in
+  Sim.Net.set_down net 0;
+  Sim.Net.send net ~src:0 ~dst:1 (fun () -> incr delivered);
+  Sim.Net.send net ~src:1 ~dst:0 (fun () -> incr delivered);
+  Sim.Net.send net ~src:1 ~dst:2 (fun () -> incr delivered);
+  Sim.Engine.run engine;
+  check int "both directions dropped while down" 2 (Sim.Net.dropped_crash net);
+  check int "unrelated link unaffected" 1 !delivered;
+  check bool "is_down" true (Sim.Net.is_down net 0);
+  Sim.Net.set_up net 0;
+  Sim.Net.send net ~src:0 ~dst:1 (fun () -> incr delivered);
+  Sim.Engine.run engine;
+  check int "delivers after recovery" 2 !delivered
+
+let test_net_extra_delay_and_reorder () =
+  let engine, net = mk_net () in
+  let t_normal = ref 0 and t_slow = ref 0 in
+  Sim.Net.send net ~src:0 ~dst:1 (fun () -> t_normal := Sim.Engine.now engine);
+  Sim.Engine.run engine;
+  Sim.Net.set_extra_delay net ~src:0 ~dst:1 50_000;
+  Sim.Net.send net ~src:0 ~dst:1 (fun () -> t_slow := Sim.Engine.now engine);
+  Sim.Engine.run engine;
+  check bool "spike adds at least the extra delay" true
+    (!t_slow - !t_normal >= 50_000);
+  check bool "delayed counter moved" true (Sim.Net.messages_delayed net > 0);
+  Sim.Net.clear_link_faults net;
+  Sim.Net.set_reorder net ~src:0 ~dst:2 ~prob:0.9 ~max_extra_us:20_000;
+  let order = ref [] in
+  for i = 1 to 20 do
+    Sim.Net.send net ~src:0 ~dst:2 (fun () -> order := i :: !order)
+  done;
+  Sim.Engine.run engine;
+  check int "all delivered" 20 (List.length !order);
+  check bool "some messages reordered" true
+    (List.rev !order <> List.init 20 (fun i -> i + 1))
+
+let test_net_partition_heal () =
+  let engine, net = mk_net () in
+  let delivered = ref 0 in
+  Sim.Net.partition net [ 0 ] [ 1; 2 ];
+  Sim.Net.send net ~src:0 ~dst:1 (fun () -> incr delivered);
+  Sim.Net.send net ~src:2 ~dst:0 (fun () -> incr delivered);
+  Sim.Net.send net ~src:1 ~dst:2 (fun () -> incr delivered);
+  Sim.Engine.run engine;
+  check int "cross-partition dropped both ways" 2 (Sim.Net.dropped_partition net);
+  check int "same side delivered" 1 !delivered;
+  Sim.Net.heal_partitions net;
+  Sim.Net.send net ~src:0 ~dst:1 (fun () -> incr delivered);
+  Sim.Engine.run engine;
+  check int "heals" 2 !delivered
+
+(* ------------------------------------------------------------------ *)
+(* Schedules                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_schedule_helpers () =
+  check int "links_between counts both directions" 4
+    (List.length (Chaos.Schedule.links_between [ 0 ] [ 1; 2 ]));
+  check int "links_of_site" 4 (List.length (Chaos.Schedule.links_of_site ~n:3 0));
+  check (Alcotest.list int) "sites_except" [ 1; 3 ]
+    (Chaos.Schedule.sites_except ~n:4 [ 0; 2 ]);
+  let s =
+    Chaos.Schedule.[ at_s 2.0 Heal; at_s 0.5 (Crash [ 1 ]); at_s 1.0 Heal ]
+  in
+  check int "end_of_faults is the latest event" (Sim.Engine.sec 2.0)
+    (Chaos.Schedule.end_of_faults s)
+
+let test_schedule_apply_timing () =
+  let engine, net = mk_net () in
+  let delivered = ref 0 in
+  let schedule =
+    Chaos.Schedule.
+      [ at_us 1_000 (Block ([ 0 ], [ 1 ])); at_us 100_000 Heal ]
+  in
+  let fired = ref 0 in
+  let n =
+    Chaos.Schedule.apply schedule ~engine ~net ~on_fault:(fun _ -> incr fired) ()
+  in
+  check int "all events armed" 2 n;
+  Sim.Engine.schedule_at engine ~at:50_000 (fun () ->
+      Sim.Net.send net ~src:0 ~dst:1 (fun () -> incr delivered));
+  Sim.Engine.schedule_at engine ~at:200_000 (fun () ->
+      Sim.Net.send net ~src:0 ~dst:1 (fun () -> incr delivered));
+  Sim.Engine.run engine;
+  check int "mid-window send dropped, post-heal send delivered" 1 !delivered;
+  check int "on_fault saw each event" 2 !fired
+
+let test_schedule_epsilon () =
+  let engine, net = mk_net () in
+  let tt = Sim.Truetime.create engine ~epsilon_us:7_000 in
+  let schedule =
+    Chaos.Schedule.
+      [ at_us 1_000 (Epsilon 70_000); at_us 2_000 Epsilon_reset ]
+  in
+  ignore (Chaos.Schedule.apply schedule ~engine ~net ~tt ());
+  let mid = ref 0 and after = ref 0 in
+  Sim.Engine.schedule_at engine ~at:1_500 (fun () -> mid := Sim.Truetime.epsilon tt);
+  Sim.Engine.schedule_at engine ~at:2_500 (fun () -> after := Sim.Truetime.epsilon tt);
+  Sim.Engine.run engine;
+  check int "inflated mid-window" 70_000 !mid;
+  check int "restored to the value at apply time" 7_000 !after
+
+(* ------------------------------------------------------------------ *)
+(* Nemesis                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_nemesis_deterministic () =
+  let gen seed =
+    Chaos.Nemesis.generate Chaos.Nemesis.Mixed ~n_sites:5
+      ~duration_us:(Sim.Engine.sec 10.0) ~seed ()
+  in
+  check bool "same seed, same schedule" true (gen 3 = gen 3);
+  check bool "different seed, different schedule" true (gen 3 <> gen 4)
+
+let test_nemesis_presets_shape () =
+  List.iter
+    (fun (name, preset) ->
+      let s =
+        Chaos.Nemesis.generate preset ~n_sites:5
+          ~duration_us:(Sim.Engine.sec 10.0) ~seed:1 ()
+      in
+      check bool (name ^ " has fault windows") true (List.length s >= 6);
+      check int
+        (name ^ " cleanup at 80% of the run")
+        (Sim.Engine.sec 8.0) (Chaos.Schedule.end_of_faults s))
+    Chaos.Nemesis.presets
+
+let test_nemesis_protect () =
+  (* With all sites but one protected, every crash hits the one left over. *)
+  for seed = 0 to 20 do
+    let s =
+      Chaos.Nemesis.generate Chaos.Nemesis.Crash_recover ~n_sites:5
+        ~protect:[ 0; 1; 2; 3 ] ~duration_us:(Sim.Engine.sec 10.0) ~seed ()
+    in
+    List.iter
+      (fun e ->
+        match e.Chaos.Schedule.fault with
+        | Chaos.Schedule.Crash victims ->
+          check (Alcotest.list int) "only the unprotected site crashes" [ 4 ]
+            victims
+        | _ -> ())
+      s
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Audit battery: every schedule kind x every protocol                 *)
+(* ------------------------------------------------------------------ *)
+
+(* The five required schedule kinds, sized for an [n]-site deployment. *)
+let battery ~n =
+  Chaos.Schedule.
+    [
+      ( "partition-heal",
+        [ at_s 1.0 (Partition ([ 0 ], sites_except ~n [ 0 ])); at_s 3.0 Heal ] );
+      ( "link-loss",
+        [
+          at_s 1.0 (Loss { links = links_of_site ~n 0; prob = 0.1 });
+          at_s 3.0 Clear_links;
+        ] );
+      ( "crash-recover", [ at_s 1.0 (Crash [ n - 1 ]); at_s 3.0 (Recover [ n - 1 ]) ] );
+      ( "latency-spike",
+        [
+          at_s 1.0 (Delay { links = links_of_site ~n 0; extra_us = 40_000 });
+          at_s 3.0 Clear_links;
+        ] );
+      ( "eps-inflate", [ at_s 1.0 (Epsilon 80_000); at_s 3.0 Epsilon_reset ] );
+    ]
+
+let test_audit_battery () =
+  List.iter
+    (fun protocol ->
+      let n = Chaos.Audit.protocol_sites protocol in
+      List.iter
+        (fun (kind, schedule) ->
+          let label = Chaos.Audit.protocol_name protocol ^ "/" ^ kind in
+          let r =
+            Chaos.Audit.run protocol ~schedule ~n_slots:6 ~duration_s:5.0
+              ~seed:7 ()
+          in
+          (match r.Chaos.Audit.check with
+          | Ok () -> ()
+          | Error m -> Alcotest.failf "%s: consistency violation: %s" label m);
+          check bool (label ^ ": liveness resumed after heal") true
+            (Chaos.Audit.liveness_ok ~min_post_quiet:5 r);
+          check int
+            (label ^ ": every schedule event injected")
+            (List.length schedule) r.Chaos.Audit.faults_injected;
+          match kind with
+          | "partition-heal" ->
+            check bool (label ^ ": partition drops counted") true
+              (r.Chaos.Audit.dropped_partition > 0)
+          | "link-loss" ->
+            check bool (label ^ ": loss drops counted") true
+              (r.Chaos.Audit.dropped_loss > 0)
+          | "crash-recover" ->
+            check bool (label ^ ": crash drops counted") true
+              (r.Chaos.Audit.dropped_crash > 0)
+          | "latency-spike" ->
+            check bool (label ^ ": delayed messages counted") true
+              (r.Chaos.Audit.delayed > 0)
+          | _ -> ())
+        (battery ~n))
+    Chaos.Audit.protocols
+
+let test_audit_determinism () =
+  (* Same (workload seed, nemesis seed) must reproduce the run down to the
+     last history record — run twice and diff the canonical traces. *)
+  let go () =
+    let schedule =
+      Chaos.Audit.nemesis_schedule Chaos.Audit.Spanner_rss Chaos.Nemesis.Mixed
+        ~duration_s:6.0 ~seed:5
+    in
+    Chaos.Audit.run Chaos.Audit.Spanner_rss ~schedule ~n_slots:6 ~duration_s:6.0
+      ~seed:9 ()
+  in
+  let a = go () and b = go () in
+  check bool "histories byte-identical" true
+    (String.equal a.Chaos.Audit.trace b.Chaos.Audit.trace);
+  check bool "history non-trivial" true (a.Chaos.Audit.history_len > 50);
+  check int "same message count" a.Chaos.Audit.msgs_sent b.Chaos.Audit.msgs_sent;
+  check int "same drop counts"
+    (a.Chaos.Audit.dropped_partition + a.Chaos.Audit.dropped_crash
+   + a.Chaos.Audit.dropped_loss)
+    (b.Chaos.Audit.dropped_partition + b.Chaos.Audit.dropped_crash
+   + b.Chaos.Audit.dropped_loss);
+  let c =
+    Chaos.Audit.run Chaos.Audit.Spanner_rss
+      ~schedule:
+        (Chaos.Audit.nemesis_schedule Chaos.Audit.Spanner_rss
+           Chaos.Nemesis.Mixed ~duration_s:6.0 ~seed:6)
+      ~n_slots:6 ~duration_s:6.0 ~seed:9 ()
+  in
+  check bool "different nemesis seed, different run" true
+    (not (String.equal a.Chaos.Audit.trace c.Chaos.Audit.trace))
+
+(* ------------------------------------------------------------------ *)
+(* Quorum ride-through: a minority crash must not stop commits         *)
+(* ------------------------------------------------------------------ *)
+
+(* Five-site Spanner: leaders (and clients) at sites 0-2, every group's
+   followers at sites 3-4. Crashing site 4 leaves each Paxos group a
+   majority (leader + one follower), so 2PC commits must keep flowing. *)
+let spanner5 ~mode =
+  let base = Spanner.Config.wan3 ~mode () in
+  let g = Gryff.Config.wan5 ~mode:Gryff.Config.Lin () in
+  {
+    base with
+    Spanner.Config.rtt_ms = g.Gryff.Config.rtt_ms;
+    leader_site = [| 0; 1; 2 |];
+    replica_sites = [| [ 3; 4 ]; [ 3; 4 ]; [ 3; 4 ] |];
+    client_sites = [| 0; 1; 2 |];
+  }
+
+let crash_only = Chaos.Schedule.[ at_s 1.0 (Crash [ 4 ]) ]
+
+let test_spanner_quorum_ride_through () =
+  List.iter
+    (fun mode ->
+      let r =
+        Chaos.Audit.spanner ~config:(spanner5 ~mode) ~mode ~schedule:crash_only
+          ~n_slots:8 ~duration_s:5.0 ~seed:3 ()
+      in
+      let label =
+        match mode with Spanner.Config.Strict -> "strict" | Spanner.Config.Rss -> "rss"
+      in
+      (match r.Chaos.Audit.check with
+      | Ok () -> ()
+      | Error m -> Alcotest.failf "spanner(%s) under crash: %s" label m);
+      check int (label ^ ": no operation stalls on a minority crash") 0
+        r.Chaos.Audit.ops_timed_out;
+      check bool (label ^ ": commits continue during the crash") true
+        (r.Chaos.Audit.post_quiet_completed > 50);
+      check bool (label ^ ": the dead replica's traffic is dropped") true
+        (r.Chaos.Audit.dropped_crash > 0))
+    [ Spanner.Config.Strict; Spanner.Config.Rss ]
+
+let test_gryff_quorum_ride_through () =
+  (* One of five replicas down: quorum 3 still reachable from the four
+     surviving client sites, so reads and writes complete and RSC holds. *)
+  let r =
+    Chaos.Audit.gryff ~mode:Gryff.Config.Rsc ~client_sites:[| 0; 1; 2; 3 |]
+      ~schedule:crash_only ~n_slots:8 ~duration_s:5.0 ~seed:3 ()
+  in
+  (match r.Chaos.Audit.check with
+  | Ok () -> ()
+  | Error m -> Alcotest.failf "gryff-rsc under crash: %s" m);
+  check int "no operation stalls on a minority crash" 0 r.Chaos.Audit.ops_timed_out;
+  check bool "ops continue during the crash" true
+    (r.Chaos.Audit.post_quiet_completed > 100);
+  check bool "the dead replica's traffic is dropped" true
+    (r.Chaos.Audit.dropped_crash > 0)
+
+(* ------------------------------------------------------------------ *)
+(* Broken controls: the checkers must catch deliberate violations      *)
+(* ------------------------------------------------------------------ *)
+
+let test_stale_read_controls () =
+  let sp =
+    Chaos.Audit.run Chaos.Audit.Spanner_rss
+      ~schedule:(List.assoc "partition-heal" (battery ~n:3))
+      ~n_slots:6 ~duration_s:5.0 ~seed:7 ()
+  in
+  (match sp.Chaos.Audit.stale_control () with
+  | Some (Error _) -> ()
+  | Some (Ok ()) -> Alcotest.fail "spanner checker accepted a stale read"
+  | None -> Alcotest.fail "spanner history had no read to corrupt");
+  let gr =
+    Chaos.Audit.run Chaos.Audit.Gryff_rsc
+      ~schedule:(List.assoc "link-loss" (battery ~n:5))
+      ~n_slots:6 ~duration_s:5.0 ~seed:7 ()
+  in
+  match gr.Chaos.Audit.stale_control () with
+  | Some (Error _) -> ()
+  | Some (Ok ()) -> Alcotest.fail "gryff checker accepted a stale read"
+  | None -> Alcotest.fail "gryff history had no read to corrupt"
+
+(* Protocol-level control: a Gryff-RSC client that discards its read
+   dependencies (RSC fence disabled). Deterministic anomaly: a write from JP
+   is stranded at a minority {OR, JP} by an asymmetric block; a CA client
+   reads it through OR, then — with OR's and JP's replies to CA cut — reads
+   again and regresses to the old value. With dependencies intact the second
+   read's piggybacked write-back repairs the local replica instead. *)
+let unsafe_no_deps_scenario ~unsafe =
+  let engine = Sim.Engine.create () in
+  let rng = Sim.Rng.make 11 in
+  let config = Gryff.Config.wan5 ~mode:Gryff.Config.Rsc () in
+  let cluster = Gryff.Cluster.create engine ~rng config in
+  let schedule =
+    Chaos.Schedule.
+      [
+        at_s 1.13 (Block ([ 4 ], [ 0; 1; 2 ]));
+        at_s 1.5 (Block ([ 3; 4 ], [ 0 ]));
+      ]
+  in
+  ignore (Chaos.Schedule.apply schedule ~engine ~net:(Gryff.Cluster.net cluster) ());
+  let c0 = Gryff.Client.create cluster ~site:0 in
+  let w4 = Gryff.Client.create cluster ~site:4 in
+  let reader = Gryff.Client.create ~unsafe_no_deps:unsafe cluster ~site:0 in
+  let seen = ref [] in
+  Sim.Engine.schedule_at engine ~at:(Sim.Engine.sec 0.1) (fun () ->
+      Gryff.Client.write c0 ~key:0 ~value:100 (fun _ -> ()));
+  Sim.Engine.schedule_at engine ~at:(Sim.Engine.sec 1.02) (fun () ->
+      (* The propagate phase starts after the block arms, so the value lands
+         only at OR and JP; the write never gathers a quorum of acks, and
+         the sweep convention records it as incomplete. *)
+      Gryff.Client.write w4
+        ~on_apply:(fun cs ->
+          Gryff.Cluster.record cluster
+            {
+              Gryff.Cluster.g_proc = Gryff.Client.proc w4;
+              g_kind = Gryff.Cluster.Write;
+              g_key = 0;
+              g_observed = None;
+              g_written = Some 200;
+              g_cs = cs;
+              g_inv = Sim.Engine.sec 1.02;
+              g_resp = max_int;
+            })
+        ~key:0 ~value:200 (fun _ -> ()));
+  Sim.Engine.schedule_at engine ~at:(Sim.Engine.sec 1.3) (fun () ->
+      Gryff.Client.read reader ~key:0 (fun r ->
+          seen := r.Gryff.Protocol.r_value :: !seen));
+  Sim.Engine.schedule_at engine ~at:(Sim.Engine.sec 1.6) (fun () ->
+      Gryff.Client.read reader ~key:0 (fun r ->
+          seen := r.Gryff.Protocol.r_value :: !seen));
+  Sim.Engine.run ~max_events:10_000_000 engine;
+  (List.rev !seen, Gryff.Cluster.check_history cluster)
+
+let test_unsafe_no_deps_control () =
+  let seen, verdict = unsafe_no_deps_scenario ~unsafe:true in
+  check
+    (Alcotest.list (Alcotest.option int))
+    "dep discarded: second read regresses"
+    [ Some 200; Some 100 ] seen;
+  (match verdict with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "checker accepted the no-deps regression");
+  let seen, verdict = unsafe_no_deps_scenario ~unsafe:false in
+  check
+    (Alcotest.list (Alcotest.option int))
+    "deps intact: write-back repairs the read"
+    [ Some 200; Some 200 ] seen;
+  match verdict with
+  | Ok () -> ()
+  | Error m -> Alcotest.failf "safe client must verify: %s" m
+
+let suites =
+  [
+    ( "chaos.net",
+      [
+        Alcotest.test_case "asymmetric block" `Quick test_net_asymmetric_block;
+        Alcotest.test_case "probabilistic loss" `Quick test_net_loss;
+        Alcotest.test_case "duplication" `Quick test_net_duplication;
+        Alcotest.test_case "drop-cause precedence" `Quick
+          test_net_drop_cause_precedence;
+        Alcotest.test_case "crash and recover" `Quick test_net_crash_recover;
+        Alcotest.test_case "delay spike and reorder" `Quick
+          test_net_extra_delay_and_reorder;
+        Alcotest.test_case "partition and heal" `Quick test_net_partition_heal;
+      ] );
+    ( "chaos.schedule",
+      [
+        Alcotest.test_case "helpers" `Quick test_schedule_helpers;
+        Alcotest.test_case "apply timing" `Quick test_schedule_apply_timing;
+        Alcotest.test_case "epsilon inflation" `Quick test_schedule_epsilon;
+      ] );
+    ( "chaos.nemesis",
+      [
+        Alcotest.test_case "seeded determinism" `Quick test_nemesis_deterministic;
+        Alcotest.test_case "preset shapes" `Quick test_nemesis_presets_shape;
+        Alcotest.test_case "protected sites" `Quick test_nemesis_protect;
+      ] );
+    ( "chaos.audit",
+      [
+        Alcotest.test_case "battery: 5 schedules x 4 protocols" `Quick
+          test_audit_battery;
+        Alcotest.test_case "run-twice determinism" `Quick test_audit_determinism;
+        Alcotest.test_case "spanner quorum ride-through" `Quick
+          test_spanner_quorum_ride_through;
+        Alcotest.test_case "gryff quorum ride-through" `Quick
+          test_gryff_quorum_ride_through;
+        Alcotest.test_case "stale-read controls" `Quick test_stale_read_controls;
+        Alcotest.test_case "unsafe no-deps control" `Quick
+          test_unsafe_no_deps_control;
+      ] );
+  ]
