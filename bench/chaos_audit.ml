@@ -21,17 +21,25 @@ let audit_cell protocol preset ~seed =
   let schedule =
     Chaos.Audit.nemesis_schedule protocol preset ~duration_s ~seed
   in
-  let r = Chaos.Audit.run protocol ~schedule ~duration_s ~seed () in
+  let failover = Chaos.Nemesis.requires_failover preset in
+  let r = Chaos.Audit.run protocol ~schedule ~failover ~duration_s ~seed () in
   let verdict =
     match r.Chaos.Audit.check with
     | Ok () -> "ok"
     | Error m -> Fmt.str "VIOLATION %s" m
   in
   let live = if Chaos.Audit.liveness_ok r then "live" else "STALLED" in
-  Fmt.pr "  %s  %-10s %-8s ops=%-6d unacked=%-4d drops=%d/%d/%d@." name
+  let failover_summary =
+    if failover then
+      Fmt.str " vc=%d retries=%d indoubt=%d elect=%dus"
+        r.Chaos.Audit.view_changes r.Chaos.Audit.rpc_retries
+        r.Chaos.Audit.in_doubt_resolved r.Chaos.Audit.max_election_us
+    else ""
+  in
+  Fmt.pr "  %s  %-10s %-8s ops=%-6d unacked=%-4d drops=%d/%d/%d%s@." name
     verdict live r.Chaos.Audit.ops_completed r.Chaos.Audit.unacked_commits
     r.Chaos.Audit.dropped_crash r.Chaos.Audit.dropped_partition
-    r.Chaos.Audit.dropped_loss;
+    r.Chaos.Audit.dropped_loss failover_summary;
   (r.Chaos.Audit.check = Ok (), Chaos.Audit.liveness_ok r)
 
 let battery seeds =
@@ -69,6 +77,23 @@ let harness_demo () =
     ();
   Harness.print_fault_table r.Harness.sp_faults;
   Fmt.pr "@.";
+  Fmt.pr "== chaos-wrapped spanner_wan (leader-kill, failover armed) ==@.";
+  let lk =
+    Harness.spanner_wan
+      ~chaos:
+        (Chaos.Nemesis.generate Chaos.Nemesis.Leader_kill ~n_sites:3
+           ~leaders:[ 0; 1; 2 ]
+           ~duration_us:(Sim.Engine.sec duration_s) ~seed:7 ())
+      ~failover:true ~mode:Spanner.Config.Rss ~theta:0.5 ~n_keys:5_000
+      ~arrival_rate_per_sec:100.0 ~duration_s ~seed:7 ()
+  in
+  Harness.report_check "spanner-rss" lk.Harness.sp_check;
+  Stats.Summary.print_latency_table ~header:"latency (ms)"
+    ~rows:[ ("ro", lk.Harness.sp_ro); ("rw", lk.Harness.sp_rw) ]
+    ();
+  Harness.print_fault_table lk.Harness.sp_faults;
+  Harness.print_failover_table lk.Harness.sp_failover;
+  Fmt.pr "@.";
   let gr =
     Harness.gryff_wan
       ~chaos:
@@ -83,7 +108,8 @@ let harness_demo () =
     ~rows:[ ("read", gr.Harness.gr_read); ("write", gr.Harness.gr_write) ]
     ();
   Harness.print_fault_table gr.Harness.gr_faults;
-  r.Harness.sp_check = Ok () && gr.Harness.gr_check = Ok ()
+  r.Harness.sp_check = Ok () && lk.Harness.sp_check = Ok ()
+  && gr.Harness.gr_check = Ok ()
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in

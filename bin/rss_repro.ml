@@ -257,7 +257,17 @@ let chaos_cmd =
       & info [ "nemesis" ]
           ~doc:
             "Fault preset: partition-heal, link-loss, crash-recover, \
-             latency-spike, eps-inflate, reorder-storm, or mixed.")
+             latency-spike, eps-inflate, reorder-storm, mixed, leader-kill, \
+             or rolling-crash.")
+  in
+  let failover =
+    Arg.(
+      value & flag
+      & info [ "failover" ]
+          ~doc:
+            "Arm crash recovery: shard-group view changes, client retries \
+             and in-doubt 2PC resolution (Spanner), request retransmission \
+             (Gryff). Implied by the leader-kill and rolling-crash presets.")
   in
   let duration =
     Arg.(value & opt float 20.0 & info [ "duration" ] ~doc:"Simulated seconds.")
@@ -274,9 +284,10 @@ let chaos_cmd =
   let slots =
     Arg.(value & opt int 12 & info [ "slots" ] ~doc:"Concurrent client slots.")
   in
-  let run protocol nemesis duration seed nemesis_seed slots =
+  let run protocol nemesis duration seed nemesis_seed slots failover =
     if duration <= 0.0 then (Fmt.epr "error: --duration must be positive@."; exit 1);
     if slots <= 0 then (Fmt.epr "error: --slots must be positive@."; exit 1);
+    let failover = failover || Chaos.Nemesis.requires_failover nemesis in
     let nseed = Option.value nemesis_seed ~default:seed in
     let schedule =
       Chaos.Audit.nemesis_schedule protocol nemesis ~duration_s:duration
@@ -289,8 +300,8 @@ let chaos_cmd =
          (fun a b -> compare a.Chaos.Schedule.at_us b.Chaos.Schedule.at_us)
          schedule);
     let r =
-      Chaos.Audit.run protocol ~schedule ~n_slots:slots ~duration_s:duration
-        ~seed ()
+      Chaos.Audit.run protocol ~schedule ~n_slots:slots ~failover
+        ~duration_s:duration ~seed ()
     in
     Chaos.Audit.print_report r;
     match (r.Chaos.Audit.check, Chaos.Audit.liveness_ok r) with
@@ -304,7 +315,9 @@ let chaos_cmd =
          "Audit a protocol under a nemesis fault schedule: inject faults, \
           collect the history, verify its consistency model and that \
           liveness resumes after heal.")
-    Term.(const run $ protocol $ nemesis $ duration $ seed $ nemesis_seed $ slots)
+    Term.(
+      const run $ protocol $ nemesis $ duration $ seed $ nemesis_seed $ slots
+      $ failover)
 
 let () =
   let doc = "RSS / RSC reproduction playground" in

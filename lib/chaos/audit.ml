@@ -29,8 +29,13 @@ let protocol_epsilon_us = function
   | Spanner_strict | Spanner_rss -> 10_000
   | Gryff_lin | Gryff_rsc -> 0
 
+let protocol_leader_sites = function
+  | Spanner_strict | Spanner_rss -> [ 0; 1; 2 ] (* wan3: one leader per site *)
+  | Gryff_lin | Gryff_rsc -> [] (* leaderless *)
+
 let nemesis_schedule protocol preset ~duration_s ~seed =
   Nemesis.generate preset ~n_sites:(protocol_sites protocol)
+    ~leaders:(protocol_leader_sites protocol)
     ~epsilon_us:(protocol_epsilon_us protocol)
     ~duration_us:(Sim.Engine.sec duration_s) ~seed ()
 
@@ -55,6 +60,10 @@ type run = {
   delayed : int;
   latency : Stats.Recorder.t;
   duration_us : int;
+  view_changes : int;
+  rpc_retries : int;
+  in_doubt_resolved : int;
+  max_election_us : int;
 }
 
 (* Drive [n_slots] session slots against [issue_op]. Each slot runs one
@@ -231,11 +240,21 @@ type pending_rw = {
 }
 
 let spanner ?config ~mode ~schedule ?(n_slots = 12) ?(theta = 0.5)
-    ?(n_keys = 5_000) ?(timeout_us = 2_000_000) ~duration_s ~seed () =
+    ?(n_keys = 5_000) ?(timeout_us = 2_000_000) ?(failover = false) ~duration_s
+    ~seed () =
   let engine = Sim.Engine.create () in
   let rng = Sim.Rng.make seed in
   let config = match config with Some c -> c | None -> Spanner.Config.wan3 ~mode () in
   let cluster = Spanner.Cluster.create engine ~rng config in
+  if failover then
+    (* A dedicated seeded stream for retry jitter: the workload stream stays
+       untouched, and the failover timers stop at the horizon so the engine
+       queue still drains. *)
+    Spanner.Cluster.enable_failover cluster
+      ~rng:(Sim.Rng.make (0xfa11 + seed))
+      ~until_us:(Sim.Engine.sec duration_s + Sim.Engine.sec 4.0)
+      ();
+  let deadline_us = if failover then Some (timeout_us - 200_000) else None in
   let faults = ref 0 in
   ignore
     (Schedule.apply schedule ~engine ~net:(Spanner.Cluster.net cluster)
@@ -256,8 +275,8 @@ let spanner ?config ~mode ~schedule ?(n_slots = 12) ?(theta = 0.5)
       ~issue_op:(fun c ~finish ->
         let txn = Workload.Retwis.sample retwis in
         if Workload.Retwis.is_read_only txn then
-          Spanner.Client.ro c ~keys:txn.Workload.Retwis.read_keys (fun _ ->
-              finish ())
+          Spanner.Client.ro ?deadline_us c ~keys:txn.Workload.Retwis.read_keys
+            (fun _ -> finish ())
         else begin
           let writes =
             List.map
@@ -274,7 +293,7 @@ let spanner ?config ~mode ~schedule ?(n_slots = 12) ?(theta = 0.5)
             }
           in
           pending := info :: !pending;
-          Spanner.Client.rw_kv c
+          Spanner.Client.rw_kv ?deadline_us c
             ~on_attempt:(fun id -> info.pr_last_txn <- id)
             ~read_keys:txn.Workload.Retwis.read_keys ~writes
             (fun _ ->
@@ -298,6 +317,7 @@ let spanner ?config ~mode ~schedule ?(n_slots = 12) ?(theta = 0.5)
     (List.rev !pending);
   let records = Spanner.Cluster.records cluster in
   let net = Spanner.Cluster.net cluster in
+  let fstats = Spanner.Cluster.failover_stats cluster in
   let wmode = match mode with Spanner.Config.Strict -> `Strict | Spanner.Config.Rss -> `Rss in
   {
     protocol = (match mode with Spanner.Config.Strict -> Spanner_strict | Spanner.Config.Rss -> Spanner_rss);
@@ -320,6 +340,10 @@ let spanner ?config ~mode ~schedule ?(n_slots = 12) ?(theta = 0.5)
     delayed = Sim.Net.messages_delayed net;
     latency;
     duration_us = Sim.Engine.now engine;
+    view_changes = fstats.Spanner.Cluster.view_changes;
+    rpc_retries = fstats.Spanner.Cluster.rpc_retries;
+    in_doubt_resolved = fstats.Spanner.Cluster.in_doubt_resolved;
+    max_election_us = fstats.Spanner.Cluster.max_election_us;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -409,11 +433,14 @@ type pending_write = {
 
 let gryff ?config ?client_sites ~mode ~schedule ?(n_slots = 10)
     ?(write_ratio = 0.3) ?(conflict = 0.1) ?(n_keys = 2_000)
-    ?(timeout_us = 2_000_000) ?(unsafe_no_deps = false) ~duration_s ~seed () =
+    ?(timeout_us = 2_000_000) ?(unsafe_no_deps = false) ?(failover = false)
+    ~duration_s ~seed () =
   let engine = Sim.Engine.create () in
   let rng = Sim.Rng.make seed in
   let config = match config with Some c -> c | None -> Gryff.Config.wan5 ~mode () in
   let cluster = Gryff.Cluster.create engine ~rng config in
+  if failover then
+    Gryff.Cluster.enable_retrans cluster ~rng:(Sim.Rng.make (0xfa11 + seed)) ();
   let faults = ref 0 in
   ignore
     (Schedule.apply schedule ~engine ~net:(Gryff.Cluster.net cluster)
@@ -499,26 +526,31 @@ let gryff ?config ?client_sites ~mode ~schedule ?(n_slots = 10)
     delayed = Sim.Net.messages_delayed net;
     latency;
     duration_us = Sim.Engine.now engine;
+    view_changes = 0;
+    rpc_retries = (Gryff.Cluster.retrans_stats cluster).Gryff.Cluster.rpc_retries;
+    in_doubt_resolved = 0;
+    max_election_us = 0;
   }
 
 (* ------------------------------------------------------------------ *)
 (* Dispatch and reporting                                              *)
 (* ------------------------------------------------------------------ *)
 
-let run protocol ~schedule ?n_slots ?n_keys ?timeout_us ~duration_s ~seed () =
+let run protocol ~schedule ?n_slots ?n_keys ?timeout_us ?failover ~duration_s
+    ~seed () =
   match protocol with
   | Spanner_strict ->
     spanner ~mode:Spanner.Config.Strict ~schedule ?n_slots ?n_keys ?timeout_us
-      ~duration_s ~seed ()
+      ?failover ~duration_s ~seed ()
   | Spanner_rss ->
     spanner ~mode:Spanner.Config.Rss ~schedule ?n_slots ?n_keys ?timeout_us
-      ~duration_s ~seed ()
+      ?failover ~duration_s ~seed ()
   | Gryff_lin ->
     gryff ~mode:Gryff.Config.Lin ~schedule ?n_slots ?n_keys ?timeout_us
-      ~duration_s ~seed ()
+      ?failover ~duration_s ~seed ()
   | Gryff_rsc ->
     gryff ~mode:Gryff.Config.Rsc ~schedule ?n_slots ?n_keys ?timeout_us
-      ~duration_s ~seed ()
+      ?failover ~duration_s ~seed ()
 
 let liveness_ok ?(min_post_quiet = 1) (r : run) =
   r.post_quiet_completed >= min_post_quiet
@@ -548,6 +580,18 @@ let print_report r =
         ("duplicated", r.duplicated);
         ("delayed", r.delayed);
       ];
+  if
+    r.view_changes > 0 || r.rpc_retries > 0 || r.in_doubt_resolved > 0
+    || r.max_election_us > 0
+  then
+    Stats.Summary.print_count_table ~header:"failover"
+      ~rows:
+        [
+          ("view changes", r.view_changes);
+          ("rpc retries", r.rpc_retries);
+          ("in-doubt resolved", r.in_doubt_resolved);
+          ("max election (us)", r.max_election_us);
+        ];
   if not (Stats.Recorder.is_empty r.latency) then
     Stats.Summary.print_latency_table ~header:"op latency (ms)"
       ~rows:[ ("ops", r.latency) ]

@@ -24,6 +24,10 @@ val protocol_sites : protocol -> int
 
 val protocol_epsilon_us : protocol -> int
 
+val protocol_leader_sites : protocol -> int list
+(** Leader sites of the default deployment — the {!Nemesis.Leader_kill}
+    victim pool (empty for the leaderless Gryff). *)
+
 val nemesis_schedule :
   protocol -> Nemesis.preset -> duration_s:float -> seed:int -> Schedule.t
 (** A nemesis schedule sized for the protocol's default deployment. *)
@@ -54,6 +58,10 @@ type run = {
   delayed : int;
   latency : Stats.Recorder.t;  (** completed-op latency *)
   duration_us : int;
+  view_changes : int;  (** leader elections across all shard groups *)
+  rpc_retries : int;  (** request retransmissions (terminate / retrans) *)
+  in_doubt_resolved : int;  (** 2PC participants settled via status queries *)
+  max_election_us : int;  (** worst detection-to-activation gap *)
 }
 
 val sweep_spanner_txn :
@@ -73,23 +81,29 @@ val sweep_gryff_write :
 val spanner :
   ?config:Spanner.Config.t -> mode:Spanner.Config.mode -> schedule:Schedule.t ->
   ?n_slots:int -> ?theta:float -> ?n_keys:int -> ?timeout_us:int ->
-  duration_s:float -> seed:int -> unit -> run
+  ?failover:bool -> duration_s:float -> seed:int -> unit -> run
 (** Retwis over Spanner. [n_slots] concurrent session slots; a slot whose
     operation misses [timeout_us] abandons that session (fresh process id —
-    session-order checking stays sound) and continues with a new one. *)
+    session-order checking stays sound) and continues with a new one.
+    [failover] (default false) arms {!Spanner.Cluster.enable_failover} and
+    puts client deadlines on every operation — required for liveness under
+    leader-killing schedules. *)
 
 val gryff :
   ?config:Gryff.Config.t -> ?client_sites:int array ->
   mode:Gryff.Config.mode -> schedule:Schedule.t -> ?n_slots:int ->
   ?write_ratio:float -> ?conflict:float -> ?n_keys:int -> ?timeout_us:int ->
-  ?unsafe_no_deps:bool -> duration_s:float -> seed:int -> unit -> run
+  ?unsafe_no_deps:bool -> ?failover:bool -> duration_s:float -> seed:int ->
+  unit -> run
 (** YCSB-style reads/writes over Gryff. [client_sites] restricts where
     clients run (e.g. off a crash victim); default all replica sites.
-    [unsafe_no_deps] runs the broken control client (RSC fence disabled). *)
+    [unsafe_no_deps] runs the broken control client (RSC fence disabled).
+    [failover] arms {!Gryff.Cluster.enable_retrans}. *)
 
 val run :
   protocol -> schedule:Schedule.t -> ?n_slots:int -> ?n_keys:int ->
-  ?timeout_us:int -> duration_s:float -> seed:int -> unit -> run
+  ?timeout_us:int -> ?failover:bool -> duration_s:float -> seed:int -> unit ->
+  run
 (** Dispatch on {!protocol} with that protocol's default deployment. *)
 
 val liveness_ok : ?min_post_quiet:int -> run -> bool

@@ -6,6 +6,8 @@ type preset =
   | Eps_inflate
   | Reorder_storm
   | Mixed
+  | Leader_kill
+  | Rolling_crash
 
 let presets =
   [
@@ -16,7 +18,15 @@ let presets =
     ("eps-inflate", Eps_inflate);
     ("reorder-storm", Reorder_storm);
     ("mixed", Mixed);
+    ("leader-kill", Leader_kill);
+    ("rolling-crash", Rolling_crash);
   ]
+
+let requires_failover = function
+  | Leader_kill | Rolling_crash -> true
+  | Partition_heal | Link_loss | Crash_recover | Latency_spike | Eps_inflate
+  | Reorder_storm | Mixed ->
+    false
 
 let preset_name p = fst (List.find (fun (_, q) -> q = p) presets)
 
@@ -34,6 +44,7 @@ let pick_range rng lo hi = lo + Sim.Rng.int rng (max 1 (hi - lo + 1))
 type spec = {
   n_sites : int;
   protect : int list;
+  leaders : int list;
   epsilon_us : int;
   rng : Sim.Rng.t;
 }
@@ -81,6 +92,24 @@ let rec window spec kind =
     let prob = 0.2 +. Sim.Rng.float spec.rng 0.3 in
     let max_extra_us = pick_range spec.rng 5_000 50_000 in
     (Reorder { links; prob; max_extra_us }, Clear_links)
+  | Leader_kill ->
+    (* Crash one leader site at a time (any crashable site if the deployment
+       is leaderless): the fault the view-change machinery exists for. *)
+    let from =
+      match
+        List.filter (fun s -> not (List.mem s spec.protect)) spec.leaders
+      with
+      | [] -> crashable spec
+      | ls -> ls
+    in
+    if from = [] then window spec Latency_spike
+    else
+      let v = List.nth from (Sim.Rng.int spec.rng (List.length from)) in
+      (Crash [ v ], Recover [ v ])
+  | Rolling_crash ->
+    (* Handled structurally in [generate]; a stray window degrades to a
+       single-site crash. *)
+    window spec Leader_kill
   | Mixed ->
     let kinds =
       [| Partition_heal; Link_loss; Crash_recover; Latency_spike; Eps_inflate;
@@ -88,24 +117,44 @@ let rec window spec kind =
     in
     window spec kinds.(Sim.Rng.int spec.rng (Array.length kinds))
 
-let generate preset ~n_sites ?(protect = []) ?(epsilon_us = 10_000) ~duration_us
-    ~seed () =
+let generate preset ~n_sites ?(protect = []) ?(leaders = [])
+    ?(epsilon_us = 10_000) ~duration_us ~seed () =
   if n_sites < 2 then invalid_arg "Nemesis.generate: need at least two sites";
   let rng = Sim.Rng.make (0x6e656d + seed) in
-  let spec = { n_sites; protect; epsilon_us; rng } in
+  let spec = { n_sites; protect; leaders; epsilon_us; rng } in
   let d = float_of_int duration_us in
   let frac f = int_of_float (f *. d) in
-  (* 1-2 disjoint fault windows inside [0.15, 0.75) of the run, each open for
-     5-20% of it, then a global cleanup leaving a quiet tail for liveness. *)
-  let n_windows = 1 + Sim.Rng.int rng 2 in
-  let slot = 0.6 /. float_of_int n_windows in
+  (* Disjoint fault windows inside [0.15, 0.75) of the run, each open for
+     5-20% of it, then a global cleanup leaving a quiet tail for liveness.
+     Rolling_crash fixes the windows structurally — one distinct victim per
+     window, crashed sequentially; every other preset draws 1-2 windows of
+     its own kind. *)
+  let rolling_victims =
+    match preset with
+    | Rolling_crash ->
+      let from = crashable spec in
+      pick_subset rng ~from ~size:(min 3 (List.length from))
+    | _ -> []
+  in
+  let n_windows =
+    match rolling_victims with
+    | [] -> 1 + Sim.Rng.int rng 2
+    | vs -> List.length vs
+  in
+  let slot = 0.6 /. float_of_int (max 1 n_windows) in
   let events = ref [] in
   for w = 0 to n_windows - 1 do
     let lo = 0.15 +. (slot *. float_of_int w) in
     let start = frac (lo +. Sim.Rng.float rng (slot *. 0.4)) in
     let len = frac (0.05 +. Sim.Rng.float rng 0.15) in
     let stop = min (start + len) (frac (lo +. slot)) in
-    let inject, undo = window spec preset in
+    let inject, undo =
+      match rolling_victims with
+      | [] -> window spec preset
+      | vs ->
+        let v = List.nth vs w in
+        (Schedule.Crash [ v ], Schedule.Recover [ v ])
+    in
     events :=
       Schedule.at_us stop undo :: Schedule.at_us start inject :: !events
   done;

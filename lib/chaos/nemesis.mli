@@ -16,6 +16,9 @@ type preset =
   | Eps_inflate  (** TrueTime ε inflated 3-10x *)
   | Reorder_storm  (** random bounded extra delays, reordering messages *)
   | Mixed  (** each window picks one of the above *)
+  | Leader_kill  (** crash one leader site per window, later recovered *)
+  | Rolling_crash
+      (** up to three distinct sites crashed in sequential disjoint windows *)
 
 val presets : (string * preset) list
 (** CLI-name / preset pairs, e.g. [("partition-heal", Partition_heal)]. *)
@@ -24,9 +27,16 @@ val preset_name : preset -> string
 
 val preset_of_string : string -> preset option
 
+val requires_failover : preset -> bool
+(** Presets that crash leaders on purpose: audits must arm the failover /
+    retransmission machinery or the liveness assertion cannot hold. *)
+
 val generate :
-  preset -> n_sites:int -> ?protect:int list -> ?epsilon_us:int ->
-  duration_us:int -> seed:int -> unit -> Schedule.t
+  preset -> n_sites:int -> ?protect:int list -> ?leaders:int list ->
+  ?epsilon_us:int -> duration_us:int -> seed:int -> unit -> Schedule.t
 (** [protect] lists sites the nemesis must never crash (e.g. enough replicas
     to keep quorums available — partitions and loss may still hit them).
-    [epsilon_us] is the deployment's base ε, used to scale inflation. *)
+    [leaders] are the deployment's leader sites, the {!Leader_kill} victim
+    pool (leaderless deployments leave it empty and any crashable site
+    qualifies). [epsilon_us] is the deployment's base ε, used to scale
+    inflation. *)

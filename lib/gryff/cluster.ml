@@ -127,3 +127,18 @@ let stats t =
     rmw_slow = t.pctx.Protocol.n_rmw_slow;
     messages = Sim.Net.messages_sent t.net;
   }
+
+let enable_retrans t ~rng ?timeout_us () =
+  Protocol.enable_retrans t.pctx ~rng ?timeout_us ()
+
+type retrans_stats = { rpc_calls : int; rpc_retries : int; rpc_exhausted : int }
+
+let retrans_stats t =
+  match t.pctx.Protocol.retrans with
+  | None -> { rpc_calls = 0; rpc_retries = 0; rpc_exhausted = 0 }
+  | Some r ->
+    {
+      rpc_calls = Sim.Rpc.calls r;
+      rpc_retries = Sim.Rpc.retries r;
+      rpc_exhausted = Sim.Rpc.exhausted r;
+    }

@@ -55,3 +55,14 @@ type stats = {
 }
 
 val stats : t -> stats
+
+(** {2 Retransmission} *)
+
+val enable_retrans : t -> rng:Sim.Rng.t -> ?timeout_us:int -> unit -> unit
+(** Arm per-request retransmission on the idempotent protocol phases (see
+    {!Protocol.enable_retrans}); lets clients ride through up to f crashed
+    replicas. *)
+
+type retrans_stats = { rpc_calls : int; rpc_retries : int; rpc_exhausted : int }
+
+val retrans_stats : t -> retrans_stats

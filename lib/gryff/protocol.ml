@@ -19,6 +19,9 @@ type ctx = {
   mutable n_writes : int;
   mutable n_rmws : int;
   mutable n_rmw_slow : int;
+  mutable retrans : Sim.Rpc.t option;
+      (* per-request retransmission for the idempotent phases; [None] keeps
+         the exact failure-free wire behavior *)
 }
 
 let make_ctx engine net config =
@@ -39,6 +42,7 @@ let make_ctx engine net config =
       n_writes = 0;
       n_rmws = 0;
       n_rmw_slow = 0;
+      retrans = None;
     }
   in
   (* An rmw completes only once its result is applied at a quorum: the
@@ -84,6 +88,31 @@ let to_replica ctx ~src ?(bytes = 64) replica_id handler =
 let to_client ctx ~src ?(bytes = 64) ~dst handler =
   Sim.Net.send ~bytes ctx.net ~src ~dst handler
 
+(* One request/reply exchange with a replica. With retransmission armed
+   ([retrans <> None]) the exchange rides an {!Sim.Rpc} call: a lost request
+   or reply is re-sent after a deadline with capped backoff, so the phase
+   survives up to f crashed replicas (the quorum collector only needs the
+   live ones to answer). Only valid for idempotent handlers — base reads,
+   carstamp queries and propagates are (carstamp max-merge makes re-applying
+   a write a no-op); rmw pre-accepts are not and stay bare. *)
+let exchange ctx ~src ?bytes replica_id ~(request : Replica.t -> 'a)
+    ~(reply : 'a -> unit) =
+  let attempt deliver =
+    to_replica ctx ~src ?bytes replica_id (fun r ->
+        let resp = request r in
+        to_client ctx ~src:replica_id ~dst:src (fun () -> deliver resp))
+  in
+  match ctx.retrans with
+  | None -> attempt reply
+  | Some rpc ->
+    Sim.Rpc.call rpc
+      ~attempt:(fun ~attempt:_ ~ok -> attempt ok)
+      ~on_result:(function Some resp -> reply resp | None -> ())
+
+let enable_retrans ctx ~rng ?(timeout_us = 300_000) () =
+  ctx.retrans <-
+    Some (Sim.Rpc.create ctx.engine ~rng ~timeout_us ~max_attempts:8 ())
+
 let apply_deps (r : Replica.t) deps =
   List.iter
     (fun { d_key; d_value; d_cs } -> Replica.apply r ~key:d_key ~value:d_value ~cs:d_cs)
@@ -107,11 +136,12 @@ let propagate ctx ~client_site ~key ~value ~cs k =
   let on_ack = quorum_collector ~quorum (fun _ -> k ()) in
   Array.iteri
     (fun i _ ->
-      to_replica ctx ~src:client_site i (fun r ->
-          (match value with
+      exchange ctx ~src:client_site i
+        ~request:(fun r ->
+          match value with
           | Some v -> Replica.apply r ~key ~value:v ~cs
-          | None -> ());
-          to_client ctx ~src:i ~dst:client_site (fun () -> on_ack ())))
+          | None -> ())
+        ~reply:(fun () -> on_ack ()))
     ctx.replicas
 
 (* ------------------------------------------------------------------ *)
@@ -168,10 +198,11 @@ let read ctx ~client_site ~cid:_ ~deps ~key k =
   let on_reply = quorum_collector ~quorum process in
   Array.iteri
     (fun i _ ->
-      to_replica ctx ~src:client_site i (fun r ->
+      exchange ctx ~src:client_site i
+        ~request:(fun r ->
           apply_deps r deps;
-          let v, cs = Replica.get r key in
-          to_client ctx ~src:i ~dst:client_site (fun () -> on_reply (v, cs))))
+          Replica.get r key)
+        ~reply:on_reply)
     ctx.replicas
 
 (* ------------------------------------------------------------------ *)
@@ -199,10 +230,11 @@ let write ?(on_apply = fun (_ : Carstamp.t) -> ()) ctx ~client_site ~cid ~deps
   let on_reply = quorum_collector ~quorum process in
   Array.iteri
     (fun i _ ->
-      to_replica ctx ~src:client_site i (fun r ->
+      exchange ctx ~src:client_site i
+        ~request:(fun r ->
           apply_deps r deps;
-          let _, cs = Replica.get r key in
-          to_client ctx ~src:i ~dst:client_site (fun () -> on_reply cs)))
+          snd (Replica.get r key))
+        ~reply:on_reply)
     ctx.replicas
 
 (* ------------------------------------------------------------------ *)

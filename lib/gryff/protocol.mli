@@ -32,9 +32,19 @@ type ctx = {
   mutable n_writes : int;
   mutable n_rmws : int;
   mutable n_rmw_slow : int;  (** rmws that needed the accept round *)
+  mutable retrans : Sim.Rpc.t option;
+      (** per-request retransmission for the idempotent phases *)
 }
 
 val make_ctx : Sim.Engine.t -> Sim.Net.t -> Config.t -> ctx
+
+val enable_retrans : ctx -> rng:Sim.Rng.t -> ?timeout_us:int -> unit -> unit
+(** Arm retransmission (default 300 ms deadline, 8 attempts, capped backoff)
+    on every idempotent request/reply exchange: read round one, the write's
+    carstamp query, and propagates. Re-sends are safe because replica state
+    merges by carstamp maximum; rmw pre-accepts are not idempotent and keep
+    the bare single-send path. [rng] feeds retry jitter only, so fault-free
+    runs stay byte-identical to the unarmed protocol. *)
 
 type read_result = {
   r_value : int option;

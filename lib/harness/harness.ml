@@ -45,6 +45,27 @@ let print_fault_table fs =
         ("delayed", fs.delayed);
       ]
 
+(* Failover accounting for runs with [?failover:true] (all zero otherwise). *)
+type failover_stats = {
+  view_changes : int;
+  rpc_retries : int;
+  in_doubt_resolved : int;
+  max_election_us : int;
+}
+
+let no_failover =
+  { view_changes = 0; rpc_retries = 0; in_doubt_resolved = 0; max_election_us = 0 }
+
+let print_failover_table fs =
+  Stats.Summary.print_count_table ~header:"failover"
+    ~rows:
+      [
+        ("view changes", fs.view_changes);
+        ("rpc retries", fs.rpc_retries);
+        ("in-doubt resolved", fs.in_doubt_resolved);
+        ("max election (us)", fs.max_election_us);
+      ]
+
 (* Arm a chaos schedule on the run's engine; returns the injected-event
    counter to read after the run. *)
 let arm_chaos ?chaos ~engine ~net ?tt () =
@@ -67,6 +88,7 @@ type spanner_run = {
   sp_check : (unit, string) result;
   sp_records : Rss_core.Witness.txn array;
   sp_faults : fault_stats;
+  sp_failover : failover_stats;
 }
 
 (* Chaos runs must sweep committed-but-unacknowledged attempts into the
@@ -83,14 +105,23 @@ type pending_rw = {
 (* The paper's §6.1 wide-area Retwis experiment: partly-open clients
    (sessions at [arrival_rate_per_sec], stay probability 0.9, zero think
    time, a fresh t_min per session), Zipfian keys. *)
-let spanner_wan ?(config = None) ?chaos ~mode ~theta ~n_keys
-    ~arrival_rate_per_sec ~duration_s ~seed () =
+let spanner_wan ?(config = None) ?chaos ?(failover = false) ~mode ~theta
+    ~n_keys ~arrival_rate_per_sec ~duration_s ~seed () =
   let engine = Sim.Engine.create () in
   let rng = Sim.Rng.make seed in
   let config =
     match config with Some c -> c | None -> Spanner.Config.wan3 ~mode ()
   in
   let cluster = Spanner.Cluster.create engine ~rng config in
+  if failover then
+    Spanner.Cluster.enable_failover cluster
+      ~rng:(Sim.Rng.make (0xfa11 + seed))
+      ~until_us:(Sim.Engine.sec duration_s + Sim.Engine.sec 4.0) ();
+  (* The deadline exists to settle operations orphaned by a coordinator
+     crash, not to bound normal latency — it must sit well above the
+     workload's fault-free tail or deadline-aborts amplify load into
+     congestion collapse. *)
+  let deadline_us = if failover then Some 10_000_000 else None in
   let faults =
     arm_chaos ?chaos ~engine ~net:(Spanner.Cluster.net cluster)
       ~tt:(Spanner.Cluster.truetime cluster) ()
@@ -122,9 +153,10 @@ let spanner_wan ?(config = None) ?chaos ~mode ~theta ~n_keys
       k ()
     in
     if Workload.Retwis.is_read_only txn then
-      Spanner.Client.ro c ~keys:txn.Workload.Retwis.read_keys (fun _ -> finish ro ())
+      Spanner.Client.ro ?deadline_us c ~keys:txn.Workload.Retwis.read_keys
+        (fun _ -> finish ro ())
     else if chaos = None then
-      Spanner.Client.rw c ~read_keys:txn.Workload.Retwis.read_keys
+      Spanner.Client.rw ?deadline_us c ~read_keys:txn.Workload.Retwis.read_keys
         ~write_keys:txn.Workload.Retwis.write_keys (fun _ -> finish rw ())
     else begin
       (* Same fresh values Client.rw would pick; tracked so an attempt whose
@@ -144,7 +176,7 @@ let spanner_wan ?(config = None) ?chaos ~mode ~theta ~n_keys
         }
       in
       pending := info :: !pending;
-      Spanner.Client.rw_kv c
+      Spanner.Client.rw_kv ?deadline_us c
         ~on_attempt:(fun id -> info.pr_last_txn <- id)
         ~read_keys:txn.Workload.Retwis.read_keys ~writes
         (fun _ ->
@@ -173,6 +205,16 @@ let spanner_wan ?(config = None) ?chaos ~mode ~theta ~n_keys
     sp_check = Spanner.Cluster.check_history cluster;
     sp_records = Spanner.Cluster.records cluster;
     sp_faults = fault_stats_of_net ~faults:!faults (Spanner.Cluster.net cluster);
+    sp_failover =
+      (if failover then
+         let fs = Spanner.Cluster.failover_stats cluster in
+         {
+           view_changes = fs.Spanner.Cluster.view_changes;
+           rpc_retries = fs.Spanner.Cluster.rpc_retries;
+           in_doubt_resolved = fs.Spanner.Cluster.in_doubt_resolved;
+           max_election_us = fs.Spanner.Cluster.max_election_us;
+         }
+       else no_failover);
   }
 
 (* The §6.2 single-data-center saturation experiment: closed-loop clients,
@@ -257,6 +299,7 @@ type gryff_run = {
   gr_duration_us : int;
   gr_check : (unit, string) result;
   gr_faults : fault_stats;
+  gr_failover : failover_stats;
 }
 
 type pending_write = {
@@ -280,12 +323,14 @@ let sweep_gryff cluster pending =
 
 (* The §7.2 YCSB experiment: 16 closed-loop clients spread over five
    regions, tunable conflict percentage and write ratio. *)
-let gryff_wan ?(n_clients = 16) ?chaos ~mode ~conflict ~write_ratio ~n_keys
-    ~duration_s ~seed () =
+let gryff_wan ?(n_clients = 16) ?chaos ?(failover = false) ~mode ~conflict
+    ~write_ratio ~n_keys ~duration_s ~seed () =
   let engine = Sim.Engine.create () in
   let rng = Sim.Rng.make seed in
   let config = Gryff.Config.wan5 ~mode () in
   let cluster = Gryff.Cluster.create engine ~rng config in
+  if failover then
+    Gryff.Cluster.enable_retrans cluster ~rng:(Sim.Rng.make (0xfa11 + seed)) ();
   let faults = arm_chaos ?chaos ~engine ~net:(Gryff.Cluster.net cluster) () in
   let pending : pending_write list ref = ref [] in
   let ycsb = Workload.Ycsb.create ~rng:(Sim.Rng.split rng) ~n_keys ~write_ratio ~conflict in
@@ -334,6 +379,14 @@ let gryff_wan ?(n_clients = 16) ?chaos ~mode ~conflict ~write_ratio ~n_keys
     gr_duration_us = Sim.Engine.now engine;
     gr_check = Gryff.Cluster.check_history cluster;
     gr_faults = fault_stats_of_net ~faults:!faults (Gryff.Cluster.net cluster);
+    gr_failover =
+      (if failover then
+         let rs = Gryff.Cluster.retrans_stats cluster in
+         {
+           no_failover with
+           rpc_retries = rs.Gryff.Cluster.rpc_retries;
+         }
+       else no_failover);
   }
 
 (* The §7.4 overhead experiment: in-DC latencies, per-message CPU cost. *)

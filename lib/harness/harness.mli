@@ -23,6 +23,22 @@ val no_faults : fault_stats
 val print_fault_table : fault_stats -> unit
 (** Print the accounting as a Summary-style count table. *)
 
+(** Failover accounting for runs with [?failover:true] (all zero otherwise):
+    leader elections across the run's replication groups, request
+    retransmissions, 2PC participants settled by coordinator status queries,
+    and the worst crash-detection-to-new-leader-activation gap. *)
+type failover_stats = {
+  view_changes : int;
+  rpc_retries : int;
+  in_doubt_resolved : int;
+  max_election_us : int;
+}
+
+val no_failover : failover_stats
+
+val print_failover_table : failover_stats -> unit
+(** Print the failover accounting as a Summary-style count table. *)
+
 type spanner_run = {
   sp_ro : Stats.Recorder.t;  (** read-only transaction latencies (µs) *)
   sp_rw : Stats.Recorder.t;
@@ -32,16 +48,20 @@ type spanner_run = {
   sp_check : (unit, string) result;
   sp_records : Rss_core.Witness.txn array;  (** full history of the run *)
   sp_faults : fault_stats;
+  sp_failover : failover_stats;
 }
 
 val spanner_wan :
   ?config:Spanner.Config.t option -> ?chaos:Chaos.Schedule.t ->
-  mode:Spanner.Config.mode -> theta:float -> n_keys:int ->
+  ?failover:bool -> mode:Spanner.Config.mode -> theta:float -> n_keys:int ->
   arrival_rate_per_sec:float -> duration_s:float -> seed:int -> unit ->
   spanner_run
 (** §6.1: Retwis over the CA/VA/IR deployment with partly-open clients
     (a fresh session — and t_min — per arrival, stay probability 0.9).
-    The first 10% of the run is warm-up and is not recorded. *)
+    The first 10% of the run is warm-up and is not recorded. [failover]
+    (default false) arms {!Spanner.Cluster.enable_failover} and puts client
+    deadlines on every operation — required for liveness under
+    leader-killing schedules. *)
 
 val spanner_dc :
   ?chaos:Chaos.Schedule.t -> mode:Spanner.Config.mode -> n_shards:int ->
@@ -57,13 +77,15 @@ type gryff_run = {
   gr_duration_us : int;
   gr_check : (unit, string) result;
   gr_faults : fault_stats;
+  gr_failover : failover_stats;
 }
 
 val gryff_wan :
-  ?n_clients:int -> ?chaos:Chaos.Schedule.t -> mode:Gryff.Config.mode ->
-  conflict:float -> write_ratio:float -> n_keys:int -> duration_s:float ->
-  seed:int -> unit -> gryff_run
-(** §7.2: YCSB over the five-region deployment, closed-loop clients. *)
+  ?n_clients:int -> ?chaos:Chaos.Schedule.t -> ?failover:bool ->
+  mode:Gryff.Config.mode -> conflict:float -> write_ratio:float ->
+  n_keys:int -> duration_s:float -> seed:int -> unit -> gryff_run
+(** §7.2: YCSB over the five-region deployment, closed-loop clients.
+    [failover] (default false) arms {!Gryff.Cluster.enable_retrans}. *)
 
 val gryff_dc :
   ?chaos:Chaos.Schedule.t -> mode:Gryff.Config.mode -> service_time_us:int ->

@@ -1,40 +1,530 @@
-type t = {
+type status = Normal | View_change
+
+type failover_config = {
+  heartbeat_us : int;
+  lease_us : int;
+  grace_us : int;
+}
+
+let default_failover =
+  (* The lease must exceed the worst WAN round trip (136 ms in the paper's
+     three-site deployment) by a wide margin, or healthy followers read a
+     slow pong as a dead leader. *)
+  { heartbeat_us = 50_000; lease_us = 400_000; grace_us = 200_000 }
+
+type 'a entry = { e_view : int; e_payload : 'a; e_bytes : int }
+
+type 'a member = {
+  m_idx : int;
+  m_site : int;
+  m_store : Sim.Durable.t;
+  m_log : 'a entry Sim.Durable.log;
+  m_stash : (int, 'a entry) Hashtbl.t;  (* out-of-order appends (volatile) *)
+  mutable m_view : int;  (* mirrored to [m_store] on every change *)
+  mutable m_status : status;
+  mutable m_last_heard : int;  (* last leader contact (follower side) *)
+  mutable m_vc_view : int;  (* view being elected while [View_change] *)
+  mutable m_vc_since : int;
+  mutable m_dvc : 'a entry list option array;  (* candidate: DoViewChange logs *)
+  mutable m_sv_acked : bool array;  (* new leader: StartView acks *)
+  mutable m_was_down : bool;
+}
+
+type pending = {
+  pd_view : int;
+  pd_acked : bool array;  (* per member — the (entry, replica) dedup *)
+  mutable pd_acks : int;
+  mutable pd_fired : bool;
+  pd_k : unit -> unit;
+}
+
+type 'a t = {
   net : Sim.Net.t;
+  engine : Sim.Engine.t;
   station : Sim.Station.t option;
-  leader_site : int;
-  replica_sites : int list;
+  members : 'a member array;  (* index 0 = initial leader *)
+  n : int;
   majority : int;
-  mutable log_length : int;
+  pending : (int, pending) Hashtbl.t;  (* by log index, current view only *)
+  heard : int array;  (* leader-side lease: last ack/pong per member *)
+  mutable view : int;  (* routing view: the last *activated* leadership *)
+  mutable leader_idx : int;
+  mutable serve_after : int;
+  mutable cfg : failover_config option;
+  mutable horizon : int;
+  mutable on_leader_change : leader_site:int -> committed:'a list -> unit;
+  mutable n_view_changes : int;
+  mutable n_heartbeats : int;
+  mutable n_catchups : int;
+  mutable n_dup_acks : int;
+  mutable vc_detect_at : int;  (* -1 when no election is in flight *)
+  mutable max_election_us : int;
 }
 
 let create net ?station ~leader_site ~replica_sites () =
-  let n = 1 + List.length replica_sites in
-  { net; station; leader_site; replica_sites; majority = (n / 2) + 1; log_length = 0 }
+  let sites = Array.of_list (leader_site :: replica_sites) in
+  let n = Array.length sites in
+  let members =
+    Array.mapi
+      (fun i site ->
+        let store =
+          Sim.Durable.create ~site ~name:(Fmt.str "group-l%d-m%d" leader_site i)
+        in
+        {
+          m_idx = i;
+          m_site = site;
+          m_store = store;
+          m_log = Sim.Durable.log store;
+          m_stash = Hashtbl.create 8;
+          m_view = 0;
+          m_status = Normal;
+          m_last_heard = 0;
+          m_vc_view = 0;
+          m_vc_since = 0;
+          m_dvc = Array.make n None;
+          m_sv_acked = Array.make n false;
+          m_was_down = false;
+        })
+      sites
+  in
+  {
+    net;
+    engine = Sim.Net.engine net;
+    station;
+    members;
+    n;
+    majority = (n / 2) + 1;
+    pending = Hashtbl.create 64;
+    heard = Array.make n 0;
+    view = 0;
+    leader_idx = 0;
+    serve_after = 0;
+    cfg = None;
+    horizon = 0;
+    on_leader_change = (fun ~leader_site:_ ~committed:_ -> ());
+    n_view_changes = 0;
+    n_heartbeats = 0;
+    n_catchups = 0;
+    n_dup_acks = 0;
+    vc_detect_at = -1;
+    max_election_us = 0;
+  }
 
 let majority t = t.majority
 
-let log_length t = t.log_length
+let view t = t.view
 
-let replicate t ?(bytes = 128) k =
-  t.log_length <- t.log_length + 1;
-  let needed = t.majority - 1 in
-  if needed = 0 then k ()
-  else begin
-    let acks = ref 0 in
-    let on_ack () =
-      incr acks;
-      if !acks = needed then k ()
-    in
-    let receive_ack () =
+let leader_site t = t.members.(t.leader_idx).m_site
+
+let log_length t = Sim.Durable.length t.members.(t.leader_idx).m_log
+
+let committed t =
+  List.map (fun e -> e.e_payload) (Sim.Durable.to_list t.members.(t.leader_idx).m_log)
+
+let now t = Sim.Engine.now t.engine
+
+let candidate_of t v = v mod t.n
+
+let entry_bytes e = e.e_bytes
+
+let log_bytes entries = List.fold_left (fun acc e -> acc + e.e_bytes) 32 entries
+
+(* Deliver [f] at member [m]; the handler is dropped if the site crashed
+   after the message was sent (Net only filters at send time). *)
+let msend t ~src ~bytes (m : 'a member) f =
+  Sim.Net.send ~bytes t.net ~src:src.m_site ~dst:m.m_site (fun () ->
+      if not (Sim.Net.is_down t.net m.m_site) then f ())
+
+let adopt_view (m : 'a member) v =
+  m.m_view <- v;
+  Sim.Durable.set_int m.m_store "view" v
+
+let install_log (m : 'a member) entries =
+  Sim.Durable.replace m.m_log entries;
+  Hashtbl.reset m.m_stash
+
+(* ------------------------------------------------------------------ *)
+(* Replication (both modes)                                            *)
+(* ------------------------------------------------------------------ *)
+
+let send_ack t (m : 'a member) ~to_m ~view ~idx =
+  msend t ~src:m ~bytes:16 to_m (fun () ->
+      let process () =
+        (* Acks for an entry are deduplicated per replica: Net duplication
+           must not count one replica's ack twice toward the majority. *)
+        if
+          t.cfg = None
+          || (to_m.m_status = Normal && view = to_m.m_view)
+        then begin
+          t.heard.(m.m_idx) <- now t;
+          match Hashtbl.find_opt t.pending idx with
+          | Some pd when pd.pd_view = view ->
+            if pd.pd_acked.(m.m_idx) then t.n_dup_acks <- t.n_dup_acks + 1
+            else begin
+              pd.pd_acked.(m.m_idx) <- true;
+              pd.pd_acks <- pd.pd_acks + 1;
+              if (not pd.pd_fired) && pd.pd_acks >= t.majority - 1 then begin
+                pd.pd_fired <- true;
+                Hashtbl.remove t.pending idx;
+                pd.pd_k ()
+              end
+            end
+          | Some _ | None -> ()
+        end
+      in
       match t.station with
-      | None -> on_ack ()
-      | Some st -> Sim.Station.submit st on_ack
-    in
-    List.iter
-      (fun site ->
-        Sim.Net.send ~bytes t.net ~src:t.leader_site ~dst:site (fun () ->
-            (* Replica appends and acks; replica CPU is not the bottleneck
-               we model. *)
-            Sim.Net.send ~bytes:16 t.net ~src:site ~dst:t.leader_site receive_ack))
-      t.replica_sites
+      | None -> process ()
+      | Some st -> Sim.Station.submit st process)
+
+let rec request_catchup t (m : 'a member) =
+  Array.iter
+    (fun o ->
+      if o.m_idx <> m.m_idx then
+        msend t ~src:m ~bytes:16 o (fun () -> recv_catchup_req t o ~from:m))
+    t.members
+
+and recv_catchup_req t (m : 'a member) ~from =
+  (* Only a member that believes itself the leader of its view answers. *)
+  if m.m_status = Normal && candidate_of t m.m_view = m.m_idx then begin
+    let entries = Sim.Durable.to_list m.m_log in
+    let v = m.m_view in
+    msend t ~src:m ~bytes:(log_bytes entries) from (fun () ->
+        recv_catchup_rep t from ~view:v ~entries)
   end
+
+and recv_catchup_rep t (m : 'a member) ~view ~entries =
+  if
+    view > m.m_view
+    || (view = m.m_view
+        && List.length entries > Sim.Durable.length m.m_log)
+  then begin
+    adopt_view m view;
+    m.m_status <- Normal;
+    install_log m entries;
+    m.m_last_heard <- now t;
+    t.n_catchups <- t.n_catchups + 1
+  end
+
+let recv_append t (m : 'a member) ~from ~idx ~entry =
+  match t.cfg with
+  | None ->
+    (* Failure-free mode: append blindly (indices are cosmetic) and ack —
+       the pre-view-change behavior, byte for byte. *)
+    ignore (Sim.Durable.append m.m_log ~bytes:entry.e_bytes entry);
+    send_ack t m ~to_m:from ~view:entry.e_view ~idx
+  | Some _ ->
+    if m.m_status <> Normal || entry.e_view < m.m_view then ()
+    else if entry.e_view > m.m_view then
+      (* We missed a view change; learn the new state before acking. *)
+      request_catchup t m
+    else begin
+      m.m_last_heard <- now t;
+      let len = Sim.Durable.length m.m_log in
+      if idx < len then send_ack t m ~to_m:from ~view:entry.e_view ~idx
+      else if idx = len then begin
+        ignore (Sim.Durable.append m.m_log ~bytes:entry.e_bytes entry);
+        send_ack t m ~to_m:from ~view:entry.e_view ~idx;
+        (* Drain any reordered successors that were stashed. *)
+        let rec drain () =
+          let len = Sim.Durable.length m.m_log in
+          match Hashtbl.find_opt m.m_stash len with
+          | Some e ->
+            Hashtbl.remove m.m_stash len;
+            ignore (Sim.Durable.append m.m_log ~bytes:e.e_bytes e);
+            send_ack t m ~to_m:from ~view:e.e_view ~idx:len;
+            drain ()
+          | None -> ()
+        in
+        drain ()
+      end
+      else begin
+        Hashtbl.replace m.m_stash idx entry;
+        request_catchup t m
+      end
+    end
+
+let replicate t ?(bytes = 128) payload k =
+  let lm = t.members.(t.leader_idx) in
+  let entry = { e_view = t.view; e_payload = payload; e_bytes = bytes } in
+  let idx = Sim.Durable.append lm.m_log ~bytes entry in
+  if t.majority - 1 = 0 then k ()
+  else begin
+    let pd =
+      {
+        pd_view = t.view;
+        pd_acked = Array.make t.n false;
+        pd_acks = 0;
+        pd_fired = false;
+        pd_k = k;
+      }
+    in
+    pd.pd_acked.(lm.m_idx) <- true;
+    Hashtbl.replace t.pending idx pd;
+    Array.iter
+      (fun m ->
+        if m.m_idx <> lm.m_idx then
+          msend t ~src:lm ~bytes m (fun () -> recv_append t m ~from:lm ~idx ~entry))
+      t.members
+  end
+
+(* ------------------------------------------------------------------ *)
+(* View changes (failover mode)                                        *)
+(* ------------------------------------------------------------------ *)
+
+let maybe_activate t (m : 'a member) cfg =
+  let acks = Array.fold_left (fun a b -> if b then a + 1 else a) 0 m.m_sv_acked in
+  if acks >= t.majority && t.view < m.m_view then begin
+    t.view <- m.m_view;
+    t.leader_idx <- m.m_idx;
+    t.serve_after <- now t + cfg.grace_us;
+    Array.fill t.heard 0 t.n (now t);
+    Hashtbl.reset t.pending;  (* older-view proposals never commit *)
+    t.n_view_changes <- t.n_view_changes + 1;
+    if t.vc_detect_at >= 0 then begin
+      let d = now t - t.vc_detect_at in
+      if d > t.max_election_us then t.max_election_us <- d;
+      t.vc_detect_at <- -1
+    end;
+    t.on_leader_change ~leader_site:m.m_site
+      ~committed:(List.map (fun e -> e.e_payload) (Sim.Durable.to_list m.m_log))
+  end
+
+let rec recv_start_view t (m : 'a member) ~from ~view ~entries =
+  if view > m.m_view || (view = m.m_view && m.m_status = View_change) then begin
+    adopt_view m view;
+    m.m_status <- Normal;
+    install_log m entries;
+    m.m_last_heard <- now t;
+    send_sv_ack t m ~to_m:from ~view
+  end
+  else if view = m.m_view && m.m_status = Normal then
+    (* Duplicate StartView: re-ack so the new leader can activate. *)
+    send_sv_ack t m ~to_m:from ~view
+
+and send_sv_ack t (m : 'a member) ~to_m ~view =
+  msend t ~src:m ~bytes:16 to_m (fun () ->
+      match t.cfg with
+      | None -> ()
+      | Some cfg ->
+        if
+          to_m.m_status = Normal && view = to_m.m_view
+          && candidate_of t view = to_m.m_idx
+        then
+          if not to_m.m_sv_acked.(m.m_idx) then begin
+            to_m.m_sv_acked.(m.m_idx) <- true;
+            maybe_activate t to_m cfg
+          end)
+
+let rec check_dvc_quorum t (m : 'a member) cfg =
+  let got = Array.fold_left (fun a o -> if o <> None then a + 1 else a) 0 m.m_dvc in
+  if m.m_status = View_change && got >= t.majority then begin
+    (* Longest log from the latest view wins — it contains every entry that
+       could have committed (any commit majority intersects this quorum). *)
+    let rank entries =
+      match List.rev entries with
+      | [] -> (-1, 0)
+      | last :: _ -> (last.e_view, List.length entries)
+    in
+    let best = ref [] in
+    Array.iter
+      (function
+        | Some entries -> if rank entries > rank !best then best := entries
+        | None -> ())
+      m.m_dvc;
+    let v = m.m_vc_view in
+    adopt_view m v;
+    m.m_status <- Normal;
+    install_log m !best;
+    m.m_last_heard <- now t;
+    m.m_sv_acked <- Array.make t.n false;
+    m.m_sv_acked.(m.m_idx) <- true;
+    let entries = !best in
+    Array.iter
+      (fun o ->
+        if o.m_idx <> m.m_idx then
+          msend t ~src:m ~bytes:(log_bytes entries) o (fun () ->
+              recv_start_view t o ~from:m ~view:v ~entries))
+      t.members;
+    maybe_activate t m cfg
+
+  end
+
+and start_view_change t (m : 'a member) cfg v =
+  m.m_status <- View_change;
+  m.m_vc_view <- v;
+  m.m_vc_since <- now t;
+  m.m_dvc <- Array.make t.n None;
+  if t.vc_detect_at < 0 then t.vc_detect_at <- now t;
+  Array.iter
+    (fun o ->
+      if o.m_idx <> m.m_idx then
+        msend t ~src:m ~bytes:16 o (fun () -> recv_svc t o cfg ~view:v))
+    t.members;
+  let cand = candidate_of t v in
+  let entries = Sim.Durable.to_list m.m_log in
+  if cand = m.m_idx then begin
+    m.m_dvc.(m.m_idx) <- Some entries;
+    check_dvc_quorum t m cfg
+  end
+  else
+    msend t ~src:m ~bytes:(log_bytes entries) t.members.(cand) (fun () ->
+        recv_dvc t t.members.(cand) cfg ~from:m.m_idx ~view:v ~entries)
+
+and recv_svc t (m : 'a member) cfg ~view =
+  let interested =
+    match m.m_status with
+    | Normal -> view > m.m_view
+    | View_change -> view > m.m_vc_view
+  in
+  if interested then start_view_change t m cfg view
+
+and recv_dvc t (m : 'a member) cfg ~from ~view ~entries =
+  let joined =
+    match m.m_status with
+    | View_change -> view > m.m_vc_view
+    | Normal -> view > m.m_view
+  in
+  if joined then start_view_change t m cfg view;
+  if m.m_status = View_change && view = m.m_vc_view && candidate_of t view = m.m_idx
+  then begin
+    m.m_dvc.(from) <- Some entries;
+    check_dvc_quorum t m cfg
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Heartbeats, leases, failure detection                               *)
+(* ------------------------------------------------------------------ *)
+
+let recv_pong t (m : 'a member) ~from ~view =
+  if m.m_status = Normal && view = m.m_view then t.heard.(from) <- now t
+
+let recv_pong_stale t (m : 'a member) ~newer_view =
+  (* A deposed leader learns it was replaced: step down and catch up. *)
+  if newer_view > m.m_view then begin
+    adopt_view m newer_view;
+    m.m_status <- Normal;
+    m.m_last_heard <- now t;
+    request_catchup t m
+  end
+
+let recv_ping t (m : 'a member) ~from ~view ~len =
+  if view > m.m_view then begin
+    m.m_last_heard <- now t;
+    request_catchup t m
+  end
+  else if view < m.m_view then
+    let v = m.m_view in
+    msend t ~src:m ~bytes:16 from (fun () -> recv_pong_stale t from ~newer_view:v)
+  else begin
+    m.m_last_heard <- now t;
+    if m.m_status = Normal then begin
+      if len > Sim.Durable.length m.m_log then request_catchup t m;
+      msend t ~src:m ~bytes:16 from (fun () ->
+          recv_pong t from ~from:m.m_idx ~view)
+    end
+  end
+
+let leader_duties t (m : 'a member) =
+  let len = Sim.Durable.length m.m_log in
+  let v = m.m_view in
+  Array.iter
+    (fun o ->
+      if o.m_idx <> m.m_idx then begin
+        t.n_heartbeats <- t.n_heartbeats + 1;
+        msend t ~src:m ~bytes:24 o (fun () -> recv_ping t o ~from:m ~view:v ~len)
+      end)
+    t.members
+
+let rec tick t (m : 'a member) () =
+  match t.cfg with
+  | None -> ()
+  | Some cfg ->
+    if now t <= t.horizon then begin
+      (if Sim.Net.is_down t.net m.m_site then m.m_was_down <- true
+       else if m.m_was_down then begin
+         (* First tick after recovery: volatile state is gone; rejoin from
+            the durable log + view and let catch-up repair the rest. *)
+         m.m_was_down <- false;
+         m.m_status <- Normal;
+         Hashtbl.reset m.m_stash;
+         m.m_last_heard <- now t;
+         request_catchup t m
+       end
+       else
+         match m.m_status with
+         | Normal when candidate_of t m.m_view = m.m_idx -> leader_duties t m
+         | Normal ->
+           if now t - m.m_last_heard > cfg.lease_us then
+             start_view_change t m cfg (m.m_view + 1)
+         | View_change ->
+           if now t - m.m_vc_since > cfg.lease_us then
+             (* The candidate itself is dead or cut off: try the next one. *)
+             start_view_change t m cfg (m.m_vc_view + 1));
+      Sim.Engine.schedule t.engine ~after:cfg.heartbeat_us (tick t m)
+    end
+
+let enable_failover t ?(config = default_failover) ?on_leader_change ~until_us ()
+    =
+  t.cfg <- Some config;
+  t.horizon <- until_us;
+  (match on_leader_change with Some f -> t.on_leader_change <- f | None -> ());
+  Array.fill t.heard 0 t.n (now t);
+  Array.iter
+    (fun m ->
+      m.m_last_heard <- now t;
+      (* Stagger first ticks so members never probe in lockstep. *)
+      Sim.Engine.schedule t.engine
+        ~after:(config.heartbeat_us + (m.m_idx * 1_009))
+        (tick t m))
+    t.members
+
+let has_lease t cfg =
+  let n = now t in
+  (* Past the failover horizon the heartbeat timers have wound down (they
+     must, or the event queue would never drain), so staleness no longer
+     means anything — the last holder keeps the lease. *)
+  n > t.horizon
+  ||
+  let cnt = ref 0 in
+  Array.iteri
+    (fun i _ -> if i = t.leader_idx || n - t.heard.(i) <= cfg.lease_us then incr cnt)
+    t.heard;
+  !cnt >= t.majority
+
+let serving t =
+  match t.cfg with
+  | None -> true
+  | Some cfg ->
+    let lm = t.members.(t.leader_idx) in
+    lm.m_status = Normal && lm.m_view = t.view
+    && (not (Sim.Net.is_down t.net lm.m_site))
+    && now t >= t.serve_after && has_lease t cfg
+
+type stats = {
+  view_changes : int;
+  heartbeats : int;
+  catchups : int;
+  dup_acks : int;
+  max_election_us : int;
+  durable_appends : int;
+  durable_bytes : int;
+}
+
+let stats t =
+  let appends, bytes =
+    Array.fold_left
+      (fun (a, b) m ->
+        (a + Sim.Durable.appends m.m_store, b + Sim.Durable.bytes_written m.m_store))
+      (0, 0) t.members
+  in
+  {
+    view_changes = t.n_view_changes;
+    heartbeats = t.n_heartbeats;
+    catchups = t.n_catchups;
+    dup_acks = t.n_dup_acks;
+    max_election_us = t.max_election_us;
+    durable_appends = appends;
+    durable_bytes = bytes;
+  }
+
+let _ = entry_bytes

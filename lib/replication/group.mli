@@ -1,26 +1,95 @@
-(** Leader-based majority replication for one shard group.
+(** View-based majority replication for one shard group (VR-lite).
 
     Stands in for Multi-Paxos / Viewstamped Replication in the Spanner
-    protocols: the leader appends an entry, ships it to its replicas, and
-    learns commit once a majority of the group (counting itself) has
-    acknowledged. Failure-free — leadership never changes — because the
-    paper's evaluation is failure-free too; latency-wise this is exactly one
-    round trip to the nearest ⌈n/2⌉-1 replicas, which is what the protocols
-    pay per prepare/commit record. *)
+    protocols: the leader of the current view appends an entry, ships it to
+    the other members, and learns commit once a majority of the group
+    (counting itself) has acknowledged — latency-wise one round trip to the
+    nearest ⌈n/2⌉-1 replicas, which is what the protocols pay per
+    prepare/commit record.
 
-type t
+    By default the group runs in failure-free mode: view 0, member 0 is the
+    leader forever, and the message pattern (and hence any seeded
+    experiment) is identical to the pre-view-change implementation.
+    {!enable_failover} arms the full protocol: members keep their log and
+    view number in per-site {!Sim.Durable} storage, the leader heartbeats
+    its followers, a follower that misses the leader for a lease starts a
+    view change (StartViewChange / DoViewChange / StartView, candidate =
+    view mod n), the new leader installs the longest log from the latest
+    view among a majority — which contains every entry that could have
+    committed — and lagging or recovering members catch up by state
+    transfer. The leader only reports itself {!serving} while it has heard
+    from a majority within the lease and its post-election grace period has
+    passed, giving the lease-disjointness guarantee timestamp-based layers
+    (Spanner's RO reads) rely on.
+
+    Entries carry an arbitrary payload ['a] so upper layers can rebuild
+    their volatile state (prepared-transaction tables, multi-version
+    stores) from the log a new leader hands them via [on_leader_change]. *)
+
+type 'a t
+
+type failover_config = {
+  heartbeat_us : int;  (** leader ping / failure-detector tick period *)
+  lease_us : int;  (** silence after which a follower suspects the leader *)
+  grace_us : int;  (** post-election quiet period before serving *)
+}
+
+val default_failover : failover_config
+(** 50 ms heartbeats, 400 ms lease (comfortably above the paper's worst
+    136 ms WAN round trip), 200 ms grace. *)
 
 val create :
   Sim.Net.t -> ?station:Sim.Station.t -> leader_site:int ->
-  replica_sites:int list -> unit -> t
-(** [station], when given, charges the leader's CPU for processing each
-    acknowledgement (throughput experiments). *)
+  replica_sites:int list -> unit -> 'a t
+(** [station], when given, charges the (initial) leader's CPU for processing
+    each acknowledgement (throughput experiments). *)
 
-val replicate : t -> ?bytes:int -> (unit -> unit) -> unit
-(** Append an entry; the callback fires when a majority has acknowledged.
-    With no replicas the callback fires synchronously. *)
+val replicate : 'a t -> ?bytes:int -> 'a -> (unit -> unit) -> unit
+(** Append an entry at the current leader; the callback fires when a
+    majority has acknowledged (deduplicated per replica, so a duplicated
+    ack never counts twice). With no replicas the callback fires
+    synchronously. Entries proposed in a view that gets superseded before
+    reaching a majority are discarded with their callbacks — callers that
+    armed failover must treat an unanswered [replicate] as in doubt. *)
 
-val log_length : t -> int
+val enable_failover :
+  'a t -> ?config:failover_config ->
+  ?on_leader_change:(leader_site:int -> committed:'a list -> unit) ->
+  until_us:int -> unit -> unit
+(** Arm heartbeats, leases, view changes, and catch-up until the simulated
+    clock passes [until_us] (timers must be bounded so a queue-draining
+    {!Sim.Engine.run} terminates). [on_leader_change] fires each time a new
+    view activates, with the new leader's site and the full payload log to
+    rebuild upper-layer state from. *)
 
-val majority : t -> int
+val serving : 'a t -> bool
+(** Whether the current leader may serve: always [true] in failure-free
+    mode; with failover armed, true iff the leader is up, in the view it
+    was elected for, past its grace period, and holds a majority lease. *)
+
+val leader_site : 'a t -> int
+(** Site of the current view's leader (routing target for clients). *)
+
+val view : 'a t -> int
+
+val log_length : 'a t -> int
+
+val committed : 'a t -> 'a list
+(** Payloads of the current leader's log, in append order. *)
+
+val majority : 'a t -> int
 (** Majority size of the group (including the leader). *)
+
+(** {2 Failover statistics} *)
+
+type stats = {
+  view_changes : int;  (** activated elections *)
+  heartbeats : int;  (** pings sent by leaders *)
+  catchups : int;  (** state transfers installed by lagging members *)
+  dup_acks : int;  (** duplicate acks suppressed by the per-replica dedup *)
+  max_election_us : int;  (** worst detection-to-activation time *)
+  durable_appends : int;  (** log writes across all members *)
+  durable_bytes : int;
+}
+
+val stats : 'a t -> stats

@@ -1,0 +1,55 @@
+type t = {
+  site : int;
+  name : string;
+  ints : (string, int) Hashtbl.t;
+  mutable n_appends : int;
+  mutable n_bytes : int;
+}
+
+let create ~site ~name =
+  { site; name; ints = Hashtbl.create 8; n_appends = 0; n_bytes = 0 }
+
+let site t = t.site
+
+let name t = t.name
+
+let set_int t key v = Hashtbl.replace t.ints key v
+
+let get_int t key ~default =
+  match Hashtbl.find_opt t.ints key with Some v -> v | None -> default
+
+type 'a log = { owner : t; mutable entries : 'a list; mutable len : int }
+(* Entries newest-first; reads are rare (recovery, catch-up), appends hot. *)
+
+let log owner = { owner; entries = []; len = 0 }
+
+let append l ?(bytes = 64) e =
+  let idx = l.len in
+  l.entries <- e :: l.entries;
+  l.len <- l.len + 1;
+  l.owner.n_appends <- l.owner.n_appends + 1;
+  l.owner.n_bytes <- l.owner.n_bytes + bytes;
+  idx
+
+let length l = l.len
+
+let get l i =
+  if i < 0 || i >= l.len then invalid_arg "Durable.get: index out of bounds";
+  List.nth l.entries (l.len - 1 - i)
+
+let truncate l n =
+  if n < l.len then begin
+    let rec drop k es = if k = 0 then es else drop (k - 1) (List.tl es) in
+    l.entries <- drop (l.len - n) l.entries;
+    l.len <- max 0 n
+  end
+
+let to_list l = List.rev l.entries
+
+let replace l es =
+  truncate l 0;
+  List.iter (fun e -> ignore (append l e)) es
+
+let appends t = t.n_appends
+
+let bytes_written t = t.n_bytes

@@ -1,0 +1,59 @@
+(** Per-site durable storage: the state a process recovers with.
+
+    The simulator keeps every OCaml value alive across a {!Net.set_down} /
+    {!Net.set_up} cycle, so "crash" by itself loses nothing. This module is
+    the discipline boundary that makes recovery meaningful: a protocol's
+    recovery path may consult only what it explicitly placed in a [Durable.t]
+    (its replicated log, its view number), and must treat everything else —
+    lock tables, prepared-transaction maps, in-flight continuations — as
+    gone. Writes are synchronous (the simulated fsync cost is the caller's
+    to model, e.g. via {!Station}); the store counts appends and bytes so
+    experiments can report durable-write traffic. *)
+
+type t
+
+val create : site:int -> name:string -> t
+(** One store per (site, role), e.g. one replication log per group member. *)
+
+val site : t -> int
+val name : t -> string
+
+(** {2 Integer registers} (view numbers, commit indices) *)
+
+val set_int : t -> string -> int -> unit
+
+val get_int : t -> string -> default:int -> int
+
+(** {2 Append-only logs}
+
+    A log lives inside a store and supports append, random read, and
+    truncation (used when a view change installs a shorter authoritative
+    log). *)
+
+type 'a log
+
+val log : t -> 'a log
+(** A fresh log backed by [t]. *)
+
+val append : 'a log -> ?bytes:int -> 'a -> int
+(** Append an entry, charging [bytes] (default 64) to the store; returns the
+    entry's index. *)
+
+val get : 'a log -> int -> 'a
+
+val length : 'a log -> int
+
+val truncate : 'a log -> int -> unit
+(** [truncate l n] drops every entry at index >= [n]. *)
+
+val to_list : 'a log -> 'a list
+(** Entries in append order. *)
+
+val replace : 'a log -> 'a list -> unit
+(** Atomically install a new contents (truncate-to-zero + append all),
+    charging bytes for the installed entries. *)
+
+(** {2 Accounting} *)
+
+val appends : t -> int
+val bytes_written : t -> int

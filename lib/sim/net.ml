@@ -74,6 +74,8 @@ let create engine ~rng ~rtt_ms ?(jitter = 0.02) () =
 
 let n_sites t = Array.length t.one_way_us
 
+let engine t = t.engine
+
 let base_one_way t ~src ~dst = t.one_way_us.(src).(dst)
 
 (* The single per-link fault predicate every delivery consults. Causes are

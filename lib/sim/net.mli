@@ -29,6 +29,10 @@ val create :
 
 val n_sites : t -> int
 
+val engine : t -> Engine.t
+(** The engine deliveries are scheduled on (for components that keep timers
+    alongside their network endpoints, e.g. failure detectors). *)
+
 val base_one_way : t -> src:site -> dst:site -> int
 (** Deterministic one-way delay (µs), before jitter. *)
 

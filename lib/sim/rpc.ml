@@ -1,0 +1,59 @@
+type t = {
+  engine : Engine.t;
+  rng : Rng.t;
+  timeout_us : int;
+  max_backoff_us : int;
+  max_attempts : int;
+  mutable n_calls : int;
+  mutable n_retries : int;
+  mutable n_exhausted : int;
+}
+
+let create engine ~rng ?(timeout_us = 500_000) ?(max_backoff_us = 2_000_000)
+    ?(max_attempts = 8) () =
+  if timeout_us <= 0 then invalid_arg "Rpc.create: timeout_us must be positive";
+  if max_attempts < 1 then invalid_arg "Rpc.create: max_attempts must be >= 1";
+  {
+    engine;
+    rng;
+    timeout_us;
+    max_backoff_us;
+    max_attempts;
+    n_calls = 0;
+    n_retries = 0;
+    n_exhausted = 0;
+  }
+
+let call t ~attempt ~on_result =
+  t.n_calls <- t.n_calls + 1;
+  let settled = ref false in
+  let ok v =
+    if not !settled then begin
+      settled := true;
+      on_result (Some v)
+    end
+  in
+  let rec go n =
+    if not !settled then
+      if n > t.max_attempts then begin
+        t.n_exhausted <- t.n_exhausted + 1;
+        on_result None
+      end
+      else begin
+        if n > 1 then t.n_retries <- t.n_retries + 1;
+        attempt ~attempt:n ~ok;
+        (* Per-attempt timeout doubles (capped); retries add jitter so
+           concurrent callers de-synchronize. The first attempt draws no
+           randomness, keeping retry-free runs on the unperturbed stream. *)
+        let backoff = min t.max_backoff_us (t.timeout_us lsl min (n - 1) 16) in
+        let jitter = if n = 1 then 0 else Rng.int t.rng (max 1 (backoff / 4)) in
+        Engine.schedule t.engine ~after:(backoff + jitter) (fun () -> go (n + 1))
+      end
+  in
+  go 1
+
+let calls t = t.n_calls
+
+let retries t = t.n_retries
+
+let exhausted t = t.n_exhausted

@@ -1,0 +1,37 @@
+(** At-least-once request helper: deadlines, bounded retries, capped
+    exponential backoff with seeded jitter.
+
+    [call] runs an attempt thunk and arms a per-attempt timeout; if no reply
+    lands in time it re-runs the thunk, doubling the timeout up to
+    [max_backoff_us], until [max_attempts] attempts have gone unanswered —
+    then delivers [None]. Late replies from superseded attempts are absorbed
+    by a per-call settled flag, so a callee observes at-least-once delivery
+    and the caller sees exactly one result.
+
+    Determinism: backoff jitter is drawn from the [rng] stream handed to
+    {!create}, and only when an attempt actually retries — a run in which
+    every first attempt succeeds consumes no randomness here, so arming the
+    helper does not perturb fault-free seeded experiments. *)
+
+type t
+
+val create :
+  Engine.t -> rng:Rng.t -> ?timeout_us:int -> ?max_backoff_us:int ->
+  ?max_attempts:int -> unit -> t
+(** Defaults: 500 ms first-attempt timeout (above the worst WAN round trip
+    in the paper's deployments), 2 s backoff cap, 8 attempts. *)
+
+val call :
+  t ->
+  attempt:(attempt:int -> ok:('a -> unit) -> unit) ->
+  on_result:('a option -> unit) -> unit
+(** [attempt ~attempt:n ~ok] must (re)send the request and route the reply
+    to [ok]; it may be invoked several times, so the remote handler must be
+    idempotent. [on_result] fires exactly once: [Some v] with the first
+    reply, or [None] after the attempt budget is exhausted. *)
+
+(** {2 Counters} *)
+
+val calls : t -> int
+val retries : t -> int
+val exhausted : t -> int

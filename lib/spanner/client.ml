@@ -15,11 +15,11 @@ let t_min t = t.t_min
 
 let key_name = string_of_int
 
-let rw_kv ?on_attempt t ~read_keys ~writes k =
+let rw_kv ?on_attempt ?deadline_us t ~read_keys ~writes k =
   let ctx = Cluster.ctx t.cluster in
   let inv = Sim.Engine.now (Cluster.engine t.cluster) in
-  Protocol.rw_txn ?on_attempt ctx ~client_site:t.site ~proc:t.proc ~read_keys
-    ~writes
+  Protocol.rw_txn ?on_attempt ?deadline_us ctx ~client_site:t.site ~proc:t.proc
+    ~read_keys ~writes
     (fun res ->
       let resp = Sim.Engine.now (Cluster.engine t.cluster) in
       if res.Protocol.rw_commit_ts > t.t_min then t.t_min <- res.Protocol.rw_commit_ts;
@@ -35,10 +35,10 @@ let rw_kv ?on_attempt t ~read_keys ~writes k =
         };
       k res)
 
-let rw ?on_attempt t ~read_keys ~write_keys k =
+let rw ?on_attempt ?deadline_us t ~read_keys ~write_keys k =
   (* History checking needs per-key-unique stored values. *)
   let writes = List.map (fun key -> (key, Cluster.fresh_value t.cluster)) write_keys in
-  rw_kv ?on_attempt t ~read_keys ~writes k
+  rw_kv ?on_attempt ?deadline_us t ~read_keys ~writes k
 
 let rw_detached t ~write_keys =
   (* A client that stops (§3.2's stop failures) before its response: the
@@ -61,10 +61,11 @@ let rw_detached t ~write_keys =
           rank = 0;
         })
 
-let ro t ~keys k =
+let ro ?deadline_us t ~keys k =
   let ctx = Cluster.ctx t.cluster in
   let inv = Sim.Engine.now (Cluster.engine t.cluster) in
-  Protocol.ro_txn ctx ~client_site:t.site ~proc:t.proc ~t_min:t.t_min ~keys
+  Protocol.ro_txn ?deadline_us ctx ~client_site:t.site ~proc:t.proc
+    ~t_min:t.t_min ~keys
     (fun res ->
       let resp = Sim.Engine.now (Cluster.engine t.cluster) in
       if res.Protocol.ro_snap_ts > t.t_min then t.t_min <- res.Protocol.ro_snap_ts;

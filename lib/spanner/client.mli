@@ -20,15 +20,16 @@ val site : t -> int
 val t_min : t -> int
 
 val rw :
-  ?on_attempt:(int -> unit) -> t -> read_keys:int list -> write_keys:int list ->
-  (Protocol.rw_result -> unit) -> unit
+  ?on_attempt:(int -> unit) -> ?deadline_us:int -> t -> read_keys:int list ->
+  write_keys:int list -> (Protocol.rw_result -> unit) -> unit
 (** Writes fresh unique values (history checking needs per-key-unique
     stored values). [on_attempt] is {!Protocol.rw_txn}'s attempt hook —
     chaos audits use it to track transactions whose acknowledgement a fault
-    may swallow. *)
+    may swallow. [deadline_us] (failover mode only) bounds how long an
+    attempt waits before querying its coordinator's outcome and retrying. *)
 
 val rw_kv :
-  ?on_attempt:(int -> unit) -> t -> read_keys:int list ->
+  ?on_attempt:(int -> unit) -> ?deadline_us:int -> t -> read_keys:int list ->
   writes:(int * int) list -> (Protocol.rw_result -> unit) -> unit
 (** Explicit (key, value) writes — application code; values must stay unique
     per key across the run for history checking. *)
@@ -39,7 +40,8 @@ val rw_detached : t -> write_keys:int list -> unit
     is recorded as incomplete (no response, no real-time obligations). The
     session must not be used afterwards. *)
 
-val ro : t -> keys:int list -> (Protocol.ro_result -> unit) -> unit
+val ro :
+  ?deadline_us:int -> t -> keys:int list -> (Protocol.ro_result -> unit) -> unit
 
 val snapshot_read :
   t -> ts:int -> keys:int list -> ((int * int option) list -> unit) -> unit

@@ -91,3 +91,60 @@ let stats t =
     ro_blocked_at_shards = ro_blocked;
     messages = Sim.Net.messages_sent t.net;
   }
+
+let enable_failover t ~rng ?config ~until_us () =
+  Protocol.enable_failover t.pctx ~rng ?config ~until_us ()
+
+type failover_stats = {
+  view_changes : int;
+  heartbeats : int;
+  catchups : int;
+  dup_acks : int;
+  max_election_us : int;
+  terminates : int;
+  terminate_commits : int;
+  in_doubt_resolved : int;
+  rpc_retries : int;
+  rpc_exhausted : int;
+  durable_appends : int;
+  durable_bytes : int;
+}
+
+let failover_stats t =
+  let z =
+    {
+      view_changes = 0;
+      heartbeats = 0;
+      catchups = 0;
+      dup_acks = 0;
+      max_election_us = 0;
+      terminates = t.pctx.Protocol.n_terminates;
+      terminate_commits = t.pctx.Protocol.n_terminate_commits;
+      in_doubt_resolved = t.pctx.Protocol.n_in_doubt_resolved;
+      rpc_retries =
+        (match t.pctx.Protocol.rpc with
+        | Some r -> Sim.Rpc.retries r
+        | None -> 0);
+      rpc_exhausted =
+        (match t.pctx.Protocol.rpc with
+        | Some r -> Sim.Rpc.exhausted r
+        | None -> 0);
+      durable_appends = 0;
+      durable_bytes = 0;
+    }
+  in
+  Array.fold_left
+    (fun acc sh ->
+      let g = Replication.Group.stats sh.Shard.repl in
+      {
+        acc with
+        view_changes = acc.view_changes + g.Replication.Group.view_changes;
+        heartbeats = acc.heartbeats + g.Replication.Group.heartbeats;
+        catchups = acc.catchups + g.Replication.Group.catchups;
+        dup_acks = acc.dup_acks + g.Replication.Group.dup_acks;
+        max_election_us =
+          max acc.max_election_us g.Replication.Group.max_election_us;
+        durable_appends = acc.durable_appends + g.Replication.Group.durable_appends;
+        durable_bytes = acc.durable_bytes + g.Replication.Group.durable_bytes;
+      })
+    z t.pctx.Protocol.shards

@@ -44,3 +44,31 @@ type stats = {
 }
 
 val stats : t -> stats
+
+(** {2 Failover} *)
+
+val enable_failover :
+  t -> rng:Sim.Rng.t -> ?config:Replication.Group.failover_config ->
+  until_us:int -> unit -> unit
+(** Arm view-change failover on every shard group plus the client
+    terminate / in-doubt resolution machinery (see
+    {!Protocol.enable_failover}). [rng] should be a dedicated stream (e.g.
+    a {!Sim.Rng.split} the caller owns): it feeds retry jitter only, so the
+    cluster's fault-free behavior stays byte-identical. *)
+
+type failover_stats = {
+  view_changes : int;
+  heartbeats : int;
+  catchups : int;
+  dup_acks : int;  (** duplicate replication acks suppressed *)
+  max_election_us : int;  (** worst leader-failure detection-to-activation *)
+  terminates : int;
+  terminate_commits : int;
+  in_doubt_resolved : int;
+  rpc_retries : int;
+  rpc_exhausted : int;
+  durable_appends : int;
+  durable_bytes : int;
+}
+
+val failover_stats : t -> failover_stats

@@ -10,6 +10,8 @@ type coord_state = {
   mutable cs_participants : int list;
   mutable cs_coord : int;  (* coordinator shard id *)
   mutable cs_start_latest : int;
+  mutable cs_vote_views : (int * int) list;  (* (shard, group view) at vote *)
+  mutable cs_settled : bool;  (* outcome durable / fully aborted *)
 }
 
 type ctx = {
@@ -24,13 +26,29 @@ type ctx = {
   mutable n_rw_aborted_attempts : int;
   mutable n_ro : int;
   mutable n_ro_slow : int;
+  mutable failover : bool;
+  mutable rpc : Sim.Rpc.t option;  (* terminate / status retransmission *)
+  mutable n_terminates : int;
+  mutable n_terminate_commits : int;
+  mutable n_in_doubt_resolved : int;
 }
 
-(* Deliver a message to a shard leader: network hop + leader CPU. *)
+(* Deliver a message to a shard leader: network hop + leader CPU. The
+   leader site is read at send time, so clients rediscover a moved leader
+   on their next send (a directory-service stand-in). With failover armed,
+   a request is dropped at delivery unless the target site is still the
+   serving leader — messages into a crashed or deposed leader vanish, and
+   the sender's deadline machinery re-routes. *)
 let to_shard ctx ~src ?(bytes = 96) shard_id handler =
   let shard = ctx.shards.(shard_id) in
-  Sim.Net.send ~bytes ctx.net ~src ~dst:shard.Shard.leader_site (fun () ->
-      Sim.Station.submit shard.Shard.station (fun () -> handler shard))
+  let dst = shard.Shard.leader_site in
+  Sim.Net.send ~bytes ctx.net ~src ~dst (fun () ->
+      if
+        (not ctx.failover)
+        || (dst = shard.Shard.leader_site
+            && (not (Sim.Net.is_down ctx.net dst))
+            && Replication.Group.serving shard.Shard.repl)
+      then Sim.Station.submit shard.Shard.station (fun () -> handler shard))
 
 (* Deliver a reply to a client (client CPUs are not the modelled bottleneck). *)
 let to_client ctx ~src ?(bytes = 96) ~dst handler =
@@ -88,15 +106,25 @@ let coord_state ctx txn =
         cs_participants = [];
         cs_coord = -1;
         cs_start_latest = 0;
+        cs_vote_views = [];
+        cs_settled = false;
       }
     in
     Hashtbl.add ctx.coord_states txn cs;
     cs
 
-(* Drop the 2PC state once no more messages can reference it. *)
+(* Drop the 2PC state once no more messages can reference it. With failover
+   armed, a decided-commit entry must additionally survive until its commit
+   record is durable (cs_settled) — otherwise a terminate query arriving in
+   that window would find neither the state nor a decided outcome and
+   force-abort a transaction that is about to commit. *)
 let coord_gc ctx txn cs =
   match cs.cs_expected with
-  | Some e when cs.cs_decided && cs.cs_votes >= e -> Hashtbl.remove ctx.coord_states txn
+  | Some e
+    when cs.cs_decided
+         && cs.cs_votes >= e
+         && (cs.cs_settled || not ctx.failover) ->
+    Hashtbl.remove ctx.coord_states txn
   | Some _ | None -> ()
 
 (* Acquire write locks for [keys] one at a time (CPS). *)
@@ -109,17 +137,62 @@ let rec acquire_writes shard ~txn ~priority keys ~blocked k =
       | Locks.Granted { blocked_us } ->
         acquire_writes shard ~txn ~priority rest ~blocked:(blocked + blocked_us) k)
 
-let release_at_shard shard ~txn outcome =
-  Shard.resolve_prepared shard ~txn outcome;
-  Locks.release_all shard.Shard.locks ~txn
+(* Deliver a 2PC outcome at a shard. Failure-free mode applies it directly
+   (the pre-failover behavior). With failover armed, a commit is forced to
+   the shard's replicated log before its side effects — locks are held
+   until the record is durable, which also preserves the per-key commit
+   order the monotonicity invariant needs — and every outcome leaves a
+   tombstone in the decided table for dedup and status queries. *)
+let release_at_shard ctx shard ~txn outcome =
+  if not ctx.failover then begin
+    Shard.resolve_prepared shard ~txn outcome;
+    Locks.release_all shard.Shard.locks ~txn
+  end
+  else
+    match outcome with
+    | Types.Aborted ->
+      if Shard.decided shard txn = None then
+        Shard.set_decided shard ~txn Types.Aborted ~max_tee:0;
+      Shard.resolve_prepared shard ~txn outcome;
+      Locks.release_all shard.Shard.locks ~txn
+    | Types.Committed _ ->
+      if Shard.decided shard txn <> None then begin
+        (* Already durable here (or replayed by a new leader): just settle
+           whatever volatile state remains. *)
+        Shard.resolve_prepared shard ~txn outcome;
+        Locks.release_all shard.Shard.locks ~txn
+      end
+      else begin
+        let writes =
+          match Shard.prepared shard txn with
+          | Some p -> p.Shard.p_writes
+          | None -> []
+        in
+        Shard.set_decided shard ~txn outcome ~max_tee:0;
+        Replication.Group.replicate shard.Shard.repl
+          (Types.Routcome
+             { r_txn = txn; r_out = outcome; r_writes = writes; r_max_tee = 0 })
+          (fun () ->
+            Shard.resolve_prepared shard ~txn outcome;
+            Locks.release_all shard.Shard.locks ~txn)
+      end
 
-let rec handle_vote ctx coord_shard ~txn outcome =
+(* Non-forcing outcome lookup at the coordinator, for participants
+   resolving in-doubt prepares. [`Pending] means 2PC state exists but no
+   durable decision yet — the asker retries. *)
+let handle_status ctx shard ~txn =
+  match Shard.decided shard txn with
+  | Some (out, _) -> `Decided out
+  | None -> if Hashtbl.mem ctx.coord_states txn then `Pending else `Unknown
+
+let rec handle_vote ctx coord_shard ~txn ~vote_view outcome =
   let cs = coord_state ctx txn in
   (match outcome with
   | `Abort -> cs.cs_abort <- true
   | `Ok (tp, tee) ->
     if tp > cs.cs_max_tp then cs.cs_max_tp <- tp;
     if tee > cs.cs_max_tee then cs.cs_max_tee <- tee);
+  cs.cs_vote_views <- vote_view :: cs.cs_vote_views;
   cs.cs_votes <- cs.cs_votes + 1;
   maybe_decide ctx coord_shard ~txn;
   coord_gc ctx txn cs
@@ -129,8 +202,25 @@ and maybe_decide ctx coord_shard ~txn =
   match cs.cs_expected with
   | Some expected
     when (not cs.cs_decided) && cs.cs_local_ready && cs.cs_votes >= expected ->
-    if cs.cs_abort || Types.is_wounded ctx.txns txn then
-      decide_abort ctx coord_shard ~txn
+    (* Decision-time view validation: a participant whose group elected a
+       new leader since it voted has lost its volatile read locks (and the
+       serialization they guaranteed), so its vote is void. *)
+    let views_ok =
+      (not ctx.failover)
+      || List.for_all
+           (fun (sid, v) ->
+             Replication.Group.view ctx.shards.(sid).Shard.repl = v)
+           cs.cs_vote_views
+    in
+    let tombstoned =
+      ctx.failover
+      &&
+      match Shard.decided coord_shard txn with
+      | Some (Types.Aborted, _) -> true
+      | Some (Types.Committed _, _) | None -> false
+    in
+    if cs.cs_abort || Types.is_wounded ctx.txns txn || (not views_ok) || tombstoned
+    then decide_abort ctx coord_shard ~txn
     else decide_commit ctx coord_shard ~txn
   | Some _ | None -> ()
 
@@ -138,13 +228,14 @@ and decide_abort ctx coord_shard ~txn =
   let cs = coord_state ctx txn in
   if not cs.cs_decided then begin
     cs.cs_decided <- true;
+    cs.cs_settled <- true;
     (Types.find ctx.txns txn).Types.outcome <- Some Types.Aborted;
-    release_at_shard coord_shard ~txn Types.Aborted;
+    release_at_shard ctx coord_shard ~txn Types.Aborted;
     List.iter
       (fun p ->
         if p <> coord_shard.Shard.shard_id then
           to_shard ctx ~src:coord_shard.Shard.leader_site ~bytes:32 p (fun sh ->
-              release_at_shard sh ~txn Types.Aborted))
+              release_at_shard ctx sh ~txn Types.Aborted))
       cs.cs_participants;
     cs.cs_client (Types.Aborted, cs.cs_max_tee);
     coord_gc ctx txn cs
@@ -159,27 +250,104 @@ and decide_commit ctx coord_shard ~txn =
       [ cs.cs_max_tp; now_latest; cs.cs_start_latest + 1;
         coord_shard.Shard.max_write_ts + 1 ]
   in
-  Replication.Group.replicate coord_shard.Shard.repl (fun () ->
+  let own_writes =
+    match Shard.prepared coord_shard txn with
+    | Some p -> p.Shard.p_writes
+    | None -> []
+  in
+  (* The commit record: forced to the coordinator group's log before any
+     side effect, so the decision survives a coordinator leader crash. *)
+  Replication.Group.replicate coord_shard.Shard.repl
+    (Types.Routcome
+       {
+         r_txn = txn;
+         r_out = Types.Committed tc;
+         r_writes = own_writes;
+         r_max_tee = cs.cs_max_tee;
+       })
+    (fun () ->
+      cs.cs_settled <- true;
+      if ctx.failover && Shard.decided coord_shard txn = None then
+        Shard.set_decided coord_shard ~txn (Types.Committed tc)
+          ~max_tee:cs.cs_max_tee;
       (* Commit wait: no server reveals the data before tc definitely
          passed. *)
       wait_truetime ctx tc (fun () ->
           (Types.find ctx.txns txn).Types.outcome <- Some (Types.Committed tc);
-          release_at_shard coord_shard ~txn (Types.Committed tc);
+          release_at_shard ctx coord_shard ~txn (Types.Committed tc);
           List.iter
             (fun p ->
               if p <> coord_shard.Shard.shard_id then
                 to_shard ctx ~src:coord_shard.Shard.leader_site p (fun sh ->
-                    release_at_shard sh ~txn (Types.Committed tc)))
+                    release_at_shard ctx sh ~txn (Types.Committed tc)))
             cs.cs_participants;
           cs.cs_client (Types.Committed tc, cs.cs_max_tee);
           coord_gc ctx txn cs))
 
+(* A participant with a prepared transaction and no outcome asks the
+   coordinator, with retransmission: the coordinator may be mid-election.
+   The soft probes turn forcing if the answer doesn't converge:
+
+   - [`Unknown]: abort tombstones are volatile, so a coordinator view
+     change can forget an abort it once decided, leaving the durable
+     prepare with no record to converge on. No coordinator state and no
+     durable commit record means no CommitRequest was acknowledged —
+     presume abort, and tombstone so a late CommitRequest aborts rather
+     than resurrects.
+   - [`Pending]: the decision is stuck short of its expected vote count —
+     typically a vote that died with a crashed leader (decision-time view
+     validation would void a late copy of it anyway). Abort is always safe
+     before a decision, and it frees the prepare's locks; the waiting
+     client sees the abort and retries. *)
+let resolve_in_doubt ctx shard txn =
+  if Shard.prepared shard txn <> None && not (Hashtbl.mem shard.Shard.in_doubt txn)
+  then
+    match (ctx.rpc, Shard.prepared shard txn) with
+    | Some rpc, Some p ->
+      Hashtbl.replace shard.Shard.in_doubt txn ();
+      Sim.Rpc.call rpc
+        ~attempt:(fun ~attempt:n ~ok ->
+          to_shard ctx ~src:shard.Shard.leader_site ~bytes:32 p.Shard.p_coord
+            (fun csh ->
+              let reply out =
+                to_shard ctx ~src:csh.Shard.leader_site ~bytes:32
+                  shard.Shard.shard_id (fun _ -> ok out)
+              in
+              match handle_status ctx csh ~txn with
+              | `Decided out -> reply out
+              | `Unknown when n >= 3 ->
+                Shard.set_decided csh ~txn Types.Aborted ~max_tee:0;
+                let meta = Types.find ctx.txns txn in
+                if meta.Types.outcome = None then
+                  meta.Types.outcome <- Some Types.Aborted;
+                reply Types.Aborted
+              | `Pending when n >= 5 -> (
+                match Hashtbl.find_opt ctx.coord_states txn with
+                | Some cs when not cs.cs_decided ->
+                  decide_abort ctx csh ~txn;
+                  reply Types.Aborted
+                | Some _ | None -> ())
+              | `Pending | `Unknown -> ()))
+        ~on_result:(fun res ->
+          Hashtbl.remove shard.Shard.in_doubt txn;
+          match res with
+          | Some out ->
+            ctx.n_in_doubt_resolved <- ctx.n_in_doubt_resolved + 1;
+            release_at_shard ctx shard ~txn out
+          | None -> ())
+    | _ -> ()
+
 (* Participant prepare: validate, lock, choose tp, replicate, vote. The §6
    wound-wait optimization advances the stored t_ee by the blocked time. *)
 let participant_prepare ctx shard ~txn ~priority ~writes_here ~tee ~coord =
+  (* The vote carries the voter's group view so the coordinator can void it
+     if this shard fails over before the decision. *)
   let vote outcome =
+    let vote_view =
+      (shard.Shard.shard_id, Replication.Group.view shard.Shard.repl)
+    in
     to_shard ctx ~src:shard.Shard.leader_site coord (fun coord_shard ->
-        handle_vote ctx coord_shard ~txn outcome)
+        handle_vote ctx coord_shard ~txn ~vote_view outcome)
   in
   if Types.is_wounded ctx.txns txn then vote `Abort
   else
@@ -200,65 +368,171 @@ let participant_prepare ctx shard ~txn ~priority ~writes_here ~tee ~coord =
               p_tee = tee + blocked_us;
               p_writes = writes_here;
               p_waiters = [];
+              p_coord = coord;
+              p_participants = [];
             }
           in
           Shard.add_prepared shard p;
           if writes_here = [] then vote (`Ok (0, p.Shard.p_tee))
           else
-            Replication.Group.replicate shard.Shard.repl (fun () ->
-                vote (`Ok (tp, p.Shard.p_tee)))
+            Replication.Group.replicate shard.Shard.repl
+              (Types.Rprepare
+                 {
+                   r_txn = txn;
+                   r_tp = tp;
+                   r_tee = p.Shard.p_tee;
+                   r_writes = writes_here;
+                   r_coord = coord;
+                   r_participants = [];
+                 })
+              (fun () -> vote (`Ok (tp, p.Shard.p_tee)))
         end)
 
 (* Coordinator's half: its own locks and prepare timestamp, then decide once
    all votes arrive. Votes can overtake the CommitRequest on WANs that
    violate the triangle inequality, so the state may pre-exist. *)
 let coordinator_request ctx coord_shard ~txn ~priority ~writes_here ~tee
-    ~participants ~start_latest ~(client : (Types.outcome * int) -> unit) =
-  let cs = coord_state ctx txn in
-  cs.cs_expected <- Some (List.length participants - 1);
-  cs.cs_client <- client;
-  cs.cs_participants <- participants;
-  cs.cs_coord <- coord_shard.Shard.shard_id;
-  cs.cs_start_latest <- start_latest;
-  if tee > cs.cs_max_tee then cs.cs_max_tee <- tee;
-  if cs.cs_decided then
-    (* Aborted via a wound that raced ahead of this request. *)
-    client (Types.Aborted, cs.cs_max_tee)
-  else if Types.is_wounded ctx.txns txn then decide_abort ctx coord_shard ~txn
-  else
-    let keys = List.map fst writes_here in
-    acquire_writes coord_shard ~txn ~priority keys ~blocked:0 (fun res ->
-        if not cs.cs_decided then begin
-          (match res with
-          | Error () -> cs.cs_abort <- true
-          | Ok blocked_us ->
-            if Types.is_wounded ctx.txns txn then cs.cs_abort <- true
-            else begin
-              let tp = Shard.choose_prepare_ts coord_shard in
-              if tp > cs.cs_max_tp then cs.cs_max_tp <- tp;
-              let tee_local = tee + blocked_us in
-              if tee_local > cs.cs_max_tee then cs.cs_max_tee <- tee_local;
-              Shard.add_prepared coord_shard
-                {
-                  Shard.p_txn = txn;
-                  p_tp = tp;
-                  p_tee = tee_local;
-                  p_writes = writes_here;
-                  p_waiters = [];
-                }
-            end);
-          cs.cs_local_ready <- true;
-          maybe_decide ctx coord_shard ~txn
-        end)
+    ~participants ~start_latest ~read_views
+    ~(client : (Types.outcome * int) -> unit) =
+  match Shard.decided coord_shard txn with
+  | Some (out, mt) ->
+    (* Already terminated (client gave up and forced an outcome) or decided
+       by a predecessor leader whose log we replayed. *)
+    client (out, mt)
+  | None ->
+    let cs = coord_state ctx txn in
+    cs.cs_expected <- Some (List.length participants - 1);
+    cs.cs_client <- client;
+    cs.cs_participants <- participants;
+    cs.cs_coord <- coord_shard.Shard.shard_id;
+    cs.cs_start_latest <- start_latest;
+    (* The views under which the execution-phase reads were served join the
+       decision-time validation set: a read's 2PL lock dies with its
+       leader, so a view change at any read shard between the read and the
+       decision voids the serialization it promised. Vote views alone miss
+       the read-to-vote window — a participant that fails over after
+       serving a read but before voting re-votes from the new view and
+       would validate cleanly while the read is stale. *)
+    cs.cs_vote_views <- read_views @ cs.cs_vote_views;
+    if tee > cs.cs_max_tee then cs.cs_max_tee <- tee;
+    if cs.cs_decided then
+      (* Aborted via a wound that raced ahead of this request. *)
+      client (Types.Aborted, cs.cs_max_tee)
+    else if Types.is_wounded ctx.txns txn then decide_abort ctx coord_shard ~txn
+    else
+      let keys = List.map fst writes_here in
+      acquire_writes coord_shard ~txn ~priority keys ~blocked:0 (fun res ->
+          if not cs.cs_decided then begin
+            let local_ready () =
+              if not cs.cs_decided then begin
+                cs.cs_vote_views <-
+                  ( coord_shard.Shard.shard_id,
+                    Replication.Group.view coord_shard.Shard.repl )
+                  :: cs.cs_vote_views;
+                cs.cs_local_ready <- true;
+                maybe_decide ctx coord_shard ~txn
+              end
+            in
+            match res with
+            | Error () ->
+              cs.cs_abort <- true;
+              local_ready ()
+            | Ok blocked_us ->
+              if Types.is_wounded ctx.txns txn then begin
+                cs.cs_abort <- true;
+                local_ready ()
+              end
+              else begin
+                let tp = Shard.choose_prepare_ts coord_shard in
+                if tp > cs.cs_max_tp then cs.cs_max_tp <- tp;
+                let tee_local = tee + blocked_us in
+                if tee_local > cs.cs_max_tee then cs.cs_max_tee <- tee_local;
+                Shard.add_prepared coord_shard
+                  {
+                    Shard.p_txn = txn;
+                    p_tp = tp;
+                    p_tee = tee_local;
+                    p_writes = writes_here;
+                    p_waiters = [];
+                    p_coord = coord_shard.Shard.shard_id;
+                    p_participants = participants;
+                  };
+                if ctx.failover then
+                  (* Make the coordinator's own promise durable too, so a
+                     new leader can find (and presume-abort) the in-doubt
+                     transactions this one coordinated. *)
+                  Replication.Group.replicate coord_shard.Shard.repl
+                    (Types.Rprepare
+                       {
+                         r_txn = txn;
+                         r_tp = tp;
+                         r_tee = tee_local;
+                         r_writes = writes_here;
+                         r_coord = coord_shard.Shard.shard_id;
+                         r_participants = participants;
+                       })
+                    local_ready
+                else local_ready ()
+              end
+          end)
 
 (* A wound against a prepared holder: ask its coordinator to abort. If the
-   decision already happened, the requester just waits out the commit. *)
-let wound_prepared ctx txn =
+   decision already happened, the requester just waits out the commit. With
+   failover armed the coordinator's volatile state may be gone entirely —
+   then the prepare is in-doubt and is resolved by querying (the transaction
+   cannot commit behind our back without the coordinator knowing). *)
+let wound_prepared ctx shard txn =
   Types.wound ctx.txns txn;
   match Hashtbl.find_opt ctx.coord_states txn with
   | Some cs when (not cs.cs_decided) && cs.cs_coord >= 0 ->
     decide_abort ctx ctx.shards.(cs.cs_coord) ~txn
-  | Some _ | None -> ()
+  | Some _ -> ()
+  | None -> if ctx.failover then resolve_in_doubt ctx shard txn
+
+(* A new leader took over [shard]'s group: install the replicated log,
+   advance past any timestamp the old leader could have served under its
+   lease, drop the volatile 2PC state that lived in the old leader's
+   memory, and settle the in-doubt prepares — our own coordinated
+   transactions without a commit record presume abort (the record is forced
+   before any effect, so an unlogged commit never happened); foreign ones
+   query their coordinator. *)
+let on_shard_leader_change ctx shard ~leader_site ~committed =
+  shard.Shard.leader_site <- leader_site;
+  Shard.rebuild shard ~entries:committed;
+  Shard.advance_max_write_ts shard (Sim.Truetime.now ctx.tt).Sim.Truetime.latest;
+  let stale =
+    Hashtbl.fold
+      (fun txn cs acc ->
+        if cs.cs_coord = shard.Shard.shard_id && not cs.cs_settled then
+          txn :: acc
+        else acc)
+      ctx.coord_states []
+  in
+  List.iter (fun txn -> Hashtbl.remove ctx.coord_states txn) stale;
+  let survivors =
+    List.sort compare
+      (Hashtbl.fold (fun txn _ acc -> txn :: acc) shard.Shard.prepared_tbl [])
+  in
+  List.iter
+    (fun txn ->
+      match Shard.prepared shard txn with
+      | None -> ()
+      | Some p ->
+        if p.Shard.p_coord = shard.Shard.shard_id then begin
+          ctx.n_in_doubt_resolved <- ctx.n_in_doubt_resolved + 1;
+          let meta = Types.find ctx.txns txn in
+          if meta.Types.outcome = None then
+            meta.Types.outcome <- Some Types.Aborted;
+          release_at_shard ctx shard ~txn Types.Aborted;
+          List.iter
+            (fun pid ->
+              if pid <> shard.Shard.shard_id then
+                to_shard ctx ~src:leader_site ~bytes:32 pid (fun sh ->
+                    release_at_shard ctx sh ~txn Types.Aborted))
+            p.Shard.p_participants
+        end
+        else resolve_in_doubt ctx shard txn)
+    survivors
 
 let make_ctx engine net tt txns config =
   let shards =
@@ -278,12 +552,30 @@ let make_ctx engine net tt txns config =
       n_rw_aborted_attempts = 0;
       n_ro = 0;
       n_ro_slow = 0;
+      failover = false;
+      rpc = None;
+      n_terminates = 0;
+      n_terminate_commits = 0;
+      n_in_doubt_resolved = 0;
     }
   in
   Array.iter
-    (fun sh -> sh.Shard.wound_prepared_hook := fun txn -> wound_prepared ctx txn)
+    (fun sh -> sh.Shard.wound_prepared_hook := fun txn -> wound_prepared ctx sh txn)
     shards;
   ctx
+
+let enable_failover ctx ~rng ?config ~until_us () =
+  ctx.failover <- true;
+  ctx.rpc <-
+    Some
+      (Sim.Rpc.create ctx.engine ~rng ~timeout_us:300_000 ~max_attempts:15 ());
+  Array.iter
+    (fun sh ->
+      Replication.Group.enable_failover sh.Shard.repl ?config
+        ~on_leader_change:(fun ~leader_site ~committed ->
+          on_shard_leader_change ctx sh ~leader_site ~committed)
+        ~until_us ())
+    ctx.shards
 
 (* Execution-phase read at a shard: 2PL read lock, then the newest version. *)
 let handle_rw_read ctx shard ~txn ~priority ~keys
@@ -301,8 +593,29 @@ let handle_rw_read ctx shard ~txn ~priority ~keys
   in
   if Types.is_wounded ctx.txns txn then reply None else loop keys []
 
-let rw_txn ?(on_attempt = fun (_ : int) -> ()) ctx ~client_site ~proc ~read_keys
-    ~writes k =
+(* Forcing outcome query from a client that stopped hearing from its
+   coordinator. If the transaction is known and undecided, abort it; if it
+   was never heard of (the coordinator's volatile state died with the old
+   leader, and no commit record survived), tombstone an abort so a late
+   CommitRequest cannot resurrect it. [`Pending] — a commit record in
+   flight — is the one state that must not be forced either way. *)
+let handle_terminate ctx shard ~txn ~reply =
+  match Shard.decided shard txn with
+  | Some (out, mt) -> reply (`Decided (out, mt))
+  | None -> (
+    match Hashtbl.find_opt ctx.coord_states txn with
+    | Some cs when cs.cs_decided -> reply `Pending
+    | Some cs ->
+      decide_abort ctx shard ~txn;
+      reply (`Decided (Types.Aborted, cs.cs_max_tee))
+    | None ->
+      Shard.set_decided shard ~txn Types.Aborted ~max_tee:0;
+      let meta = Types.find ctx.txns txn in
+      if meta.Types.outcome = None then meta.Types.outcome <- Some Types.Aborted;
+      reply (`Decided (Types.Aborted, 0)))
+
+let rw_txn ?(on_attempt = fun (_ : int) -> ()) ?deadline_us ctx ~client_site
+    ~proc ~read_keys ~writes k =
   if writes = [] then invalid_arg "Protocol.rw_txn: empty write set";
   let write_keys = List.map fst writes in
   if List.length (List.sort_uniq compare write_keys) <> List.length write_keys then
@@ -328,7 +641,52 @@ let rw_txn ?(on_attempt = fun (_ : int) -> ()) ctx ~client_site ~proc ~read_keys
     (* --- execution (read) phase --- *)
     let pending = ref (List.length read_shards) in
     let observed = ref [] in
+    let read_views = ref [] in
     let failed = ref false in
+    (* First settlement wins: the coordinator's reply, or — with failover
+       armed and a deadline set — the client's terminate protocol. *)
+    let settled = ref false in
+    let terminate_attempt () =
+      ctx.n_terminates <- ctx.n_terminates + 1;
+      match ctx.rpc with
+      | None -> retry txn
+      | Some rpc ->
+        Sim.Rpc.call rpc
+          ~attempt:(fun ~attempt:_ ~ok ->
+            to_shard ctx ~src:client_site ~bytes:32 coord (fun csh ->
+                handle_terminate ctx csh ~txn ~reply:(function
+                  | `Decided (out, mt) ->
+                    to_client ctx ~src:csh.Shard.leader_site ~bytes:32
+                      ~dst:client_site (fun () -> ok (out, mt))
+                  | `Pending -> ())))
+          ~on_result:(function
+            | Some (Types.Committed tc, mt) ->
+              ctx.n_terminate_commits <- ctx.n_terminate_commits + 1;
+              ctx.n_rw_committed <- ctx.n_rw_committed + 1;
+              (* The coordinator (or its successor) holds a durable commit;
+                 nudge any participant the outcome broadcast missed. *)
+              List.iter
+                (fun pid ->
+                  if pid <> coord then
+                    to_shard ctx ~src:client_site ~bytes:32 pid (fun sh ->
+                        release_at_shard ctx sh ~txn (Types.Committed tc)))
+                participant_ids;
+              wait_truetime ctx
+                (max tc (mt - Sim.Truetime.epsilon ctx.tt))
+                (fun () ->
+                  k { rw_commit_ts = tc; rw_txn_id = txn; rw_reads = !observed })
+            | Some (Types.Aborted, _) | None ->
+              ctx.n_rw_aborted_attempts <- ctx.n_rw_aborted_attempts + 1;
+              retry txn)
+    in
+    (match deadline_us with
+    | Some d when ctx.failover ->
+      Sim.Engine.schedule ctx.engine ~after:d (fun () ->
+          if not !settled then begin
+            settled := true;
+            terminate_attempt ()
+          end)
+    | Some _ | None -> ());
     let commit_phase () =
       let start_latest = (Sim.Truetime.now ctx.tt).Sim.Truetime.latest in
       let tee =
@@ -338,16 +696,19 @@ let rw_txn ?(on_attempt = fun (_ : int) -> ()) ctx ~client_site ~proc ~read_keys
         + ctx.config.Config.tee_pad_us
       in
       let on_outcome (outcome, max_tee) =
-        match outcome with
-        | Types.Committed tc ->
-          ctx.n_rw_committed <- ctx.n_rw_committed + 1;
-          (* Complete only once every shard's stored t_ee is a definite
-             lower bound on this (real) end time. *)
-          wait_truetime ctx (max_tee - Sim.Truetime.epsilon ctx.tt) (fun () ->
-              k { rw_commit_ts = tc; rw_txn_id = txn; rw_reads = !observed })
-        | Types.Aborted ->
-          ctx.n_rw_aborted_attempts <- ctx.n_rw_aborted_attempts + 1;
-          retry txn
+        if not !settled then begin
+          settled := true;
+          match outcome with
+          | Types.Committed tc ->
+            ctx.n_rw_committed <- ctx.n_rw_committed + 1;
+            (* Complete only once every shard's stored t_ee is a definite
+               lower bound on this (real) end time. *)
+            wait_truetime ctx (max_tee - Sim.Truetime.epsilon ctx.tt) (fun () ->
+                k { rw_commit_ts = tc; rw_txn_id = txn; rw_reads = !observed })
+          | Types.Aborted ->
+            ctx.n_rw_aborted_attempts <- ctx.n_rw_aborted_attempts + 1;
+            retry txn
+        end
       in
       let reply_to_client out =
         to_client ctx ~src:ctx.shards.(coord).Shard.leader_site ~dst:client_site
@@ -364,7 +725,7 @@ let rw_txn ?(on_attempt = fun (_ : int) -> ()) ctx ~client_site ~proc ~read_keys
             to_shard ctx ~src:client_site shard_id (fun sh ->
                 coordinator_request ctx sh ~txn ~priority ~writes_here ~tee
                   ~participants:participant_ids ~start_latest
-                  ~client:reply_to_client)
+                  ~read_views:!read_views ~client:reply_to_client)
           else
             to_shard ctx ~src:client_site shard_id (fun sh ->
                 participant_prepare ctx sh ~txn ~priority ~writes_here ~tee ~coord))
@@ -372,8 +733,9 @@ let rw_txn ?(on_attempt = fun (_ : int) -> ()) ctx ~client_site ~proc ~read_keys
     in
     let read_done () =
       decr pending;
-      if !pending = 0 then
+      if !pending = 0 && not !settled then
         if !failed then begin
+          settled := true;
           ctx.n_rw_aborted_attempts <- ctx.n_rw_aborted_attempts + 1;
           retry txn
         end
@@ -384,12 +746,18 @@ let rw_txn ?(on_attempt = fun (_ : int) -> ()) ctx ~client_site ~proc ~read_keys
       List.iter
         (fun (shard_id, keys) ->
           to_shard ctx ~src:client_site shard_id (fun sh ->
+              (* Conservative capture point: any view change after this —
+                 even mid-batch, while later keys' locks are still being
+                 granted — voids the whole attempt at decision time. *)
+              let view_at_read = Replication.Group.view sh.Shard.repl in
               handle_rw_read ctx sh ~txn ~priority ~keys ~reply:(fun res ->
                   to_client ctx ~src:sh.Shard.leader_site ~dst:client_site
                     (fun () ->
                       (match res with
                       | None -> failed := true
-                      | Some vals -> observed := vals @ !observed);
+                      | Some vals ->
+                        observed := vals @ !observed;
+                        read_views := (shard_id, view_at_read) :: !read_views);
                       read_done ()))))
         read_shards
   and retry txn =
@@ -399,7 +767,7 @@ let rw_txn ?(on_attempt = fun (_ : int) -> ()) ctx ~client_site ~proc ~read_keys
     List.iter
       (fun shard_id ->
         to_shard ctx ~src:client_site ~bytes:32 shard_id (fun sh ->
-            release_at_shard sh ~txn Types.Aborted))
+            release_at_shard ctx sh ~txn Types.Aborted))
       participant_ids;
     (* Exponential backoff, capped: retry storms on hot keys otherwise
        multiply wound-wait convoys. *)
@@ -449,6 +817,13 @@ let handle_ro ctx shard ~keys ~t_read ~t_min ~(fast : fast_reply -> unit)
         p0
   in
   if blocking <> [] then shard.Shard.n_ro_blocked <- shard.Shard.n_ro_blocked + 1;
+  (* With failover armed a conflicting prepare may be orphaned (its
+     coordinator's leader died); kick off in-doubt resolution so the read
+     does not wait on a decision nobody is driving. *)
+  if ctx.failover then
+    List.iter
+      (fun (p : Shard.prepared) -> resolve_in_doubt ctx shard p.Shard.p_txn)
+      p0;
   let finish () =
     let remaining =
       List.filter
@@ -483,7 +858,7 @@ let handle_ro ctx shard ~keys ~t_read ~t_min ~(fast : fast_reply -> unit)
             if !pending = 0 then finish ()))
       blocking
 
-let ro_txn ctx ~client_site ~proc:_ ~t_min ~keys k =
+let ro_once ctx ~client_site ~t_min ~keys k =
   ctx.n_ro <- ctx.n_ro + 1;
   let t_read = (Sim.Truetime.now ctx.tt).Sim.Truetime.latest in
   let by_shard = group_by_shard ctx keys in
@@ -609,6 +984,28 @@ let ro_txn ctx ~client_site ~proc:_ ~t_min ~keys k =
                   on_slow sr))))
     by_shard
 
+(* A read-only transaction, optionally re-issued from scratch (fresh
+   t_read, fresh closures) when a deadline passes without completion — a
+   shard reply may have been lost to a crashed leader. First completion
+   wins; the attempt budget bounds the tail so an unservable read does not
+   keep the simulation alive forever. *)
+let ro_txn ?deadline_us ctx ~client_site ~proc:_ ~t_min ~keys k =
+  match deadline_us with
+  | Some d when ctx.failover ->
+    let done_ = ref false in
+    let rec go attempts_left =
+      if (not !done_) && attempts_left > 0 then begin
+        ro_once ctx ~client_site ~t_min ~keys (fun res ->
+            if not !done_ then begin
+              done_ := true;
+              k res
+            end);
+        Sim.Engine.schedule ctx.engine ~after:d (fun () -> go (attempts_left - 1))
+      end
+    in
+    go 25
+  | Some _ | None -> ro_once ctx ~client_site ~t_min ~keys k
+
 let fence ctx ~t_min k = wait_truetime ctx (t_min + ctx.config.Config.fence_l_us) k
 
 (* Snapshot reads (Spanner's read-at-timestamp API): a consistent view as of
@@ -623,6 +1020,10 @@ let snapshot_read ctx ~client_site ~ts ~keys k =
       to_shard ctx ~src:client_site shard_id (fun sh ->
           Shard.advance_max_write_ts sh ts;
           let blocking = Shard.conflicting_prepared sh ~keys:shard_keys ~max_tp:ts in
+          if ctx.failover then
+            List.iter
+              (fun (p : Shard.prepared) -> resolve_in_doubt ctx sh p.Shard.p_txn)
+              blocking;
           let finish () =
             let values =
               List.map

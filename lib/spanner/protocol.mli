@@ -29,10 +29,25 @@ type ctx = {
   mutable n_rw_aborted_attempts : int;
   mutable n_ro : int;
   mutable n_ro_slow : int;
+  mutable failover : bool;
+  mutable rpc : Sim.Rpc.t option;
+  mutable n_terminates : int;  (** client terminate queries issued *)
+  mutable n_terminate_commits : int;  (** terminates that found a commit *)
+  mutable n_in_doubt_resolved : int;  (** in-doubt prepares settled *)
 }
 
 val make_ctx :
   Sim.Engine.t -> Sim.Net.t -> Sim.Truetime.t -> Types.table -> Config.t -> ctx
+
+val enable_failover :
+  ctx -> rng:Sim.Rng.t -> ?config:Replication.Group.failover_config ->
+  until_us:int -> unit -> unit
+(** Arm crash recovery: view changes in every shard's replication group
+    (rebuilding leader state from the replicated log on activation, then
+    resolving in-doubt 2PC participants), durable prepare/commit records,
+    and the client terminate protocol. [rng] feeds retry jitter only — a
+    run with no retries draws nothing from it. Until armed, nothing in the
+    failure-free message pattern changes. *)
 
 type rw_result = {
   rw_commit_ts : int;
@@ -41,8 +56,9 @@ type rw_result = {
 }
 
 val rw_txn :
-  ?on_attempt:(int -> unit) -> ctx -> client_site:int -> proc:int ->
-  read_keys:int list -> writes:(int * int) list -> (rw_result -> unit) -> unit
+  ?on_attempt:(int -> unit) -> ?deadline_us:int -> ctx -> client_site:int ->
+  proc:int -> read_keys:int list -> writes:(int * int) list ->
+  (rw_result -> unit) -> unit
 (** Runs to commit, retrying internally on wound-wait aborts with the
     original priority. [writes] are (key, value) pairs, non-empty, one per
     key (duplicates raise [Invalid_argument]); duplicate [read_keys] are
@@ -63,10 +79,12 @@ type ro_result = {
 }
 
 val ro_txn :
-  ctx -> client_site:int -> proc:int -> t_min:int -> keys:int list ->
-  (ro_result -> unit) -> unit
+  ?deadline_us:int -> ctx -> client_site:int -> proc:int -> t_min:int ->
+  keys:int list -> (ro_result -> unit) -> unit
 (** The caller owns t_min tracking: pass the session's current t_min and
-    update it to [max t_min ro_snap_ts] on completion (Client does this). *)
+    update it to [max t_min ro_snap_ts] on completion (Client does this).
+    With failover armed, [deadline_us] re-issues the read from scratch
+    (fresh snapshot timestamp) if no reply lands in time. *)
 
 val fence : ctx -> t_min:int -> (unit -> unit) -> unit
 (** §5.1: block until t_min + L < TT.now.earliest. *)

@@ -4,23 +4,39 @@ type prepared = {
   mutable p_tee : int;
   p_writes : (int * int) list;
   mutable p_waiters : (Types.outcome -> unit) list;
+  p_coord : int;
+  p_participants : int list;
 }
 
 type t = {
   shard_id : int;
-  leader_site : int;
+  mutable leader_site : int;
   engine : Sim.Engine.t;
   tt : Sim.Truetime.t;
+  txns : Types.table;
   station : Sim.Station.t;
-  repl : Replication.Group.t;
-  locks : Locks.t;
+  repl : Types.repl_entry Replication.Group.t;
+  mutable locks : Locks.t;
   store : (int, Types.version list) Hashtbl.t;
   prepared_tbl : (int, prepared) Hashtbl.t;
+  decided_tbl : (int, Types.outcome * int) Hashtbl.t;  (* outcome, max_tee *)
+  in_doubt : (int, unit) Hashtbl.t;  (* status queries in flight *)
   mutable max_write_ts : int;
   mutable n_ro_served : int;
   mutable n_ro_blocked : int;
+  mutable n_rebuilds : int;
   wound_prepared_hook : (int -> unit) ref;
 }
+
+(* The lock table closes over the prepared table and wound hook, so a
+   rebuild can install a fresh one (volatile lock state dies with the old
+   leader) without re-wiring the shard. *)
+let make_locks engine txns prepared_tbl wound_prepared_hook =
+  Locks.create engine
+    ~is_prepared:(fun txn -> Hashtbl.mem prepared_tbl txn)
+    ~is_wounded:(fun txn -> Types.is_wounded txns txn)
+    ~wound:(fun txn -> Types.wound txns txn)
+    ~wound_prepared:(fun txn -> !wound_prepared_hook txn)
 
 let create engine net tt txns (config : Config.t) ~shard_id =
   let station =
@@ -35,26 +51,24 @@ let create engine net tt txns (config : Config.t) ~shard_id =
   in
   let prepared_tbl = Hashtbl.create 64 in
   let wound_prepared_hook = ref (fun (_ : int) -> ()) in
-  let locks =
-    Locks.create engine
-      ~is_prepared:(fun txn -> Hashtbl.mem prepared_tbl txn)
-      ~is_wounded:(fun txn -> Types.is_wounded txns txn)
-      ~wound:(fun txn -> Types.wound txns txn)
-      ~wound_prepared:(fun txn -> !wound_prepared_hook txn)
-  in
+  let locks = make_locks engine txns prepared_tbl wound_prepared_hook in
   {
     shard_id;
     leader_site = config.Config.leader_site.(shard_id);
     engine;
     tt;
+    txns;
     station;
     repl;
     locks;
     store = Hashtbl.create 4096;
     prepared_tbl;
+    decided_tbl = Hashtbl.create 64;
+    in_doubt = Hashtbl.create 8;
     max_write_ts = 0;
     n_ro_served = 0;
     n_ro_blocked = 0;
+    n_rebuilds = 0;
     wound_prepared_hook;
   }
 
@@ -117,3 +131,65 @@ let resolve_prepared t ~txn outcome =
     let waiters = p.p_waiters in
     p.p_waiters <- [];
     List.iter (fun k -> k outcome) waiters
+
+let decided t txn = Hashtbl.find_opt t.decided_tbl txn
+
+let set_decided t ~txn outcome ~max_tee =
+  Hashtbl.replace t.decided_tbl txn (outcome, max_tee)
+
+(* New leader: replace every volatile structure with what the replicated
+   log supports. Prepares with a logged outcome resolve; the rest are the
+   in-doubt set the protocol layer must settle with their coordinators.
+   Write locks of surviving prepares are re-acquired (they are exclusive by
+   construction, so every grant is immediate); read locks and lock waiters
+   die with the old leader — coordinators void any attempt whose read or
+   vote views no longer match at decision time, covering the reads those
+   locks protected from the moment they were served. *)
+let rebuild t ~entries =
+  t.n_rebuilds <- t.n_rebuilds + 1;
+  Hashtbl.reset t.prepared_tbl;
+  Hashtbl.reset t.store;
+  Hashtbl.reset t.decided_tbl;
+  Hashtbl.reset t.in_doubt;
+  t.max_write_ts <- 0;
+  t.locks <- make_locks t.engine t.txns t.prepared_tbl t.wound_prepared_hook;
+  List.iter
+    (function
+      | Types.Rprepare r ->
+        if not (Hashtbl.mem t.decided_tbl r.r_txn) then
+          add_prepared t
+            {
+              p_txn = r.r_txn;
+              p_tp = r.r_tp;
+              p_tee = r.r_tee;
+              p_writes = r.r_writes;
+              p_waiters = [];
+              p_coord = r.r_coord;
+              p_participants = r.r_participants;
+            };
+        advance_max_write_ts t r.r_tp
+      | Types.Routcome r ->
+        if not (Hashtbl.mem t.decided_tbl r.r_txn) then begin
+          Hashtbl.replace t.decided_tbl r.r_txn (r.r_out, r.r_max_tee);
+          Hashtbl.remove t.prepared_tbl r.r_txn;
+          match r.r_out with
+          | Types.Committed tc ->
+            List.iter
+              (fun (key, value) -> apply_write t ~key ~ts:tc ~writer:r.r_txn ~value)
+              r.r_writes;
+            advance_max_write_ts t tc
+          | Types.Aborted -> ()
+        end)
+    entries;
+  let survivors =
+    List.sort compare (Hashtbl.fold (fun txn _ acc -> txn :: acc) t.prepared_tbl [])
+  in
+  List.iter
+    (fun txn ->
+      let p = Hashtbl.find t.prepared_tbl txn in
+      let priority = (Types.find t.txns txn).Types.priority in
+      List.iter
+        (fun (key, _) ->
+          Locks.acquire_write t.locks ~key ~txn ~priority (fun _ -> ()))
+        p.p_writes)
+    survivors

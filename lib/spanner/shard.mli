@@ -1,13 +1,19 @@
 (** Per-shard leader state: multi-version store, prepared-transaction table,
     lock table, replication group, Paxos max-write timestamp.
 
-    Protocol logic (2PC, read-only transactions) lives in {!Protocol}; this
-    module owns the data structures and the local invariants:
+    Protocol logic (2PC, read-only transactions, failover) lives in
+    {!Protocol}; this module owns the data structures and the local
+    invariants:
     - versions per key are kept newest-first; commit timestamps of writes to
       a key are strictly increasing (Observation 1 of Appendix D.1);
     - a prepared transaction's waiters fire exactly once, when it resolves;
     - [max_write_ts] only advances, and every prepare timestamp exceeds it
-      at choice time. *)
+      at choice time.
+
+    [leader_site] and [locks] are mutable because a view change in the
+    shard's replication group moves leadership to another site and discards
+    the old leader's volatile lock state; {!rebuild} reconstructs the rest
+    from the replicated log. *)
 
 type prepared = {
   p_txn : int;
@@ -15,21 +21,30 @@ type prepared = {
   mutable p_tee : int;  (** earliest client end estimate (absolute) *)
   p_writes : (int * int) list;  (** (key, value) this txn will write here *)
   mutable p_waiters : (Types.outcome -> unit) list;
+  p_coord : int;  (** 2PC coordinator shard id (for in-doubt resolution) *)
+  p_participants : int list;  (** all participants; only at the coordinator *)
 }
 
 type t = {
   shard_id : int;
-  leader_site : int;
+  mutable leader_site : int;
   engine : Sim.Engine.t;
   tt : Sim.Truetime.t;
+  txns : Types.table;
   station : Sim.Station.t;
-  repl : Replication.Group.t;
-  locks : Locks.t;
+  repl : Types.repl_entry Replication.Group.t;
+  mutable locks : Locks.t;
   store : (int, Types.version list) Hashtbl.t;
   prepared_tbl : (int, prepared) Hashtbl.t;
+  decided_tbl : (int, Types.outcome * int) Hashtbl.t;
+      (** per-txn decided outcome and max t_ee; answers terminate/status
+          queries and deduplicates outcome deliveries *)
+  in_doubt : (int, unit) Hashtbl.t;
+      (** txns with a coordinator status query in flight *)
   mutable max_write_ts : int;
   mutable n_ro_served : int;
   mutable n_ro_blocked : int;
+  mutable n_rebuilds : int;
   wound_prepared_hook : (int -> unit) ref;
       (** set by {!Protocol.make_ctx}: routes a wound against a prepared
           holder to its 2PC coordinator *)
@@ -66,3 +81,14 @@ val wait_prepared : t -> prepared -> (Types.outcome -> unit) -> unit
 val resolve_prepared : t -> txn:int -> Types.outcome -> unit
 (** Apply writes (on commit), drop the entry, fire waiters. Does not touch
     locks — callers release via [t.locks]. No-op if absent. *)
+
+val decided : t -> int -> (Types.outcome * int) option
+
+val set_decided : t -> txn:int -> Types.outcome -> max_tee:int -> unit
+
+val rebuild : t -> entries:Types.repl_entry list -> unit
+(** Install a new leader's state from the replicated log: reset every
+    volatile table, replay prepares and outcomes in order (outcomes
+    deduplicated via the decided table), re-acquire write locks for
+    surviving prepared transactions. The survivors are the in-doubt set the
+    caller must resolve against their coordinators. *)

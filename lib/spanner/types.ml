@@ -2,6 +2,27 @@ type outcome = Committed of int | Aborted
 
 type version = { ts : int; writer : int; value : int }
 
+(* What a shard leader writes to its replicated log. [Rprepare] makes a 2PC
+   participant's promise durable; [Routcome] makes the decision durable (the
+   commit record is forced before any side effect). A new leader rebuilds
+   its multi-version store and prepared-transaction table by replaying these
+   in order; prepares with no logged outcome are the in-doubt set. *)
+type repl_entry =
+  | Rprepare of {
+      r_txn : int;
+      r_tp : int;
+      r_tee : int;
+      r_writes : (int * int) list;
+      r_coord : int;
+      r_participants : int list;
+    }
+  | Routcome of {
+      r_txn : int;
+      r_out : outcome;
+      r_writes : (int * int) list;
+      r_max_tee : int;
+    }
+
 type meta = {
   id : int;
   proc : int;

@@ -6,6 +6,27 @@ type version = { ts : int; writer : int; value : int }
 (** One multi-version store entry; [writer] is the transaction id, which is
     also the (per-key unique) stored value used for history checking. *)
 
+(** What a shard leader writes to its replicated log. [Rprepare] makes a
+    2PC participant's promise durable; [Routcome] makes a decision durable
+    (forced before any side effect of the decision). A new leader rebuilds
+    its multi-version store and prepared-transaction table by replaying
+    these in order; prepares with no logged outcome are the in-doubt set. *)
+type repl_entry =
+  | Rprepare of {
+      r_txn : int;
+      r_tp : int;  (** prepare timestamp *)
+      r_tee : int;  (** earliest client end estimate *)
+      r_writes : (int * int) list;
+      r_coord : int;  (** coordinator shard id *)
+      r_participants : int list;  (** meaningful in the coordinator's log *)
+    }
+  | Routcome of {
+      r_txn : int;
+      r_out : outcome;
+      r_writes : (int * int) list;  (** this shard's writes, applied on commit *)
+      r_max_tee : int;
+    }
+
 type meta = {
   id : int;
   proc : int;

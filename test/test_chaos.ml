@@ -473,6 +473,95 @@ let test_unsafe_no_deps_control () =
   | Ok () -> ()
   | Error m -> Alcotest.failf "safe client must verify: %s" m
 
+(* ------------------------------------------------------------------ *)
+(* Failover audits: leader-kill and rolling-crash presets              *)
+(* ------------------------------------------------------------------ *)
+
+let test_failover_battery () =
+  (* Every protocol under both leader-killing presets, three seeds each:
+     the runs must verify against their model and resume commits after the
+     last recovery. *)
+  List.iter
+    (fun protocol ->
+      List.iter
+        (fun preset ->
+          List.iter
+            (fun seed ->
+              let label =
+                Chaos.Audit.protocol_name protocol
+                ^ "/"
+                ^ Chaos.Nemesis.preset_name preset
+                ^ "/seed=" ^ string_of_int seed
+              in
+              let schedule =
+                Chaos.Audit.nemesis_schedule protocol preset ~duration_s:8.0
+                  ~seed
+              in
+              let r =
+                Chaos.Audit.run protocol ~schedule
+                  ~failover:(Chaos.Nemesis.requires_failover preset)
+                  ~duration_s:8.0 ~seed ()
+              in
+              (match r.Chaos.Audit.check with
+              | Ok () -> ()
+              | Error m ->
+                Alcotest.failf "%s: consistency violation: %s" label m);
+              check bool (label ^ ": liveness resumed after recovery") true
+                (Chaos.Audit.liveness_ok r))
+            [ 3; 5; 9 ])
+        [ Chaos.Nemesis.Leader_kill; Chaos.Nemesis.Rolling_crash ])
+    Chaos.Audit.protocols
+
+let test_failover_determinism () =
+  (* Elections, retries, and backoff jitter all draw from dedicated seeded
+     streams, so a failover run replays byte for byte. *)
+  let go nemesis_seed =
+    let schedule =
+      Chaos.Audit.nemesis_schedule Chaos.Audit.Spanner_rss
+        Chaos.Nemesis.Leader_kill ~duration_s:8.0 ~seed:nemesis_seed
+    in
+    Chaos.Audit.run Chaos.Audit.Spanner_rss ~schedule ~failover:true
+      ~duration_s:8.0 ~seed:11 ()
+  in
+  let a = go 4 and b = go 4 in
+  check bool "failover histories byte-identical" true
+    (String.equal a.Chaos.Audit.trace b.Chaos.Audit.trace);
+  check int "same view changes" a.Chaos.Audit.view_changes
+    b.Chaos.Audit.view_changes;
+  check int "same rpc retries" a.Chaos.Audit.rpc_retries
+    b.Chaos.Audit.rpc_retries;
+  check bool "elections actually happened" true
+    (a.Chaos.Audit.view_changes > 0);
+  let c = go 5 in
+  check bool "different nemesis seed, different run" true
+    (not (String.equal a.Chaos.Audit.trace c.Chaos.Audit.trace))
+
+let test_spanner_leader_crash_rides_through () =
+  (* Crash a Spanner shard-leader site outright mid-run. Without failover
+     this wedged every transaction touching its shards; with failover armed
+     the followers elect a new leader, rebuild the shard from the
+     replicated log, and commits resume. *)
+  let victim =
+    match Chaos.Audit.protocol_leader_sites Chaos.Audit.Spanner_rss with
+    | s :: _ -> s
+    | [] -> Alcotest.fail "spanner deployment has no leader sites"
+  in
+  let schedule =
+    Chaos.Schedule.
+      [ at_s 1.5 (Crash [ victim ]); at_s 4.5 (Recover [ victim ]) ]
+  in
+  let r =
+    Chaos.Audit.run Chaos.Audit.Spanner_rss ~schedule ~failover:true
+      ~duration_s:8.0 ~seed:13 ()
+  in
+  (match r.Chaos.Audit.check with
+  | Ok () -> ()
+  | Error m -> Alcotest.failf "consistency violation: %s" m);
+  check bool "commits continue after the leader crash" true
+    (Chaos.Audit.liveness_ok ~min_post_quiet:5 r);
+  check bool "the crash forced an election" true
+    (r.Chaos.Audit.view_changes >= 1)
+
 let suites =
   [
     ( "chaos.net",
@@ -511,5 +600,14 @@ let suites =
         Alcotest.test_case "stale-read controls" `Quick test_stale_read_controls;
         Alcotest.test_case "unsafe no-deps control" `Quick
           test_unsafe_no_deps_control;
+      ] );
+    ( "chaos.failover",
+      [
+        Alcotest.test_case "battery: 2 presets x 4 protocols x 3 seeds" `Quick
+          test_failover_battery;
+        Alcotest.test_case "run-twice determinism" `Quick
+          test_failover_determinism;
+        Alcotest.test_case "spanner leader-crash ride-through" `Quick
+          test_spanner_leader_crash_rides_through;
       ] );
   ]

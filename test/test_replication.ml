@@ -16,7 +16,7 @@ let test_majority_is_nearest () =
   let g = Replication.Group.create net ~leader_site:0 ~replica_sites:[ 1; 2 ] () in
   check int "majority of 3" 2 (Replication.Group.majority g);
   let done_at = ref (-1) in
-  Replication.Group.replicate g (fun () -> done_at := Sim.Engine.now engine);
+  Replication.Group.replicate g () (fun () -> done_at := Sim.Engine.now engine);
   Sim.Engine.run engine;
   (* One ack needed: round trip to the 20ms replica. *)
   check int "commit at nearest replica RTT" 20_000 !done_at;
@@ -26,7 +26,7 @@ let test_no_replicas_immediate () =
   let engine, net = mk_net () in
   let g = Replication.Group.create net ~leader_site:0 ~replica_sites:[] () in
   let fired = ref false in
-  Replication.Group.replicate g (fun () -> fired := true);
+  Replication.Group.replicate g () (fun () -> fired := true);
   check bool "synchronous" true !fired;
   ignore engine
 
@@ -46,7 +46,7 @@ let test_five_replicas_needs_two_acks () =
   let g = Replication.Group.create net ~leader_site:0 ~replica_sites:[ 1; 2; 3; 4 ] () in
   check int "majority of 5" 3 (Replication.Group.majority g);
   let done_at = ref (-1) in
-  Replication.Group.replicate g (fun () -> done_at := Sim.Engine.now engine);
+  Replication.Group.replicate g () (fun () -> done_at := Sim.Engine.now engine);
   Sim.Engine.run engine;
   (* Leader + 2 acks: second-nearest replica at 30ms RTT. *)
   check int "second ack decides" 30_000 !done_at
@@ -55,9 +55,9 @@ let test_concurrent_replications_independent () =
   let engine, net = mk_net () in
   let g = Replication.Group.create net ~leader_site:0 ~replica_sites:[ 1; 2 ] () in
   let order = ref [] in
-  Replication.Group.replicate g (fun () -> order := 1 :: !order);
+  Replication.Group.replicate g () (fun () -> order := 1 :: !order);
   Sim.Engine.schedule engine ~after:5_000 (fun () ->
-      Replication.Group.replicate g (fun () -> order := 2 :: !order));
+      Replication.Group.replicate g () (fun () -> order := 2 :: !order));
   Sim.Engine.run engine;
   check (Alcotest.list int) "both committed in order" [ 1; 2 ] (List.rev !order);
   check int "log" 2 (Replication.Group.log_length g)
@@ -69,10 +69,116 @@ let test_station_charges_acks () =
     Replication.Group.create net ~station ~leader_site:0 ~replica_sites:[ 1; 2 ] ()
   in
   let done_at = ref (-1) in
-  Replication.Group.replicate g (fun () -> done_at := Sim.Engine.now engine);
+  Replication.Group.replicate g () (fun () -> done_at := Sim.Engine.now engine);
   Sim.Engine.run engine;
   check int "ack pays CPU" 20_500 !done_at;
   check bool "station busy time" true (Sim.Station.busy_us station >= 500)
+
+(* ------------------------------------------------------------------ *)
+(* Failover                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_ack_dedup_under_duplication () =
+  (* Five-site group needing two acks, with the nearest replica's ack link
+     duplicating every message. Counting the copy would commit at the first
+     replica's RTT (10 ms); per-replica deduplication must wait for a second
+     distinct replica (30 ms). *)
+  let engine = Sim.Engine.create () in
+  let rng = Sim.Rng.make 1 in
+  let rtt =
+    [|
+      [| 0.2; 10.0; 30.0; 50.0; 70.0 |];
+      [| 10.0; 0.2; 0.0; 0.0; 0.0 |];
+      [| 30.0; 0.0; 0.2; 0.0; 0.0 |];
+      [| 50.0; 0.0; 0.0; 0.2; 0.0 |];
+      [| 70.0; 0.0; 0.0; 0.0; 0.2 |];
+    |]
+  in
+  let net = Sim.Net.create engine ~rng ~rtt_ms:rtt ~jitter:0.0 () in
+  Sim.Net.set_dup net ~src:1 ~dst:0 0.99;
+  let g =
+    Replication.Group.create net ~leader_site:0 ~replica_sites:[ 1; 2; 3; 4 ] ()
+  in
+  let done_at = ref (-1) in
+  Replication.Group.replicate g () (fun () -> done_at := Sim.Engine.now engine);
+  Sim.Engine.run engine;
+  check bool "ack link duplicated" true (Sim.Net.messages_duplicated net > 0);
+  check int "duplicate ack does not count twice" 30_000 !done_at;
+  check bool "suppressed duplicate counted" true
+    ((Replication.Group.stats g).Replication.Group.dup_acks >= 1)
+
+let test_view_change_on_leader_crash () =
+  let engine, net = mk_net () in
+  let g = Replication.Group.create net ~leader_site:0 ~replica_sites:[ 1; 2 ] () in
+  let changes = ref [] in
+  Replication.Group.enable_failover g
+    ~on_leader_change:(fun ~leader_site ~committed ->
+      changes := (leader_site, List.length committed) :: !changes)
+    ~until_us:(Sim.Engine.sec 10.0) ();
+  let committed = ref 0 in
+  for i = 1 to 3 do
+    Sim.Engine.schedule engine ~after:(i * 10_000) (fun () ->
+        Replication.Group.replicate g i (fun () -> incr committed))
+  done;
+  Sim.Engine.schedule engine ~after:1_000_000 (fun () -> Sim.Net.set_down net 0);
+  Sim.Engine.run engine;
+  check int "entries committed before the crash" 3 !committed;
+  check bool "view advanced" true (Replication.Group.view g > 0);
+  check bool "leadership moved off the crashed site" true
+    (Replication.Group.leader_site g <> 0);
+  check bool "new leader is serving" true (Replication.Group.serving g);
+  check int "committed entries survive the election" 3
+    (Replication.Group.log_length g);
+  (match List.rev !changes with
+  | (site, n) :: _ ->
+    check bool "callback carries the new leader" true (site <> 0);
+    check int "callback carries the full log" 3 n
+  | [] -> Alcotest.fail "on_leader_change never fired");
+  check bool "view change counted" true
+    ((Replication.Group.stats g).Replication.Group.view_changes >= 1)
+
+let test_catchup_after_recovery () =
+  (* A follower sleeps through four appends; on recovery the leader's
+     heartbeats expose the gap and a state transfer closes it. The leader
+     itself never loses its majority (2 of 3), so no election happens. *)
+  let engine, net = mk_net () in
+  let g = Replication.Group.create net ~leader_site:0 ~replica_sites:[ 1; 2 ] () in
+  Replication.Group.enable_failover g ~until_us:(Sim.Engine.sec 10.0) ();
+  Sim.Engine.schedule engine ~after:100_000 (fun () -> Sim.Net.set_down net 2);
+  for i = 1 to 4 do
+    Sim.Engine.schedule engine
+      ~after:(200_000 + (i * 10_000))
+      (fun () -> Replication.Group.replicate g i (fun () -> ()))
+  done;
+  Sim.Engine.schedule engine ~after:2_000_000 (fun () -> Sim.Net.set_up net 2);
+  Sim.Engine.run engine;
+  check int "leadership never moved" 0 (Replication.Group.leader_site g);
+  check int "view stable" 0 (Replication.Group.view g);
+  check int "log intact" 4 (Replication.Group.log_length g);
+  check bool "recovered follower caught up by state transfer" true
+    ((Replication.Group.stats g).Replication.Group.catchups >= 1)
+
+let test_failover_deterministic () =
+  (* Same crash schedule, same seed: the election must land on the same
+     view, leader, and timing — failover timers draw from a dedicated
+     seeded stream, never the wall clock. *)
+  let go () =
+    let engine, net = mk_net () in
+    let g =
+      Replication.Group.create net ~leader_site:0 ~replica_sites:[ 1; 2 ] ()
+    in
+    Replication.Group.enable_failover g ~until_us:(Sim.Engine.sec 10.0) ();
+    Sim.Engine.schedule engine ~after:500_000 (fun () -> Sim.Net.set_down net 0);
+    Sim.Engine.run engine;
+    let s = Replication.Group.stats g in
+    ( Replication.Group.view g,
+      Replication.Group.leader_site g,
+      s.Replication.Group.view_changes,
+      s.Replication.Group.heartbeats,
+      s.Replication.Group.max_election_us )
+  in
+  let a = go () and b = go () in
+  check bool "identical failover trajectory" true (a = b)
 
 (* ------------------------------------------------------------------ *)
 (* Message queue                                                       *)
@@ -129,6 +235,16 @@ let suites =
         Alcotest.test_case "concurrent entries" `Quick
           test_concurrent_replications_independent;
         Alcotest.test_case "station charges acks" `Quick test_station_charges_acks;
+      ] );
+    ( "replication.failover",
+      [
+        Alcotest.test_case "ack dedup under duplication" `Quick
+          test_ack_dedup_under_duplication;
+        Alcotest.test_case "view change on leader crash" `Quick
+          test_view_change_on_leader_crash;
+        Alcotest.test_case "catch-up after recovery" `Quick
+          test_catchup_after_recovery;
+        Alcotest.test_case "seeded determinism" `Quick test_failover_deterministic;
       ] );
     ( "photoapp.mqueue",
       [
