@@ -5,13 +5,12 @@
    3. per-session vs. global t_min — why the paper gives each partly-open
       session a fresh minimum read timestamp. *)
 
-let ro_p99 (run : Harness.spanner_run) =
-  if Stats.Recorder.is_empty run.Harness.sp_ro then 0.0
-  else Stats.Recorder.percentile_ms run.Harness.sp_ro 99.0
+let p_or_zero r p =
+  match Stats.Recorder.percentile_ms_opt r p with Some v -> v | None -> 0.0
 
-let rw_p50 (run : Harness.spanner_run) =
-  if Stats.Recorder.is_empty run.Harness.sp_rw then 0.0
-  else Stats.Recorder.percentile_ms run.Harness.sp_rw 50.0
+let ro_p99 (run : Harness.Run.t) = p_or_zero (Harness.Run.latency run "ro") 99.0
+
+let rw_p50 (run : Harness.Run.t) = p_or_zero (Harness.Run.latency run "rw") 50.0
 
 let tee_slack ?(duration_s = 60.0) ?(seed = 11) () =
   Fmt.pr "--- Ablation 1: t_ee estimate slack (skew 0.9) ---@.";
@@ -26,10 +25,10 @@ let tee_slack ?(duration_s = 60.0) ?(seed = 11) () =
           ~theta:0.9 ~n_keys:1_000_000 ~arrival_rate_per_sec:6.0 ~duration_s ~seed
           ()
       in
-      Harness.report_check "tee-slack" run.Harness.sp_check;
+      Harness.report_check "tee-slack" run.Harness.Run.check;
       Fmt.pr "  %10.0f | %12.1f %12.1f %10d/%d@." pad_ms (ro_p99 run) (rw_p50 run)
-        run.Harness.sp_stats.Spanner.Cluster.ro_blocked_at_shards
-        run.Harness.sp_stats.Spanner.Cluster.ro_count)
+        (Harness.Run.counter run "ro.blocked_at_shards")
+        (Harness.Run.counter run "ro.count"))
     [ 0.0; 25.0; 100.0; 400.0 ];
   Fmt.pr "  (larger pads: ROs skip prepared txns more often, but every RW@.";
   Fmt.pr "   waits out its padded estimate before completing)@.@."
@@ -48,8 +47,8 @@ let epsilon_sweep ?(duration_s = 60.0) ?(seed = 12) () =
       in
       let strict = with_eps Spanner.Config.Strict in
       let rss = with_eps Spanner.Config.Rss in
-      Harness.report_check "eps-strict" strict.Harness.sp_check;
-      Harness.report_check "eps-rss" rss.Harness.sp_check;
+      Harness.report_check "eps-strict" strict.Harness.Run.check;
+      Harness.report_check "eps-rss" rss.Harness.Run.check;
       Fmt.pr "  %10.0f | %11.1f / %9.1f | %11.1f / %9.1f@." eps_ms (ro_p99 strict)
         (rw_p50 strict) (ro_p99 rss) (rw_p50 rss))
     [ 1.0; 10.0; 50.0 ];
@@ -92,10 +91,9 @@ let tmin_scope ?(duration_s = 60.0) ?(seed = 13) () =
   Sim.Engine.run ~max_events:600_000_000 engine;
   let stats = Spanner.Cluster.stats cluster in
   Fmt.pr "  per-session t_min: RO p99 %.1f ms, blocked %d/%d@." (ro_p99 per_session)
-    per_session.Harness.sp_stats.Spanner.Cluster.ro_blocked_at_shards
-    per_session.Harness.sp_stats.Spanner.Cluster.ro_count;
-  Fmt.pr "  global t_min:      RO p99 %.1f ms, blocked %d/%d@."
-    (if Stats.Recorder.is_empty ro then 0.0 else Stats.Recorder.percentile_ms ro 99.0)
+    (Harness.Run.counter per_session "ro.blocked_at_shards")
+    (Harness.Run.counter per_session "ro.count");
+  Fmt.pr "  global t_min:      RO p99 %.1f ms, blocked %d/%d@." (p_or_zero ro 99.0)
     stats.Spanner.Cluster.ro_blocked_at_shards stats.Spanner.Cluster.ro_count;
   Fmt.pr "  (a shared t_min advances with every observed commit, forcing more@.";
   Fmt.pr "   tp <= t_min blocking — why the paper scopes t_min per session)@.@."

@@ -71,11 +71,7 @@ let harness_demo () =
     Harness.spanner_wan ~chaos ~mode:Spanner.Config.Rss ~theta:0.5
       ~n_keys:5_000 ~arrival_rate_per_sec:400.0 ~duration_s ~seed:7 ()
   in
-  Harness.report_check "spanner-rss" r.Harness.sp_check;
-  Stats.Summary.print_latency_table ~header:"latency (ms)"
-    ~rows:[ ("ro", r.Harness.sp_ro); ("rw", r.Harness.sp_rw) ]
-    ();
-  Harness.print_fault_table r.Harness.sp_faults;
+  Harness.Run.print_summary ~header:"spanner-rss" r;
   Fmt.pr "@.";
   Fmt.pr "== chaos-wrapped spanner_wan (leader-kill, failover armed) ==@.";
   let lk =
@@ -87,12 +83,7 @@ let harness_demo () =
       ~failover:true ~mode:Spanner.Config.Rss ~theta:0.5 ~n_keys:5_000
       ~arrival_rate_per_sec:100.0 ~duration_s ~seed:7 ()
   in
-  Harness.report_check "spanner-rss" lk.Harness.sp_check;
-  Stats.Summary.print_latency_table ~header:"latency (ms)"
-    ~rows:[ ("ro", lk.Harness.sp_ro); ("rw", lk.Harness.sp_rw) ]
-    ();
-  Harness.print_fault_table lk.Harness.sp_faults;
-  Harness.print_failover_table lk.Harness.sp_failover;
+  Harness.Run.print_summary ~header:"spanner-rss failover" lk;
   Fmt.pr "@.";
   let gr =
     Harness.gryff_wan
@@ -103,13 +94,10 @@ let harness_demo () =
       ~duration_s ~seed:7 ()
   in
   Fmt.pr "== chaos-wrapped gryff_wan (link-loss) ==@.";
-  Harness.report_check "gryff-rsc" gr.Harness.gr_check;
-  Stats.Summary.print_latency_table ~header:"latency (ms)"
-    ~rows:[ ("read", gr.Harness.gr_read); ("write", gr.Harness.gr_write) ]
-    ();
-  Harness.print_fault_table gr.Harness.gr_faults;
-  r.Harness.sp_check = Ok () && lk.Harness.sp_check = Ok ()
-  && gr.Harness.gr_check = Ok ()
+  Harness.Run.print_summary ~header:"gryff-rsc" gr;
+  r.Harness.Run.check = Ok ()
+  && lk.Harness.Run.check = Ok ()
+  && gr.Harness.Run.check = Ok ()
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in

@@ -26,32 +26,40 @@ let run ?(duration_s = 300.0) ?(loads = default_loads) ?(n_keys = 10_000_000)
         Harness.spanner_wan ~mode:Spanner.Config.Rss ~theta ~n_keys
           ~arrival_rate_per_sec ~duration_s ~seed ()
       in
-      Harness.report_check "spanner" strict.Harness.sp_check;
-      Harness.report_check "spanner-rss" rss.Harness.sp_check;
+      Harness.report_check "spanner" strict.Harness.Run.check;
+      Harness.report_check "spanner-rss" rss.Harness.Run.check;
+      let ro_s = Harness.Run.latency strict "ro"
+      and ro_r = Harness.Run.latency rss "ro" in
       Stats.Summary.print_latency_table
         ~header:(Fmt.str "Fig. %s — skew %.2f: read-only transaction latency (ms)" sub theta)
-        ~rows:[ ("spanner", strict.Harness.sp_ro); ("spanner-rss", rss.Harness.sp_ro) ]
+        ~rows:[ ("spanner", ro_s); ("spanner-rss", ro_r) ]
         ~points ();
-      (if not (Stats.Recorder.is_empty strict.Harness.sp_ro || Stats.Recorder.is_empty rss.Harness.sp_ro)
-       then
-         let p999_s = Stats.Recorder.percentile_ms strict.Harness.sp_ro 99.9 in
-         let p999_r = Stats.Recorder.percentile_ms rss.Harness.sp_ro 99.9 in
-         let p99_s = Stats.Recorder.percentile_ms strict.Harness.sp_ro 99.0 in
-         let p99_r = Stats.Recorder.percentile_ms rss.Harness.sp_ro 99.0 in
-         Fmt.pr
-           "  -> RSS reduces RO p99 by %.0f%% (%.0f -> %.0f ms), p99.9 by %.0f%% (%.0f -> %.0f ms)@."
-           (Stats.Summary.improvement ~baseline:p99_s ~variant:p99_r)
-           p99_s p99_r
-           (Stats.Summary.improvement ~baseline:p999_s ~variant:p999_r)
-           p999_s p999_r);
+      (match
+         ( Stats.Recorder.percentile_ms_opt ro_s 99.0,
+           Stats.Recorder.percentile_ms_opt ro_r 99.0,
+           Stats.Recorder.percentile_ms_opt ro_s 99.9,
+           Stats.Recorder.percentile_ms_opt ro_r 99.9 )
+       with
+      | Some p99_s, Some p99_r, Some p999_s, Some p999_r ->
+        Fmt.pr
+          "  -> RSS reduces RO p99 by %.0f%% (%.0f -> %.0f ms), p99.9 by %.0f%% (%.0f -> %.0f ms)@."
+          (Stats.Summary.improvement ~baseline:p99_s ~variant:p99_r)
+          p99_s p99_r
+          (Stats.Summary.improvement ~baseline:p999_s ~variant:p999_r)
+          p999_s p999_r
+      | _ -> ());
       Fmt.pr "  shard-side RO blocking events: spanner=%d rss=%d (of %d / %d ROs)@."
-        strict.Harness.sp_stats.Spanner.Cluster.ro_blocked_at_shards
-        rss.Harness.sp_stats.Spanner.Cluster.ro_blocked_at_shards
-        strict.Harness.sp_stats.Spanner.Cluster.ro_count
-        rss.Harness.sp_stats.Spanner.Cluster.ro_count;
+        (Harness.Run.counter strict "ro.blocked_at_shards")
+        (Harness.Run.counter rss "ro.blocked_at_shards")
+        (Harness.Run.counter strict "ro.count")
+        (Harness.Run.counter rss "ro.count");
       Stats.Summary.print_latency_table
         ~header:"        read-write transaction latency (ms) — must match"
-        ~rows:[ ("spanner", strict.Harness.sp_rw); ("spanner-rss", rss.Harness.sp_rw) ]
+        ~rows:
+          [
+            ("spanner", Harness.Run.latency strict "rw");
+            ("spanner-rss", Harness.Run.latency rss "rw");
+          ]
         ~points:[ 50.0; 90.0; 99.0 ] ();
       Fmt.pr "@.")
     loads

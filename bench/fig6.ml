@@ -12,18 +12,21 @@ let run ?(duration_s = 10.0) ?(service_time_us = 15) ?(n_keys = 100_000) ?(seed 
     "p50 (ms)" "msg/txn" "rss tps" "p50 (ms)" "msg/txn" "overhead";
   List.iter
     (fun n_clients ->
-      let tps_s, med_s, mpt_s, check_s =
+      let s =
         Harness.spanner_dc ~mode:Spanner.Config.Strict ~n_shards:8 ~service_time_us
           ~n_clients ~n_keys ~duration_s ~seed ()
       in
-      let tps_r, med_r, mpt_r, check_r =
+      let r =
         Harness.spanner_dc ~mode:Spanner.Config.Rss ~n_shards:8 ~service_time_us
           ~n_clients ~n_keys ~duration_s ~seed ()
       in
-      Harness.report_check "spanner" check_s;
-      Harness.report_check "spanner-rss" check_r;
+      Harness.report_check "spanner" s.Harness.Run.check;
+      Harness.report_check "spanner-rss" r.Harness.Run.check;
+      let tps_s = Harness.Run.gauge s "throughput_tps"
+      and tps_r = Harness.Run.gauge r "throughput_tps" in
       Fmt.pr "  %8d | %12.0f %9.2f %8.2f | %12.0f %9.2f %8.2f | %7.1f%%@." n_clients
-        tps_s med_s mpt_s tps_r med_r mpt_r
+        tps_s (Harness.Run.gauge s "p50_ms") (Harness.Run.gauge s "msgs_per_txn")
+        tps_r (Harness.Run.gauge r "p50_ms") (Harness.Run.gauge r "msgs_per_txn")
         (Stats.Summary.improvement ~baseline:tps_s ~variant:tps_r))
     client_counts;
   Fmt.pr

@@ -40,15 +40,20 @@ let run ?(duration_s = 150.0) ?(n_keys = 100_000) ?(seed = 3)
             Harness.gryff_wan ~mode:Gryff.Config.Rsc ~conflict ~write_ratio ~n_keys
               ~duration_s ~seed ()
           in
-          Harness.report_check "gryff" lin.Harness.gr_check;
-          Harness.report_check "gryff-rsc" rsc.Harness.gr_check;
+          Harness.report_check "gryff" lin.Harness.Run.check;
+          Harness.report_check "gryff-rsc" rsc.Harness.Run.check;
           let p99 r =
-            if Stats.Recorder.is_empty r then 0.0 else Stats.Recorder.percentile_ms r 99.0
+            match Stats.Recorder.percentile_ms_opt r 99.0 with
+            | Some v -> v
+            | None -> 0.0
           in
-          let p_lin = p99 lin.Harness.gr_read and p_rsc = p99 rsc.Harness.gr_read in
+          let p_lin = p99 (Harness.Run.latency lin "read")
+          and p_rsc = p99 (Harness.Run.latency rsc "read") in
           Fmt.pr "  %11.2f | %10.1f %12d | %10.1f %12d | %10.0f%%@." write_ratio
-            p_lin lin.Harness.gr_stats.Gryff.Cluster.read_second_round p_rsc
-            rsc.Harness.gr_stats.Gryff.Cluster.deps_created
+            p_lin
+            (Harness.Run.counter lin "read.second_round")
+            p_rsc
+            (Harness.Run.counter rsc "read.deps_created")
             (Stats.Summary.improvement ~baseline:p_lin ~variant:p_rsc))
         write_ratios;
       Fmt.pr "@.")
@@ -64,18 +69,24 @@ let run_tail ?(duration_s = 600.0) ?(n_keys = 100_000) ?(seed = 4) () =
     Harness.gryff_wan ~mode:Gryff.Config.Rsc ~conflict:0.10 ~write_ratio:0.3 ~n_keys
       ~duration_s ~seed ()
   in
-  Harness.report_check "gryff" lin.Harness.gr_check;
-  Harness.report_check "gryff-rsc" rsc.Harness.gr_check;
+  Harness.report_check "gryff" lin.Harness.Run.check;
+  Harness.report_check "gryff-rsc" rsc.Harness.Run.check;
+  let read_lin = Harness.Run.latency lin "read"
+  and read_rsc = Harness.Run.latency rsc "read" in
   Stats.Summary.print_latency_table ~header:"read latency (ms)"
-    ~rows:[ ("gryff", lin.Harness.gr_read); ("gryff-rsc", rsc.Harness.gr_read) ]
+    ~rows:[ ("gryff", read_lin); ("gryff-rsc", read_rsc) ]
     ~points:[ 50.0; 90.0; 99.0; 99.9 ] ();
-  let p999 r = Stats.Recorder.percentile_ms r 99.9 in
+  let p999 r =
+    match Stats.Recorder.percentile_ms_opt r 99.9 with Some v -> v | None -> 0.0
+  in
   Fmt.pr "  -> p99.9 reduction: %.0f%% (%.0f -> %.0f ms)@."
-    (Stats.Summary.improvement
-       ~baseline:(p999 lin.Harness.gr_read)
-       ~variant:(p999 rsc.Harness.gr_read))
-    (p999 lin.Harness.gr_read) (p999 rsc.Harness.gr_read);
+    (Stats.Summary.improvement ~baseline:(p999 read_lin) ~variant:(p999 read_rsc))
+    (p999 read_lin) (p999 read_rsc);
   Stats.Summary.print_latency_table ~header:"write latency (ms) — identical by design"
-    ~rows:[ ("gryff", lin.Harness.gr_write); ("gryff-rsc", rsc.Harness.gr_write) ]
+    ~rows:
+      [
+        ("gryff", Harness.Run.latency lin "write");
+        ("gryff-rsc", Harness.Run.latency rsc "write");
+      ]
     ~points:[ 50.0; 99.0 ] ();
   Fmt.pr "@."

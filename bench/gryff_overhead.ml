@@ -14,18 +14,20 @@ let run ?(duration_s = 10.0) ?(service_time_us = 10) ?(n_keys = 100_000) ?(seed 
         "p50 (ms)" "rsc ops/s" "p50 (ms)" "delta";
       List.iter
         (fun n_clients ->
-          let tps_l, med_l, check_l =
+          let l =
             Harness.gryff_dc ~mode:Gryff.Config.Lin ~service_time_us ~n_clients
               ~conflict:0.10 ~write_ratio ~n_keys ~duration_s ~seed ()
           in
-          let tps_r, med_r, check_r =
+          let r =
             Harness.gryff_dc ~mode:Gryff.Config.Rsc ~service_time_us ~n_clients
               ~conflict:0.10 ~write_ratio ~n_keys ~duration_s ~seed ()
           in
-          Harness.report_check "gryff" check_l;
-          Harness.report_check "gryff-rsc" check_r;
+          Harness.report_check "gryff" l.Harness.Run.check;
+          Harness.report_check "gryff-rsc" r.Harness.Run.check;
+          let tps_l = Harness.Run.gauge l "throughput_tps"
+          and tps_r = Harness.Run.gauge r "throughput_tps" in
           Fmt.pr "  %8d | %12.0f %10.3f | %12.0f %10.3f | %8.1f%%@." n_clients tps_l
-            med_l tps_r med_r
+            (Harness.Run.gauge l "p50_ms") tps_r (Harness.Run.gauge r "p50_ms")
             (Stats.Summary.improvement ~baseline:tps_l ~variant:tps_r))
         client_counts;
       Fmt.pr "@.")

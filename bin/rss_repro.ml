@@ -5,11 +5,33 @@
    Examples:
      rss_repro spanner --mode rss --theta 0.9 --duration 30
      rss_repro gryff --mode lin --conflict 0.25 --write-ratio 0.3
+     rss_repro trace --protocol spanner-rss --trace-out run.json
      rss_repro check --demo fig4 *)
 
 open Cmdliner
 
-let points = [ 50.0; 90.0; 99.0; 99.9 ]
+(* Shared --trace-out plumbing: when the flag is given, install a live
+   span sink for the run and export it as Chrome trace_event JSON. *)
+let trace_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-out" ] ~docv:"FILE"
+        ~doc:
+          "Record a structured span trace of the run and write it as \
+           Chrome trace_event JSON (load in chrome://tracing or \
+           ui.perfetto.dev). Tracing is passive: the traced run follows \
+           the exact seeded schedule of an untraced one.")
+
+let tracer_for = function
+  | None -> Obs.Trace.disabled
+  | Some _ -> Obs.Trace.create ()
+
+let save_trace tracer = function
+  | None -> ()
+  | Some path ->
+    Obs.Trace.save_chrome tracer ~path;
+    Fmt.pr "trace: %d spans written to %s@." (Obs.Trace.n_spans tracer) path
 
 let spanner_cmd =
   let mode =
@@ -34,41 +56,38 @@ let spanner_cmd =
       & opt (some string) None
       & info [ "export" ] ~docv:"FILE"
           ~doc:"Save the run's transactional history as a trace (re-checkable \
-                with the trace subcommand; keep runs small for the search \
-                checkers).")
+                with the check-trace subcommand; keep runs small for the \
+                search checkers).")
   in
-  let run mode theta duration rate keys seed export =
+  let run mode theta duration rate keys seed export trace_out =
     if rate <= 0.0 then (Fmt.epr "error: --rate must be positive@."; exit 1);
     if theta < 0.0 then (Fmt.epr "error: --theta must be non-negative@."; exit 1);
     if duration <= 0.0 then (Fmt.epr "error: --duration must be positive@."; exit 1);
+    let tracer = tracer_for trace_out in
     let r =
-      Harness.spanner_wan ~mode ~theta ~n_keys:keys ~arrival_rate_per_sec:rate
-        ~duration_s:duration ~seed ()
+      Harness.spanner_wan ~trace:tracer ~mode ~theta ~n_keys:keys
+        ~arrival_rate_per_sec:rate ~duration_s:duration ~seed ()
     in
-    ignore export;
-    Stats.Summary.print_latency_table ~header:"read-only transactions (ms)"
-      ~rows:[ ("ro", r.Harness.sp_ro) ] ~points ();
-    Stats.Summary.print_latency_table ~header:"read-write transactions (ms)"
-      ~rows:[ ("rw", r.Harness.sp_rw) ] ~points ();
-    let s = r.Harness.sp_stats in
-    Fmt.pr "committed: %d rw, %d ro | aborted attempts: %d | wounds: %d@."
-      s.Spanner.Cluster.rw_committed s.Spanner.Cluster.ro_count
-      s.Spanner.Cluster.rw_aborted_attempts s.Spanner.Cluster.wounds;
-    Fmt.pr "RO slow paths: client %d, shard blocking %d | messages: %d@."
-      s.Spanner.Cluster.ro_slow s.Spanner.Cluster.ro_blocked_at_shards
-      s.Spanner.Cluster.messages;
-    (match r.Harness.sp_check with
+    Harness.Run.print_latencies ~header:"latency (ms)" r;
+    Harness.Run.print_metrics ~header:"spanner" r;
+    (match r.Harness.Run.check with
     | Ok () ->
       Fmt.pr "history: verified (%s)@."
         (match mode with
         | Spanner.Config.Strict -> "strict serializability"
         | Spanner.Config.Rss -> "RSS")
     | Error m -> Fmt.pr "history: VIOLATION — %s@." m);
+    save_trace tracer trace_out;
     match export with
     | None -> ()
     | Some path ->
+      let records =
+        match r.Harness.Run.records with
+        | Harness.Run.Spanner_txns a -> a
+        | Harness.Run.Gryff_ops _ -> [||]
+      in
       let txns =
-        Array.to_list r.Harness.sp_records
+        Array.to_list records
         |> List.mapi (fun i (w : Rss_core.Witness.txn) ->
                {
                  Rss_core.Txn_history.id = i;
@@ -86,7 +105,9 @@ let spanner_cmd =
   in
   Cmd.v
     (Cmd.info "spanner" ~doc:"Simulate Spanner / Spanner-RSS on Retwis.")
-    Term.(const run $ mode $ theta $ duration $ rate $ keys $ seed $ export)
+    Term.(
+      const run $ mode $ theta $ duration $ rate $ keys $ seed $ export
+      $ trace_out_arg)
 
 let gryff_cmd =
   let mode =
@@ -106,31 +127,28 @@ let gryff_cmd =
     Arg.(value & opt float 30.0 & info [ "duration" ] ~doc:"Simulated seconds.")
   in
   let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Random seed.") in
-  let run mode conflict write_ratio duration seed =
+  let run mode conflict write_ratio duration seed trace_out =
     if conflict < 0.0 || conflict > 1.0 then
       (Fmt.epr "error: --conflict must be in [0, 1]@."; exit 1);
     if write_ratio < 0.0 || write_ratio > 1.0 then
       (Fmt.epr "error: --write-ratio must be in [0, 1]@."; exit 1);
     if duration <= 0.0 then (Fmt.epr "error: --duration must be positive@."; exit 1);
+    let tracer = tracer_for trace_out in
     let r =
-      Harness.gryff_wan ~mode ~conflict ~write_ratio ~n_keys:100_000
-        ~duration_s:duration ~seed ()
+      Harness.gryff_wan ~trace:tracer ~mode ~conflict ~write_ratio
+        ~n_keys:100_000 ~duration_s:duration ~seed ()
     in
-    Stats.Summary.print_latency_table ~header:"reads (ms)"
-      ~rows:[ ("read", r.Harness.gr_read) ] ~points ();
-    Stats.Summary.print_latency_table ~header:"writes (ms)"
-      ~rows:[ ("write", r.Harness.gr_write) ] ~points ();
-    let s = r.Harness.gr_stats in
-    Fmt.pr "reads: %d (%d second-round, %d deferred write-backs) | writes: %d@."
-      s.Gryff.Cluster.reads s.Gryff.Cluster.read_second_round
-      s.Gryff.Cluster.deps_created s.Gryff.Cluster.writes;
-    match r.Harness.gr_check with
+    Harness.Run.print_latencies ~header:"latency (ms)" r;
+    Harness.Run.print_metrics ~header:"gryff" r;
+    (match r.Harness.Run.check with
     | Ok () -> Fmt.pr "history: verified@."
-    | Error m -> Fmt.pr "history: VIOLATION — %s@." m
+    | Error m -> Fmt.pr "history: VIOLATION — %s@." m);
+    save_trace tracer trace_out
   in
   Cmd.v
     (Cmd.info "gryff" ~doc:"Simulate Gryff / Gryff-RSC on YCSB.")
-    Term.(const run $ mode $ conflict $ write_ratio $ duration $ seed)
+    Term.(const run $ mode $ conflict $ write_ratio $ duration $ seed
+          $ trace_out_arg)
 
 let check_cmd =
   let demo =
@@ -193,7 +211,7 @@ let check_cmd =
     (Cmd.info "check" ~doc:"Run the consistency checkers on paper executions.")
     Term.(const run $ demo)
 
-let trace_cmd =
+let check_trace_cmd =
   let path =
     Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"Trace file.")
   in
@@ -234,8 +252,87 @@ let trace_cmd =
         exit 3)
   in
   Cmd.v
-    (Cmd.info "trace" ~doc:"Check a saved transactional trace against a model.")
+    (Cmd.info "check-trace"
+       ~doc:"Check a saved transactional trace against a model.")
     Term.(const run $ path $ model $ budget)
+
+let trace_cmd =
+  let protocol =
+    Arg.(
+      value
+      & opt
+          (enum
+             [
+               ("spanner", `Spanner);
+               ("spanner-rss", `Spanner_rss);
+               ("gryff", `Gryff);
+               ("gryff-rsc", `Gryff_rsc);
+             ])
+          `Spanner_rss
+      & info [ "protocol" ]
+          ~doc:"Protocol to trace: spanner, spanner-rss, gryff, or gryff-rsc.")
+  in
+  let duration =
+    Arg.(value & opt float 2.0 & info [ "duration" ] ~doc:"Simulated seconds.")
+  in
+  let rate =
+    Arg.(
+      value & opt float 10.0
+      & info [ "rate" ]
+          ~doc:"Session arrivals per second (Spanner variants; Gryff runs \
+                closed-loop clients).")
+  in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Random seed.") in
+  let out =
+    Arg.(
+      value & opt string "trace.json"
+      & info [ "trace-out" ] ~docv:"FILE"
+          ~doc:"Chrome trace_event JSON output path (load in chrome://tracing \
+                or ui.perfetto.dev).")
+  in
+  let binary_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "binary-out" ] ~docv:"FILE"
+          ~doc:"Also write the compact binary span log (magic OBSB1).")
+  in
+  let run protocol duration rate seed out binary_out =
+    if duration <= 0.0 then (Fmt.epr "error: --duration must be positive@."; exit 1);
+    if rate <= 0.0 then (Fmt.epr "error: --rate must be positive@."; exit 1);
+    let tracer = Obs.Trace.create () in
+    let header, r =
+      match protocol with
+      | (`Spanner | `Spanner_rss) as p ->
+        let mode =
+          if p = `Spanner then Spanner.Config.Strict else Spanner.Config.Rss
+        in
+        ( (if p = `Spanner then "spanner" else "spanner-rss"),
+          Harness.spanner_wan ~trace:tracer ~mode ~theta:0.75 ~n_keys:100_000
+            ~arrival_rate_per_sec:rate ~duration_s:duration ~seed () )
+      | (`Gryff | `Gryff_rsc) as p ->
+        let mode = if p = `Gryff then Gryff.Config.Lin else Gryff.Config.Rsc in
+        ( (if p = `Gryff then "gryff" else "gryff-rsc"),
+          Harness.gryff_wan ~trace:tracer ~n_clients:4 ~mode ~conflict:0.1
+            ~write_ratio:0.3 ~n_keys:100_000 ~duration_s:duration ~seed () )
+    in
+    Harness.Run.print_summary ~header r;
+    Obs.Trace.save_chrome tracer ~path:out;
+    Fmt.pr "trace: %d spans written to %s@." (Obs.Trace.n_spans tracer) out;
+    (match binary_out with
+    | None -> ()
+    | Some path ->
+      Obs.Trace.save_binary tracer ~path;
+      Fmt.pr "trace: binary span log written to %s@." path);
+    if r.Harness.Run.check <> Ok () then exit 2
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Run a short traced simulation and export its span tree — client \
+          operations decomposed into protocol phases and per-shard network \
+          hops — as Chrome trace_event JSON.")
+    Term.(const run $ protocol $ duration $ rate $ seed $ out $ binary_out)
 
 let chaos_cmd =
   let protocol =
@@ -284,7 +381,7 @@ let chaos_cmd =
   let slots =
     Arg.(value & opt int 12 & info [ "slots" ] ~doc:"Concurrent client slots.")
   in
-  let run protocol nemesis duration seed nemesis_seed slots failover =
+  let run protocol nemesis duration seed nemesis_seed slots failover trace_out =
     if duration <= 0.0 then (Fmt.epr "error: --duration must be positive@."; exit 1);
     if slots <= 0 then (Fmt.epr "error: --slots must be positive@."; exit 1);
     let failover = failover || Chaos.Nemesis.requires_failover nemesis in
@@ -299,11 +396,13 @@ let chaos_cmd =
       (List.stable_sort
          (fun a b -> compare a.Chaos.Schedule.at_us b.Chaos.Schedule.at_us)
          schedule);
+    let tracer = tracer_for trace_out in
     let r =
-      Chaos.Audit.run protocol ~schedule ~n_slots:slots ~failover
+      Chaos.Audit.run protocol ~tracer ~schedule ~n_slots:slots ~failover
         ~duration_s:duration ~seed ()
     in
     Chaos.Audit.print_report r;
+    save_trace tracer trace_out;
     match (r.Chaos.Audit.check, Chaos.Audit.liveness_ok r) with
     | Ok (), true -> ()
     | Error _, _ -> exit 2
@@ -317,11 +416,12 @@ let chaos_cmd =
           liveness resumes after heal.")
     Term.(
       const run $ protocol $ nemesis $ duration $ seed $ nemesis_seed $ slots
-      $ failover)
+      $ failover $ trace_out_arg)
 
 let () =
   let doc = "RSS / RSC reproduction playground" in
   exit
     (Cmd.eval
        (Cmd.group (Cmd.info "rss_repro" ~doc)
-          [ spanner_cmd; gryff_cmd; check_cmd; trace_cmd; chaos_cmd ]))
+          [ spanner_cmd; gryff_cmd; check_cmd; check_trace_cmd; trace_cmd;
+            chaos_cmd ]))

@@ -239,13 +239,14 @@ type pending_rw = {
   mutable pr_done : bool;
 }
 
-let spanner ?config ~mode ~schedule ?(n_slots = 12) ?(theta = 0.5)
-    ?(n_keys = 5_000) ?(timeout_us = 2_000_000) ?(failover = false) ~duration_s
-    ~seed () =
+let spanner ?config ?(tracer = Obs.Trace.disabled) ~mode ~schedule
+    ?(n_slots = 12) ?(theta = 0.5) ?(n_keys = 5_000) ?(timeout_us = 2_000_000)
+    ?(failover = false) ~duration_s ~seed () =
   let engine = Sim.Engine.create () in
   let rng = Sim.Rng.make seed in
   let config = match config with Some c -> c | None -> Spanner.Config.wan3 ~mode () in
   let cluster = Spanner.Cluster.create engine ~rng config in
+  if Obs.Trace.enabled tracer then Spanner.Cluster.set_tracer cluster tracer;
   if failover then
     (* A dedicated seeded stream for retry jitter: the workload stream stays
        untouched, and the failover timers stop at the horizon so the engine
@@ -258,7 +259,7 @@ let spanner ?config ~mode ~schedule ?(n_slots = 12) ?(theta = 0.5)
   let faults = ref 0 in
   ignore
     (Schedule.apply schedule ~engine ~net:(Spanner.Cluster.net cluster)
-       ~tt:(Spanner.Cluster.truetime cluster)
+       ~tt:(Spanner.Cluster.truetime cluster) ~tracer
        ~on_fault:(fun _ -> incr faults)
        ());
   let retwis = Workload.Retwis.create ~rng:(Sim.Rng.split rng) ~n_keys ~theta in
@@ -431,19 +432,20 @@ type pending_write = {
   mutable pw_done : bool;
 }
 
-let gryff ?config ?client_sites ~mode ~schedule ?(n_slots = 10)
-    ?(write_ratio = 0.3) ?(conflict = 0.1) ?(n_keys = 2_000)
+let gryff ?config ?client_sites ?(tracer = Obs.Trace.disabled) ~mode ~schedule
+    ?(n_slots = 10) ?(write_ratio = 0.3) ?(conflict = 0.1) ?(n_keys = 2_000)
     ?(timeout_us = 2_000_000) ?(unsafe_no_deps = false) ?(failover = false)
     ~duration_s ~seed () =
   let engine = Sim.Engine.create () in
   let rng = Sim.Rng.make seed in
   let config = match config with Some c -> c | None -> Gryff.Config.wan5 ~mode () in
   let cluster = Gryff.Cluster.create engine ~rng config in
+  if Obs.Trace.enabled tracer then Gryff.Cluster.set_tracer cluster tracer;
   if failover then
     Gryff.Cluster.enable_retrans cluster ~rng:(Sim.Rng.make (0xfa11 + seed)) ();
   let faults = ref 0 in
   ignore
-    (Schedule.apply schedule ~engine ~net:(Gryff.Cluster.net cluster)
+    (Schedule.apply schedule ~engine ~net:(Gryff.Cluster.net cluster) ~tracer
        ~on_fault:(fun _ -> incr faults)
        ());
   let ycsb =
@@ -536,66 +538,60 @@ let gryff ?config ?client_sites ~mode ~schedule ?(n_slots = 10)
 (* Dispatch and reporting                                              *)
 (* ------------------------------------------------------------------ *)
 
-let run protocol ~schedule ?n_slots ?n_keys ?timeout_us ?failover ~duration_s
-    ~seed () =
+let run protocol ?tracer ~schedule ?n_slots ?n_keys ?timeout_us ?failover
+    ~duration_s ~seed () =
   match protocol with
   | Spanner_strict ->
-    spanner ~mode:Spanner.Config.Strict ~schedule ?n_slots ?n_keys ?timeout_us
-      ?failover ~duration_s ~seed ()
+    spanner ?tracer ~mode:Spanner.Config.Strict ~schedule ?n_slots ?n_keys
+      ?timeout_us ?failover ~duration_s ~seed ()
   | Spanner_rss ->
-    spanner ~mode:Spanner.Config.Rss ~schedule ?n_slots ?n_keys ?timeout_us
-      ?failover ~duration_s ~seed ()
+    spanner ?tracer ~mode:Spanner.Config.Rss ~schedule ?n_slots ?n_keys
+      ?timeout_us ?failover ~duration_s ~seed ()
   | Gryff_lin ->
-    gryff ~mode:Gryff.Config.Lin ~schedule ?n_slots ?n_keys ?timeout_us
+    gryff ?tracer ~mode:Gryff.Config.Lin ~schedule ?n_slots ?n_keys ?timeout_us
       ?failover ~duration_s ~seed ()
   | Gryff_rsc ->
-    gryff ~mode:Gryff.Config.Rsc ~schedule ?n_slots ?n_keys ?timeout_us
+    gryff ?tracer ~mode:Gryff.Config.Rsc ~schedule ?n_slots ?n_keys ?timeout_us
       ?failover ~duration_s ~seed ()
 
 let liveness_ok ?(min_post_quiet = 1) (r : run) =
   r.post_quiet_completed >= min_post_quiet
 
+(* The audit report rides the one metrics-table renderer: the run record's
+   counters become a registry snapshot, the latency recorder a histogram. *)
+let metrics_of_run r =
+  {
+    Obs.Metrics.counters =
+      List.sort compare
+        [
+          ("op.completed", r.ops_completed);
+          ("op.timed_out", r.ops_timed_out);
+          ("op.post_heal_completed", r.post_quiet_completed);
+          ("op.post_heal_timed_out", r.post_quiet_timed_out);
+          ("op.aborted_attempts", r.aborted_attempts);
+          ("op.unacked_commits_swept", r.unacked_commits);
+          ("op.history_records", r.history_len);
+          ("fault.injected", r.faults_injected);
+          ("net.messages", r.msgs_sent);
+          ("fault.dropped_crash", r.dropped_crash);
+          ("fault.dropped_partition", r.dropped_partition);
+          ("fault.dropped_loss", r.dropped_loss);
+          ("fault.duplicated", r.duplicated);
+          ("fault.delayed", r.delayed);
+          ("failover.view_changes", r.view_changes);
+          ("failover.rpc_retries", r.rpc_retries);
+          ("failover.in_doubt_resolved", r.in_doubt_resolved);
+          ("failover.max_election_us", r.max_election_us);
+        ];
+    gauges = [];
+    histograms =
+      (if Stats.Recorder.is_empty r.latency then [] else [ ("ops", r.latency) ]);
+  }
+
 let print_report r =
   Fmt.pr "chaos audit: %s — model: %s@." (protocol_name r.protocol)
     (model_name r.protocol);
-  Stats.Summary.print_count_table ~header:"operations"
-    ~rows:
-      [
-        ("completed", r.ops_completed);
-        ("timed out", r.ops_timed_out);
-        ("post-heal completed", r.post_quiet_completed);
-        ("post-heal timed out", r.post_quiet_timed_out);
-        ("aborted attempts", r.aborted_attempts);
-        ("unacked commits swept", r.unacked_commits);
-        ("history records", r.history_len);
-      ];
-  Stats.Summary.print_count_table ~header:"faults"
-    ~rows:
-      [
-        ("events injected", r.faults_injected);
-        ("messages sent", r.msgs_sent);
-        ("dropped (crash)", r.dropped_crash);
-        ("dropped (partition)", r.dropped_partition);
-        ("dropped (loss)", r.dropped_loss);
-        ("duplicated", r.duplicated);
-        ("delayed", r.delayed);
-      ];
-  if
-    r.view_changes > 0 || r.rpc_retries > 0 || r.in_doubt_resolved > 0
-    || r.max_election_us > 0
-  then
-    Stats.Summary.print_count_table ~header:"failover"
-      ~rows:
-        [
-          ("view changes", r.view_changes);
-          ("rpc retries", r.rpc_retries);
-          ("in-doubt resolved", r.in_doubt_resolved);
-          ("max election (us)", r.max_election_us);
-        ];
-  if not (Stats.Recorder.is_empty r.latency) then
-    Stats.Summary.print_latency_table ~header:"op latency (ms)"
-      ~rows:[ ("ops", r.latency) ]
-      ~points:[ 50.0; 90.0; 99.0; 99.9 ] ();
+  Obs.Metrics.print_table ~header:"chaos audit" (metrics_of_run r);
   (match r.check with
   | Ok () -> Fmt.pr "history: verified (%s)@." (model_name r.protocol)
   | Error m -> Fmt.pr "history: VIOLATION — %s@." m);

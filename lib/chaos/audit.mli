@@ -79,7 +79,8 @@ val sweep_gryff_write :
     never arrived, as an incomplete operation. *)
 
 val spanner :
-  ?config:Spanner.Config.t -> mode:Spanner.Config.mode -> schedule:Schedule.t ->
+  ?config:Spanner.Config.t -> ?tracer:Obs.Trace.t ->
+  mode:Spanner.Config.mode -> schedule:Schedule.t ->
   ?n_slots:int -> ?theta:float -> ?n_keys:int -> ?timeout_us:int ->
   ?failover:bool -> duration_s:float -> seed:int -> unit -> run
 (** Retwis over Spanner. [n_slots] concurrent session slots; a slot whose
@@ -90,7 +91,7 @@ val spanner :
     leader-killing schedules. *)
 
 val gryff :
-  ?config:Gryff.Config.t -> ?client_sites:int array ->
+  ?config:Gryff.Config.t -> ?client_sites:int array -> ?tracer:Obs.Trace.t ->
   mode:Gryff.Config.mode -> schedule:Schedule.t -> ?n_slots:int ->
   ?write_ratio:float -> ?conflict:float -> ?n_keys:int -> ?timeout_us:int ->
   ?unsafe_no_deps:bool -> ?failover:bool -> duration_s:float -> seed:int ->
@@ -101,10 +102,12 @@ val gryff :
     [failover] arms {!Gryff.Cluster.enable_retrans}. *)
 
 val run :
-  protocol -> schedule:Schedule.t -> ?n_slots:int -> ?n_keys:int ->
-  ?timeout_us:int -> ?failover:bool -> duration_s:float -> seed:int -> unit ->
-  run
-(** Dispatch on {!protocol} with that protocol's default deployment. *)
+  protocol -> ?tracer:Obs.Trace.t -> schedule:Schedule.t -> ?n_slots:int ->
+  ?n_keys:int -> ?timeout_us:int -> ?failover:bool -> duration_s:float ->
+  seed:int -> unit -> run
+(** Dispatch on {!protocol} with that protocol's default deployment.
+    [tracer] (default disabled) records spans cluster-wide plus a
+    [Fault]-kind instant per injected event. *)
 
 val liveness_ok : ?min_post_quiet:int -> run -> bool
 (** True when at least [min_post_quiet] (default 1) operations invoked after

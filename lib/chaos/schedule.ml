@@ -93,12 +93,17 @@ let inject ~net ?tt ~epsilon0 fault =
   | Epsilon_reset -> (
     match tt with None -> () | Some tt -> Sim.Truetime.set_epsilon tt epsilon0)
 
-let apply t ~engine ~net ?tt ?(on_fault = fun _ -> ()) () =
+let apply t ~engine ~net ?tt ?(tracer = Obs.Trace.disabled) ?(on_fault = fun _ -> ())
+    () =
   let epsilon0 = match tt with None -> 0 | Some tt -> Sim.Truetime.epsilon tt in
   List.iter
     (fun e ->
-      Sim.Engine.schedule_at engine ~at:e.at_us (fun () ->
+      Sim.Engine.schedule_at ~kind:"chaos.fault" engine ~at:e.at_us (fun () ->
           inject ~net ?tt ~epsilon0 e.fault;
+          if Obs.Trace.enabled tracer then
+            Obs.Trace.instant ~parent:Obs.Trace.none tracer ~kind:Obs.Trace.Fault
+              ~name:(Fmt.str "%a" pp_fault e.fault)
+              ~ts:(Sim.Engine.now engine);
           on_fault e))
     (sort t);
   List.length t

@@ -51,11 +51,12 @@ val end_of_faults : t -> int
 
 val apply :
   t -> engine:Sim.Engine.t -> net:Sim.Net.t -> ?tt:Sim.Truetime.t ->
-  ?on_fault:(event -> unit) -> unit -> int
+  ?tracer:Obs.Trace.t -> ?on_fault:(event -> unit) -> unit -> int
 (** Schedule every event on the engine (events in the past fire immediately
     when the engine next runs). Returns the number of events armed.
-    [on_fault] fires as each event is injected — audit drivers use it to
-    count faults and log. *)
+    [tracer] records each injection as a [Fault]-kind instant (default
+    disabled); [on_fault] fires as each event is injected — audit drivers
+    use it to count faults and log. *)
 
 val pp_fault : Format.formatter -> fault -> unit
 val pp_event : Format.formatter -> event -> unit

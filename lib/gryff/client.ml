@@ -27,69 +27,91 @@ let add_dep t (d : Protocol.dep) =
 
 let now t = Sim.Engine.now (Cluster.engine t.cluster)
 
+let op_span t ~name ~ts =
+  let tr = Cluster.tracer t.cluster in
+  if Obs.Trace.enabled tr then
+    Obs.Trace.begin_span ~parent:Obs.Trace.none ~site:t.site tr
+      ~kind:Obs.Trace.Client_op ~name ~ts
+  else Obs.Trace.none
+
 let read t ~key k =
   let inv = now t in
   let deps = t.deps in
   (* The read phase propagates the pending dependencies to a quorum. *)
   t.deps <- [];
-  Protocol.read (Cluster.ctx t.cluster) ~client_site:t.site ~cid:t.proc ~deps ~key
-    (fun res ->
-      (* The deliberately broken control: dropping the dependency disables
-         RSC's deferred write-back, exactly the fence the model needs. *)
-      (match res.Protocol.r_dep with
-      | None -> ()
-      | Some d -> if not t.unsafe_no_deps then add_dep t d);
-      Cluster.record t.cluster
-        {
-          Cluster.g_proc = t.proc;
-          g_kind = Cluster.Read;
-          g_key = key;
-          g_observed = res.Protocol.r_value;
-          g_written = None;
-          g_cs = res.Protocol.r_cs;
-          g_inv = inv;
-          g_resp = now t;
-        };
-      k res)
+  let tr = Cluster.tracer t.cluster in
+  let sp = op_span t ~name:"gryff.read" ~ts:inv in
+  Obs.Trace.with_current tr sp (fun () ->
+      Protocol.read (Cluster.ctx t.cluster) ~client_site:t.site ~cid:t.proc ~deps
+        ~key (fun res ->
+          let resp = now t in
+          Obs.Trace.end_span tr sp ~ts:resp;
+          (* The deliberately broken control: dropping the dependency disables
+             RSC's deferred write-back, exactly the fence the model needs. *)
+          (match res.Protocol.r_dep with
+          | None -> ()
+          | Some d -> if not t.unsafe_no_deps then add_dep t d);
+          Cluster.record t.cluster
+            {
+              Cluster.g_proc = t.proc;
+              g_kind = Cluster.Read;
+              g_key = key;
+              g_observed = res.Protocol.r_value;
+              g_written = None;
+              g_cs = res.Protocol.r_cs;
+              g_inv = inv;
+              g_resp = resp;
+            };
+          k res))
 
 let write ?on_apply t ~key ~value k =
   let inv = now t in
   let deps = t.deps in
   (* The first phase propagates the dependencies to a quorum. *)
   t.deps <- [];
-  Protocol.write ?on_apply (Cluster.ctx t.cluster) ~client_site:t.site
-    ~cid:t.proc ~deps ~key ~value (fun res ->
-      Cluster.record t.cluster
-        {
-          Cluster.g_proc = t.proc;
-          g_kind = Cluster.Write;
-          g_key = key;
-          g_observed = None;
-          g_written = Some value;
-          g_cs = res.Protocol.w_cs;
-          g_inv = inv;
-          g_resp = now t;
-        };
-      k res)
+  let tr = Cluster.tracer t.cluster in
+  let sp = op_span t ~name:"gryff.write" ~ts:inv in
+  Obs.Trace.with_current tr sp (fun () ->
+      Protocol.write ?on_apply (Cluster.ctx t.cluster) ~client_site:t.site
+        ~cid:t.proc ~deps ~key ~value (fun res ->
+          let resp = now t in
+          Obs.Trace.end_span tr sp ~ts:resp;
+          Cluster.record t.cluster
+            {
+              Cluster.g_proc = t.proc;
+              g_kind = Cluster.Write;
+              g_key = key;
+              g_observed = None;
+              g_written = Some value;
+              g_cs = res.Protocol.w_cs;
+              g_inv = inv;
+              g_resp = resp;
+            };
+          k res))
 
 let rmw t ~key ~f k =
   let inv = now t in
   let deps = t.deps in
   t.deps <- [];
-  Protocol.rmw (Cluster.ctx t.cluster) ~client_site:t.site ~cid:t.proc ~deps ~key ~f
-    (fun res ->
-      Cluster.record t.cluster
-        {
-          Cluster.g_proc = t.proc;
-          g_kind = Cluster.Rmw;
-          g_key = key;
-          g_observed = res.Protocol.m_observed;
-          g_written = Some res.Protocol.m_value;
-          g_cs = res.Protocol.m_cs;
-          g_inv = inv;
-          g_resp = now t;
-        };
-      k res)
+  let tr = Cluster.tracer t.cluster in
+  let sp = op_span t ~name:"gryff.rmw" ~ts:inv in
+  Obs.Trace.with_current tr sp (fun () ->
+      Protocol.rmw (Cluster.ctx t.cluster) ~client_site:t.site ~cid:t.proc ~deps
+        ~key ~f (fun res ->
+          let resp = now t in
+          Obs.Trace.end_span tr sp ~ts:resp;
+          Cluster.record t.cluster
+            {
+              Cluster.g_proc = t.proc;
+              g_kind = Cluster.Rmw;
+              g_key = key;
+              g_observed = res.Protocol.m_observed;
+              g_written = Some res.Protocol.m_value;
+              g_cs = res.Protocol.m_cs;
+              g_inv = inv;
+              g_resp = resp;
+            };
+          k res))
 
 let fence t k =
   let deps = t.deps in

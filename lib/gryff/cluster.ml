@@ -128,6 +128,10 @@ let stats t =
     messages = Sim.Net.messages_sent t.net;
   }
 
+let set_tracer t tracer = Protocol.set_tracer t.pctx tracer
+
+let tracer t = t.pctx.Protocol.tracer
+
 let enable_retrans t ~rng ?timeout_us () =
   Protocol.enable_retrans t.pctx ~rng ?timeout_us ()
 

@@ -42,6 +42,16 @@ val check_history_of : t -> record list -> (unit, string) result
     audits use this to verify deliberately corrupted ("control") histories
     are caught, proving the checker has teeth. *)
 
+(** {2 Tracing} *)
+
+val set_tracer : t -> Obs.Trace.t -> unit
+(** Install a span sink cluster-wide (see {!Protocol.set_tracer}); [Client]
+    operations add their own root spans. Tracing is passive — it never
+    draws randomness or schedules events — so a traced run follows the same
+    seeded schedule as an untraced one. *)
+
+val tracer : t -> Obs.Trace.t
+
 (** {2 Run statistics} *)
 
 type stats = {

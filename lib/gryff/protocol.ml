@@ -22,6 +22,7 @@ type ctx = {
   mutable retrans : Sim.Rpc.t option;
       (* per-request retransmission for the idempotent phases; [None] keeps
          the exact failure-free wire behavior *)
+  mutable tracer : Obs.Trace.t;
 }
 
 let make_ctx engine net config =
@@ -43,6 +44,7 @@ let make_ctx engine net config =
       n_rmws = 0;
       n_rmw_slow = 0;
       retrans = None;
+      tracer = Obs.Trace.disabled;
     }
   in
   (* An rmw completes only once its result is applied at a quorum: the
@@ -83,7 +85,14 @@ let make_ctx engine net config =
 let to_replica ctx ~src ?(bytes = 64) replica_id handler =
   let r = ctx.replicas.(replica_id) in
   Sim.Net.send ~bytes ctx.net ~src ~dst:replica_id (fun () ->
-      Sim.Station.submit r.Replica.station (fun () -> handler r))
+      let tr = ctx.tracer in
+      if Obs.Trace.enabled tr then begin
+        (* Carry the ambient span across the station's job queue. *)
+        let sp = Obs.Trace.current tr in
+        Sim.Station.submit r.Replica.station (fun () ->
+            Obs.Trace.with_current tr sp (fun () -> handler r))
+      end
+      else Sim.Station.submit r.Replica.station (fun () -> handler r))
 
 let to_client ctx ~src ?(bytes = 64) ~dst handler =
   Sim.Net.send ~bytes ctx.net ~src ~dst handler
@@ -105,13 +114,21 @@ let exchange ctx ~src ?bytes replica_id ~(request : Replica.t -> 'a)
   match ctx.retrans with
   | None -> attempt reply
   | Some rpc ->
-    Sim.Rpc.call rpc
+    Sim.Rpc.call ~name:"rpc.exchange" rpc
       ~attempt:(fun ~attempt:_ ~ok -> attempt ok)
       ~on_result:(function Some resp -> reply resp | None -> ())
 
 let enable_retrans ctx ~rng ?(timeout_us = 300_000) () =
-  ctx.retrans <-
-    Some (Sim.Rpc.create ctx.engine ~rng ~timeout_us ~max_attempts:8 ())
+  let rpc = Sim.Rpc.create ctx.engine ~rng ~timeout_us ~max_attempts:8 () in
+  Sim.Rpc.set_tracer rpc ctx.tracer;
+  ctx.retrans <- Some rpc
+
+let set_tracer ctx tracer =
+  ctx.tracer <- tracer;
+  Sim.Net.set_tracer ctx.net tracer;
+  match ctx.retrans with
+  | Some rpc -> Sim.Rpc.set_tracer rpc tracer
+  | None -> ()
 
 let apply_deps (r : Replica.t) deps =
   List.iter
@@ -177,13 +194,26 @@ let read ctx ~client_site ~cid:_ ~deps ~key k =
       | Config.Lin, Some v ->
         (* Linearizability requires the write-back phase before returning. *)
         ctx.n_read_second_round <- ctx.n_read_second_round + 1;
-        propagate ctx ~client_site ~key ~value:(Some v) ~cs:best_cs (fun () ->
-            k { r_value = best_v; r_cs = best_cs; r_rounds = 2; r_dep = None })
+        let tr = ctx.tracer in
+        let sp =
+          if Obs.Trace.enabled tr then
+            Obs.Trace.begin_span ~site:client_site tr ~kind:Obs.Trace.Phase
+              ~name:"gryff.read.round2" ~ts:(Sim.Engine.now ctx.engine)
+          else Obs.Trace.none
+        in
+        Obs.Trace.with_current tr sp (fun () ->
+            propagate ctx ~client_site ~key ~value:(Some v) ~cs:best_cs (fun () ->
+                Obs.Trace.end_span tr sp ~ts:(Sim.Engine.now ctx.engine);
+                k { r_value = best_v; r_cs = best_cs; r_rounds = 2; r_dep = None }))
       | Config.Lin, None ->
         k { r_value = None; r_cs = best_cs; r_rounds = 1; r_dep = None }
       | Config.Rsc, Some v ->
         (* RSC: defer the write-back by piggybacking on the next op. *)
         ctx.n_deps_created <- ctx.n_deps_created + 1;
+        let tr = ctx.tracer in
+        if Obs.Trace.enabled tr then
+          Obs.Trace.instant ~site:client_site tr ~kind:Obs.Trace.Phase
+            ~name:"gryff.read.defer" ~ts:(Sim.Engine.now ctx.engine);
         k
           {
             r_value = best_v;
@@ -263,7 +293,13 @@ let rmw ctx ~client_site ~cid:_ ~deps ~key ~f k =
       let inst_id = inst.Replica.inst_id in
       let orig = (inst.Replica.i_seq, inst.Replica.i_deps, inst.Replica.i_base) in
       let commit ~slow (seq, deps, base) =
-        if slow then ctx.n_rmw_slow <- ctx.n_rmw_slow + 1;
+        if slow then begin
+          ctx.n_rmw_slow <- ctx.n_rmw_slow + 1;
+          let tr = ctx.tracer in
+          if Obs.Trace.enabled tr then
+            Obs.Trace.instant ~site:coord_id tr ~kind:Obs.Trace.Phase
+              ~name:"gryff.rmw.slow" ~ts:(Sim.Engine.now ctx.engine)
+        end;
         let reply (i : Replica.instance) =
           match i.Replica.i_result with
           | Some (v, cs) ->

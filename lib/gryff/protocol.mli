@@ -34,9 +34,17 @@ type ctx = {
   mutable n_rmw_slow : int;  (** rmws that needed the accept round *)
   mutable retrans : Sim.Rpc.t option;
       (** per-request retransmission for the idempotent phases *)
+  mutable tracer : Obs.Trace.t;  (** span sink; [Obs.Trace.disabled] = off *)
 }
 
 val make_ctx : Sim.Engine.t -> Sim.Net.t -> Config.t -> ctx
+
+val set_tracer : ctx -> Obs.Trace.t -> unit
+(** Install a span sink on the protocol, the network underneath it, and the
+    retransmission helper (if armed). Phases recorded: a baseline read's
+    write-back round, RSC's deferred-dependency creation, rmw slow paths,
+    plus per-message network hops and RPC retries. Passive: it never draws
+    randomness or schedules events. *)
 
 val enable_retrans : ctx -> rng:Sim.Rng.t -> ?timeout_us:int -> unit -> unit
 (** Arm retransmission (default 300 ms deadline, 8 attempts, capped backoff)

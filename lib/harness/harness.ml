@@ -1,95 +1,125 @@
-(* Shared experiment drivers for the benchmark suite: each returns latency
-   recorders and run statistics, and verifies the run's history against its
-   consistency model (a bench that produced an inconsistent run would be
-   measuring a broken system). *)
+(* Shared experiment drivers for the benchmark suite: each returns one
+   {!Run.t} — latency recorders, a metrics-registry snapshot, the run's
+   history, and the history-verification verdict (a bench that produced an
+   inconsistent run would be measuring a broken system). *)
 
-(* Fault accounting for chaos-enabled runs (all zero without a schedule). *)
-type fault_stats = {
-  faults_injected : int;
-  dropped_crash : int;
-  dropped_partition : int;
-  dropped_loss : int;
-  duplicated : int;
-  delayed : int;
-}
+module Run = struct
+  type history =
+    | Spanner_txns of Rss_core.Witness.txn array
+    | Gryff_ops of Gryff.Cluster.record array
 
-let no_faults =
-  {
-    faults_injected = 0;
-    dropped_crash = 0;
-    dropped_partition = 0;
-    dropped_loss = 0;
-    duplicated = 0;
-    delayed = 0;
+  type t = {
+    latencies : (string * Stats.Recorder.t) list;
+    metrics : Obs.Metrics.snapshot;
+    check : (unit, string) result;
+    records : history;
+    duration_us : int;
   }
 
-let fault_stats_of_net ~faults net =
-  {
-    faults_injected = faults;
-    dropped_crash = Sim.Net.dropped_crash net;
-    dropped_partition = Sim.Net.dropped_partition net;
-    dropped_loss = Sim.Net.dropped_loss net;
-    duplicated = Sim.Net.messages_duplicated net;
-    delayed = Sim.Net.messages_delayed net;
-  }
+  let empty_recorder = Stats.Recorder.create ()
 
-let print_fault_table fs =
-  Stats.Summary.print_count_table ~header:"faults"
-    ~rows:
-      [
-        ("events injected", fs.faults_injected);
-        ("dropped (crash)", fs.dropped_crash);
-        ("dropped (partition)", fs.dropped_partition);
-        ("dropped (loss)", fs.dropped_loss);
-        ("duplicated", fs.duplicated);
-        ("delayed", fs.delayed);
-      ]
+  let latency t name =
+    match List.assoc_opt name t.latencies with
+    | Some r -> r
+    | None -> empty_recorder
 
-(* Failover accounting for runs with [?failover:true] (all zero otherwise). *)
-type failover_stats = {
-  view_changes : int;
-  rpc_retries : int;
-  in_doubt_resolved : int;
-  max_election_us : int;
-}
+  let counter t name = Obs.Metrics.counter_value t.metrics name
 
-let no_failover =
-  { view_changes = 0; rpc_retries = 0; in_doubt_resolved = 0; max_election_us = 0 }
+  let gauge t name = Obs.Metrics.gauge_value t.metrics name
 
-let print_failover_table fs =
-  Stats.Summary.print_count_table ~header:"failover"
-    ~rows:
-      [
-        ("view changes", fs.view_changes);
-        ("rpc retries", fs.rpc_retries);
-        ("in-doubt resolved", fs.in_doubt_resolved);
-        ("max election (us)", fs.max_election_us);
-      ]
+  let completed t =
+    List.fold_left (fun acc (_, r) -> acc + Stats.Recorder.count r) 0 t.latencies
+
+  let n_records t =
+    match t.records with
+    | Spanner_txns a -> Array.length a
+    | Gryff_ops a -> Array.length a
+
+  let print_latencies ?(header = "latency (ms)") t =
+    Stats.Summary.print_latency_table ~header ~rows:t.latencies ()
+
+  let print_metrics ?header t = Obs.Metrics.print_table ?header t.metrics
+
+  let print_summary ?(header = "run") t =
+    print_latencies ~header:(header ^ " latency (ms)") t;
+    print_metrics ~header t;
+    match t.check with
+    | Ok () -> ()
+    | Error m -> Fmt.pr "  !! %s: consistency violation in run history: %s@." header m
+end
 
 (* Arm a chaos schedule on the run's engine; returns the injected-event
    counter to read after the run. *)
-let arm_chaos ?chaos ~engine ~net ?tt () =
+let arm_chaos ?chaos ?(tracer = Obs.Trace.disabled) ~engine ~net ?tt () =
   match chaos with
   | None -> ref 0
   | Some schedule ->
     let faults = ref 0 in
     ignore
-      (Chaos.Schedule.apply schedule ~engine ~net ?tt
+      (Chaos.Schedule.apply schedule ~engine ~net ?tt ~tracer
          ~on_fault:(fun _ -> incr faults)
          ());
     faults
 
-type spanner_run = {
-  sp_ro : Stats.Recorder.t;
-  sp_rw : Stats.Recorder.t;
-  sp_stats : Spanner.Cluster.stats;
-  sp_committed : int;
-  sp_duration_us : int;
-  sp_check : (unit, string) result;
-  sp_records : Rss_core.Witness.txn array;
-  sp_faults : fault_stats;
-  sp_failover : failover_stats;
-}
+(* Fold the network/fault accounting into a registry. All-zero counters are
+   harmless: snapshots keep them, the table renderer filters them. *)
+let net_metrics reg ~faults net =
+  let c name v = Obs.Metrics.add (Obs.Metrics.counter reg name) v in
+  c "net.messages" (Sim.Net.messages_sent net);
+  c "net.bytes" (Sim.Net.bytes_sent net);
+  c "fault.injected" faults;
+  c "fault.dropped_crash" (Sim.Net.dropped_crash net);
+  c "fault.dropped_partition" (Sim.Net.dropped_partition net);
+  c "fault.dropped_loss" (Sim.Net.dropped_loss net);
+  c "fault.duplicated" (Sim.Net.messages_duplicated net);
+  c "fault.delayed" (Sim.Net.messages_delayed net)
+
+let spanner_metrics ~faults ~failover cluster =
+  let reg = Obs.Metrics.create () in
+  let c name v = Obs.Metrics.add (Obs.Metrics.counter reg name) v in
+  let s = Spanner.Cluster.stats cluster in
+  c "rw.committed" s.Spanner.Cluster.rw_committed;
+  c "rw.aborted_attempts" s.Spanner.Cluster.rw_aborted_attempts;
+  c "rw.wounds" s.Spanner.Cluster.wounds;
+  c "ro.count" s.Spanner.Cluster.ro_count;
+  c "ro.slow" s.Spanner.Cluster.ro_slow;
+  c "ro.blocked_at_shards" s.Spanner.Cluster.ro_blocked_at_shards;
+  net_metrics reg ~faults (Spanner.Cluster.net cluster);
+  if failover then begin
+    let fs = Spanner.Cluster.failover_stats cluster in
+    c "failover.view_changes" fs.Spanner.Cluster.view_changes;
+    c "failover.heartbeats" fs.Spanner.Cluster.heartbeats;
+    c "failover.catchups" fs.Spanner.Cluster.catchups;
+    c "failover.dup_acks" fs.Spanner.Cluster.dup_acks;
+    c "failover.max_election_us" fs.Spanner.Cluster.max_election_us;
+    c "failover.terminates" fs.Spanner.Cluster.terminates;
+    c "failover.terminate_commits" fs.Spanner.Cluster.terminate_commits;
+    c "failover.in_doubt_resolved" fs.Spanner.Cluster.in_doubt_resolved;
+    c "failover.rpc_retries" fs.Spanner.Cluster.rpc_retries;
+    c "failover.rpc_exhausted" fs.Spanner.Cluster.rpc_exhausted;
+    c "failover.durable_appends" fs.Spanner.Cluster.durable_appends;
+    c "failover.durable_bytes" fs.Spanner.Cluster.durable_bytes
+  end;
+  reg
+
+let gryff_metrics ~faults ~failover cluster =
+  let reg = Obs.Metrics.create () in
+  let c name v = Obs.Metrics.add (Obs.Metrics.counter reg name) v in
+  let s = Gryff.Cluster.stats cluster in
+  c "read.count" s.Gryff.Cluster.reads;
+  c "read.second_round" s.Gryff.Cluster.read_second_round;
+  c "read.deps_created" s.Gryff.Cluster.deps_created;
+  c "write.count" s.Gryff.Cluster.writes;
+  c "rmw.count" s.Gryff.Cluster.rmws;
+  c "rmw.slow" s.Gryff.Cluster.rmw_slow;
+  net_metrics reg ~faults (Gryff.Cluster.net cluster);
+  if failover then begin
+    let rs = Gryff.Cluster.retrans_stats cluster in
+    c "failover.rpc_calls" rs.Gryff.Cluster.rpc_calls;
+    c "failover.rpc_retries" rs.Gryff.Cluster.rpc_retries;
+    c "failover.rpc_exhausted" rs.Gryff.Cluster.rpc_exhausted
+  end;
+  reg
 
 (* Chaos runs must sweep committed-but-unacknowledged attempts into the
    history before checking it (see Chaos.Audit); both trackers below record
@@ -105,14 +135,16 @@ type pending_rw = {
 (* The paper's §6.1 wide-area Retwis experiment: partly-open clients
    (sessions at [arrival_rate_per_sec], stay probability 0.9, zero think
    time, a fresh t_min per session), Zipfian keys. *)
-let spanner_wan ?(config = None) ?chaos ?(failover = false) ~mode ~theta
-    ~n_keys ~arrival_rate_per_sec ~duration_s ~seed () =
+let spanner_wan ?(config = None) ?chaos ?(failover = false)
+    ?(trace = Obs.Trace.disabled) ~mode ~theta ~n_keys ~arrival_rate_per_sec
+    ~duration_s ~seed () =
   let engine = Sim.Engine.create () in
   let rng = Sim.Rng.make seed in
   let config =
     match config with Some c -> c | None -> Spanner.Config.wan3 ~mode ()
   in
   let cluster = Spanner.Cluster.create engine ~rng config in
+  if Obs.Trace.enabled trace then Spanner.Cluster.set_tracer cluster trace;
   if failover then
     Spanner.Cluster.enable_failover cluster
       ~rng:(Sim.Rng.make (0xfa11 + seed))
@@ -123,7 +155,7 @@ let spanner_wan ?(config = None) ?chaos ?(failover = false) ~mode ~theta
      congestion collapse. *)
   let deadline_us = if failover then Some 10_000_000 else None in
   let faults =
-    arm_chaos ?chaos ~engine ~net:(Spanner.Cluster.net cluster)
+    arm_chaos ?chaos ~tracer:trace ~engine ~net:(Spanner.Cluster.net cluster)
       ~tt:(Spanner.Cluster.truetime cluster) ()
   in
   let pending : pending_rw list ref = ref [] in
@@ -195,41 +227,28 @@ let spanner_wan ?(config = None) ?chaos ?(failover = false) ~mode ~theta
           (Chaos.Audit.sweep_spanner_txn cluster ~proc:info.pr_proc
              ~inv:info.pr_inv ~writes:info.pr_writes ~txn:info.pr_last_txn))
     (List.rev !pending);
-  let stats = Spanner.Cluster.stats cluster in
+  let reg = spanner_metrics ~faults:!faults ~failover cluster in
   {
-    sp_ro = ro;
-    sp_rw = rw;
-    sp_stats = stats;
-    sp_committed = stats.Spanner.Cluster.rw_committed + stats.Spanner.Cluster.ro_count;
-    sp_duration_us = Sim.Engine.now engine;
-    sp_check = Spanner.Cluster.check_history cluster;
-    sp_records = Spanner.Cluster.records cluster;
-    sp_faults = fault_stats_of_net ~faults:!faults (Spanner.Cluster.net cluster);
-    sp_failover =
-      (if failover then
-         let fs = Spanner.Cluster.failover_stats cluster in
-         {
-           view_changes = fs.Spanner.Cluster.view_changes;
-           rpc_retries = fs.Spanner.Cluster.rpc_retries;
-           in_doubt_resolved = fs.Spanner.Cluster.in_doubt_resolved;
-           max_election_us = fs.Spanner.Cluster.max_election_us;
-         }
-       else no_failover);
+    Run.latencies = [ ("ro", ro); ("rw", rw) ];
+    metrics = Obs.Metrics.snapshot reg;
+    check = Spanner.Cluster.check_history cluster;
+    records = Run.Spanner_txns (Spanner.Cluster.records cluster);
+    duration_us = Sim.Engine.now engine;
   }
 
 (* The §6.2 single-data-center saturation experiment: closed-loop clients,
    uniform keys, ε = 0, per-message CPU cost at shard leaders. *)
-let spanner_dc ?chaos ~mode ~n_shards ~service_time_us ~n_clients ~n_keys
-    ~duration_s ~seed () =
+let spanner_dc ?chaos ?(trace = Obs.Trace.disabled) ~mode ~n_shards
+    ~service_time_us ~n_clients ~n_keys ~duration_s ~seed () =
   let engine = Sim.Engine.create () in
   let rng = Sim.Rng.make seed in
   let config = Spanner.Config.single_dc ~mode ~n_shards ~service_time_us () in
   let cluster = Spanner.Cluster.create engine ~rng config in
+  if Obs.Trace.enabled trace then Spanner.Cluster.set_tracer cluster trace;
   let faults =
-    arm_chaos ?chaos ~engine ~net:(Spanner.Cluster.net cluster)
+    arm_chaos ?chaos ~tracer:trace ~engine ~net:(Spanner.Cluster.net cluster)
       ~tt:(Spanner.Cluster.truetime cluster) ()
   in
-  ignore faults;
   let pending : pending_rw list ref = ref [] in
   let retwis = Workload.Retwis.create ~rng:(Sim.Rng.split rng) ~n_keys ~theta:0.0 in
   let lat = Stats.Recorder.create () in
@@ -282,25 +301,28 @@ let spanner_dc ?chaos ~mode ~n_shards ~service_time_us ~n_clients ~n_keys
              ~inv:info.pr_inv ~writes:info.pr_writes ~txn:info.pr_last_txn))
     (List.rev !pending);
   let measured_us = until - warmup in
-  let throughput = Stats.Summary.throughput ~count:!completed ~duration_us:measured_us in
-  let median = if Stats.Recorder.is_empty lat then 0.0 else Stats.Recorder.percentile_ms lat 50.0 in
+  let reg = spanner_metrics ~faults:!faults ~failover:false cluster in
   let stats = Spanner.Cluster.stats cluster in
-  let total_txns = stats.Spanner.Cluster.rw_committed + stats.Spanner.Cluster.ro_count in
-  let msgs_per_txn =
-    if total_txns = 0 then 0.0
-    else float_of_int stats.Spanner.Cluster.messages /. float_of_int total_txns
+  let total_txns =
+    stats.Spanner.Cluster.rw_committed + stats.Spanner.Cluster.ro_count
   in
-  (throughput, median, msgs_per_txn, Spanner.Cluster.check_history cluster)
-
-type gryff_run = {
-  gr_read : Stats.Recorder.t;
-  gr_write : Stats.Recorder.t;
-  gr_stats : Gryff.Cluster.stats;
-  gr_duration_us : int;
-  gr_check : (unit, string) result;
-  gr_faults : fault_stats;
-  gr_failover : failover_stats;
-}
+  Obs.Metrics.set_gauge reg "throughput_tps"
+    (Stats.Summary.throughput ~count:!completed ~duration_us:measured_us);
+  Obs.Metrics.set_gauge reg "p50_ms"
+    (match Stats.Recorder.percentile_ms_opt lat 50.0 with
+    | Some m -> m
+    | None -> Float.nan);
+  Obs.Metrics.set_gauge reg "msgs_per_txn"
+    (if total_txns = 0 then 0.0
+     else
+       float_of_int stats.Spanner.Cluster.messages /. float_of_int total_txns);
+  {
+    Run.latencies = [ ("txn", lat) ];
+    metrics = Obs.Metrics.snapshot reg;
+    check = Spanner.Cluster.check_history cluster;
+    records = Run.Spanner_txns (Spanner.Cluster.records cluster);
+    duration_us = Sim.Engine.now engine;
+  }
 
 type pending_write = {
   pw_proc : int;
@@ -323,15 +345,19 @@ let sweep_gryff cluster pending =
 
 (* The §7.2 YCSB experiment: 16 closed-loop clients spread over five
    regions, tunable conflict percentage and write ratio. *)
-let gryff_wan ?(n_clients = 16) ?chaos ?(failover = false) ~mode ~conflict
-    ~write_ratio ~n_keys ~duration_s ~seed () =
+let gryff_wan ?(n_clients = 16) ?chaos ?(failover = false)
+    ?(trace = Obs.Trace.disabled) ~mode ~conflict ~write_ratio ~n_keys
+    ~duration_s ~seed () =
   let engine = Sim.Engine.create () in
   let rng = Sim.Rng.make seed in
   let config = Gryff.Config.wan5 ~mode () in
   let cluster = Gryff.Cluster.create engine ~rng config in
+  if Obs.Trace.enabled trace then Gryff.Cluster.set_tracer cluster trace;
   if failover then
     Gryff.Cluster.enable_retrans cluster ~rng:(Sim.Rng.make (0xfa11 + seed)) ();
-  let faults = arm_chaos ?chaos ~engine ~net:(Gryff.Cluster.net cluster) () in
+  let faults =
+    arm_chaos ?chaos ~tracer:trace ~engine ~net:(Gryff.Cluster.net cluster) ()
+  in
   let pending : pending_write list ref = ref [] in
   let ycsb = Workload.Ycsb.create ~rng:(Sim.Rng.split rng) ~n_keys ~write_ratio ~conflict in
   let read_lat = Stats.Recorder.create () and write_lat = Stats.Recorder.create () in
@@ -372,32 +398,26 @@ let gryff_wan ?(n_clients = 16) ?chaos ?(failover = false) ~mode ~conflict
     ~until ();
   Sim.Engine.run ~max_events:600_000_000 engine;
   sweep_gryff cluster !pending;
+  let reg = gryff_metrics ~faults:!faults ~failover cluster in
   {
-    gr_read = read_lat;
-    gr_write = write_lat;
-    gr_stats = Gryff.Cluster.stats cluster;
-    gr_duration_us = Sim.Engine.now engine;
-    gr_check = Gryff.Cluster.check_history cluster;
-    gr_faults = fault_stats_of_net ~faults:!faults (Gryff.Cluster.net cluster);
-    gr_failover =
-      (if failover then
-         let rs = Gryff.Cluster.retrans_stats cluster in
-         {
-           no_failover with
-           rpc_retries = rs.Gryff.Cluster.rpc_retries;
-         }
-       else no_failover);
+    Run.latencies = [ ("read", read_lat); ("write", write_lat) ];
+    metrics = Obs.Metrics.snapshot reg;
+    check = Gryff.Cluster.check_history cluster;
+    records = Run.Gryff_ops (Gryff.Cluster.records cluster);
+    duration_us = Sim.Engine.now engine;
   }
 
 (* The §7.4 overhead experiment: in-DC latencies, per-message CPU cost. *)
-let gryff_dc ?chaos ~mode ~service_time_us ~n_clients ~conflict ~write_ratio
-    ~n_keys ~duration_s ~seed () =
+let gryff_dc ?chaos ?(trace = Obs.Trace.disabled) ~mode ~service_time_us
+    ~n_clients ~conflict ~write_ratio ~n_keys ~duration_s ~seed () =
   let engine = Sim.Engine.create () in
   let rng = Sim.Rng.make seed in
   let config = Gryff.Config.single_dc ~mode ~service_time_us () in
   let cluster = Gryff.Cluster.create engine ~rng config in
-  let faults = arm_chaos ?chaos ~engine ~net:(Gryff.Cluster.net cluster) () in
-  ignore faults;
+  if Obs.Trace.enabled trace then Gryff.Cluster.set_tracer cluster trace;
+  let faults =
+    arm_chaos ?chaos ~tracer:trace ~engine ~net:(Gryff.Cluster.net cluster) ()
+  in
   let pending : pending_write list ref = ref [] in
   let ycsb = Workload.Ycsb.create ~rng:(Sim.Rng.split rng) ~n_keys ~write_ratio ~conflict in
   let lat = Stats.Recorder.create () in
@@ -443,9 +463,20 @@ let gryff_dc ?chaos ~mode ~service_time_us ~n_clients ~conflict ~write_ratio
   Sim.Engine.run ~max_events:600_000_000 engine;
   sweep_gryff cluster !pending;
   let measured_us = until - warmup in
-  let throughput = Stats.Summary.throughput ~count:!completed ~duration_us:measured_us in
-  let median = if Stats.Recorder.is_empty lat then 0.0 else Stats.Recorder.percentile_ms lat 50.0 in
-  (throughput, median, Gryff.Cluster.check_history cluster)
+  let reg = gryff_metrics ~faults:!faults ~failover:false cluster in
+  Obs.Metrics.set_gauge reg "throughput_tps"
+    (Stats.Summary.throughput ~count:!completed ~duration_us:measured_us);
+  Obs.Metrics.set_gauge reg "p50_ms"
+    (match Stats.Recorder.percentile_ms_opt lat 50.0 with
+    | Some m -> m
+    | None -> Float.nan);
+  {
+    Run.latencies = [ ("op", lat) ];
+    metrics = Obs.Metrics.snapshot reg;
+    check = Gryff.Cluster.check_history cluster;
+    records = Run.Gryff_ops (Gryff.Cluster.records cluster);
+    duration_us = Sim.Engine.now engine;
+  }
 
 let report_check name = function
   | Ok () -> ()

@@ -1,98 +1,96 @@
 (** Experiment drivers shared by the benchmark harness (bench/) and the CLI
-    (bin/): run one configured simulation to completion and return latency
-    recorders, protocol statistics, and the history-verification verdict.
+    (bin/): run one configured simulation to completion and return a single
+    {!Run.t} — latency recorders, a metrics-registry snapshot, the run's
+    history, and the history-verification verdict.
 
     Every driver takes an optional [?chaos] fault schedule. With one armed,
     the driver (a) injects the schedule's faults into the run's network and
     TrueTime, (b) tracks in-flight writes so attempts whose acknowledgement
     a fault swallowed can be swept into the history before checking (see
-    {!Chaos.Audit}), and (c) reports fault accounting in its result. *)
+    {!Chaos.Audit}), and (c) reports fault accounting in the run's metrics.
 
-(** Fault accounting for a chaos-enabled run (all zero without a schedule). *)
-type fault_stats = {
-  faults_injected : int;  (** schedule events that fired *)
-  dropped_crash : int;
-  dropped_partition : int;
-  dropped_loss : int;
-  duplicated : int;
-  delayed : int;
-}
+    Every driver also takes an optional [?trace] span sink
+    ({!Obs.Trace.t}, default disabled). Tracing is passive — it never draws
+    randomness or schedules events — so a traced run follows the exact
+    seeded schedule of an untraced one. *)
 
-val no_faults : fault_stats
+module Run : sig
+  (** The run's execution history, protocol-shaped. *)
+  type history =
+    | Spanner_txns of Rss_core.Witness.txn array
+    | Gryff_ops of Gryff.Cluster.record array
 
-val print_fault_table : fault_stats -> unit
-(** Print the accounting as a Summary-style count table. *)
+  type t = {
+    latencies : (string * Stats.Recorder.t) list;
+        (** named recorders in µs, e.g. [["ro"; "rw"]] for Spanner WAN runs,
+            [["read"; "write"]] for Gryff WAN runs, one recorder for the
+            single-DC saturation drivers *)
+    metrics : Obs.Metrics.snapshot;
+        (** protocol / network / fault / failover counters and gauges
+            (single-DC drivers add ["throughput_tps"], ["p50_ms"], ...) *)
+    check : (unit, string) result;  (** the consistency verdict *)
+    records : history;
+    duration_us : int;  (** simulated time at which the engine drained *)
+  }
 
-(** Failover accounting for runs with [?failover:true] (all zero otherwise):
-    leader elections across the run's replication groups, request
-    retransmissions, 2PC participants settled by coordinator status queries,
-    and the worst crash-detection-to-new-leader-activation gap. *)
-type failover_stats = {
-  view_changes : int;
-  rpc_retries : int;
-  in_doubt_resolved : int;
-  max_election_us : int;
-}
+  val latency : t -> string -> Stats.Recorder.t
+  (** Recorder by name; an empty recorder when absent. *)
 
-val no_failover : failover_stats
+  val counter : t -> string -> int
+  (** Metric counter by name; [0] when absent. *)
 
-val print_failover_table : failover_stats -> unit
-(** Print the failover accounting as a Summary-style count table. *)
+  val gauge : t -> string -> float
+  (** Metric gauge by name; [nan] when absent. *)
 
-type spanner_run = {
-  sp_ro : Stats.Recorder.t;  (** read-only transaction latencies (µs) *)
-  sp_rw : Stats.Recorder.t;
-  sp_stats : Spanner.Cluster.stats;
-  sp_committed : int;
-  sp_duration_us : int;
-  sp_check : (unit, string) result;
-  sp_records : Rss_core.Witness.txn array;  (** full history of the run *)
-  sp_faults : fault_stats;
-  sp_failover : failover_stats;
-}
+  val completed : t -> int
+  (** Total recorded (post-warm-up) operations across all recorders. *)
+
+  val n_records : t -> int
+
+  val print_latencies : ?header:string -> t -> unit
+
+  val print_metrics : ?header:string -> t -> unit
+
+  val print_summary : ?header:string -> t -> unit
+  (** Latency table, metrics table, and a loud warning if the run's history
+      failed verification. *)
+end
 
 val spanner_wan :
   ?config:Spanner.Config.t option -> ?chaos:Chaos.Schedule.t ->
-  ?failover:bool -> mode:Spanner.Config.mode -> theta:float -> n_keys:int ->
-  arrival_rate_per_sec:float -> duration_s:float -> seed:int -> unit ->
-  spanner_run
+  ?failover:bool -> ?trace:Obs.Trace.t -> mode:Spanner.Config.mode ->
+  theta:float -> n_keys:int -> arrival_rate_per_sec:float ->
+  duration_s:float -> seed:int -> unit -> Run.t
 (** §6.1: Retwis over the CA/VA/IR deployment with partly-open clients
     (a fresh session — and t_min — per arrival, stay probability 0.9).
     The first 10% of the run is warm-up and is not recorded. [failover]
     (default false) arms {!Spanner.Cluster.enable_failover} and puts client
     deadlines on every operation — required for liveness under
-    leader-killing schedules. *)
+    leader-killing schedules. Latencies: ["ro"], ["rw"]. *)
 
 val spanner_dc :
-  ?chaos:Chaos.Schedule.t -> mode:Spanner.Config.mode -> n_shards:int ->
-  service_time_us:int -> n_clients:int -> n_keys:int -> duration_s:float ->
-  seed:int -> unit -> float * float * float * (unit, string) result
-(** §6.2 saturation: returns (throughput tx/s, median latency ms,
-    messages per transaction, check). *)
-
-type gryff_run = {
-  gr_read : Stats.Recorder.t;
-  gr_write : Stats.Recorder.t;
-  gr_stats : Gryff.Cluster.stats;
-  gr_duration_us : int;
-  gr_check : (unit, string) result;
-  gr_faults : fault_stats;
-  gr_failover : failover_stats;
-}
+  ?chaos:Chaos.Schedule.t -> ?trace:Obs.Trace.t -> mode:Spanner.Config.mode ->
+  n_shards:int -> service_time_us:int -> n_clients:int -> n_keys:int ->
+  duration_s:float -> seed:int -> unit -> Run.t
+(** §6.2 saturation. Latencies: ["txn"]; gauges: ["throughput_tps"],
+    ["p50_ms"], ["msgs_per_txn"]. *)
 
 val gryff_wan :
   ?n_clients:int -> ?chaos:Chaos.Schedule.t -> ?failover:bool ->
-  mode:Gryff.Config.mode -> conflict:float -> write_ratio:float ->
-  n_keys:int -> duration_s:float -> seed:int -> unit -> gryff_run
+  ?trace:Obs.Trace.t -> mode:Gryff.Config.mode -> conflict:float ->
+  write_ratio:float -> n_keys:int -> duration_s:float -> seed:int -> unit ->
+  Run.t
 (** §7.2: YCSB over the five-region deployment, closed-loop clients.
-    [failover] (default false) arms {!Gryff.Cluster.enable_retrans}. *)
+    [failover] (default false) arms {!Gryff.Cluster.enable_retrans}.
+    Latencies: ["read"], ["write"]. *)
 
 val gryff_dc :
-  ?chaos:Chaos.Schedule.t -> mode:Gryff.Config.mode -> service_time_us:int ->
-  n_clients:int -> conflict:float -> write_ratio:float -> n_keys:int ->
-  duration_s:float -> seed:int -> unit ->
-  float * float * (unit, string) result
-(** §7.4 overhead: returns (throughput ops/s, median latency ms, check). *)
+  ?chaos:Chaos.Schedule.t -> ?trace:Obs.Trace.t -> mode:Gryff.Config.mode ->
+  service_time_us:int -> n_clients:int -> conflict:float ->
+  write_ratio:float -> n_keys:int -> duration_s:float -> seed:int -> unit ->
+  Run.t
+(** §7.4 overhead. Latencies: ["op"]; gauges: ["throughput_tps"],
+    ["p50_ms"]. *)
 
 val report_check : string -> (unit, string) result -> unit
 (** Print a loud warning if a run's history failed verification. *)

@@ -1,0 +1,20 @@
+(** Minimal JSON parser — just enough to validate exported Chrome
+    trace_event files in tests without an external dependency. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+val parse : string -> (t, string) result
+(** Parse a complete JSON document ([Error] carries position info). *)
+
+val member : string -> t -> t option
+(** Field lookup on [Obj]; [None] otherwise. *)
+
+val to_num : t -> float option
+val to_str : t -> string option
+val to_arr : t -> t list option

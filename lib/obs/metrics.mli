@@ -1,0 +1,65 @@
+(** Named metrics registry: counters, gauges and latency histograms.
+
+    Replaces the per-driver ad-hoc stats records ([fault_stats],
+    [failover_stats], per-cluster [stats]) with one registry whose
+    snapshots are plain sorted association lists — deterministic for a
+    given seed, cheap to diff in tests, and printable through a single
+    Summary-style table renderer.
+
+    Metric identity is [name] plus optional [labels]; labels render into
+    the full name as [name{k=v,...}].  Histograms are backed by
+    [Stats.Recorder]. *)
+
+type t
+
+val create : unit -> t
+
+(** {1 Counters} *)
+
+type counter
+
+val counter : t -> ?labels:(string * string) list -> string -> counter
+(** Get-or-create. *)
+
+val incr : counter -> unit
+val add : counter -> int -> unit
+val value : counter -> int
+
+(** {1 Gauges} *)
+
+val set_gauge : t -> ?labels:(string * string) list -> string -> float -> unit
+val max_gauge : t -> ?labels:(string * string) list -> string -> float -> unit
+(** [max_gauge] keeps the maximum of all observations. *)
+
+(** {1 Histograms} *)
+
+val histogram : t -> ?labels:(string * string) list -> string -> Stats.Recorder.t
+(** Get-or-create a recorder registered under [name]. *)
+
+(** {1 Snapshots} *)
+
+type snapshot = {
+  counters : (string * int) list;  (** sorted by full name *)
+  gauges : (string * float) list;
+  histograms : (string * Stats.Recorder.t) list;
+}
+
+val snapshot : t -> snapshot
+
+val empty : snapshot
+
+val of_counts : (string * int) list -> snapshot
+(** Wrap a plain counter list (sorted on the way in). *)
+
+val counter_value : snapshot -> string -> int
+(** [0] when absent. *)
+
+val gauge_value : snapshot -> string -> float
+(** [nan] when absent. *)
+
+val histogram_of : snapshot -> string -> Stats.Recorder.t option
+
+val print_table : ?header:string -> snapshot -> unit
+(** One Summary-style rendering for every driver: a count table for
+    counters and gauges, then a latency table for histograms.  Empty
+    histograms print [n/a] rather than raising. *)

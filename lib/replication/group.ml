@@ -59,6 +59,8 @@ type 'a t = {
   mutable n_dup_acks : int;
   mutable vc_detect_at : int;  (* -1 when no election is in flight *)
   mutable max_election_us : int;
+  mutable tracer : Obs.Trace.t;
+  mutable vc_span : Obs.Trace.span;  (* open View_change span, if any *)
 }
 
 let create net ?station ~leader_site ~replica_sites () =
@@ -108,7 +110,11 @@ let create net ?station ~leader_site ~replica_sites () =
     n_dup_acks = 0;
     vc_detect_at = -1;
     max_election_us = 0;
+    tracer = Obs.Trace.disabled;
+    vc_span = Obs.Trace.none;
   }
+
+let set_tracer t tracer = t.tracer <- tracer
 
 let majority t = t.majority
 
@@ -283,7 +289,11 @@ let maybe_activate t (m : 'a member) cfg =
     if t.vc_detect_at >= 0 then begin
       let d = now t - t.vc_detect_at in
       if d > t.max_election_us then t.max_election_us <- d;
-      t.vc_detect_at <- -1
+      t.vc_detect_at <- -1;
+      if Obs.Trace.enabled t.tracer then begin
+        Obs.Trace.end_span t.tracer t.vc_span ~ts:(now t);
+        t.vc_span <- Obs.Trace.none
+      end
     end;
     t.on_leader_change ~leader_site:m.m_site
       ~committed:(List.map (fun e -> e.e_payload) (Sim.Durable.to_list m.m_log))
@@ -354,7 +364,13 @@ and start_view_change t (m : 'a member) cfg v =
   m.m_vc_view <- v;
   m.m_vc_since <- now t;
   m.m_dvc <- Array.make t.n None;
-  if t.vc_detect_at < 0 then t.vc_detect_at <- now t;
+  if t.vc_detect_at < 0 then begin
+    t.vc_detect_at <- now t;
+    if Obs.Trace.enabled t.tracer then
+      t.vc_span <-
+        Obs.Trace.begin_span ~parent:Obs.Trace.none ~site:m.m_site t.tracer
+          ~kind:Obs.Trace.View_change ~name:"view_change" ~ts:(now t)
+  end;
   Array.iter
     (fun o ->
       if o.m_idx <> m.m_idx then
@@ -460,7 +476,8 @@ let rec tick t (m : 'a member) () =
            if now t - m.m_vc_since > cfg.lease_us then
              (* The candidate itself is dead or cut off: try the next one. *)
              start_view_change t m cfg (m.m_vc_view + 1));
-      Sim.Engine.schedule t.engine ~after:cfg.heartbeat_us (tick t m)
+      Sim.Engine.schedule ~kind:"repl.timer" t.engine ~after:cfg.heartbeat_us
+        (tick t m)
     end
 
 let enable_failover t ?(config = default_failover) ?on_leader_change ~until_us ()
@@ -473,7 +490,7 @@ let enable_failover t ?(config = default_failover) ?on_leader_change ~until_us (
     (fun m ->
       m.m_last_heard <- now t;
       (* Stagger first ticks so members never probe in lockstep. *)
-      Sim.Engine.schedule t.engine
+      Sim.Engine.schedule ~kind:"repl.timer" t.engine
         ~after:(config.heartbeat_us + (m.m_idx * 1_009))
         (tick t m))
     t.members

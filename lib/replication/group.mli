@@ -62,6 +62,10 @@ val enable_failover :
     view activates, with the new leader's site and the full payload log to
     rebuild upper-layer state from. *)
 
+val set_tracer : 'a t -> Obs.Trace.t -> unit
+(** Record a [View_change] span per election (failure-detection to
+    activation) into the given sink. Inert with [Obs.Trace.disabled]. *)
+
 val serving : 'a t -> bool
 (** Whether the current leader may serve: always [true] in failure-free
     mode; with failover armed, true iff the leader is up, in the view it

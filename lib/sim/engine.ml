@@ -1,28 +1,66 @@
-type event = { time : int; seq : int; action : unit -> unit }
+type event = { time : int; seq : int; kind : string; action : unit -> unit }
+
+type prof_cell = { mutable p_events : int; mutable p_wall : float }
 
 type t = {
   mutable clock : int;
   mutable next_seq : int;
   mutable n_executed : int;
   queue : event Heap.t;
+  (* Profiling is host-side observation only: it reads [Sys.time] and the
+     queue size but never touches simulated time or event order, so
+     enabling it cannot perturb a seeded run. *)
+  mutable profiling : bool;
+  mutable sample_every : int;
+  profile : (string, prof_cell) Hashtbl.t;
+  depths : Stats.Recorder.t;
 }
 
 let compare_event a b =
   if a.time <> b.time then compare a.time b.time else compare a.seq b.seq
 
 let create () =
-  { clock = 0; next_seq = 0; n_executed = 0; queue = Heap.create ~cmp:compare_event }
+  {
+    clock = 0;
+    next_seq = 0;
+    n_executed = 0;
+    queue = Heap.create ~cmp:compare_event;
+    profiling = false;
+    sample_every = 1024;
+    profile = Hashtbl.create 16;
+    depths = Stats.Recorder.create ();
+  }
 
 let now t = t.clock
 
-let schedule_at t ~at action =
+let schedule_at ?(kind = "other") t ~at action =
   let time = if at < t.clock then t.clock else at in
-  Heap.add t.queue { time; seq = t.next_seq; action };
+  Heap.add t.queue { time; seq = t.next_seq; kind; action };
   t.next_seq <- t.next_seq + 1
 
-let schedule t ~after action =
+let schedule ?kind t ~after action =
   let after = if after < 0 then 0 else after in
-  schedule_at t ~at:(t.clock + after) action
+  schedule_at ?kind t ~at:(t.clock + after) action
+
+let enable_profiling ?(sample_queue_every = 1024) t =
+  t.profiling <- true;
+  t.sample_every <- max 1 sample_queue_every
+
+let profiling_enabled t = t.profiling
+
+let prof_cell t kind =
+  match Hashtbl.find_opt t.profile kind with
+  | Some c -> c
+  | None ->
+    let c = { p_events = 0; p_wall = 0.0 } in
+    Hashtbl.add t.profile kind c;
+    c
+
+let profile t =
+  Hashtbl.fold (fun k c acc -> (k, c.p_events, c.p_wall) :: acc) t.profile []
+  |> List.sort (fun (a, _, _) (b, _, _) -> String.compare a b)
+
+let queue_depths t = t.depths
 
 let step t =
   match Heap.pop t.queue with
@@ -30,7 +68,16 @@ let step t =
   | Some ev ->
     t.clock <- ev.time;
     t.n_executed <- t.n_executed + 1;
-    ev.action ();
+    if t.profiling then begin
+      if t.n_executed mod t.sample_every = 0 then
+        Stats.Recorder.add t.depths (Heap.size t.queue);
+      let t0 = Sys.time () in
+      ev.action ();
+      let cell = prof_cell t ev.kind in
+      cell.p_events <- cell.p_events + 1;
+      cell.p_wall <- cell.p_wall +. (Sys.time () -. t0)
+    end
+    else ev.action ();
     true
 
 let run ?until ?max_events t =

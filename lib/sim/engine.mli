@@ -11,11 +11,12 @@ val create : unit -> t
 val now : t -> int
 (** Current simulated time in microseconds. *)
 
-val schedule : t -> after:int -> (unit -> unit) -> unit
+val schedule : ?kind:string -> t -> after:int -> (unit -> unit) -> unit
 (** [schedule t ~after f] runs [f] [after] microseconds from now.
-    [after < 0] is clamped to [0]. *)
+    [after < 0] is clamped to [0]. [kind] labels the event for
+    {!profile}; it defaults to ["other"] and has no semantic effect. *)
 
-val schedule_at : t -> at:int -> (unit -> unit) -> unit
+val schedule_at : ?kind:string -> t -> at:int -> (unit -> unit) -> unit
 (** Absolute-time variant of {!schedule}. Times in the past fire "now". *)
 
 val step : t -> bool
@@ -31,6 +32,26 @@ val pending : t -> int
 
 val executed : t -> int
 (** Number of events executed so far. *)
+
+(** {2 Profiling}
+
+    Host-side observation of the simulator itself: wall-clock time spent
+    per event kind and periodic samples of the queue depth. Profiling
+    reads [Sys.time] but never simulated state, so enabling it does not
+    change a seeded run's schedule. Off by default and free when off
+    (one bool check per event). *)
+
+val enable_profiling : ?sample_queue_every:int -> t -> unit
+(** Start attributing wall time to event kinds; sample the queue depth
+    every [sample_queue_every] executed events (default 1024). *)
+
+val profiling_enabled : t -> bool
+
+val profile : t -> (string * int * float) list
+(** [(kind, events_executed, wall_seconds)] rows, sorted by kind. *)
+
+val queue_depths : t -> Stats.Recorder.t
+(** Sampled event-queue depths (empty unless profiling is enabled). *)
 
 (** {2 Time helpers} — all return microseconds. *)
 

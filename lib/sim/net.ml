@@ -30,6 +30,12 @@ type t = {
   mutable n_dropped_loss : int;
   mutable n_duplicated : int;
   mutable n_delayed : int;
+  (* Tracing sink. With the [disabled] sink installed (the default) the
+     send path is the exact pre-observability code: same RNG draws, same
+     schedule order, no allocation. Hop names are precomputed per link at
+     [set_tracer] so traced sends don't build strings per message. *)
+  mutable tracer : Obs.Trace.t;
+  mutable hop_names : string array array;
 }
 
 let fresh_link () =
@@ -70,6 +76,8 @@ let create engine ~rng ~rtt_ms ?(jitter = 0.02) () =
     n_dropped_loss = 0;
     n_duplicated = 0;
     n_delayed = 0;
+    tracer = Obs.Trace.disabled;
+    hop_names = [||];
   }
 
 let n_sites t = Array.length t.one_way_us
@@ -113,18 +121,73 @@ let sample_delay t ~src ~dst =
   if injected > 0 then t.n_delayed <- t.n_delayed + 1;
   d + injected
 
+let set_tracer t tracer =
+  t.tracer <- tracer;
+  if Obs.Trace.enabled tracer && Array.length t.hop_names = 0 then begin
+    let n = n_sites t in
+    t.hop_names <-
+      Array.init n (fun i ->
+          Array.init n (fun j ->
+              "net " ^ string_of_int i ^ "->" ^ string_of_int j))
+  end
+
+let tracer t = t.tracer
+
+let drop_name = function
+  | Crash -> "net.drop.crash"
+  | Partition -> "net.drop.partition"
+  | Loss -> "net.drop.loss"
+
 let send ?(bytes = 64) t ~src ~dst handler =
-  match classify t ~src ~dst with
-  | Some cause -> count_drop t cause
-  | None ->
-    t.n_messages <- t.n_messages + 1;
-    t.n_bytes <- t.n_bytes + bytes;
-    Engine.schedule t.engine ~after:(sample_delay t ~src ~dst) handler;
-    let l = t.links.(src).(dst) in
-    if l.dup > 0.0 && Rng.bool t.rng l.dup then begin
-      t.n_duplicated <- t.n_duplicated + 1;
-      Engine.schedule t.engine ~after:(sample_delay t ~src ~dst) handler
-    end
+  let tr = t.tracer in
+  if not (Obs.Trace.enabled tr) then begin
+    (* Untraced fast path — byte-identical to the pre-observability send:
+       same RNG draw order, same schedule order, no allocation. *)
+    match classify t ~src ~dst with
+    | Some cause -> count_drop t cause
+    | None ->
+      t.n_messages <- t.n_messages + 1;
+      t.n_bytes <- t.n_bytes + bytes;
+      Engine.schedule ~kind:"net.deliver" t.engine
+        ~after:(sample_delay t ~src ~dst)
+        handler;
+      let l = t.links.(src).(dst) in
+      if l.dup > 0.0 && Rng.bool t.rng l.dup then begin
+        t.n_duplicated <- t.n_duplicated + 1;
+        Engine.schedule ~kind:"net.deliver" t.engine
+          ~after:(sample_delay t ~src ~dst)
+          handler
+      end
+  end
+  else begin
+    (* Traced path: identical RNG/schedule behaviour, plus one hop span
+       per delivery (parented to the ambient span of the sender) that
+       becomes the ambient parent of whatever the handler does. *)
+    match classify t ~src ~dst with
+    | Some cause ->
+      count_drop t cause;
+      Obs.Trace.instant ~site:dst tr ~name:(drop_name cause)
+        ~ts:(Engine.now t.engine)
+    | None ->
+      t.n_messages <- t.n_messages + 1;
+      t.n_bytes <- t.n_bytes + bytes;
+      let now = Engine.now t.engine in
+      let deliver delay =
+        let sp =
+          Obs.Trace.begin_span ~site:dst tr ~kind:Obs.Trace.Net_hop
+            ~name:t.hop_names.(src).(dst) ~ts:now
+        in
+        Obs.Trace.end_span tr sp ~ts:(now + delay);
+        Engine.schedule ~kind:"net.deliver" t.engine ~after:delay (fun () ->
+            Obs.Trace.with_current tr sp handler)
+      in
+      deliver (sample_delay t ~src ~dst);
+      let l = t.links.(src).(dst) in
+      if l.dup > 0.0 && Rng.bool t.rng l.dup then begin
+        t.n_duplicated <- t.n_duplicated + 1;
+        deliver (sample_delay t ~src ~dst)
+      end
+  end
 
 (* {2 Crashes} — kept API; the send path treats a crashed site as every one
    of its links (in and out) being severed, charged to the crash counter. *)

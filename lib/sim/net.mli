@@ -42,6 +42,19 @@ val send : ?bytes:int -> t -> src:site -> dst:site -> (unit -> unit) -> unit
     handler — there is no link-level retransmission, exactly like a severed
     TCP connection. *)
 
+(** {2 Tracing}
+
+    With a live tracer installed every delivery records a [Net_hop] span on
+    the destination site, parented to the sender's ambient span, and the
+    delivery handler runs with that hop as the ambient span — so spans
+    opened inside the handler chain to the hop that carried the message.
+    Dropped messages record an instant marker instead. With the default
+    [Obs.Trace.disabled] sink, {!send} is byte-identical to the untraced
+    network (same RNG draws, same schedule, no allocation). *)
+
+val set_tracer : t -> Obs.Trace.t -> unit
+val tracer : t -> Obs.Trace.t
+
 val messages_sent : t -> int
 val bytes_sent : t -> int
 val rtt_ms : t -> src:site -> dst:site -> float

@@ -7,6 +7,7 @@ type t = {
   mutable n_calls : int;
   mutable n_retries : int;
   mutable n_exhausted : int;
+  mutable tracer : Obs.Trace.t;
 }
 
 let create engine ~rng ?(timeout_us = 500_000) ?(max_backoff_us = 2_000_000)
@@ -22,14 +23,30 @@ let create engine ~rng ?(timeout_us = 500_000) ?(max_backoff_us = 2_000_000)
     n_calls = 0;
     n_retries = 0;
     n_exhausted = 0;
+    tracer = Obs.Trace.disabled;
   }
 
-let call t ~attempt ~on_result =
+let set_tracer t tracer = t.tracer <- tracer
+
+let call ?(name = "rpc.call") t ~attempt ~on_result =
   t.n_calls <- t.n_calls + 1;
+  let tr = t.tracer in
+  let traced = Obs.Trace.enabled tr in
+  (* One span covers the whole logical call; every attempt (including
+     retransmissions fired from the backoff timer, where the ambient span
+     would otherwise be lost) runs with it as the ambient parent, so hops
+     of attempt N still chain to the same call span. *)
+  let call_sp =
+    if traced then
+      Obs.Trace.begin_span tr ~kind:Obs.Trace.Rpc ~name
+        ~ts:(Engine.now t.engine)
+    else Obs.Trace.none
+  in
   let settled = ref false in
   let ok v =
     if not !settled then begin
       settled := true;
+      if traced then Obs.Trace.end_span tr call_sp ~ts:(Engine.now t.engine);
       on_result (Some v)
     end
   in
@@ -37,17 +54,29 @@ let call t ~attempt ~on_result =
     if not !settled then
       if n > t.max_attempts then begin
         t.n_exhausted <- t.n_exhausted + 1;
+        if traced then begin
+          Obs.Trace.instant ~parent:call_sp tr ~name:"rpc.exhausted"
+            ~ts:(Engine.now t.engine);
+          Obs.Trace.end_span tr call_sp ~ts:(Engine.now t.engine)
+        end;
         on_result None
       end
       else begin
         if n > 1 then t.n_retries <- t.n_retries + 1;
-        attempt ~attempt:n ~ok;
+        if traced then begin
+          if n > 1 then
+            Obs.Trace.instant ~parent:call_sp tr ~name:"rpc.retry"
+              ~ts:(Engine.now t.engine);
+          Obs.Trace.with_current tr call_sp (fun () -> attempt ~attempt:n ~ok)
+        end
+        else attempt ~attempt:n ~ok;
         (* Per-attempt timeout doubles (capped); retries add jitter so
            concurrent callers de-synchronize. The first attempt draws no
            randomness, keeping retry-free runs on the unperturbed stream. *)
         let backoff = min t.max_backoff_us (t.timeout_us lsl min (n - 1) 16) in
         let jitter = if n = 1 then 0 else Rng.int t.rng (max 1 (backoff / 4)) in
-        Engine.schedule t.engine ~after:(backoff + jitter) (fun () -> go (n + 1))
+        Engine.schedule ~kind:"rpc.backoff" t.engine ~after:(backoff + jitter)
+          (fun () -> go (n + 1))
       end
   in
   go 1

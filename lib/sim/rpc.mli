@@ -22,13 +22,24 @@ val create :
     in the paper's deployments), 2 s backoff cap, 8 attempts. *)
 
 val call :
+  ?name:string ->
   t ->
   attempt:(attempt:int -> ok:('a -> unit) -> unit) ->
   on_result:('a option -> unit) -> unit
 (** [attempt ~attempt:n ~ok] must (re)send the request and route the reply
     to [ok]; it may be invoked several times, so the remote handler must be
     idempotent. [on_result] fires exactly once: [Some v] with the first
-    reply, or [None] after the attempt budget is exhausted. *)
+    reply, or [None] after the attempt budget is exhausted.
+
+    With a tracer installed (see {!set_tracer}) each call records one
+    [Rpc] span named [name] (default ["rpc.call"]) that stays the ambient
+    parent of every attempt — including retransmissions fired from the
+    backoff timer — so network hops of later attempts still link to the
+    call that caused them; retries and exhaustion add instant markers. *)
+
+val set_tracer : t -> Obs.Trace.t -> unit
+(** Install a span sink. The default is [Obs.Trace.disabled], under which
+    {!call} behaves exactly as before tracing existed. *)
 
 (** {2 Counters} *)
 

@@ -19,7 +19,7 @@ let submit ?cost t job =
     let finish = start + cost in
     t.busy_until <- finish;
     t.busy_total <- t.busy_total + cost;
-    Engine.schedule_at t.engine ~at:finish job
+    Engine.schedule_at ~kind:"station.job" t.engine ~at:finish job
   end
 
 let busy_us t = t.busy_total

@@ -18,22 +18,32 @@ let key_name = string_of_int
 let rw_kv ?on_attempt ?deadline_us t ~read_keys ~writes k =
   let ctx = Cluster.ctx t.cluster in
   let inv = Sim.Engine.now (Cluster.engine t.cluster) in
-  Protocol.rw_txn ?on_attempt ?deadline_us ctx ~client_site:t.site ~proc:t.proc
-    ~read_keys ~writes
-    (fun res ->
-      let resp = Sim.Engine.now (Cluster.engine t.cluster) in
-      if res.Protocol.rw_commit_ts > t.t_min then t.t_min <- res.Protocol.rw_commit_ts;
-      Cluster.record t.cluster
-        {
-          Rss_core.Witness.proc = t.proc;
-          reads = List.map (fun (key, v) -> (key_name key, v)) res.Protocol.rw_reads;
-          writes = List.map (fun (key, v) -> (key_name key, v)) writes;
-          inv;
-          resp;
-          ts = res.Protocol.rw_commit_ts;
-          rank = 0;
-        };
-      k res)
+  let tr = Cluster.tracer t.cluster in
+  let sp =
+    if Obs.Trace.enabled tr then
+      Obs.Trace.begin_span ~parent:Obs.Trace.none ~site:t.site tr
+        ~kind:Obs.Trace.Client_op ~name:"spanner.rw" ~ts:inv
+    else Obs.Trace.none
+  in
+  Obs.Trace.with_current tr sp (fun () ->
+      Protocol.rw_txn ?on_attempt ?deadline_us ctx ~client_site:t.site
+        ~proc:t.proc ~read_keys ~writes (fun res ->
+          let resp = Sim.Engine.now (Cluster.engine t.cluster) in
+          Obs.Trace.end_span tr sp ~ts:resp;
+          if res.Protocol.rw_commit_ts > t.t_min then
+            t.t_min <- res.Protocol.rw_commit_ts;
+          Cluster.record t.cluster
+            {
+              Rss_core.Witness.proc = t.proc;
+              reads =
+                List.map (fun (key, v) -> (key_name key, v)) res.Protocol.rw_reads;
+              writes = List.map (fun (key, v) -> (key_name key, v)) writes;
+              inv;
+              resp;
+              ts = res.Protocol.rw_commit_ts;
+              rank = 0;
+            };
+          k res))
 
 let rw ?on_attempt ?deadline_us t ~read_keys ~write_keys k =
   (* History checking needs per-key-unique stored values. *)
@@ -64,22 +74,32 @@ let rw_detached t ~write_keys =
 let ro ?deadline_us t ~keys k =
   let ctx = Cluster.ctx t.cluster in
   let inv = Sim.Engine.now (Cluster.engine t.cluster) in
-  Protocol.ro_txn ?deadline_us ctx ~client_site:t.site ~proc:t.proc
-    ~t_min:t.t_min ~keys
-    (fun res ->
-      let resp = Sim.Engine.now (Cluster.engine t.cluster) in
-      if res.Protocol.ro_snap_ts > t.t_min then t.t_min <- res.Protocol.ro_snap_ts;
-      Cluster.record t.cluster
-        {
-          Rss_core.Witness.proc = t.proc;
-          reads = List.map (fun (key, v) -> (key_name key, v)) res.Protocol.ro_reads;
-          writes = [];
-          inv;
-          resp;
-          ts = res.Protocol.ro_snap_ts;
-          rank = 1;
-        };
-      k res)
+  let tr = Cluster.tracer t.cluster in
+  let sp =
+    if Obs.Trace.enabled tr then
+      Obs.Trace.begin_span ~parent:Obs.Trace.none ~site:t.site tr
+        ~kind:Obs.Trace.Client_op ~name:"spanner.ro" ~ts:inv
+    else Obs.Trace.none
+  in
+  Obs.Trace.with_current tr sp (fun () ->
+      Protocol.ro_txn ?deadline_us ctx ~client_site:t.site ~proc:t.proc
+        ~t_min:t.t_min ~keys (fun res ->
+          let resp = Sim.Engine.now (Cluster.engine t.cluster) in
+          Obs.Trace.end_span tr sp ~ts:resp;
+          if res.Protocol.ro_snap_ts > t.t_min then
+            t.t_min <- res.Protocol.ro_snap_ts;
+          Cluster.record t.cluster
+            {
+              Rss_core.Witness.proc = t.proc;
+              reads =
+                List.map (fun (key, v) -> (key_name key, v)) res.Protocol.ro_reads;
+              writes = [];
+              inv;
+              resp;
+              ts = res.Protocol.ro_snap_ts;
+              rank = 1;
+            };
+          k res))
 
 let snapshot_read t ~ts ~keys k =
   Protocol.snapshot_read (Cluster.ctx t.cluster) ~client_site:t.site ~ts ~keys k

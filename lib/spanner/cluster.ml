@@ -95,6 +95,10 @@ let stats t =
 let enable_failover t ~rng ?config ~until_us () =
   Protocol.enable_failover t.pctx ~rng ?config ~until_us ()
 
+let set_tracer t tracer = Protocol.set_tracer t.pctx tracer
+
+let tracer t = t.pctx.Protocol.tracer
+
 type failover_stats = {
   view_changes : int;
   heartbeats : int;

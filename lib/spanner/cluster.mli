@@ -31,6 +31,17 @@ val check_history : t -> (unit, string) result
 (** Verify the collected history against the cluster's own consistency model
     (strict serializability or RSS) using the timestamp witness. *)
 
+(** {2 Tracing} *)
+
+val set_tracer : t -> Obs.Trace.t -> unit
+(** Install a span sink cluster-wide: network hops, 2PC phases, RO
+    blocking, RPC retries, and view changes all record into it (see
+    {!Protocol.set_tracer}); [Client] operations add their own root spans.
+    Tracing is passive — it never draws randomness or schedules events —
+    so a traced run follows the same seeded schedule as an untraced one. *)
+
+val tracer : t -> Obs.Trace.t
+
 (** {2 Run statistics} *)
 
 type stats = {

@@ -31,6 +31,7 @@ type ctx = {
   mutable n_terminates : int;
   mutable n_terminate_commits : int;
   mutable n_in_doubt_resolved : int;
+  mutable tracer : Obs.Trace.t;
 }
 
 (* Deliver a message to a shard leader: network hop + leader CPU. The
@@ -48,7 +49,18 @@ let to_shard ctx ~src ?(bytes = 96) shard_id handler =
         || (dst = shard.Shard.leader_site
             && (not (Sim.Net.is_down ctx.net dst))
             && Replication.Group.serving shard.Shard.repl)
-      then Sim.Station.submit shard.Shard.station (fun () -> handler shard))
+      then begin
+        let tr = ctx.tracer in
+        if Obs.Trace.enabled tr then begin
+          (* Station queueing runs the handler from a fresh engine event,
+             which would lose the delivery hop as ambient parent — carry it
+             across explicitly. *)
+          let sp = Obs.Trace.current tr in
+          Sim.Station.submit shard.Shard.station (fun () ->
+              Obs.Trace.with_current tr sp (fun () -> handler shard))
+        end
+        else Sim.Station.submit shard.Shard.station (fun () -> handler shard)
+      end)
 
 (* Deliver a reply to a client (client CPUs are not the modelled bottleneck). *)
 let to_client ctx ~src ?(bytes = 96) ~dst handler =
@@ -77,7 +89,8 @@ let rec wait_truetime ctx ts k =
     let after =
       max 1 (ts + Sim.Truetime.epsilon ctx.tt - Sim.Engine.now ctx.engine + 1)
     in
-    Sim.Engine.schedule ctx.engine ~after (fun () -> wait_truetime ctx ts k)
+    Sim.Engine.schedule ~kind:"tt.wait" ctx.engine ~after (fun () ->
+        wait_truetime ctx ts k)
 
 (* ------------------------------------------------------------------ *)
 (* Read-write transactions: 2PL + 2PC with timestamps and commit wait  *)
@@ -228,6 +241,9 @@ and decide_abort ctx coord_shard ~txn =
   let cs = coord_state ctx txn in
   if not cs.cs_decided then begin
     cs.cs_decided <- true;
+    if Obs.Trace.enabled ctx.tracer then
+      Obs.Trace.instant ~site:coord_shard.Shard.leader_site ctx.tracer
+        ~kind:Obs.Trace.Phase ~name:"2pc.abort" ~ts:(Sim.Engine.now ctx.engine);
     cs.cs_settled <- true;
     (Types.find ctx.txns txn).Types.outcome <- Some Types.Aborted;
     release_at_shard ctx coord_shard ~txn Types.Aborted;
@@ -244,6 +260,15 @@ and decide_abort ctx coord_shard ~txn =
 and decide_commit ctx coord_shard ~txn =
   let cs = coord_state ctx txn in
   cs.cs_decided <- true;
+  let tr = ctx.tracer in
+  (* Spans decision -> commit record durable -> commit wait elapsed; the
+     outcome broadcast and client reply hops parent to it via the ambient. *)
+  let commit_sp =
+    if Obs.Trace.enabled tr then
+      Obs.Trace.begin_span ~site:coord_shard.Shard.leader_site tr
+        ~kind:Obs.Trace.Phase ~name:"2pc.commit" ~ts:(Sim.Engine.now ctx.engine)
+    else Obs.Trace.none
+  in
   let now_latest = (Sim.Truetime.now ctx.tt).Sim.Truetime.latest in
   let tc =
     List.fold_left max 1
@@ -273,16 +298,18 @@ and decide_commit ctx coord_shard ~txn =
       (* Commit wait: no server reveals the data before tc definitely
          passed. *)
       wait_truetime ctx tc (fun () ->
-          (Types.find ctx.txns txn).Types.outcome <- Some (Types.Committed tc);
-          release_at_shard ctx coord_shard ~txn (Types.Committed tc);
-          List.iter
-            (fun p ->
-              if p <> coord_shard.Shard.shard_id then
-                to_shard ctx ~src:coord_shard.Shard.leader_site p (fun sh ->
-                    release_at_shard ctx sh ~txn (Types.Committed tc)))
-            cs.cs_participants;
-          cs.cs_client (Types.Committed tc, cs.cs_max_tee);
-          coord_gc ctx txn cs))
+          Obs.Trace.with_current tr commit_sp (fun () ->
+              (Types.find ctx.txns txn).Types.outcome <- Some (Types.Committed tc);
+              release_at_shard ctx coord_shard ~txn (Types.Committed tc);
+              List.iter
+                (fun p ->
+                  if p <> coord_shard.Shard.shard_id then
+                    to_shard ctx ~src:coord_shard.Shard.leader_site p (fun sh ->
+                        release_at_shard ctx sh ~txn (Types.Committed tc)))
+                cs.cs_participants;
+              cs.cs_client (Types.Committed tc, cs.cs_max_tee);
+              coord_gc ctx txn cs);
+          Obs.Trace.end_span tr commit_sp ~ts:(Sim.Engine.now ctx.engine)))
 
 (* A participant with a prepared transaction and no outcome asks the
    coordinator, with retransmission: the coordinator may be mid-election.
@@ -305,7 +332,7 @@ let resolve_in_doubt ctx shard txn =
     match (ctx.rpc, Shard.prepared shard txn) with
     | Some rpc, Some p ->
       Hashtbl.replace shard.Shard.in_doubt txn ();
-      Sim.Rpc.call rpc
+      Sim.Rpc.call ~name:"rpc.resolve_in_doubt" rpc
         ~attempt:(fun ~attempt:n ~ok ->
           to_shard ctx ~src:shard.Shard.leader_site ~bytes:32 p.Shard.p_coord
             (fun csh ->
@@ -340,14 +367,24 @@ let resolve_in_doubt ctx shard txn =
 (* Participant prepare: validate, lock, choose tp, replicate, vote. The §6
    wound-wait optimization advances the stored t_ee by the blocked time. *)
 let participant_prepare ctx shard ~txn ~priority ~writes_here ~tee ~coord =
+  let tr = ctx.tracer in
+  let prep_sp =
+    if Obs.Trace.enabled tr then
+      Obs.Trace.begin_span ~site:shard.Shard.leader_site tr
+        ~kind:Obs.Trace.Phase ~name:"2pc.prepare"
+        ~ts:(Sim.Engine.now ctx.engine)
+    else Obs.Trace.none
+  in
   (* The vote carries the voter's group view so the coordinator can void it
      if this shard fails over before the decision. *)
   let vote outcome =
     let vote_view =
       (shard.Shard.shard_id, Replication.Group.view shard.Shard.repl)
     in
-    to_shard ctx ~src:shard.Shard.leader_site coord (fun coord_shard ->
-        handle_vote ctx coord_shard ~txn ~vote_view outcome)
+    Obs.Trace.with_current tr prep_sp (fun () ->
+        to_shard ctx ~src:shard.Shard.leader_site coord (fun coord_shard ->
+            handle_vote ctx coord_shard ~txn ~vote_view outcome));
+    Obs.Trace.end_span tr prep_sp ~ts:(Sim.Engine.now ctx.engine)
   in
   if Types.is_wounded ctx.txns txn then vote `Abort
   else
@@ -557,6 +594,7 @@ let make_ctx engine net tt txns config =
       n_terminates = 0;
       n_terminate_commits = 0;
       n_in_doubt_resolved = 0;
+      tracer = Obs.Trace.disabled;
     }
   in
   Array.iter
@@ -564,11 +602,21 @@ let make_ctx engine net tt txns config =
     shards;
   ctx
 
+let set_tracer ctx tracer =
+  ctx.tracer <- tracer;
+  Sim.Net.set_tracer ctx.net tracer;
+  (match ctx.rpc with Some rpc -> Sim.Rpc.set_tracer rpc tracer | None -> ());
+  Array.iter
+    (fun sh -> Replication.Group.set_tracer sh.Shard.repl tracer)
+    ctx.shards
+
 let enable_failover ctx ~rng ?config ~until_us () =
   ctx.failover <- true;
-  ctx.rpc <-
-    Some
-      (Sim.Rpc.create ctx.engine ~rng ~timeout_us:300_000 ~max_attempts:15 ());
+  let rpc =
+    Sim.Rpc.create ctx.engine ~rng ~timeout_us:300_000 ~max_attempts:15 ()
+  in
+  Sim.Rpc.set_tracer rpc ctx.tracer;
+  ctx.rpc <- Some rpc;
   Array.iter
     (fun sh ->
       Replication.Group.enable_failover sh.Shard.repl ?config
@@ -651,7 +699,7 @@ let rw_txn ?(on_attempt = fun (_ : int) -> ()) ?deadline_us ctx ~client_site
       match ctx.rpc with
       | None -> retry txn
       | Some rpc ->
-        Sim.Rpc.call rpc
+        Sim.Rpc.call ~name:"rpc.terminate" rpc
           ~attempt:(fun ~attempt:_ ~ok ->
             to_shard ctx ~src:client_site ~bytes:32 coord (fun csh ->
                 handle_terminate ctx csh ~txn ~reply:(function
@@ -681,7 +729,7 @@ let rw_txn ?(on_attempt = fun (_ : int) -> ()) ?deadline_us ctx ~client_site
     in
     (match deadline_us with
     | Some d when ctx.failover ->
-      Sim.Engine.schedule ctx.engine ~after:d (fun () ->
+      Sim.Engine.schedule ~kind:"txn.deadline" ctx.engine ~after:d (fun () ->
           if not !settled then begin
             settled := true;
             terminate_attempt ()
@@ -774,7 +822,7 @@ let rw_txn ?(on_attempt = fun (_ : int) -> ()) ?deadline_us ctx ~client_site
     incr attempts;
     let shift = min !attempts 5 in
     let backoff = (5_000 * (1 lsl shift)) + (txn mod 5_000) in
-    Sim.Engine.schedule ctx.engine ~after:backoff attempt
+    Sim.Engine.schedule ~kind:"txn.backoff" ctx.engine ~after:backoff attempt
   in
   attempt ()
 
@@ -817,6 +865,13 @@ let handle_ro ctx shard ~keys ~t_read ~t_min ~(fast : fast_reply -> unit)
         p0
   in
   if blocking <> [] then shard.Shard.n_ro_blocked <- shard.Shard.n_ro_blocked + 1;
+  let tr = ctx.tracer in
+  let block_sp =
+    if Obs.Trace.enabled tr && blocking <> [] then
+      Obs.Trace.begin_span ~site:shard.Shard.leader_site tr
+        ~kind:Obs.Trace.Phase ~name:"ro.block" ~ts:(Sim.Engine.now ctx.engine)
+    else Obs.Trace.none
+  in
   (* With failover armed a conflicting prepare may be orphaned (its
      coordinator's leader died); kick off in-doubt resolution so the read
      does not wait on a decision nobody is driving. *)
@@ -825,6 +880,7 @@ let handle_ro ctx shard ~keys ~t_read ~t_min ~(fast : fast_reply -> unit)
       (fun (p : Shard.prepared) -> resolve_in_doubt ctx shard p.Shard.p_txn)
       p0;
   let finish () =
+    Obs.Trace.end_span tr block_sp ~ts:(Sim.Engine.now ctx.engine);
     let remaining =
       List.filter
         (fun (p : Shard.prepared) -> Shard.prepared shard p.Shard.p_txn <> None)
@@ -1000,7 +1056,8 @@ let ro_txn ?deadline_us ctx ~client_site ~proc:_ ~t_min ~keys k =
               done_ := true;
               k res
             end);
-        Sim.Engine.schedule ctx.engine ~after:d (fun () -> go (attempts_left - 1))
+        Sim.Engine.schedule ~kind:"txn.deadline" ctx.engine ~after:d (fun () ->
+            go (attempts_left - 1))
       end
     in
     go 25

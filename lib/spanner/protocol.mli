@@ -34,10 +34,19 @@ type ctx = {
   mutable n_terminates : int;  (** client terminate queries issued *)
   mutable n_terminate_commits : int;  (** terminates that found a commit *)
   mutable n_in_doubt_resolved : int;  (** in-doubt prepares settled *)
+  mutable tracer : Obs.Trace.t;  (** span sink; [Obs.Trace.disabled] = off *)
 }
 
 val make_ctx :
   Sim.Engine.t -> Sim.Net.t -> Sim.Truetime.t -> Types.table -> Config.t -> ctx
+
+val set_tracer : ctx -> Obs.Trace.t -> unit
+(** Install a span sink on the protocol and everything under it (network,
+    RPC helper, per-shard replication groups). Phases recorded: 2PC
+    prepare and commit (decision through commit wait), RO blocking at a
+    shard, plus the hops and RPC retries below. With the default
+    [Obs.Trace.disabled] sink every instrumentation point is a single
+    bool check — the message pattern and RNG stream are untouched. *)
 
 val enable_failover :
   ctx -> rng:Sim.Rng.t -> ?config:Replication.Group.failover_config ->

@@ -68,6 +68,16 @@ let percentile t p =
 
 let percentile_ms t p = percentile t p /. 1000.0
 
+(* Total variants for summary paths: an empty recorder (a run that produced
+   no samples, e.g. all-faults chaos) reports [None] instead of raising. *)
+let min_opt t = if t.len = 0 then None else Some (min t)
+
+let max_opt t = if t.len = 0 then None else Some (max t)
+
+let percentile_opt t p = if t.len = 0 then None else Some (percentile t p)
+
+let percentile_ms_opt t p = if t.len = 0 then None else Some (percentile_ms t p)
+
 let to_sorted_array t =
   ensure_sorted t;
   Array.sub t.data 0 t.len

@@ -27,6 +27,15 @@ val percentile : t -> float -> float
     ranks. Raises [Invalid_argument] when empty or [p] out of range. *)
 
 val percentile_ms : t -> float -> float
+
+val min_opt : t -> int option
+(** [None] on an empty recorder (where {!min} raises). *)
+
+val max_opt : t -> int option
+
+val percentile_opt : t -> float -> float option
+
+val percentile_ms_opt : t -> float -> float option
 (** {!percentile} converted from µs to ms. *)
 
 val to_sorted_array : t -> int array

@@ -10,7 +10,8 @@ let print_latency_table ~header ~rows ?(points = tail_points) () =
   List.iter
     (fun (name, r) ->
       Fmt.pr "  %-16s %8d" name (Recorder.count r);
-      if Recorder.is_empty r then Fmt.pr " %9s" "-"
+      if Recorder.is_empty r then
+        List.iter (fun _ -> Fmt.pr " %9s" "n/a") points
       else List.iter (fun v -> Fmt.pr " %9.1f" v) (row_ms r points);
       Fmt.pr "@.")
     rows
