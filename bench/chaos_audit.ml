@@ -95,9 +95,7 @@ let harness_demo () =
   in
   Fmt.pr "== chaos-wrapped gryff_wan (link-loss) ==@.";
   Harness.Run.print_summary ~header:"gryff-rsc" gr;
-  r.Harness.Run.check = Ok ()
-  && lk.Harness.Run.check = Ok ()
-  && gr.Harness.Run.check = Ok ()
+  Harness.Run.passed r && Harness.Run.passed lk && Harness.Run.passed gr
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in

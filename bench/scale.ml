@@ -1,0 +1,305 @@
+(* Perf-regression scale suite.
+
+   Drives each protocol family at 10-100x the op counts of the paper-figure
+   benches and records, per run: ops/sec of host CPU, host CPU per simulated
+   second, checker cost, and heap footprint via [Gc.stat]. Every scenario
+   runs twice — [`No_check] for raw simulator speed and [`Online] for the
+   streaming checker — so the checker's cost is the difference between two
+   otherwise identical seeded runs (record hooks draw no randomness, so the
+   simulated schedules are the same).
+
+   A separate scaling probe re-runs the Spanner scenario at 1/4 and 1/2 of
+   its duration and fits a log-log exponent to the checker cost against the
+   history length, in both deterministic work units (insertion displacement,
+   reproducible across hosts) and measured CPU seconds. The suite's claim
+   that online checking is sub-quadratic is that fitted exponent, emitted in
+   the JSON rather than asserted — CI validates the report's shape; humans
+   and trend dashboards read the exponent.
+
+   Output is machine-readable JSON (default [BENCH_scale.json]):
+
+     dune exec bench/scale.exe --              # full sizes, ~1-2 min
+     dune exec bench/scale.exe -- --smoke      # CI sizes, a few seconds
+
+   Exit status: 1 if any verified history failed, or if a full (non-smoke)
+   run missed its minimum op count — so CI and local runs alike catch both
+   consistency and throughput regressions. *)
+
+let verdict_name = function
+  | Harness.Run.Pass -> "pass"
+  | Harness.Run.Fail _ -> "fail"
+  | Harness.Run.Unknown _ -> "unknown"
+
+let verdict_detail = function
+  | Harness.Run.Pass -> ""
+  | Harness.Run.Fail m | Harness.Run.Unknown m -> m
+
+type measured = {
+  check : string;  (* "none" | "online" *)
+  n_ops : int;
+  sim_s : float;
+  cpu_s : float;
+  checker_finish_s : float;
+  checker_work : int;
+  checker_added : int;
+  checker_max_displacement : int;
+  live_words : int;
+  top_heap_words : int;
+  verdict : string;
+  detail : string;
+}
+
+let measure ~check_name (f : unit -> Harness.Run.t) =
+  (* Compact first so [live_words] reflects this run, not the previous
+     scenario's garbage. *)
+  Gc.compact ();
+  let t0 = Sys.time () in
+  let r = f () in
+  let cpu_s = Sys.time () -. t0 in
+  let st = Gc.stat () in
+  let gauge name =
+    let g = Harness.Run.gauge r name in
+    if Float.is_nan g then 0.0 else g
+  in
+  ( r,
+    {
+      check = check_name;
+      n_ops = Harness.Run.n_records r;
+      sim_s = Sim.Engine.to_sec r.Harness.Run.duration_us;
+      cpu_s;
+      checker_finish_s = gauge "check.finish_s";
+      checker_work = Harness.Run.counter r "check.work";
+      checker_added = Harness.Run.counter r "check.added";
+      checker_max_displacement = Harness.Run.counter r "check.max_displacement";
+      live_words = st.Gc.live_words;
+      top_heap_words = st.Gc.top_heap_words;
+      verdict = verdict_name r.Harness.Run.check;
+      detail = verdict_detail r.Harness.Run.check;
+    } )
+
+(* ------------------------------------------------------------------ *)
+(* Scenarios                                                           *)
+(* ------------------------------------------------------------------ *)
+
+type scenario = {
+  name : string;
+  min_ops : int;  (* full-mode floor; a run below this is a regression *)
+  run : check_mode:Harness.check_mode -> duration_s:float -> Harness.Run.t;
+  duration_s : float;  (* full-mode duration *)
+  smoke_duration_s : float;
+}
+
+let scenarios ~seed =
+  [
+    (* ~23.5k txns per simulated second: 22 s -> ~515k transactions. *)
+    {
+      name = "spanner-dc-rss";
+      min_ops = 500_000;
+      duration_s = 22.0;
+      smoke_duration_s = 2.0;
+      run =
+        (fun ~check_mode ~duration_s ->
+          Harness.spanner_dc ~check:check_mode ~mode:Spanner.Config.Rss
+            ~n_shards:4 ~service_time_us:10 ~n_clients:16 ~n_keys:2000
+            ~duration_s ~seed ());
+    };
+    (* ~67k ops per simulated second: 8 s -> ~530k operations. *)
+    {
+      name = "gryff-dc-lin";
+      min_ops = 450_000;
+      duration_s = 8.0;
+      smoke_duration_s = 0.5;
+      run =
+        (fun ~check_mode ~duration_s ->
+          Harness.gryff_dc ~check:check_mode ~mode:Gryff.Config.Lin
+            ~service_time_us:10 ~n_clients:24 ~conflict:0.1 ~write_ratio:0.5
+            ~n_keys:2000 ~duration_s ~seed ());
+    };
+    (* WAN latencies bound throughput (~220 ops/s of simulated time), so
+       scale comes from duration; host cost stays small. *)
+    {
+      name = "gryff-wan-rsc";
+      min_ops = 20_000;
+      duration_s = 120.0;
+      smoke_duration_s = 20.0;
+      run =
+        (fun ~check_mode ~duration_s ->
+          Harness.gryff_wan ~n_clients:32 ~check:check_mode
+            ~mode:Gryff.Config.Rsc ~conflict:0.2 ~write_ratio:0.5 ~n_keys:2000
+            ~duration_s ~seed ());
+    };
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Checker-scaling probe                                               *)
+(* ------------------------------------------------------------------ *)
+
+type point = { p_n : int; p_work : int; p_cpu : float }
+
+(* Least-squares slope of ln y against ln x — the growth exponent. *)
+let fitted_exponent points ~y =
+  let xs = List.map (fun p -> log (float_of_int (max 1 p.p_n))) points in
+  let ys = List.map (fun p -> log (Float.max 1e-9 (y p))) points in
+  let n = float_of_int (List.length points) in
+  let mean l = List.fold_left ( +. ) 0.0 l /. n in
+  let xm = mean xs and ym = mean ys in
+  let num =
+    List.fold_left2 (fun a x y -> a +. ((x -. xm) *. (y -. ym))) 0.0 xs ys
+  in
+  let den = List.fold_left (fun a x -> a +. ((x -. xm) ** 2.0)) 0.0 xs in
+  if den <= 0.0 then nan else num /. den
+
+(* ------------------------------------------------------------------ *)
+(* JSON emission (hand-rolled; the repo deliberately has no JSON dep)   *)
+(* ------------------------------------------------------------------ *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 32 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let json_float f = if Float.is_nan f then "null" else Printf.sprintf "%.6f" f
+
+let measured_json b m =
+  Printf.bprintf b
+    "{\"check\": \"%s\", \"n_ops\": %d, \"sim_s\": %s, \"cpu_s\": %s, \
+     \"ops_per_cpu_s\": %s, \"cpu_per_sim_s\": %s, \"checker_finish_s\": %s, \
+     \"checker_work\": %d, \"checker_added\": %d, \
+     \"checker_max_displacement\": %d, \"live_words\": %d, \
+     \"top_heap_words\": %d, \"verdict\": \"%s\", \"detail\": \"%s\"}"
+    m.check m.n_ops (json_float m.sim_s) (json_float m.cpu_s)
+    (json_float (float_of_int m.n_ops /. Float.max 1e-9 m.cpu_s))
+    (json_float (m.cpu_s /. Float.max 1e-9 m.sim_s))
+    (json_float m.checker_finish_s)
+    m.checker_work m.checker_added m.checker_max_displacement m.live_words
+    m.top_heap_words m.verdict (json_escape m.detail)
+
+(* ------------------------------------------------------------------ *)
+(* Main                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let smoke = ref false in
+  let out = ref "BENCH_scale.json" in
+  let seed = ref 42 in
+  Arg.parse
+    [
+      ("--smoke", Arg.Set smoke, " CI sizes (seconds, not minutes)");
+      ("--out", Arg.Set_string out, "FILE output path (default BENCH_scale.json)");
+      ("--seed", Arg.Set_int seed, "N workload seed (default 42)");
+    ]
+    (fun a -> raise (Arg.Bad ("unexpected argument: " ^ a)))
+    "scale [--smoke] [--out FILE] [--seed N]";
+  let failed = ref false in
+  let b = Buffer.create 4096 in
+  Printf.bprintf b
+    "{\n  \"schema\": \"rss-repro/scale/v1\",\n  \"smoke\": %b,\n  \"seed\": \
+     %d,\n  \"scenarios\": [\n"
+    !smoke !seed;
+  let scaling_points = ref [] in
+  List.iteri
+    (fun i sc ->
+      let duration_s = if !smoke then sc.smoke_duration_s else sc.duration_s in
+      Printf.printf "== %s (%.1f simulated s) ==\n%!" sc.name duration_s;
+      let _, raw =
+        measure ~check_name:"none" (fun () ->
+            sc.run ~check_mode:`No_check ~duration_s)
+      in
+      Printf.printf
+        "   raw:    %7d ops  %6.2f cpu-s  (%7.0f ops/cpu-s, %5.2f cpu-s per \
+         sim-s)\n\
+         %!"
+        raw.n_ops raw.cpu_s
+        (float_of_int raw.n_ops /. Float.max 1e-9 raw.cpu_s)
+        (raw.cpu_s /. Float.max 1e-9 raw.sim_s);
+      let _, online =
+        measure ~check_name:"online" (fun () ->
+            sc.run ~check_mode:`Online ~duration_s)
+      in
+      Printf.printf
+        "   online: %7d ops  %6.2f cpu-s  verdict=%s  work=%d  max-disp=%d\n%!"
+        online.n_ops online.cpu_s online.verdict online.checker_work
+        online.checker_max_displacement;
+      if online.verdict = "fail" then begin
+        Printf.printf "   CONSISTENCY FAILURE: %s\n%!" online.detail;
+        failed := true
+      end;
+      if (not !smoke) && online.n_ops < sc.min_ops then begin
+        Printf.printf "   THROUGHPUT REGRESSION: %d ops < required %d\n%!"
+          online.n_ops sc.min_ops;
+        failed := true
+      end;
+      (* The Spanner scenario doubles as the checker-scaling subject: its
+         full-size online run is the probe's largest point. *)
+      if sc.name = "spanner-dc-rss" then begin
+        let checker_cpu = Float.max online.checker_finish_s
+            (online.cpu_s -. raw.cpu_s) in
+        scaling_points :=
+          [ { p_n = online.n_ops; p_work = online.checker_work;
+              p_cpu = checker_cpu } ];
+        List.iter
+          (fun frac ->
+            let d = duration_s *. frac in
+            let _, r =
+              measure ~check_name:"none" (fun () ->
+                  sc.run ~check_mode:`No_check ~duration_s:d)
+            in
+            let _, o =
+              measure ~check_name:"online" (fun () ->
+                  sc.run ~check_mode:`Online ~duration_s:d)
+            in
+            let checker_cpu =
+              Float.max o.checker_finish_s (o.cpu_s -. r.cpu_s)
+            in
+            Printf.printf
+              "   probe %4.2fx: %7d ops  checker %5.2f cpu-s  work=%d\n%!"
+              frac o.n_ops checker_cpu o.checker_work;
+            scaling_points :=
+              { p_n = o.n_ops; p_work = o.checker_work; p_cpu = checker_cpu }
+              :: !scaling_points)
+          [ 0.5; 0.25 ]
+      end;
+      Printf.bprintf b "    {\"name\": \"%s\", \"runs\": [\n      " sc.name;
+      measured_json b raw;
+      Buffer.add_string b ",\n      ";
+      measured_json b online;
+      Printf.bprintf b "\n    ]}%s\n"
+        (if i < List.length (scenarios ~seed:!seed) - 1 then "," else ""))
+    (scenarios ~seed:!seed);
+  Buffer.add_string b "  ],\n";
+  let points = List.sort (fun a c -> compare a.p_n c.p_n) !scaling_points in
+  let work_exp = fitted_exponent points ~y:(fun p -> float_of_int p.p_work) in
+  let cpu_exp = fitted_exponent points ~y:(fun p -> p.p_cpu) in
+  Printf.printf
+    "checker scaling: work-units exponent %.2f, cpu exponent %.2f (1.0 = \
+     linear, 2.0 = quadratic)\n\
+     %!"
+    work_exp cpu_exp;
+  Printf.bprintf b "  \"checker_scaling\": {\n    \"scenario\": \
+     \"spanner-dc-rss\",\n    \"points\": [";
+  List.iteri
+    (fun i p ->
+      Printf.bprintf b "%s\n      {\"n_ops\": %d, \"checker_work\": %d, \
+         \"checker_cpu_s\": %s}"
+        (if i > 0 then "," else "")
+        p.p_n p.p_work (json_float p.p_cpu))
+    points;
+  Printf.bprintf b
+    "\n    ],\n    \"work_exponent\": %s,\n    \"cpu_exponent\": %s,\n    \
+     \"sub_quadratic\": %b\n  }\n}\n"
+    (json_float work_exp) (json_float cpu_exp)
+    (Float.is_nan work_exp = false && work_exp < 2.0);
+  let oc = open_out !out in
+  output_string oc (Buffer.contents b);
+  close_out oc;
+  Printf.printf "wrote %s\n%!" !out;
+  if !failed then exit 1

@@ -27,6 +27,21 @@ let tracer_for = function
   | None -> Obs.Trace.disabled
   | Some _ -> Obs.Trace.create ()
 
+(* Shared --check plumbing: pick how the run's history is verified. *)
+let check_arg =
+  Arg.(
+    value
+    & opt
+        (enum
+           [ ("offline", `Offline); ("online", `Online); ("none", `No_check) ])
+        `Offline
+    & info [ "check" ] ~docv:"MODE"
+        ~doc:
+          "History verification: $(b,offline) buffers the run and checks \
+           post-hoc, $(b,online) verifies incrementally as operations are \
+           recorded (near-linear; use for long runs), $(b,none) skips \
+           verification. Never affects the simulated schedule.")
+
 let save_trace tracer = function
   | None -> ()
   | Some path ->
@@ -59,24 +74,25 @@ let spanner_cmd =
                 with the check-trace subcommand; keep runs small for the \
                 search checkers).")
   in
-  let run mode theta duration rate keys seed export trace_out =
+  let run mode theta duration rate keys seed export trace_out check =
     if rate <= 0.0 then (Fmt.epr "error: --rate must be positive@."; exit 1);
     if theta < 0.0 then (Fmt.epr "error: --theta must be non-negative@."; exit 1);
     if duration <= 0.0 then (Fmt.epr "error: --duration must be positive@."; exit 1);
     let tracer = tracer_for trace_out in
     let r =
-      Harness.spanner_wan ~trace:tracer ~mode ~theta ~n_keys:keys
+      Harness.spanner_wan ~trace:tracer ~check ~mode ~theta ~n_keys:keys
         ~arrival_rate_per_sec:rate ~duration_s:duration ~seed ()
     in
     Harness.Run.print_latencies ~header:"latency (ms)" r;
     Harness.Run.print_metrics ~header:"spanner" r;
     (match r.Harness.Run.check with
-    | Ok () ->
+    | Harness.Run.Pass ->
       Fmt.pr "history: verified (%s)@."
         (match mode with
         | Spanner.Config.Strict -> "strict serializability"
         | Spanner.Config.Rss -> "RSS")
-    | Error m -> Fmt.pr "history: VIOLATION — %s@." m);
+    | Harness.Run.Fail m -> Fmt.pr "history: VIOLATION — %s@." m
+    | Harness.Run.Unknown m -> Fmt.pr "history: verdict UNKNOWN — %s@." m);
     save_trace tracer trace_out;
     match export with
     | None -> ()
@@ -107,7 +123,7 @@ let spanner_cmd =
     (Cmd.info "spanner" ~doc:"Simulate Spanner / Spanner-RSS on Retwis.")
     Term.(
       const run $ mode $ theta $ duration $ rate $ keys $ seed $ export
-      $ trace_out_arg)
+      $ trace_out_arg $ check_arg)
 
 let gryff_cmd =
   let mode =
@@ -127,7 +143,7 @@ let gryff_cmd =
     Arg.(value & opt float 30.0 & info [ "duration" ] ~doc:"Simulated seconds.")
   in
   let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Random seed.") in
-  let run mode conflict write_ratio duration seed trace_out =
+  let run mode conflict write_ratio duration seed trace_out check =
     if conflict < 0.0 || conflict > 1.0 then
       (Fmt.epr "error: --conflict must be in [0, 1]@."; exit 1);
     if write_ratio < 0.0 || write_ratio > 1.0 then
@@ -135,20 +151,21 @@ let gryff_cmd =
     if duration <= 0.0 then (Fmt.epr "error: --duration must be positive@."; exit 1);
     let tracer = tracer_for trace_out in
     let r =
-      Harness.gryff_wan ~trace:tracer ~mode ~conflict ~write_ratio
+      Harness.gryff_wan ~trace:tracer ~check ~mode ~conflict ~write_ratio
         ~n_keys:100_000 ~duration_s:duration ~seed ()
     in
     Harness.Run.print_latencies ~header:"latency (ms)" r;
     Harness.Run.print_metrics ~header:"gryff" r;
     (match r.Harness.Run.check with
-    | Ok () -> Fmt.pr "history: verified@."
-    | Error m -> Fmt.pr "history: VIOLATION — %s@." m);
+    | Harness.Run.Pass -> Fmt.pr "history: verified@."
+    | Harness.Run.Fail m -> Fmt.pr "history: VIOLATION — %s@." m
+    | Harness.Run.Unknown m -> Fmt.pr "history: verdict UNKNOWN — %s@." m);
     save_trace tracer trace_out
   in
   Cmd.v
     (Cmd.info "gryff" ~doc:"Simulate Gryff / Gryff-RSC on YCSB.")
     Term.(const run $ mode $ conflict $ write_ratio $ duration $ seed
-          $ trace_out_arg)
+          $ trace_out_arg $ check_arg)
 
 let check_cmd =
   let demo =
@@ -324,7 +341,7 @@ let trace_cmd =
     | Some path ->
       Obs.Trace.save_binary tracer ~path;
       Fmt.pr "trace: binary span log written to %s@." path);
-    if r.Harness.Run.check <> Ok () then exit 2
+    if not (Harness.Run.passed r) then exit 2
   in
   Cmd.v
     (Cmd.info "trace"

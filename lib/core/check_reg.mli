@@ -21,6 +21,7 @@ val to_txn_model : model -> Check_txn.model
 
 val check : ?max_states:int -> History.t -> model -> Check_txn.result
 
-val satisfies : ?max_states:int -> History.t -> model -> bool
+val satisfies : ?max_states:int -> History.t -> model -> bool option
+(** [None] when the search budget is exhausted before a verdict. *)
 
 val causal : History.t -> Causal.t

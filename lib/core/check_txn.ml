@@ -255,6 +255,6 @@ let check ?(max_states = 2_000_000) h model =
 
 let satisfies ?max_states h model =
   match check ?max_states h model with
-  | Sat _ -> true
-  | Unsat -> false
-  | Unknown -> failwith "Check_txn.satisfies: search budget exhausted"
+  | Sat _ -> Some true
+  | Unsat -> Some false
+  | Unknown -> None

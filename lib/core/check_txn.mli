@@ -41,8 +41,9 @@ type result =
 val check : ?max_states:int -> Txn_history.t -> model -> result
 (** [max_states] bounds the DFS (default 2_000_000 visited states). *)
 
-val satisfies : ?max_states:int -> Txn_history.t -> model -> bool
-(** [Sat _ -> true], [Unsat -> false]. Raises [Failure] on [Unknown]. *)
+val satisfies : ?max_states:int -> Txn_history.t -> model -> bool option
+(** [Sat _ -> Some true], [Unsat -> Some false], [Unknown -> None] (search
+    budget exhausted — never a wrong verdict). *)
 
 val causal : Txn_history.t -> Causal.t
 (** The potential-causality relation of the history (over all txns,

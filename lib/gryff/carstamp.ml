@@ -22,3 +22,9 @@ let for_write ~base ~cid = { ts = base.ts + 1; cid; rmwc = 0 }
 let for_rmw ~base = { base with rmwc = base.rmwc + 1 }
 
 let pp ppf t = Fmt.pf ppf "(%d.%d.%d)" t.ts t.cid t.rmwc
+
+let pack t =
+  let in_range v bits = v >= 0 && v lsr bits = 0 in
+  if not (in_range t.ts 22 && in_range t.cid 20 && in_range t.rmwc 20) then
+    invalid_arg "Carstamp.pack: component out of range";
+  (t.ts lsl 40) lor (t.cid lsl 20) lor t.rmwc

@@ -28,3 +28,9 @@ val for_rmw : base:t -> t
     rmws are serialized by the consensus layer, so chains stay distinct. *)
 
 val pp : Format.formatter -> t -> unit
+
+val pack : t -> int
+(** Order-isomorphic packing into a single non-negative int
+    ([compare a b] agrees with [Int.compare (pack a) (pack b)]): 22 bits of
+    [ts], 20 of [cid], 20 of [rmwc]. Raises [Invalid_argument] if a
+    component is out of range — far beyond any simulated run's reach. *)

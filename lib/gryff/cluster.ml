@@ -17,7 +17,9 @@ type t = {
   config : Config.t;
   pctx : Protocol.ctx;
   mutable next_proc : int;
+  mutable next_value : int;
   mutable record_list : record list;
+  mutable record_hook : record -> unit;
 }
 
 let create engine ~rng (config : Config.t) =
@@ -26,7 +28,16 @@ let create engine ~rng (config : Config.t) =
       ~jitter:config.Config.jitter ()
   in
   let pctx = Protocol.make_ctx engine net config in
-  { engine; net; config; pctx; next_proc = 0; record_list = [] }
+  {
+    engine;
+    net;
+    config;
+    pctx;
+    next_proc = 0;
+    next_value = 1_000_000_000;
+    record_list = [];
+    record_hook = ignore;
+  }
 
 let engine t = t.engine
 
@@ -41,7 +52,16 @@ let fresh_proc t =
   t.next_proc <- p + 1;
   p
 
-let record t r = t.record_list <- r :: t.record_list
+let fresh_value t =
+  let v = t.next_value in
+  t.next_value <- v + 1;
+  v
+
+let record t r =
+  t.record_list <- r :: t.record_list;
+  t.record_hook r
+
+let set_record_hook t f = t.record_hook <- f
 
 let records t = Array.of_list (List.rev t.record_list)
 

@@ -33,6 +33,14 @@ type record = {
 
 val record : t -> record -> unit
 
+val set_record_hook : t -> (record -> unit) -> unit
+(** Observe every {!record} call as it happens — the feed for online
+    checking. One hook at a time; defaults to [ignore]. *)
+
+val fresh_value : t -> int
+(** A run-unique value to write (base 1_000_000_000) — keeps reads-from
+    derivable without per-test value disciplines. *)
+
 val records : t -> record array
 
 val check_history : t -> (unit, string) result

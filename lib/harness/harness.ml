@@ -8,13 +8,20 @@ module Run = struct
     | Spanner_txns of Rss_core.Witness.txn array
     | Gryff_ops of Gryff.Cluster.record array
 
+  type verdict = Rss_core.Check_online.verdict =
+    | Pass
+    | Fail of string
+    | Unknown of string
+
   type t = {
     latencies : (string * Stats.Recorder.t) list;
     metrics : Obs.Metrics.snapshot;
-    check : (unit, string) result;
+    check : verdict;
     records : history;
     duration_us : int;
   }
+
+  let passed t = match t.check with Pass -> true | Fail _ | Unknown _ -> false
 
   let empty_recorder = Stats.Recorder.create ()
 
@@ -44,9 +51,13 @@ module Run = struct
     print_latencies ~header:(header ^ " latency (ms)") t;
     print_metrics ~header t;
     match t.check with
-    | Ok () -> ()
-    | Error m -> Fmt.pr "  !! %s: consistency violation in run history: %s@." header m
+    | Pass -> ()
+    | Fail m ->
+      Fmt.pr "  !! %s: consistency violation in run history: %s@." header m
+    | Unknown m -> Fmt.pr "  ?? %s: consistency verdict unknown: %s@." header m
 end
+
+type check_mode = [ `Offline | `Online | `No_check ]
 
 (* Arm a chaos schedule on the run's engine; returns the injected-event
    counter to read after the run. *)
@@ -121,6 +132,100 @@ let gryff_metrics ~faults ~failover cluster =
   end;
   reg
 
+(* {2 Consistency checking}
+
+   [`Offline] buffers the whole history and verifies post-hoc
+   (Cluster.check_history, as before). [`Online] hooks the cluster's record
+   stream into {!Rss_core.Check_online} so verification overlaps the run and
+   stays near-linear at million-op scale. [`No_check] skips verification —
+   for benchmarking raw simulator speed; the verdict reports [Unknown]. *)
+
+let verdict_of_result = function Ok () -> Run.Pass | Error m -> Run.Fail m
+
+let arm_spanner_online cluster =
+  let mode =
+    match (Spanner.Cluster.config cluster).Spanner.Config.mode with
+    | Spanner.Config.Strict -> `Strict
+    | Spanner.Config.Rss -> `Rss
+  in
+  let oc = Rss_core.Check_online.create ~mode () in
+  Spanner.Cluster.set_record_hook cluster (Rss_core.Check_online.add oc);
+  oc
+
+let gryff_witness_txn (r : Gryff.Cluster.record) =
+  let key = string_of_int r.Gryff.Cluster.g_key in
+  let reads =
+    match r.Gryff.Cluster.g_kind with
+    | Gryff.Cluster.Read | Gryff.Cluster.Rmw ->
+      [ (key, r.Gryff.Cluster.g_observed) ]
+    | Gryff.Cluster.Write -> []
+  in
+  let writes =
+    match (r.Gryff.Cluster.g_kind, r.Gryff.Cluster.g_written) with
+    | (Gryff.Cluster.Write | Gryff.Cluster.Rmw), Some v -> [ (key, v) ]
+    | _ -> []
+  in
+  {
+    Rss_core.Witness.proc = r.Gryff.Cluster.g_proc;
+    reads;
+    writes;
+    inv = r.Gryff.Cluster.g_inv;
+    resp = r.Gryff.Cluster.g_resp;
+    ts = Gryff.Carstamp.pack r.Gryff.Cluster.g_cs;
+    rank = (match r.Gryff.Cluster.g_kind with Gryff.Cluster.Read -> 1 | _ -> 0);
+  }
+
+(* Registers are per-key: carstamp order — hence the mode's real-time
+   constraint — is only meaningful within a key, so each key gets its own
+   online checker, mirroring Gryff.Cluster.check_history's per-key split. *)
+let arm_gryff_online cluster =
+  let mode =
+    match (Gryff.Cluster.config cluster).Gryff.Config.mode with
+    | Gryff.Config.Lin -> `Strict
+    | Gryff.Config.Rsc -> `Rss
+  in
+  let tbl : (int, Rss_core.Check_online.t) Hashtbl.t = Hashtbl.create 256 in
+  Gryff.Cluster.set_record_hook cluster (fun r ->
+      let oc =
+        match Hashtbl.find_opt tbl r.Gryff.Cluster.g_key with
+        | Some oc -> oc
+        | None ->
+          let oc = Rss_core.Check_online.create ~mode () in
+          Hashtbl.add tbl r.Gryff.Cluster.g_key oc;
+          oc
+      in
+      Rss_core.Check_online.add oc (gryff_witness_txn r));
+  tbl
+
+let gryff_online_result tbl =
+  Hashtbl.fold
+    (fun key oc acc ->
+      match acc with
+      | Run.Fail _ -> acc
+      | Run.Pass | Run.Unknown _ -> (
+        match Rss_core.Check_online.result oc with
+        | Rss_core.Check_online.Pass -> acc
+        | Rss_core.Check_online.Fail m -> Run.Fail (Fmt.str "key %d: %s" key m)
+        | Rss_core.Check_online.Unknown m -> (
+          match acc with
+          | Run.Unknown _ -> acc
+          | _ -> Run.Unknown (Fmt.str "key %d: %s" key m))))
+    tbl Run.Pass
+
+let gryff_online_stats tbl =
+  Hashtbl.fold
+    (fun _ oc (a, w, d) ->
+      ( a + Rss_core.Check_online.n_added oc,
+        w + Rss_core.Check_online.work oc,
+        max d (Rss_core.Check_online.max_displacement oc) ))
+    tbl (0, 0, 0)
+
+let online_counters reg ~added ~work ~max_displacement =
+  let c name v = Obs.Metrics.add (Obs.Metrics.counter reg name) v in
+  c "check.added" added;
+  c "check.work" work;
+  c "check.max_displacement" max_displacement
+
 (* Chaos runs must sweep committed-but-unacknowledged attempts into the
    history before checking it (see Chaos.Audit); both trackers below record
    via the audit's shared sweep convention. *)
@@ -136,8 +241,8 @@ type pending_rw = {
    (sessions at [arrival_rate_per_sec], stay probability 0.9, zero think
    time, a fresh t_min per session), Zipfian keys. *)
 let spanner_wan ?(config = None) ?chaos ?(failover = false)
-    ?(trace = Obs.Trace.disabled) ~mode ~theta ~n_keys ~arrival_rate_per_sec
-    ~duration_s ~seed () =
+    ?(trace = Obs.Trace.disabled) ?(check = `Offline) ~mode ~theta ~n_keys
+    ~arrival_rate_per_sec ~duration_s ~seed () =
   let engine = Sim.Engine.create () in
   let rng = Sim.Rng.make seed in
   let config =
@@ -157,6 +262,9 @@ let spanner_wan ?(config = None) ?chaos ?(failover = false)
   let faults =
     arm_chaos ?chaos ~tracer:trace ~engine ~net:(Spanner.Cluster.net cluster)
       ~tt:(Spanner.Cluster.truetime cluster) ()
+  in
+  let online =
+    match check with `Online -> Some (arm_spanner_online cluster) | _ -> None
   in
   let pending : pending_rw list ref = ref [] in
   let retwis = Workload.Retwis.create ~rng:(Sim.Rng.split rng) ~n_keys ~theta in
@@ -228,18 +336,34 @@ let spanner_wan ?(config = None) ?chaos ?(failover = false)
              ~inv:info.pr_inv ~writes:info.pr_writes ~txn:info.pr_last_txn))
     (List.rev !pending);
   let reg = spanner_metrics ~faults:!faults ~failover cluster in
+  let t0_check = Sys.time () in
+  let verdict =
+    match (check, online) with
+    | `No_check, _ -> Run.Unknown "checking disabled"
+    | `Online, Some oc -> Rss_core.Check_online.result oc
+    | `Online, None -> assert false
+    | `Offline, _ -> verdict_of_result (Spanner.Cluster.check_history cluster)
+  in
+  Obs.Metrics.set_gauge reg "check.finish_s" (Sys.time () -. t0_check);
+  (match online with
+  | Some oc ->
+    online_counters reg
+      ~added:(Rss_core.Check_online.n_added oc)
+      ~work:(Rss_core.Check_online.work oc)
+      ~max_displacement:(Rss_core.Check_online.max_displacement oc)
+  | None -> ());
   {
     Run.latencies = [ ("ro", ro); ("rw", rw) ];
     metrics = Obs.Metrics.snapshot reg;
-    check = Spanner.Cluster.check_history cluster;
+    check = verdict;
     records = Run.Spanner_txns (Spanner.Cluster.records cluster);
     duration_us = Sim.Engine.now engine;
   }
 
 (* The §6.2 single-data-center saturation experiment: closed-loop clients,
    uniform keys, ε = 0, per-message CPU cost at shard leaders. *)
-let spanner_dc ?chaos ?(trace = Obs.Trace.disabled) ~mode ~n_shards
-    ~service_time_us ~n_clients ~n_keys ~duration_s ~seed () =
+let spanner_dc ?chaos ?(trace = Obs.Trace.disabled) ?(check = `Offline) ~mode
+    ~n_shards ~service_time_us ~n_clients ~n_keys ~duration_s ~seed () =
   let engine = Sim.Engine.create () in
   let rng = Sim.Rng.make seed in
   let config = Spanner.Config.single_dc ~mode ~n_shards ~service_time_us () in
@@ -248,6 +372,9 @@ let spanner_dc ?chaos ?(trace = Obs.Trace.disabled) ~mode ~n_shards
   let faults =
     arm_chaos ?chaos ~tracer:trace ~engine ~net:(Spanner.Cluster.net cluster)
       ~tt:(Spanner.Cluster.truetime cluster) ()
+  in
+  let online =
+    match check with `Online -> Some (arm_spanner_online cluster) | _ -> None
   in
   let pending : pending_rw list ref = ref [] in
   let retwis = Workload.Retwis.create ~rng:(Sim.Rng.split rng) ~n_keys ~theta:0.0 in
@@ -316,10 +443,26 @@ let spanner_dc ?chaos ?(trace = Obs.Trace.disabled) ~mode ~n_shards
     (if total_txns = 0 then 0.0
      else
        float_of_int stats.Spanner.Cluster.messages /. float_of_int total_txns);
+  let t0_check = Sys.time () in
+  let verdict =
+    match (check, online) with
+    | `No_check, _ -> Run.Unknown "checking disabled"
+    | `Online, Some oc -> Rss_core.Check_online.result oc
+    | `Online, None -> assert false
+    | `Offline, _ -> verdict_of_result (Spanner.Cluster.check_history cluster)
+  in
+  Obs.Metrics.set_gauge reg "check.finish_s" (Sys.time () -. t0_check);
+  (match online with
+  | Some oc ->
+    online_counters reg
+      ~added:(Rss_core.Check_online.n_added oc)
+      ~work:(Rss_core.Check_online.work oc)
+      ~max_displacement:(Rss_core.Check_online.max_displacement oc)
+  | None -> ());
   {
     Run.latencies = [ ("txn", lat) ];
     metrics = Obs.Metrics.snapshot reg;
-    check = Spanner.Cluster.check_history cluster;
+    check = verdict;
     records = Run.Spanner_txns (Spanner.Cluster.records cluster);
     duration_us = Sim.Engine.now engine;
   }
@@ -346,8 +489,8 @@ let sweep_gryff cluster pending =
 (* The §7.2 YCSB experiment: 16 closed-loop clients spread over five
    regions, tunable conflict percentage and write ratio. *)
 let gryff_wan ?(n_clients = 16) ?chaos ?(failover = false)
-    ?(trace = Obs.Trace.disabled) ~mode ~conflict ~write_ratio ~n_keys
-    ~duration_s ~seed () =
+    ?(trace = Obs.Trace.disabled) ?(check = `Offline) ~mode ~conflict
+    ~write_ratio ~n_keys ~duration_s ~seed () =
   let engine = Sim.Engine.create () in
   let rng = Sim.Rng.make seed in
   let config = Gryff.Config.wan5 ~mode () in
@@ -358,10 +501,12 @@ let gryff_wan ?(n_clients = 16) ?chaos ?(failover = false)
   let faults =
     arm_chaos ?chaos ~tracer:trace ~engine ~net:(Gryff.Cluster.net cluster) ()
   in
+  let online =
+    match check with `Online -> Some (arm_gryff_online cluster) | _ -> None
+  in
   let pending : pending_write list ref = ref [] in
   let ycsb = Workload.Ycsb.create ~rng:(Sim.Rng.split rng) ~n_keys ~write_ratio ~conflict in
   let read_lat = Stats.Recorder.create () and write_lat = Stats.Recorder.create () in
-  let next_val = ref 0 in
   let until = Sim.Engine.sec duration_s in
   let warmup = Sim.Engine.sec (duration_s /. 10.0) in
   let clients = Array.init n_clients (fun i -> Gryff.Client.create cluster ~site:(i mod 5)) in
@@ -375,14 +520,14 @@ let gryff_wan ?(n_clients = 16) ?chaos ?(failover = false)
         k ()
       in
       if op.Workload.Ycsb.is_write then begin
-        incr next_val;
+        let value = Gryff.Cluster.fresh_value cluster in
         if chaos = None then
-          Gryff.Client.write c ~key:op.Workload.Ycsb.key ~value:!next_val
+          Gryff.Client.write c ~key:op.Workload.Ycsb.key ~value
             (fun _ -> finish write_lat ())
         else begin
           let info =
             { pw_proc = Gryff.Client.proc c; pw_inv = t0;
-              pw_key = op.Workload.Ycsb.key; pw_value = !next_val;
+              pw_key = op.Workload.Ycsb.key; pw_value = value;
               pw_cs = None; pw_done = false }
           in
           pending := info :: !pending;
@@ -399,17 +544,32 @@ let gryff_wan ?(n_clients = 16) ?chaos ?(failover = false)
   Sim.Engine.run ~max_events:600_000_000 engine;
   sweep_gryff cluster !pending;
   let reg = gryff_metrics ~faults:!faults ~failover cluster in
+  let t0_check = Sys.time () in
+  let verdict =
+    match (check, online) with
+    | `No_check, _ -> Run.Unknown "checking disabled"
+    | `Online, Some tbl -> gryff_online_result tbl
+    | `Online, None -> assert false
+    | `Offline, _ -> verdict_of_result (Gryff.Cluster.check_history cluster)
+  in
+  Obs.Metrics.set_gauge reg "check.finish_s" (Sys.time () -. t0_check);
+  (match online with
+  | Some tbl ->
+    let added, work, max_displacement = gryff_online_stats tbl in
+    online_counters reg ~added ~work ~max_displacement
+  | None -> ());
   {
     Run.latencies = [ ("read", read_lat); ("write", write_lat) ];
     metrics = Obs.Metrics.snapshot reg;
-    check = Gryff.Cluster.check_history cluster;
+    check = verdict;
     records = Run.Gryff_ops (Gryff.Cluster.records cluster);
     duration_us = Sim.Engine.now engine;
   }
 
 (* The §7.4 overhead experiment: in-DC latencies, per-message CPU cost. *)
-let gryff_dc ?chaos ?(trace = Obs.Trace.disabled) ~mode ~service_time_us
-    ~n_clients ~conflict ~write_ratio ~n_keys ~duration_s ~seed () =
+let gryff_dc ?chaos ?(trace = Obs.Trace.disabled) ?(check = `Offline) ~mode
+    ~service_time_us ~n_clients ~conflict ~write_ratio ~n_keys ~duration_s
+    ~seed () =
   let engine = Sim.Engine.create () in
   let rng = Sim.Rng.make seed in
   let config = Gryff.Config.single_dc ~mode ~service_time_us () in
@@ -418,11 +578,13 @@ let gryff_dc ?chaos ?(trace = Obs.Trace.disabled) ~mode ~service_time_us
   let faults =
     arm_chaos ?chaos ~tracer:trace ~engine ~net:(Gryff.Cluster.net cluster) ()
   in
+  let online =
+    match check with `Online -> Some (arm_gryff_online cluster) | _ -> None
+  in
   let pending : pending_write list ref = ref [] in
   let ycsb = Workload.Ycsb.create ~rng:(Sim.Rng.split rng) ~n_keys ~write_ratio ~conflict in
   let lat = Stats.Recorder.create () in
   let completed = ref 0 in
-  let next_val = ref 0 in
   let until = Sim.Engine.sec duration_s in
   let warmup = Sim.Engine.sec (duration_s /. 5.0) in
   let clients = Array.init n_clients (fun i -> Gryff.Client.create cluster ~site:(i mod 5)) in
@@ -439,14 +601,14 @@ let gryff_dc ?chaos ?(trace = Obs.Trace.disabled) ~mode ~service_time_us
         k ()
       in
       if op.Workload.Ycsb.is_write then begin
-        incr next_val;
+        let value = Gryff.Cluster.fresh_value cluster in
         if chaos = None then
-          Gryff.Client.write c ~key:op.Workload.Ycsb.key ~value:!next_val
+          Gryff.Client.write c ~key:op.Workload.Ycsb.key ~value
             (fun _ -> finish ())
         else begin
           let info =
             { pw_proc = Gryff.Client.proc c; pw_inv = t0;
-              pw_key = op.Workload.Ycsb.key; pw_value = !next_val;
+              pw_key = op.Workload.Ycsb.key; pw_value = value;
               pw_cs = None; pw_done = false }
           in
           pending := info :: !pending;
@@ -470,14 +632,31 @@ let gryff_dc ?chaos ?(trace = Obs.Trace.disabled) ~mode ~service_time_us
     (match Stats.Recorder.percentile_ms_opt lat 50.0 with
     | Some m -> m
     | None -> Float.nan);
+  let t0_check = Sys.time () in
+  let verdict =
+    match (check, online) with
+    | `No_check, _ -> Run.Unknown "checking disabled"
+    | `Online, Some tbl -> gryff_online_result tbl
+    | `Online, None -> assert false
+    | `Offline, _ -> verdict_of_result (Gryff.Cluster.check_history cluster)
+  in
+  Obs.Metrics.set_gauge reg "check.finish_s" (Sys.time () -. t0_check);
+  (match online with
+  | Some tbl ->
+    let added, work, max_displacement = gryff_online_stats tbl in
+    online_counters reg ~added ~work ~max_displacement
+  | None -> ());
   {
     Run.latencies = [ ("op", lat) ];
     metrics = Obs.Metrics.snapshot reg;
-    check = Gryff.Cluster.check_history cluster;
+    check = verdict;
     records = Run.Gryff_ops (Gryff.Cluster.records cluster);
     duration_us = Sim.Engine.now engine;
   }
 
 let report_check name = function
-  | Ok () -> ()
-  | Error m -> Fmt.pr "  !! %s: consistency violation in run history: %s@." name m
+  | Run.Pass -> ()
+  | Run.Fail m ->
+    Fmt.pr "  !! %s: consistency violation in run history: %s@." name m
+  | Run.Unknown m ->
+    Fmt.pr "  ?? %s: consistency verdict unknown: %s@." name m

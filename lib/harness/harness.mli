@@ -20,6 +20,14 @@ module Run : sig
     | Spanner_txns of Rss_core.Witness.txn array
     | Gryff_ops of Gryff.Cluster.record array
 
+  (** The consistency verdict. [Unknown] surfaces exhausted checker budgets
+      (and [`No_check] runs) as a value — a budget can silence the checker
+      but never make it wrong. *)
+  type verdict = Rss_core.Check_online.verdict =
+    | Pass
+    | Fail of string
+    | Unknown of string
+
   type t = {
     latencies : (string * Stats.Recorder.t) list;
         (** named recorders in µs, e.g. [["ro"; "rw"]] for Spanner WAN runs,
@@ -27,11 +35,16 @@ module Run : sig
             single-DC saturation drivers *)
     metrics : Obs.Metrics.snapshot;
         (** protocol / network / fault / failover counters and gauges
-            (single-DC drivers add ["throughput_tps"], ["p50_ms"], ...) *)
-    check : (unit, string) result;  (** the consistency verdict *)
+            (single-DC drivers add ["throughput_tps"], ["p50_ms"], ...; all
+            drivers add ["check.finish_s"], online-checked runs add
+            ["check.added"], ["check.work"], ["check.max_displacement"]) *)
+    check : verdict;
     records : history;
     duration_us : int;  (** simulated time at which the engine drained *)
   }
+
+  val passed : t -> bool
+  (** [check = Pass]. *)
 
   val latency : t -> string -> Stats.Recorder.t
   (** Recorder by name; an empty recorder when absent. *)
@@ -56,9 +69,20 @@ module Run : sig
       failed verification. *)
 end
 
+type check_mode = [ `Offline | `Online | `No_check ]
+(** How a driver verifies its history. [`Offline] (the default) buffers the
+    run and checks post-hoc, exactly as before. [`Online] feeds every record
+    into {!Rss_core.Check_online} as it happens, so million-op histories
+    verify in near-linear time and the run's peak memory excludes the
+    post-hoc sort. [`No_check] skips verification (the verdict is
+    [Unknown]) — for benchmarking raw simulator speed. The mode never
+    affects the simulation itself: record hooks draw no randomness and
+    schedule no events, so seeded traces are identical across modes. *)
+
 val spanner_wan :
   ?config:Spanner.Config.t option -> ?chaos:Chaos.Schedule.t ->
-  ?failover:bool -> ?trace:Obs.Trace.t -> mode:Spanner.Config.mode ->
+  ?failover:bool -> ?trace:Obs.Trace.t -> ?check:check_mode ->
+  mode:Spanner.Config.mode ->
   theta:float -> n_keys:int -> arrival_rate_per_sec:float ->
   duration_s:float -> seed:int -> unit -> Run.t
 (** §6.1: Retwis over the CA/VA/IR deployment with partly-open clients
@@ -69,7 +93,8 @@ val spanner_wan :
     leader-killing schedules. Latencies: ["ro"], ["rw"]. *)
 
 val spanner_dc :
-  ?chaos:Chaos.Schedule.t -> ?trace:Obs.Trace.t -> mode:Spanner.Config.mode ->
+  ?chaos:Chaos.Schedule.t -> ?trace:Obs.Trace.t -> ?check:check_mode ->
+  mode:Spanner.Config.mode ->
   n_shards:int -> service_time_us:int -> n_clients:int -> n_keys:int ->
   duration_s:float -> seed:int -> unit -> Run.t
 (** §6.2 saturation. Latencies: ["txn"]; gauges: ["throughput_tps"],
@@ -77,7 +102,8 @@ val spanner_dc :
 
 val gryff_wan :
   ?n_clients:int -> ?chaos:Chaos.Schedule.t -> ?failover:bool ->
-  ?trace:Obs.Trace.t -> mode:Gryff.Config.mode -> conflict:float ->
+  ?trace:Obs.Trace.t -> ?check:check_mode -> mode:Gryff.Config.mode ->
+  conflict:float ->
   write_ratio:float -> n_keys:int -> duration_s:float -> seed:int -> unit ->
   Run.t
 (** §7.2: YCSB over the five-region deployment, closed-loop clients.
@@ -85,12 +111,14 @@ val gryff_wan :
     Latencies: ["read"], ["write"]. *)
 
 val gryff_dc :
-  ?chaos:Chaos.Schedule.t -> ?trace:Obs.Trace.t -> mode:Gryff.Config.mode ->
+  ?chaos:Chaos.Schedule.t -> ?trace:Obs.Trace.t -> ?check:check_mode ->
+  mode:Gryff.Config.mode ->
   service_time_us:int -> n_clients:int -> conflict:float ->
   write_ratio:float -> n_keys:int -> duration_s:float -> seed:int -> unit ->
   Run.t
 (** §7.4 overhead. Latencies: ["op"]; gauges: ["throughput_tps"],
     ["p50_ms"]. *)
 
-val report_check : string -> (unit, string) result -> unit
-(** Print a loud warning if a run's history failed verification. *)
+val report_check : string -> Run.verdict -> unit
+(** Print a loud warning if a run's history failed verification (or an
+    unresolved-verdict note on [Unknown]). *)

@@ -1,12 +1,22 @@
-type event = { time : int; seq : int; kind : string; action : unit -> unit }
-
 type prof_cell = { mutable p_events : int; mutable p_wall : float }
 
+(* The event queue is a binary min-heap over (time, seq) stored as four
+   parallel flat arrays rather than an array of boxed event records. This
+   is the simulator's hottest path — every message delivery is one push and
+   one pop — and the flat layout makes both allocation-free in the steady
+   state: pushes write into preallocated slots, pops compare unboxed ints,
+   and no option or record is built per event. The ordering predicate and
+   the sift algorithms are exactly those of the previous boxed heap, so a
+   seeded run executes the identical schedule. *)
 type t = {
   mutable clock : int;
   mutable next_seq : int;
   mutable n_executed : int;
-  queue : event Heap.t;
+  mutable ev_time : int array;
+  mutable ev_seq : int array;
+  mutable ev_kind : string array;
+  mutable ev_action : (unit -> unit) array;
+  mutable len : int;
   (* Profiling is host-side observation only: it reads [Sys.time] and the
      queue size but never touches simulated time or event order, so
      enabling it cannot perturb a seeded run. *)
@@ -16,15 +26,18 @@ type t = {
   depths : Stats.Recorder.t;
 }
 
-let compare_event a b =
-  if a.time <> b.time then compare a.time b.time else compare a.seq b.seq
+let no_op () = ()
 
 let create () =
   {
     clock = 0;
     next_seq = 0;
     n_executed = 0;
-    queue = Heap.create ~cmp:compare_event;
+    ev_time = Array.make 16 0;
+    ev_seq = Array.make 16 0;
+    ev_kind = Array.make 16 "";
+    ev_action = Array.make 16 no_op;
+    len = 0;
     profiling = false;
     sample_every = 1024;
     profile = Hashtbl.create 16;
@@ -33,10 +46,74 @@ let create () =
 
 let now t = t.clock
 
+let grow t =
+  let cap = Array.length t.ev_time in
+  if t.len = cap then begin
+    let ncap = cap * 2 in
+    let time = Array.make ncap 0
+    and seq = Array.make ncap 0
+    and kind = Array.make ncap ""
+    and action = Array.make ncap no_op in
+    Array.blit t.ev_time 0 time 0 t.len;
+    Array.blit t.ev_seq 0 seq 0 t.len;
+    Array.blit t.ev_kind 0 kind 0 t.len;
+    Array.blit t.ev_action 0 action 0 t.len;
+    t.ev_time <- time;
+    t.ev_seq <- seq;
+    t.ev_kind <- kind;
+    t.ev_action <- action
+  end
+
+(* (time, seq) lexicographic — seq ties break FIFO among same-instant
+   events, which is what makes runs reproducible. *)
+let less t i j =
+  t.ev_time.(i) < t.ev_time.(j)
+  || (t.ev_time.(i) = t.ev_time.(j) && t.ev_seq.(i) < t.ev_seq.(j))
+
+let swap t i j =
+  let ti = t.ev_time.(i) in
+  t.ev_time.(i) <- t.ev_time.(j);
+  t.ev_time.(j) <- ti;
+  let si = t.ev_seq.(i) in
+  t.ev_seq.(i) <- t.ev_seq.(j);
+  t.ev_seq.(j) <- si;
+  let ki = t.ev_kind.(i) in
+  t.ev_kind.(i) <- t.ev_kind.(j);
+  t.ev_kind.(j) <- ki;
+  let ai = t.ev_action.(i) in
+  t.ev_action.(i) <- t.ev_action.(j);
+  t.ev_action.(j) <- ai
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if less t i parent then begin
+      swap t i parent;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let left = (2 * i) + 1 and right = (2 * i) + 2 in
+  let smallest = ref i in
+  if left < t.len && less t left !smallest then smallest := left;
+  if right < t.len && less t right !smallest then smallest := right;
+  if !smallest <> i then begin
+    swap t i !smallest;
+    sift_down t !smallest
+  end
+
 let schedule_at ?(kind = "other") t ~at action =
   let time = if at < t.clock then t.clock else at in
-  Heap.add t.queue { time; seq = t.next_seq; kind; action };
-  t.next_seq <- t.next_seq + 1
+  grow t;
+  let i = t.len in
+  t.ev_time.(i) <- time;
+  t.ev_seq.(i) <- t.next_seq;
+  t.ev_kind.(i) <- kind;
+  t.ev_action.(i) <- action;
+  t.len <- t.len + 1;
+  t.next_seq <- t.next_seq + 1;
+  sift_up t i
 
 let schedule ?kind t ~after action =
   let after = if after < 0 then 0 else after in
@@ -62,40 +139,60 @@ let profile t =
 
 let queue_depths t = t.depths
 
+(* Remove the root. Popped slots are cleared so the heap never keeps a dead
+   closure (or its environment) alive past execution. *)
+let remove_root t =
+  let last = t.len - 1 in
+  t.len <- last;
+  if last > 0 then begin
+    t.ev_time.(0) <- t.ev_time.(last);
+    t.ev_seq.(0) <- t.ev_seq.(last);
+    t.ev_kind.(0) <- t.ev_kind.(last);
+    t.ev_action.(0) <- t.ev_action.(last)
+  end;
+  t.ev_kind.(last) <- "";
+  t.ev_action.(last) <- no_op;
+  if t.len > 1 then sift_down t 0
+
 let step t =
-  match Heap.pop t.queue with
-  | None -> false
-  | Some ev ->
-    t.clock <- ev.time;
+  if t.len = 0 then false
+  else begin
+    let time = t.ev_time.(0) in
+    let kind = t.ev_kind.(0) in
+    let action = t.ev_action.(0) in
+    remove_root t;
+    t.clock <- time;
     t.n_executed <- t.n_executed + 1;
     if t.profiling then begin
       if t.n_executed mod t.sample_every = 0 then
-        Stats.Recorder.add t.depths (Heap.size t.queue);
+        Stats.Recorder.add t.depths t.len;
       let t0 = Sys.time () in
-      ev.action ();
-      let cell = prof_cell t ev.kind in
+      action ();
+      let cell = prof_cell t kind in
       cell.p_events <- cell.p_events + 1;
       cell.p_wall <- cell.p_wall +. (Sys.time () -. t0)
     end
-    else ev.action ();
+    else action ();
     true
+  end
 
 let run ?until ?max_events t =
   let stop_time = match until with None -> max_int | Some u -> u in
   let budget = ref (match max_events with None -> max_int | Some m -> m) in
   let continue = ref true in
   while !continue && !budget > 0 do
-    match Heap.peek t.queue with
-    | None -> continue := false
-    | Some ev when ev.time > stop_time ->
+    if t.len = 0 then continue := false
+    else if t.ev_time.(0) > stop_time then begin
       t.clock <- stop_time;
       continue := false
-    | Some _ ->
+    end
+    else begin
       ignore (step t);
       decr budget
+    end
   done
 
-let pending t = Heap.size t.queue
+let pending t = t.len
 
 let executed t = t.n_executed
 

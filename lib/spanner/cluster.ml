@@ -9,6 +9,7 @@ type t = {
   mutable next_value : int;
   mutable record_list : Rss_core.Witness.txn list;
   mutable n_records : int;
+  mutable record_hook : Rss_core.Witness.txn -> unit;
 }
 
 let create engine ~rng (config : Config.t) =
@@ -30,6 +31,7 @@ let create engine ~rng (config : Config.t) =
     next_value = 1_000_000_000;
     record_list = [];
     n_records = 0;
+    record_hook = ignore;
   }
 
 let engine t = t.engine
@@ -56,7 +58,10 @@ let fresh_value t =
 
 let record t r =
   t.record_list <- r :: t.record_list;
-  t.n_records <- t.n_records + 1
+  t.n_records <- t.n_records + 1;
+  t.record_hook r
+
+let set_record_hook t f = t.record_hook <- f
 
 let records t = Array.of_list (List.rev t.record_list)
 

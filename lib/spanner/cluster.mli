@@ -25,6 +25,10 @@ val fresh_value : t -> int
 
 val record : t -> Rss_core.Witness.txn -> unit
 
+val set_record_hook : t -> (Rss_core.Witness.txn -> unit) -> unit
+(** Observe every {!record} call as it happens — the feed for online
+    checking. One hook at a time; defaults to [ignore]. *)
+
 val records : t -> Rss_core.Witness.txn array
 
 val check_history : t -> (unit, string) result

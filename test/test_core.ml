@@ -458,6 +458,30 @@ let test_unknown_on_tiny_budget () =
   | CT.Sat _ | CT.Unsat -> Alcotest.fail "expected Unknown");
   check bool "full budget solves it" true (txn_sat h Process_ordered)
 
+let test_satisfies_surfaces_unknown () =
+  (* Budget exhaustion is a value, not a crash — and never a wrong verdict:
+     a tiny budget yields None where the full budget proves Some true. *)
+  let txns =
+    List.init 8 (fun i ->
+        T.rw ~id:i ~proc:i ~writes:[ (Fmt.str "k%d" i, i) ] ~inv:(i * 2)
+          ~resp:((i * 2) + 1) ())
+  in
+  let h = T.make txns in
+  (match CT.satisfies ~max_states:1 h CT.Process_ordered with
+  | None -> ()
+  | Some ok -> Alcotest.failf "expected None on a 1-state budget, got %b" ok);
+  check bool "full budget proves it" true
+    (CT.satisfies h CT.Process_ordered = Some true);
+  (* Same through the register-model wrapper. *)
+  let reg =
+    H.make
+      [
+        H.write ~id:0 ~proc:0 ~key:"x" ~value:1 ~inv:0 ~resp:10 ();
+        H.read ~id:1 ~proc:1 ~key:"x" ~value:1 ~inv:20 ~resp:30 ();
+      ]
+  in
+  check bool "Check_reg full budget" true (CR.satisfies reg CR.Rsc = Some true)
+
 let test_witness_order_returned () =
   match CT.check fig4_history CT.Rss with
   | CT.Sat order ->
@@ -1037,6 +1061,8 @@ let suites =
         Alcotest.test_case "RO snapshot consistency" `Quick test_ro_snapshot_consistency;
         Alcotest.test_case "session monotonicity" `Quick test_rss_session_monotonicity;
         Alcotest.test_case "budget exhaustion" `Quick test_unknown_on_tiny_budget;
+        Alcotest.test_case "satisfies surfaces Unknown" `Quick
+          test_satisfies_surfaces_unknown;
         Alcotest.test_case "witness order returned" `Quick test_witness_order_returned;
         qt prop_model_lattice;
         qt prop_serial_position_order_always_sat;

@@ -49,9 +49,6 @@ let gryff_fuzz_one ~mode ~seed =
   let config = Gryff.Config.wan5 ~mode () in
   let cluster = Gryff.Cluster.create engine ~rng config in
   let wl = Sim.Rng.split rng in
-  (* Write values must not collide with rmw counter results (history
-     checking derives reads-from from values). *)
-  let next_val = ref 1_000_000 in
   let clients = Array.init 10 (fun i -> Gryff.Client.create cluster ~site:(i mod 5)) in
   Workload.Client_model.closed_loop engine ~n_clients:10
     ~body:(fun ~client k ->
@@ -60,8 +57,10 @@ let gryff_fuzz_one ~mode ~seed =
       match Sim.Rng.int wl 3 with
       | 0 -> Gryff.Client.read c ~key (fun _ -> k ())
       | 1 ->
-        incr next_val;
-        Gryff.Client.write c ~key ~value:!next_val (fun _ -> k ())
+        (* Cluster-allocated values never collide with rmw counter results
+           (history checking derives reads-from from values). *)
+        let value = Gryff.Cluster.fresh_value cluster in
+        Gryff.Client.write c ~key ~value (fun _ -> k ())
       | _ ->
         Gryff.Client.rmw c ~key
           ~f:(fun v -> match v with None -> 1 | Some x -> x + 1)
@@ -105,6 +104,46 @@ let test_postore_fuzz () =
     | Error m -> Alcotest.fail (Fmt.str "seed %d: %s" seed m)
   done
 
+(* Chaos + failover combined battery: the same seed-sweep idea, but with a
+   nemesis active during the run. Leader-killing presets force the failover
+   machinery (elections, client deadlines, retransmission) to carry the
+   workload, and every surviving history must still verify — including the
+   committed-but-unacknowledged operations the audit sweeps in. *)
+let chaos_presets = Chaos.Nemesis.[ Leader_kill; Mixed ]
+
+let test_chaos_fuzz protocol () =
+  List.iter
+    (fun preset ->
+      for seed = 1 to 5 do
+        let duration_s = 4.0 in
+        let schedule =
+          Chaos.Audit.nemesis_schedule protocol preset ~duration_s
+            ~seed:(seed * 31)
+        in
+        let label =
+          Fmt.str "%s/%s seed %d"
+            (Chaos.Audit.protocol_name protocol)
+            (Chaos.Nemesis.preset_name preset)
+            seed
+        in
+        let r =
+          Chaos.Audit.run protocol ~schedule ~n_slots:6 ~failover:true
+            ~duration_s ~seed ()
+        in
+        (match r.Chaos.Audit.check with
+        | Ok () -> ()
+        | Error m -> Alcotest.failf "%s: consistency violation: %s" label m);
+        check bool (label ^ ": liveness resumed after heal") true
+          (Chaos.Audit.liveness_ok r);
+        (* The checker must keep its teeth under chaos: corrupting one read
+           to a stale version has to flip the verdict. *)
+        match r.Chaos.Audit.stale_control () with
+        | None | Some (Error _) -> ()
+        | Some (Ok ()) ->
+          Alcotest.failf "%s: stale-read corruption went undetected" label
+      done)
+    chaos_presets
+
 let suites =
   [
     ( "fuzz",
@@ -119,4 +158,11 @@ let suites =
           (test_gryff_fuzz Gryff.Config.Rsc);
         Alcotest.test_case "postore, 25 seeds" `Slow test_postore_fuzz;
       ] );
+    ( "fuzz.chaos",
+      List.map
+        (fun p ->
+          Alcotest.test_case
+            (Chaos.Audit.protocol_name p ^ " under nemesis, 2x5 seeds")
+            `Slow (test_chaos_fuzz p))
+        Chaos.Audit.protocols );
   ]

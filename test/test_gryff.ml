@@ -491,7 +491,8 @@ let test_small_run_full_rsc_search () =
   in
   let h = Rss_core.History.make ops in
   check bool "run satisfies RSC (search checker)" true
-    (Rss_core.Check_reg.satisfies ~max_states:5_000_000 h Rss_core.Check_reg.Rsc)
+    (Rss_core.Check_reg.satisfies ~max_states:5_000_000 h Rss_core.Check_reg.Rsc
+    = Some true)
 
 let suites =
   [

@@ -344,7 +344,7 @@ let test_traced_run_is_passive () =
 let test_ro_span_decomposes_into_hops () =
   let tr = Obs.Trace.create () in
   let r = spanner_run ~trace:tr () in
-  check bool "run verified" true (r.Harness.Run.check = Ok ());
+  check bool "run verified" true (Harness.Run.passed r);
   let spans = Obs.Trace.spans tr in
   let children = Hashtbl.create 256 in
   Array.iter
@@ -405,7 +405,7 @@ let test_gryff_traced_wan () =
     Harness.gryff_wan ~trace:tr ~n_clients:4 ~mode:Gryff.Config.Rsc
       ~conflict:0.1 ~write_ratio:0.3 ~n_keys:2_000 ~duration_s:2.0 ~seed:5 ()
   in
-  check bool "run verified" true (r.Harness.Run.check = Ok ());
+  check bool "run verified" true (Harness.Run.passed r);
   let spans = Array.to_list (Obs.Trace.spans tr) in
   let by_name n = List.filter (fun s -> s.Obs.Trace.name = n) spans in
   check bool "client read spans" true (by_name "gryff.read" <> []);

@@ -168,12 +168,14 @@ let test_osc_registers_satisfy_oscu () =
     check bool
       (Fmt.str "seed %d satisfies OSC(U)" seed)
       true
-      (Rss_core.Check_reg.satisfies ~max_states:5_000_000 h Rss_core.Check_reg.Osc_u);
+      (Rss_core.Check_reg.satisfies ~max_states:5_000_000 h Rss_core.Check_reg.Osc_u
+      = Some true);
     check bool
       (Fmt.str "seed %d satisfies sequential" seed)
       true
       (Rss_core.Check_reg.satisfies ~max_states:5_000_000 h
-         Rss_core.Check_reg.Sequential)
+         Rss_core.Check_reg.Sequential
+      = Some true)
   done
 
 let test_osc_registers_not_rsc () =
@@ -183,12 +185,15 @@ let test_osc_registers_not_rsc () =
   let seed = ref 1 in
   while (not !found) && !seed <= 40 do
     let h = osc_register_run ~seed:!seed ~n_ops:5 in
-    if not (Rss_core.Check_reg.satisfies ~max_states:5_000_000 h Rss_core.Check_reg.Rsc)
+    if
+      Rss_core.Check_reg.satisfies ~max_states:5_000_000 h Rss_core.Check_reg.Rsc
+      = Some false
     then begin
       found := true;
       check bool "the same run satisfies OSC(U)" true
         (Rss_core.Check_reg.satisfies ~max_states:5_000_000 h
-           Rss_core.Check_reg.Osc_u)
+           Rss_core.Check_reg.Osc_u
+        = Some true)
     end;
     incr seed
   done;

@@ -530,7 +530,7 @@ let test_small_run_exact_search () =
       check bool
         (Rss_core.Check_txn.model_name model ^ " (search) accepts the run")
         true
-        (Rss_core.Check_txn.satisfies ~max_states:5_000_000 h model))
+        (Rss_core.Check_txn.satisfies ~max_states:5_000_000 h model = Some true))
     [
       (Spanner.Config.Rss, Rss_core.Check_txn.Rss);
       (Spanner.Config.Strict, Rss_core.Check_txn.Strict_serializable);

@@ -67,6 +67,44 @@ let test_zipf_higher_theta_more_skew () =
   in
   check bool "0.9 skews more than 0.5" true (sample_hot 0.9 > sample_hot 0.5)
 
+(* Distribution-level correctness: the empirical CDF over a large sample
+   must track the analytic Zipf CDF P(rank ≤ k) = H_k(θ)/H_n(θ) within a
+   Kolmogorov–Smirnov-style tolerance, across skews and seeds. With 100k
+   samples the statistical noise is ≲0.004, so 0.015 catches any real shape
+   error (wrong exponent, off-by-one rank, truncation bias) without flaking. *)
+let test_zipf_empirical_cdf_matches_analytic () =
+  let n_keys = 100 and n_samples = 100_000 in
+  List.iter
+    (fun (theta, seed) ->
+      let rng = Sim.Rng.make seed in
+      let z = Workload.Zipf.create ~rng ~n:n_keys ~theta in
+      let counts = Array.make n_keys 0 in
+      for _ = 1 to n_samples do
+        let k = Workload.Zipf.sample z in
+        counts.(k) <- counts.(k) + 1
+      done;
+      (* Analytic pmf over ranks 1..n: rank^-θ / H_n(θ). *)
+      let weights =
+        Array.init n_keys (fun i -> (float_of_int (i + 1)) ** -.theta)
+      in
+      let h_n = Array.fold_left ( +. ) 0.0 weights in
+      let max_dev = ref 0.0 in
+      let emp = ref 0.0 and ana = ref 0.0 in
+      Array.iteri
+        (fun i c ->
+          emp := !emp +. (float_of_int c /. float_of_int n_samples);
+          ana := !ana +. (weights.(i) /. h_n);
+          let d = Float.abs (!emp -. !ana) in
+          if d > !max_dev then max_dev := d)
+        counts;
+      if !max_dev > 0.015 then
+        Alcotest.failf "theta=%.2f seed=%d: empirical CDF deviates %.4f" theta
+          seed !max_dev)
+    [
+      (0.0, 11); (0.5, 12); (0.75, 13); (0.9, 14); (0.99, 15); (1.2, 16);
+      (0.9, 99); (0.5, 77);
+    ]
+
 let test_zipf_invalid_args () =
   let rng = Sim.Rng.make 1 in
   check bool "n=0 rejected" true
@@ -224,6 +262,8 @@ let suites =
         Alcotest.test_case "skew shape" `Slow test_zipf_skew_shape;
         Alcotest.test_case "theta ordering" `Slow test_zipf_higher_theta_more_skew;
         Alcotest.test_case "invalid args" `Quick test_zipf_invalid_args;
+        Alcotest.test_case "empirical CDF matches analytic" `Slow
+          test_zipf_empirical_cdf_matches_analytic;
         qt prop_zipf_in_range;
       ] );
     ( "workload.retwis",
