@@ -65,6 +65,43 @@ let spanner_cmd =
   in
   let keys = Arg.(value & opt int 1_000_000 & info [ "keys" ] ~doc:"Keyspace size.") in
   let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Random seed.") in
+  let reshard =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "reshard" ] ~docv:"FRAC"
+          ~doc:
+            "Schedule one live key-range migration at $(docv) of the run \
+             (e.g. 0.5 = halfway). The moved range defaults to the Zipfian-hot \
+             eighth of the keyspace; see $(b,--reshard-range) and \
+             $(b,--reshard-dst). Migration counters appear in the metrics \
+             table as place.*.")
+  in
+  let reshard_range =
+    Arg.(
+      value
+      & opt (some (pair ~sep:':' int int)) None
+      & info [ "reshard-range" ] ~docv:"LO:HI"
+          ~doc:
+            "Key range [LO, HI) to migrate (requires $(b,--reshard); default \
+             0:keys/8).")
+  in
+  let reshard_dst =
+    Arg.(
+      value & opt int 1
+      & info [ "reshard-dst" ] ~docv:"SHARD"
+          ~doc:"Destination shard for the migrated range (default 1).")
+  in
+  let reshard_no_fence =
+    Arg.(
+      value & flag
+      & info [ "reshard-no-fence" ]
+          ~doc:
+            "Unsafe mutation control: skip the migration's fence, drain and \
+             TrueTime barrier. Writes racing the snapshot are lost at the \
+             destination; run with $(b,--check) online or offline to watch \
+             the checker flag the stale reads.")
+  in
   let export =
     Arg.(
       value
@@ -74,14 +111,47 @@ let spanner_cmd =
                 with the check-trace subcommand; keep runs small for the \
                 search checkers).")
   in
-  let run mode theta duration rate keys seed export trace_out check =
+  let run mode theta duration rate keys seed reshard reshard_range reshard_dst
+      reshard_no_fence export trace_out check =
     if rate <= 0.0 then (Fmt.epr "error: --rate must be positive@."; exit 1);
     if theta < 0.0 then (Fmt.epr "error: --theta must be non-negative@."; exit 1);
     if duration <= 0.0 then (Fmt.epr "error: --duration must be positive@."; exit 1);
+    if keys <= 0 then (Fmt.epr "error: --keys must be positive@."; exit 1);
+    if seed < 0 then (Fmt.epr "error: --seed must be non-negative@."; exit 1);
+    let reshard_specs =
+      match reshard with
+      | None ->
+        if reshard_range <> None || reshard_no_fence then
+          (Fmt.epr
+             "error: --reshard-range/--reshard-no-fence require --reshard@.";
+           exit 1);
+        []
+      | Some frac ->
+        if frac <= 0.0 || frac >= 1.0 then
+          (Fmt.epr "error: --reshard must be in (0, 1)@."; exit 1);
+        let lo, hi =
+          Option.value reshard_range ~default:(0, max 1 (keys / 8))
+        in
+        if lo < 0 || hi <= lo || hi > keys then
+          (Fmt.epr "error: --reshard-range must satisfy 0 <= LO < HI <= keys@.";
+           exit 1);
+        if reshard_dst < 0 then
+          (Fmt.epr "error: --reshard-dst must be non-negative@."; exit 1);
+        [
+          {
+            Harness.rs_at = frac;
+            rs_lo = lo;
+            rs_hi = hi;
+            rs_dst = reshard_dst;
+            rs_no_fence = reshard_no_fence;
+          };
+        ]
+    in
     let tracer = tracer_for trace_out in
     let r =
-      Harness.spanner_wan ~trace:tracer ~check ~mode ~theta ~n_keys:keys
-        ~arrival_rate_per_sec:rate ~duration_s:duration ~seed ()
+      Harness.spanner_wan ~trace:tracer ~check ~reshard:reshard_specs ~mode
+        ~theta ~n_keys:keys ~arrival_rate_per_sec:rate ~duration_s:duration
+        ~seed ()
     in
     Harness.Run.print_latencies ~header:"latency (ms)" r;
     Harness.Run.print_metrics ~header:"spanner" r;
@@ -122,7 +192,8 @@ let spanner_cmd =
   Cmd.v
     (Cmd.info "spanner" ~doc:"Simulate Spanner / Spanner-RSS on Retwis.")
     Term.(
-      const run $ mode $ theta $ duration $ rate $ keys $ seed $ export
+      const run $ mode $ theta $ duration $ rate $ keys $ seed $ reshard
+      $ reshard_range $ reshard_dst $ reshard_no_fence $ export
       $ trace_out_arg $ check_arg)
 
 let gryff_cmd =
@@ -149,6 +220,7 @@ let gryff_cmd =
     if write_ratio < 0.0 || write_ratio > 1.0 then
       (Fmt.epr "error: --write-ratio must be in [0, 1]@."; exit 1);
     if duration <= 0.0 then (Fmt.epr "error: --duration must be positive@."; exit 1);
+    if seed < 0 then (Fmt.epr "error: --seed must be non-negative@."; exit 1);
     let tracer = tracer_for trace_out in
     let r =
       Harness.gryff_wan ~trace:tracer ~check ~mode ~conflict ~write_ratio
@@ -317,6 +389,7 @@ let trace_cmd =
   let run protocol duration rate seed out binary_out =
     if duration <= 0.0 then (Fmt.epr "error: --duration must be positive@."; exit 1);
     if rate <= 0.0 then (Fmt.epr "error: --rate must be positive@."; exit 1);
+    if seed < 0 then (Fmt.epr "error: --seed must be non-negative@."; exit 1);
     let tracer = Obs.Trace.create () in
     let header, r =
       match protocol with
@@ -372,7 +445,7 @@ let chaos_cmd =
           ~doc:
             "Fault preset: partition-heal, link-loss, crash-recover, \
              latency-spike, eps-inflate, reorder-storm, mixed, leader-kill, \
-             or rolling-crash.")
+             rolling-crash, reshard, or hot-split.")
   in
   let failover =
     Arg.(
@@ -398,9 +471,34 @@ let chaos_cmd =
   let slots =
     Arg.(value & opt int 12 & info [ "slots" ] ~doc:"Concurrent client slots.")
   in
-  let run protocol nemesis duration seed nemesis_seed slots failover trace_out =
+  let migrations =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "migrations" ] ~docv:"N"
+          ~doc:
+            "Live key-range migrations to run during the audit (Spanner \
+             variants only). Defaults to 2 for the reshard and hot-split \
+             presets, 0 otherwise.")
+  in
+  let run protocol nemesis duration seed nemesis_seed slots migrations failover
+      trace_out =
     if duration <= 0.0 then (Fmt.epr "error: --duration must be positive@."; exit 1);
     if slots <= 0 then (Fmt.epr "error: --slots must be positive@."; exit 1);
+    if seed < 0 then (Fmt.epr "error: --seed must be non-negative@."; exit 1);
+    (match nemesis_seed with
+    | Some n when n < 0 ->
+      Fmt.epr "error: --nemesis-seed must be non-negative@.";
+      exit 1
+    | _ -> ());
+    let n_migrations =
+      match migrations with
+      | Some n when n < 0 ->
+        Fmt.epr "error: --migrations must be non-negative@.";
+        exit 1
+      | Some n -> n
+      | None -> if Chaos.Nemesis.requires_reshard nemesis then 2 else 0
+    in
     let failover = failover || Chaos.Nemesis.requires_failover nemesis in
     let nseed = Option.value nemesis_seed ~default:seed in
     let schedule =
@@ -416,7 +514,7 @@ let chaos_cmd =
     let tracer = tracer_for trace_out in
     let r =
       Chaos.Audit.run protocol ~tracer ~schedule ~n_slots:slots ~failover
-        ~duration_s:duration ~seed ()
+        ~n_migrations ~duration_s:duration ~seed ()
     in
     Chaos.Audit.print_report r;
     save_trace tracer trace_out;
@@ -433,7 +531,7 @@ let chaos_cmd =
           liveness resumes after heal.")
     Term.(
       const run $ protocol $ nemesis $ duration $ seed $ nemesis_seed $ slots
-      $ failover $ trace_out_arg)
+      $ migrations $ failover $ trace_out_arg)
 
 let () =
   let doc = "RSS / RSC reproduction playground" in

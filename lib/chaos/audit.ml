@@ -64,6 +64,9 @@ type run = {
   rpc_retries : int;
   in_doubt_resolved : int;
   max_election_us : int;
+  migrations : int;
+  migration_retries : int;
+  redirects : int;
 }
 
 (* Drive [n_slots] session slots against [issue_op]. Each slot runs one
@@ -241,7 +244,7 @@ type pending_rw = {
 
 let spanner ?config ?(tracer = Obs.Trace.disabled) ~mode ~schedule
     ?(n_slots = 12) ?(theta = 0.5) ?(n_keys = 5_000) ?(timeout_us = 2_000_000)
-    ?(failover = false) ~duration_s ~seed () =
+    ?(failover = false) ?(n_migrations = 0) ~duration_s ~seed () =
   let engine = Sim.Engine.create () in
   let rng = Sim.Rng.make seed in
   let config = match config with Some c -> c | None -> Spanner.Config.wan3 ~mode () in
@@ -264,6 +267,20 @@ let spanner ?config ?(tracer = Obs.Trace.disabled) ~mode ~schedule
        ());
   let retwis = Workload.Retwis.create ~rng:(Sim.Rng.split rng) ~n_keys ~theta in
   let until = Sim.Engine.sec duration_s in
+  (* Live migrations of the Zipfian head — the hottest eighth of the
+     keyspace — spread over the run, each to a different destination shard.
+     Scheduling them here (not in the nemesis) keeps Schedule.t purely about
+     network/clock faults. *)
+  let n_shards = config.Spanner.Config.n_shards in
+  for i = 0 to n_migrations - 1 do
+    let at =
+      int_of_float ((0.30 +. (0.25 *. float_of_int i)) *. float_of_int until)
+    in
+    let dst = (i + 1) mod n_shards in
+    Sim.Engine.schedule engine ~kind:"chaos.migrate" ~after:at (fun () ->
+        Spanner.Cluster.migrate cluster ~lo:0 ~hi:(max 1 (n_keys / 8)) ~dst
+          (fun _ -> ()))
+  done;
   let quiet_us = Schedule.end_of_faults schedule in
   let latency = Stats.Recorder.create () in
   let pending : pending_rw list ref = ref [] in
@@ -319,6 +336,7 @@ let spanner ?config ?(tracer = Obs.Trace.disabled) ~mode ~schedule
   let records = Spanner.Cluster.records cluster in
   let net = Spanner.Cluster.net cluster in
   let fstats = Spanner.Cluster.failover_stats cluster in
+  let pstats = Spanner.Cluster.place_stats cluster in
   let wmode = match mode with Spanner.Config.Strict -> `Strict | Spanner.Config.Rss -> `Rss in
   {
     protocol = (match mode with Spanner.Config.Strict -> Spanner_strict | Spanner.Config.Rss -> Spanner_rss);
@@ -345,6 +363,9 @@ let spanner ?config ?(tracer = Obs.Trace.disabled) ~mode ~schedule
     rpc_retries = fstats.Spanner.Cluster.rpc_retries;
     in_doubt_resolved = fstats.Spanner.Cluster.in_doubt_resolved;
     max_election_us = fstats.Spanner.Cluster.max_election_us;
+    migrations = pstats.Spanner.Cluster.migrations;
+    migration_retries = pstats.Spanner.Cluster.migration_retries;
+    redirects = pstats.Spanner.Cluster.redirects;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -532,6 +553,9 @@ let gryff ?config ?client_sites ?(tracer = Obs.Trace.disabled) ~mode ~schedule
     rpc_retries = (Gryff.Cluster.retrans_stats cluster).Gryff.Cluster.rpc_retries;
     in_doubt_resolved = 0;
     max_election_us = 0;
+    migrations = 0;
+    migration_retries = 0;
+    redirects = 0;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -539,14 +563,14 @@ let gryff ?config ?client_sites ?(tracer = Obs.Trace.disabled) ~mode ~schedule
 (* ------------------------------------------------------------------ *)
 
 let run protocol ?tracer ~schedule ?n_slots ?n_keys ?timeout_us ?failover
-    ~duration_s ~seed () =
+    ?n_migrations ~duration_s ~seed () =
   match protocol with
   | Spanner_strict ->
     spanner ?tracer ~mode:Spanner.Config.Strict ~schedule ?n_slots ?n_keys
-      ?timeout_us ?failover ~duration_s ~seed ()
+      ?timeout_us ?failover ?n_migrations ~duration_s ~seed ()
   | Spanner_rss ->
     spanner ?tracer ~mode:Spanner.Config.Rss ~schedule ?n_slots ?n_keys
-      ?timeout_us ?failover ~duration_s ~seed ()
+      ?timeout_us ?failover ?n_migrations ~duration_s ~seed ()
   | Gryff_lin ->
     gryff ?tracer ~mode:Gryff.Config.Lin ~schedule ?n_slots ?n_keys ?timeout_us
       ?failover ~duration_s ~seed ()
@@ -582,6 +606,9 @@ let metrics_of_run r =
           ("failover.rpc_retries", r.rpc_retries);
           ("failover.in_doubt_resolved", r.in_doubt_resolved);
           ("failover.max_election_us", r.max_election_us);
+          ("place.migrations", r.migrations);
+          ("place.migration_retries", r.migration_retries);
+          ("place.redirects", r.redirects);
         ];
     gauges = [];
     histograms =

@@ -62,6 +62,9 @@ type run = {
   rpc_retries : int;  (** request retransmissions (terminate / retrans) *)
   in_doubt_resolved : int;  (** 2PC participants settled via status queries *)
   max_election_us : int;  (** worst detection-to-activation gap *)
+  migrations : int;  (** completed live migrations (Spanner only) *)
+  migration_retries : int;  (** per-source fence/ship re-attempts *)
+  redirects : int;  (** client ops bounced off a non-owning shard *)
 }
 
 val sweep_spanner_txn :
@@ -82,13 +85,17 @@ val spanner :
   ?config:Spanner.Config.t -> ?tracer:Obs.Trace.t ->
   mode:Spanner.Config.mode -> schedule:Schedule.t ->
   ?n_slots:int -> ?theta:float -> ?n_keys:int -> ?timeout_us:int ->
-  ?failover:bool -> duration_s:float -> seed:int -> unit -> run
+  ?failover:bool -> ?n_migrations:int -> duration_s:float -> seed:int ->
+  unit -> run
 (** Retwis over Spanner. [n_slots] concurrent session slots; a slot whose
     operation misses [timeout_us] abandons that session (fresh process id —
     session-order checking stays sound) and continues with a new one.
     [failover] (default false) arms {!Spanner.Cluster.enable_failover} and
     puts client deadlines on every operation — required for liveness under
-    leader-killing schedules. *)
+    leader-killing schedules. [n_migrations] (default 0) schedules that many
+    live migrations of the Zipfian-hot eighth of the keyspace, spread over
+    the run, each to a different destination shard — the workload for
+    {!Nemesis.Reshard} / {!Nemesis.Hot_split} schedules. *)
 
 val gryff :
   ?config:Gryff.Config.t -> ?client_sites:int array -> ?tracer:Obs.Trace.t ->
@@ -103,11 +110,12 @@ val gryff :
 
 val run :
   protocol -> ?tracer:Obs.Trace.t -> schedule:Schedule.t -> ?n_slots:int ->
-  ?n_keys:int -> ?timeout_us:int -> ?failover:bool -> duration_s:float ->
-  seed:int -> unit -> run
+  ?n_keys:int -> ?timeout_us:int -> ?failover:bool -> ?n_migrations:int ->
+  duration_s:float -> seed:int -> unit -> run
 (** Dispatch on {!protocol} with that protocol's default deployment.
     [tracer] (default disabled) records spans cluster-wide plus a
-    [Fault]-kind instant per injected event. *)
+    [Fault]-kind instant per injected event. [n_migrations] applies to the
+    Spanner protocols only (Gryff has no elastic placement). *)
 
 val liveness_ok : ?min_post_quiet:int -> run -> bool
 (** True when at least [min_post_quiet] (default 1) operations invoked after

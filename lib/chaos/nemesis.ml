@@ -8,6 +8,8 @@ type preset =
   | Mixed
   | Leader_kill
   | Rolling_crash
+  | Reshard
+  | Hot_split
 
 let presets =
   [
@@ -20,13 +22,23 @@ let presets =
     ("mixed", Mixed);
     ("leader-kill", Leader_kill);
     ("rolling-crash", Rolling_crash);
+    ("reshard", Reshard);
+    ("hot-split", Hot_split);
   ]
 
 let requires_failover = function
-  | Leader_kill | Rolling_crash -> true
+  (* Reshard and Hot_split arm failover because live migration leans on
+     2PC in-doubt resolution: without it, a participant whose commit
+     message a fault swallowed stays prepared forever and the drain never
+     completes. *)
+  | Leader_kill | Rolling_crash | Reshard | Hot_split -> true
   | Partition_heal | Link_loss | Crash_recover | Latency_spike | Eps_inflate
   | Reorder_storm | Mixed ->
     false
+
+let requires_reshard = function
+  | Reshard | Hot_split -> true
+  | _ -> false
 
 let preset_name p = fst (List.find (fun (_, q) -> q = p) presets)
 
@@ -110,6 +122,15 @@ let rec window spec kind =
     (* Handled structurally in [generate]; a stray window degrades to a
        single-site crash. *)
     window spec Leader_kill
+  | Reshard ->
+    (* The network faults are leader crashes; the migrations themselves are
+       scheduled by the audit driver (see [requires_reshard]) — placement
+       moves while leaders fail over underneath it. *)
+    window spec Leader_kill
+  | Hot_split ->
+    (* Partition windows around a hot-range migration: the directory epoch
+       bump must survive clients that temporarily cannot reach the source. *)
+    window spec Partition_heal
   | Mixed ->
     let kinds =
       [| Partition_heal; Link_loss; Crash_recover; Latency_spike; Eps_inflate;

@@ -19,6 +19,13 @@ type preset =
   | Leader_kill  (** crash one leader site per window, later recovered *)
   | Rolling_crash
       (** up to three distinct sites crashed in sequential disjoint windows *)
+  | Reshard
+      (** leader crashes while the audit driver live-migrates key ranges
+          (see {!requires_reshard}) — placement moves as leaders fail over *)
+  | Hot_split
+      (** partition windows around a hot-range migration; no leader dies,
+          but failover stays armed — migration drains depend on in-doubt
+          2PC resolution when a fault swallows a commit message *)
 
 val presets : (string * preset) list
 (** CLI-name / preset pairs, e.g. [("partition-heal", Partition_heal)]. *)
@@ -30,6 +37,11 @@ val preset_of_string : string -> preset option
 val requires_failover : preset -> bool
 (** Presets that crash leaders on purpose: audits must arm the failover /
     retransmission machinery or the liveness assertion cannot hold. *)
+
+val requires_reshard : preset -> bool
+(** Presets whose point is concurrent placement change: audit drivers should
+    schedule live migrations during the run (protocols without elastic
+    placement ignore this and see only the network faults). *)
 
 val generate :
   preset -> n_sites:int -> ?protect:int list -> ?leaders:int list ->

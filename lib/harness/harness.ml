@@ -96,6 +96,17 @@ let spanner_metrics ~faults ~failover cluster =
   c "ro.slow" s.Spanner.Cluster.ro_slow;
   c "ro.blocked_at_shards" s.Spanner.Cluster.ro_blocked_at_shards;
   net_metrics reg ~faults (Spanner.Cluster.net cluster);
+  let ps = Spanner.Cluster.place_stats cluster in
+  c "place.epoch" ps.Spanner.Cluster.epoch;
+  c "place.migrations" ps.Spanner.Cluster.migrations;
+  c "place.migrations_failed" ps.Spanner.Cluster.migrations_failed;
+  c "place.migration_retries" ps.Spanner.Cluster.migration_retries;
+  c "place.keys_moved" ps.Spanner.Cluster.keys_moved;
+  c "place.redirects" ps.Spanner.Cluster.redirects;
+  c "place.fence_blocked" ps.Spanner.Cluster.fence_blocked;
+  c "place.fence_hold_us" ps.Spanner.Cluster.fence_hold_us;
+  c "place.max_fence_hold_us" ps.Spanner.Cluster.max_fence_hold_us;
+  c "place.directory_appends" ps.Spanner.Cluster.directory_appends;
   if failover then begin
     let fs = Spanner.Cluster.failover_stats cluster in
     c "failover.view_changes" fs.Spanner.Cluster.view_changes;
@@ -237,12 +248,23 @@ type pending_rw = {
   mutable pr_done : bool;
 }
 
+(* One live migration armed partway through a run: move [rs_lo, rs_hi) to
+   [rs_dst] at fraction [rs_at] of the run. [rs_no_fence] skips the t_m
+   real-time barrier — the unsafe mutation control for safety experiments. *)
+type reshard_spec = {
+  rs_at : float;
+  rs_lo : int;
+  rs_hi : int;
+  rs_dst : int;
+  rs_no_fence : bool;
+}
+
 (* The paper's §6.1 wide-area Retwis experiment: partly-open clients
    (sessions at [arrival_rate_per_sec], stay probability 0.9, zero think
    time, a fresh t_min per session), Zipfian keys. *)
 let spanner_wan ?(config = None) ?chaos ?(failover = false)
-    ?(trace = Obs.Trace.disabled) ?(check = `Offline) ~mode ~theta ~n_keys
-    ~arrival_rate_per_sec ~duration_s ~seed () =
+    ?(trace = Obs.Trace.disabled) ?(check = `Offline) ?(reshard = []) ~mode
+    ~theta ~n_keys ~arrival_rate_per_sec ~duration_s ~seed () =
   let engine = Sim.Engine.create () in
   let rng = Sim.Rng.make seed in
   let config =
@@ -284,6 +306,14 @@ let spanner_wan ?(config = None) ?chaos ?(failover = false)
   in
   let until = Sim.Engine.sec duration_s in
   let warmup = Sim.Engine.sec (duration_s /. 10.0) in
+  List.iter
+    (fun spec ->
+      Sim.Engine.schedule engine ~kind:"place.reshard"
+        ~after:(int_of_float (spec.rs_at *. float_of_int until))
+        (fun () ->
+          Spanner.Cluster.migrate ~no_fence:spec.rs_no_fence cluster
+            ~lo:spec.rs_lo ~hi:spec.rs_hi ~dst:spec.rs_dst (fun _ -> ())))
+    reshard;
   let body ~client k =
     let c = session_client client in
     let txn = Workload.Retwis.sample retwis in

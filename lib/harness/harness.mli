@@ -79,10 +79,21 @@ type check_mode = [ `Offline | `Online | `No_check ]
     affects the simulation itself: record hooks draw no randomness and
     schedule no events, so seeded traces are identical across modes. *)
 
+type reshard_spec = {
+  rs_at : float;  (** when to start, as a fraction of the run's duration *)
+  rs_lo : int;  (** key range [\[rs_lo, rs_hi)] to move *)
+  rs_hi : int;
+  rs_dst : int;  (** destination shard *)
+  rs_no_fence : bool;
+      (** skip the t_m real-time barrier — the {e unsafe} mutation control
+          used by safety experiments; production paths pass [false] *)
+}
+(** A live migration armed partway through a [spanner_wan] run. *)
+
 val spanner_wan :
   ?config:Spanner.Config.t option -> ?chaos:Chaos.Schedule.t ->
   ?failover:bool -> ?trace:Obs.Trace.t -> ?check:check_mode ->
-  mode:Spanner.Config.mode ->
+  ?reshard:reshard_spec list -> mode:Spanner.Config.mode ->
   theta:float -> n_keys:int -> arrival_rate_per_sec:float ->
   duration_s:float -> seed:int -> unit -> Run.t
 (** §6.1: Retwis over the CA/VA/IR deployment with partly-open clients
@@ -90,7 +101,9 @@ val spanner_wan :
     The first 10% of the run is warm-up and is not recorded. [failover]
     (default false) arms {!Spanner.Cluster.enable_failover} and puts client
     deadlines on every operation — required for liveness under
-    leader-killing schedules. Latencies: ["ro"], ["rw"]. *)
+    leader-killing schedules. [reshard] (default none) arms live key-range
+    migrations via {!Spanner.Cluster.migrate}; reshard statistics land in
+    the run's [place.*] counters. Latencies: ["ro"], ["rw"]. *)
 
 val spanner_dc :
   ?chaos:Chaos.Schedule.t -> ?trace:Obs.Trace.t -> ?check:check_mode ->

@@ -6,6 +6,7 @@ type kind =
   | View_change
   | Fault
   | Mark
+  | Migration
 
 let kind_name = function
   | Client_op -> "client"
@@ -15,6 +16,7 @@ let kind_name = function
   | View_change -> "view_change"
   | Fault -> "fault"
   | Mark -> "mark"
+  | Migration -> "migration"
 
 let kind_tag = function
   | Client_op -> 0
@@ -24,6 +26,7 @@ let kind_tag = function
   | View_change -> 4
   | Fault -> 5
   | Mark -> 6
+  | Migration -> 7
 
 let kind_of_tag = function
   | 0 -> Some Client_op
@@ -33,6 +36,7 @@ let kind_of_tag = function
   | 4 -> Some View_change
   | 5 -> Some Fault
   | 6 -> Some Mark
+  | 7 -> Some Migration
   | _ -> None
 
 type span = int

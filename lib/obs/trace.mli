@@ -21,6 +21,7 @@ type kind =
   | View_change  (** replication-group election, detection to StartView *)
   | Fault  (** a chaos fault injection marker *)
   | Mark  (** generic instant annotation *)
+  | Migration  (** a placement change: key-range fence/ship/epoch commit *)
 
 val kind_name : kind -> string
 

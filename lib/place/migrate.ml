@@ -1,0 +1,200 @@
+(* Two-phase live migration driver.
+
+   The driver is protocol-agnostic: everything it does to the world goes
+   through a [hooks] record supplied by the protocol layer (Spanner wires
+   it in [Protocol.migrate]), which keeps this library free of a
+   dependency cycle and lets tests drive it against a mock.
+
+   Per source shard, sequentially:
+
+     fence   -- block new lock acquisitions on the range (volatile marker
+                on the source leader; a rebuilt leader forgets it)
+     drain   -- poll until no read/write lock or queued request survives
+                in the range; commit wait then guarantees every drained
+                writer's commit timestamp precedes real time, hence t_m
+     cut     -- pick t_m above the source's max write timestamp and
+                TT.latest, and advance the source so nothing can ever
+                commit below t_m there again
+     ship    -- snapshot the range, durably log the outgoing bump, send
+                the snapshot to the destination, which installs it,
+                advances its own write watermark to t_m and durably logs
+                the incoming bump before acking
+
+   Then one real-time barrier on the largest t_m (exactly the commit-wait
+   rule: proceed only once t_m < TT.earliest), and — in the same event —
+   a re-check that every fence is still standing before the epoch commit.
+   A fence lost to a leader failover, or a ship that timed out (replica
+   view superseded, message dropped), sends that source back through the
+   loop with a fresh, larger t_m; snapshot installation is idempotent
+   (versions merge by timestamp), so a late duplicate ship is harmless.
+
+   Why RSS survives the handoff: clients can only reach the destination
+   after the epoch commit, which happens after the barrier, so any read
+   served by the new owner starts in real time after t_m — and the
+   destination holds every version below t_m. The fence + drain guarantee
+   the source stops producing versions below t_m before the snapshot is
+   cut. The no-fence mutation control (skip fence, drain and barrier)
+   breaks exactly this: writes that commit at the source after the
+   snapshot are missing at the destination, and the online checker flags
+   the resulting stale read. *)
+
+type stats = {
+  mutable started : int;
+  mutable completed : int;
+  mutable failed : int;
+  mutable source_retries : int;
+  mutable keys_moved : int;  (* keys shipped, counting re-ships *)
+  mutable fence_hold_us : int;
+  mutable max_fence_hold_us : int;
+}
+
+let stats_create () =
+  {
+    started = 0;
+    completed = 0;
+    failed = 0;
+    source_retries = 0;
+    keys_moved = 0;
+    fence_hold_us = 0;
+    max_fence_hold_us = 0;
+  }
+
+type hooks = {
+  h_now : unit -> int;
+  h_sleep : int -> (unit -> unit) -> unit;
+  h_sources : lo:int -> hi:int -> dst:int -> int list;
+      (* shards currently owning keys in the range, destination excluded *)
+  h_fence : src:int -> lo:int -> hi:int -> unit;
+  h_fence_ok : src:int -> lo:int -> hi:int -> bool;
+      (* is the fence still standing (survives only on a leader that never
+         rebuilt since h_fence)? *)
+  h_drained : src:int -> lo:int -> hi:int -> bool;
+  h_cut : src:int -> int;
+      (* pick t_m for this source and advance its write watermark to it *)
+  h_ship : src:int -> lo:int -> hi:int -> tm:int -> (int -> unit) -> unit;
+      (* snapshot + durable logs + install at destination; acks with the
+         number of keys shipped. May never ack (lost message / deposed
+         leader) — the driver times out. *)
+  h_barrier : tm:int -> (unit -> unit) -> unit;
+      (* real-time barrier: continue once tm < TT.earliest *)
+  h_commit : lo:int -> hi:int -> dst:int -> tm:int -> int;
+      (* install the assignment in the directory; returns the new epoch *)
+  h_unfence : src:int -> unit;
+}
+
+type result = {
+  r_ok : bool;
+  r_epoch : int;  (* -1 on failure *)
+  r_tm : int;
+  r_sources : int list;
+  r_keys_moved : int;
+}
+
+let run hooks ?(tracer = Obs.Trace.disabled) ?(no_fence = false) ?(poll_us = 500)
+    ?(attempt_timeout_us = 2_000_000) ?(drain_timeout_us = 120_000_000)
+    ?(max_retries = 16) ~stats ~lo ~hi ~dst k =
+  stats.started <- stats.started + 1;
+  let sp =
+    Obs.Trace.begin_span tracer ~kind:Obs.Trace.Migration
+      ~name:(Printf.sprintf "migrate[%d,%d)->%d" lo hi dst)
+      ~ts:(hooks.h_now ()) ~site:dst
+  in
+  let sources = hooks.h_sources ~lo ~hi ~dst in
+  let fenced_at : (int, int) Hashtbl.t = Hashtbl.create 4 in
+  let moved = ref 0 in
+  let retries_left = ref max_retries in
+  let unfence_all () =
+    List.iter
+      (fun src ->
+        (match Hashtbl.find_opt fenced_at src with
+        | Some t0 ->
+          let held = hooks.h_now () - t0 in
+          stats.fence_hold_us <- stats.fence_hold_us + held;
+          if held > stats.max_fence_hold_us then stats.max_fence_hold_us <- held;
+          Hashtbl.remove fenced_at src
+        | None -> ());
+        hooks.h_unfence ~src)
+      sources
+  in
+  let finish ok ~epoch ~tm =
+    unfence_all ();
+    if ok then stats.completed <- stats.completed + 1
+    else stats.failed <- stats.failed + 1;
+    stats.keys_moved <- stats.keys_moved + !moved;
+    Obs.Trace.end_span tracer sp ~ts:(hooks.h_now ());
+    k { r_ok = ok; r_epoch = epoch; r_tm = tm; r_sources = sources; r_keys_moved = !moved }
+  in
+  let give_up () = finish false ~epoch:(-1) ~tm:(-1) in
+  let rec do_source src k_done =
+    if (not no_fence) && not (hooks.h_fence_ok ~src ~lo ~hi) then begin
+      hooks.h_fence ~src ~lo ~hi;
+      if not (Hashtbl.mem fenced_at src) then
+        Hashtbl.replace fenced_at src (hooks.h_now ())
+    end;
+    drain src (hooks.h_now ()) k_done
+  and drain src t0 k_done =
+    if no_fence || hooks.h_drained ~src ~lo ~hi then cut_and_ship src k_done
+    else if not (hooks.h_fence_ok ~src ~lo ~hi) then
+      (* leader rebuilt mid-drain and forgot the fence: start over *)
+      retry src k_done
+    else if hooks.h_now () - t0 > drain_timeout_us then
+      (* Faults can leave an in-range participant prepared with nobody left
+         to decide it; a drain that cannot finish must not spin forever and
+         pin the fence — burn a retry (give_up when they run out). *)
+      retry src k_done
+    else hooks.h_sleep poll_us (fun () -> drain src t0 k_done)
+  and retry src k_done =
+    stats.source_retries <- stats.source_retries + 1;
+    if !retries_left <= 0 then give_up ()
+    else begin
+      decr retries_left;
+      do_source src k_done
+    end
+  and cut_and_ship src k_done =
+    let tm = hooks.h_cut ~src in
+    let settled = ref false in
+    hooks.h_sleep attempt_timeout_us (fun () ->
+        if not !settled then begin
+          settled := true;
+          retry src k_done
+        end);
+    hooks.h_ship ~src ~lo ~hi ~tm (fun n ->
+        if not !settled then begin
+          settled := true;
+          moved := !moved + n;
+          k_done tm
+        end)
+  in
+  let rec phase srcs tms =
+    match srcs with
+    | src :: rest -> do_source src (fun tm -> phase rest (tm :: tms))
+    | [] ->
+      let tm = List.fold_left max (hooks.h_now ()) tms in
+      let commit_point () =
+        (* Fence re-verification and the epoch commit share one event, so
+           no failover can sneak between the check and the commit. *)
+        let lost =
+          if no_fence then []
+          else List.filter (fun src -> not (hooks.h_fence_ok ~src ~lo ~hi)) sources
+        in
+        if lost = [] then begin
+          let epoch = hooks.h_commit ~lo ~hi ~dst ~tm in
+          finish true ~epoch ~tm
+        end
+        else if !retries_left < List.length lost then give_up ()
+        else begin
+          retries_left := !retries_left - List.length lost;
+          stats.source_retries <- stats.source_retries + List.length lost;
+          phase lost tms
+        end
+      in
+      if no_fence then commit_point () else hooks.h_barrier ~tm commit_point
+  in
+  if sources = [] then begin
+    (* nothing to move (destination already owns the whole range): the
+       epoch bump still records the assignment *)
+    let tm = hooks.h_now () in
+    let epoch = hooks.h_commit ~lo ~hi ~dst ~tm in
+    finish true ~epoch ~tm
+  end
+  else phase sources []

@@ -1,0 +1,72 @@
+(** Two-phase live key-range migration driver.
+
+    Per source shard: fence the range, drain its locks, cut a migration
+    timestamp [t_m] above the source's write watermark and [TT.latest],
+    ship a snapshot to the destination (both sides durably log the epoch
+    bump); then wait out a real-time barrier on the largest [t_m] — the
+    commit-wait rule applied to placement — re-verify every fence in the
+    same event, and commit the new epoch in the {!Directory}. Lost fences
+    and timed-out ships send the affected source back through the loop;
+    snapshot installation is idempotent, so duplicate ships are harmless.
+
+    The driver touches the world only through {!hooks} (supplied by
+    [Spanner.Protocol.migrate]), keeping this library protocol-agnostic
+    and mock-testable. *)
+
+type stats = {
+  mutable started : int;
+  mutable completed : int;
+  mutable failed : int;  (** retry budget exhausted; fences were lifted *)
+  mutable source_retries : int;
+  mutable keys_moved : int;  (** keys shipped, counting re-ships *)
+  mutable fence_hold_us : int;  (** total fence hold across sources *)
+  mutable max_fence_hold_us : int;
+}
+
+val stats_create : unit -> stats
+
+type hooks = {
+  h_now : unit -> int;
+  h_sleep : int -> (unit -> unit) -> unit;
+  h_sources : lo:int -> hi:int -> dst:int -> int list;
+  h_fence : src:int -> lo:int -> hi:int -> unit;
+  h_fence_ok : src:int -> lo:int -> hi:int -> bool;
+  h_drained : src:int -> lo:int -> hi:int -> bool;
+  h_cut : src:int -> int;
+  h_ship : src:int -> lo:int -> hi:int -> tm:int -> (int -> unit) -> unit;
+  h_barrier : tm:int -> (unit -> unit) -> unit;
+  h_commit : lo:int -> hi:int -> dst:int -> tm:int -> int;
+  h_unfence : src:int -> unit;
+}
+
+type result = {
+  r_ok : bool;
+  r_epoch : int;  (** new epoch, [-1] on failure *)
+  r_tm : int;
+  r_sources : int list;
+  r_keys_moved : int;
+}
+
+val run :
+  hooks ->
+  ?tracer:Obs.Trace.t ->
+  ?no_fence:bool ->
+  ?poll_us:int ->
+  ?attempt_timeout_us:int ->
+  ?drain_timeout_us:int ->
+  ?max_retries:int ->
+  stats:stats ->
+  lo:int ->
+  hi:int ->
+  dst:int ->
+  (result -> unit) ->
+  unit
+(** [run hooks ~stats ~lo ~hi ~dst k] migrates [\[lo, hi)] to shard [dst]
+    and calls [k] exactly once. [?no_fence] is the mutation control for
+    the safety tests: it skips fence, drain and barrier, deliberately
+    losing writes that race the snapshot — the online checker must flag
+    the resulting stale reads. A drain that cannot finish within
+    [?drain_timeout_us] (default 120 sim-seconds — faults can strand an
+    in-range 2PC participant in prepared state) burns a retry instead of
+    pinning the fence forever. Emits one [Obs.Trace.Migration] span when
+    [tracer] is live. *)

@@ -3,9 +3,19 @@ type t = {
   site : int;
   proc : int;
   mutable t_min : int;
+  view : Place.Directory.view;  (* cached placement, refreshed on bounce *)
 }
 
-let create cluster ~site = { cluster; site; proc = Cluster.fresh_proc cluster; t_min = 0 }
+let create cluster ~site =
+  {
+    cluster;
+    site;
+    proc = Cluster.fresh_proc cluster;
+    t_min = 0;
+    view = Place.Directory.view (Cluster.directory cluster);
+  }
+
+let view t = t.view
 
 let proc t = t.proc
 
@@ -26,8 +36,8 @@ let rw_kv ?on_attempt ?deadline_us t ~read_keys ~writes k =
     else Obs.Trace.none
   in
   Obs.Trace.with_current tr sp (fun () ->
-      Protocol.rw_txn ?on_attempt ?deadline_us ctx ~client_site:t.site
-        ~proc:t.proc ~read_keys ~writes (fun res ->
+      Protocol.rw_txn ?on_attempt ?deadline_us ~view:t.view ctx
+        ~client_site:t.site ~proc:t.proc ~read_keys ~writes (fun res ->
           let resp = Sim.Engine.now (Cluster.engine t.cluster) in
           Obs.Trace.end_span tr sp ~ts:resp;
           if res.Protocol.rw_commit_ts > t.t_min then
@@ -58,7 +68,8 @@ let rw_detached t ~write_keys =
   let ctx = Cluster.ctx t.cluster in
   let inv = Sim.Engine.now (Cluster.engine t.cluster) in
   let writes = List.map (fun key -> (key, Cluster.fresh_value t.cluster)) write_keys in
-  Protocol.rw_txn ctx ~client_site:t.site ~proc:t.proc ~read_keys:[] ~writes
+  Protocol.rw_txn ~view:t.view ctx ~client_site:t.site ~proc:t.proc
+    ~read_keys:[] ~writes
     (fun res ->
       Cluster.record t.cluster
         {
@@ -82,8 +93,8 @@ let ro ?deadline_us t ~keys k =
     else Obs.Trace.none
   in
   Obs.Trace.with_current tr sp (fun () ->
-      Protocol.ro_txn ?deadline_us ctx ~client_site:t.site ~proc:t.proc
-        ~t_min:t.t_min ~keys (fun res ->
+      Protocol.ro_txn ?deadline_us ~view:t.view ctx ~client_site:t.site
+        ~proc:t.proc ~t_min:t.t_min ~keys (fun res ->
           let resp = Sim.Engine.now (Cluster.engine t.cluster) in
           Obs.Trace.end_span tr sp ~ts:resp;
           if res.Protocol.ro_snap_ts > t.t_min then
@@ -102,7 +113,8 @@ let ro ?deadline_us t ~keys k =
           k res))
 
 let snapshot_read t ~ts ~keys k =
-  Protocol.snapshot_read (Cluster.ctx t.cluster) ~client_site:t.site ~ts ~keys k
+  Protocol.snapshot_read ~view:t.view (Cluster.ctx t.cluster) ~client_site:t.site
+    ~ts ~keys k
 
 let fence t k = Protocol.fence (Cluster.ctx t.cluster) ~t_min:t.t_min k
 

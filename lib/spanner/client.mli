@@ -19,6 +19,10 @@ val proc : t -> int
 val site : t -> int
 val t_min : t -> int
 
+val view : t -> Place.Directory.view
+(** The session's cached placement view. Ops route through it; a bounce
+    off a moved range refreshes it transparently. *)
+
 val rw :
   ?on_attempt:(int -> unit) -> ?deadline_us:int -> t -> read_keys:int list ->
   write_keys:int list -> (Protocol.rw_result -> unit) -> unit

@@ -100,6 +100,43 @@ let stats t =
 let enable_failover t ~rng ?config ~until_us () =
   Protocol.enable_failover t.pctx ~rng ?config ~until_us ()
 
+(* ------------------------------------------------------------------ *)
+(* Elastic placement                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let directory t = t.pctx.Protocol.directory
+
+let migrate ?no_fence t ~lo ~hi ~dst k =
+  Protocol.migrate ?no_fence t.pctx ~lo ~hi ~dst k
+
+type place_stats = {
+  epoch : int;
+  migrations : int;  (* completed *)
+  migrations_failed : int;
+  migration_retries : int;
+  keys_moved : int;
+  redirects : int;
+  fence_blocked : int;
+  fence_hold_us : int;
+  max_fence_hold_us : int;
+  directory_appends : int;
+}
+
+let place_stats t =
+  let ps = t.pctx.Protocol.place_stats in
+  {
+    epoch = Place.Directory.epoch (directory t);
+    migrations = ps.Place.Migrate.completed;
+    migrations_failed = ps.Place.Migrate.failed;
+    migration_retries = ps.Place.Migrate.source_retries;
+    keys_moved = ps.Place.Migrate.keys_moved;
+    redirects = t.pctx.Protocol.n_redirects;
+    fence_blocked = t.pctx.Protocol.n_fence_blocked;
+    fence_hold_us = ps.Place.Migrate.fence_hold_us;
+    max_fence_hold_us = ps.Place.Migrate.max_fence_hold_us;
+    directory_appends = Place.Directory.durable_appends (directory t);
+  }
+
 let set_tracer t tracer = Protocol.set_tracer t.pctx tracer
 
 let tracer t = t.pctx.Protocol.tracer

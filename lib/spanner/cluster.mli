@@ -71,6 +71,34 @@ val enable_failover :
     a {!Sim.Rng.split} the caller owns): it feeds retry jitter only, so the
     cluster's fault-free behavior stays byte-identical. *)
 
+(** {2 Elastic placement} *)
+
+val directory : t -> Place.Directory.t
+(** The cluster's authoritative placement directory (epoch 0 equals the
+    static [Config.shard_of_key] layout). *)
+
+val migrate :
+  ?no_fence:bool -> t -> lo:int -> hi:int -> dst:int ->
+  (Place.Migrate.result -> unit) -> unit
+(** Live-migrate key range [\[lo, hi)] to shard [dst] while the workload
+    runs; see {!Protocol.migrate}. [?no_fence] is the unsafe mutation
+    control used by safety tests. *)
+
+type place_stats = {
+  epoch : int;  (** current directory epoch *)
+  migrations : int;  (** completed *)
+  migrations_failed : int;
+  migration_retries : int;  (** per-source fence/ship re-attempts *)
+  keys_moved : int;
+  redirects : int;  (** ops bounced off a non-owning shard *)
+  fence_blocked : int;  (** lock acquisitions refused by a fence *)
+  fence_hold_us : int;
+  max_fence_hold_us : int;
+  directory_appends : int;  (** durable directory log appends *)
+}
+
+val place_stats : t -> place_stats
+
 type failover_stats = {
   view_changes : int;
   heartbeats : int;

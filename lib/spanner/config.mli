@@ -32,6 +32,10 @@ val single_dc : mode:mode -> n_shards:int -> service_time_us:int -> unit -> t
 val site_name : t -> int -> string
 
 val shard_of_key : t -> int -> int
+(** The static epoch-0 layout ([key mod n_shards]). Since elastic placement
+    landed this is only the {e base map} of the cluster's
+    {!Place.Directory}: live dispatch goes through directory lookups
+    (identical to this function until a migration commits an epoch > 0). *)
 
 (** {2 Commit-latency estimation (for t_ee, §6)} *)
 

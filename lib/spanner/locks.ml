@@ -69,6 +69,19 @@ let holds_write t ~key ~txn =
 
 let wounds_inflicted t = t.wounds
 
+(* Any holder or queued waiter on a key in [lo, hi)? Used by the placement
+   drain: a fenced range is quiescent only once every read/write lock in it
+   has been released (commit wait then bounds the holders' commit
+   timestamps below the migration timestamp) and no request is parked
+   waiting to become a holder. *)
+let any_busy_in t ~lo ~hi =
+  Hashtbl.fold
+    (fun key e acc ->
+      acc
+      || (key >= lo && key < hi
+          && (e.readers <> [] || e.writer <> None || e.queue <> [])))
+    t.table false
+
 let priority_of t txn =
   match Hashtbl.find_opt t.priorities txn with
   | Some p -> p

@@ -45,6 +45,11 @@ val holds_write : t -> key:int -> txn:int -> bool
 
 val wounds_inflicted : t -> int
 
+val any_busy_in : t -> lo:int -> hi:int -> bool
+(** Does any key in [\[lo, hi)] have a lock holder (read or write) or a
+    queued request? The placement drain polls this until the fenced range
+    is quiescent. *)
+
 val pp_state : Format.formatter -> t -> unit
 (** Diagnostic dump of holders and queued requests per key (non-empty
     entries only). *)

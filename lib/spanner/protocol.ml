@@ -32,6 +32,18 @@ type ctx = {
   mutable n_terminate_commits : int;
   mutable n_in_doubt_resolved : int;
   mutable tracer : Obs.Trace.t;
+  directory : Place.Directory.t;  (* authoritative key -> shard ownership *)
+  place_stats : Place.Migrate.stats;
+  mutable n_redirects : int;  (* ops bounced off a non-owning shard *)
+  mutable n_fence_blocked : int;  (* lock acquisitions refused by a fence *)
+  fence_bounced : (int, unit) Hashtbl.t;
+      (* attempts refused by a fence, marked shard-side and consumed by the
+         client's retry — stands in for a "fenced" error code on the abort
+         reply. A fence holds for the drain + barrier (seconds), so these
+         retries must back off far beyond the wound-wait cadence: bounced
+         sessions re-reading hot unfenced keys at retry speed hold a rolling
+         stream of old-priority read locks that can starve the very writers
+         the drain is waiting on. *)
 }
 
 (* Deliver a message to a shard leader: network hop + leader CPU. The
@@ -66,13 +78,27 @@ let to_shard ctx ~src ?(bytes = 96) shard_id handler =
 let to_client ctx ~src ?(bytes = 96) ~dst handler =
   Sim.Net.send ~bytes ctx.net ~src ~dst handler
 
-let shard_of_key ctx key = Config.shard_of_key ctx.config key
+(* Authoritative ownership (the directory's current epoch). Clients route
+   through their cached [?view] instead and get bounced + refreshed when it
+   is stale; the owning shard's own check below is what makes a stale route
+   harmless. *)
+let shard_of_key ctx key = Place.Directory.owner ctx.directory key
 
-let group_by_shard ctx keys =
+let owns ctx (shard : Shard.t) key =
+  Place.Directory.owner ctx.directory key = shard.Shard.shard_id
+
+let route ?view ctx key =
+  match view with
+  | Some v -> Place.Directory.view_owner v key
+  | None -> shard_of_key ctx key
+
+let refresh_view = function Some v -> Place.Directory.refresh v | None -> ()
+
+let group_by_shard ?view ctx keys =
   let tbl = Hashtbl.create 8 in
   List.iter
     (fun key ->
-      let s = shard_of_key ctx key in
+      let s = route ?view ctx key in
       let prev = try Hashtbl.find tbl s with Not_found -> [] in
       Hashtbl.replace tbl s (key :: prev))
     keys;
@@ -386,7 +412,18 @@ let participant_prepare ctx shard ~txn ~priority ~writes_here ~tee ~coord =
             handle_vote ctx coord_shard ~txn ~vote_view outcome));
     Obs.Trace.end_span tr prep_sp ~ts:(Sim.Engine.now ctx.engine)
   in
-  if Types.is_wounded ctx.txns txn then vote `Abort
+  if List.exists (fun (key, _) -> not (owns ctx shard key)) writes_here then begin
+    (* Stale route: the range moved since the client picked participants. *)
+    ctx.n_redirects <- ctx.n_redirects + 1;
+    vote `Abort
+  end
+  else if List.exists (fun (key, _) -> Shard.fenced shard key) writes_here
+  then begin
+    ctx.n_fence_blocked <- ctx.n_fence_blocked + 1;
+    Hashtbl.replace ctx.fence_bounced txn ();
+    vote `Abort
+  end
+  else if Types.is_wounded ctx.txns txn then vote `Abort
   else
     let keys = List.map fst writes_here in
     acquire_writes shard ~txn ~priority keys ~blocked:0 (function
@@ -452,24 +489,44 @@ let coordinator_request ctx coord_shard ~txn ~priority ~writes_here ~tee
        would validate cleanly while the read is stale. *)
     cs.cs_vote_views <- read_views @ cs.cs_vote_views;
     if tee > cs.cs_max_tee then cs.cs_max_tee <- tee;
+    let local_ready () =
+      if not cs.cs_decided then begin
+        cs.cs_vote_views <-
+          ( coord_shard.Shard.shard_id,
+            Replication.Group.view coord_shard.Shard.repl )
+          :: cs.cs_vote_views;
+        cs.cs_local_ready <- true;
+        maybe_decide ctx coord_shard ~txn
+      end
+    in
+    let bounced =
+      if List.exists (fun (key, _) -> not (owns ctx coord_shard key)) writes_here
+      then begin
+        ctx.n_redirects <- ctx.n_redirects + 1;
+        true
+      end
+      else if List.exists (fun (key, _) -> Shard.fenced coord_shard key) writes_here
+      then begin
+        ctx.n_fence_blocked <- ctx.n_fence_blocked + 1;
+        Hashtbl.replace ctx.fence_bounced txn ();
+        true
+      end
+      else false
+    in
     if cs.cs_decided then
       (* Aborted via a wound that raced ahead of this request. *)
       client (Types.Aborted, cs.cs_max_tee)
     else if Types.is_wounded ctx.txns txn then decide_abort ctx coord_shard ~txn
+    else if bounced then begin
+      (* Same shape as a lock-acquisition failure: vote abort locally and
+         let the decision collect the remote votes. *)
+      cs.cs_abort <- true;
+      local_ready ()
+    end
     else
       let keys = List.map fst writes_here in
       acquire_writes coord_shard ~txn ~priority keys ~blocked:0 (fun res ->
           if not cs.cs_decided then begin
-            let local_ready () =
-              if not cs.cs_decided then begin
-                cs.cs_vote_views <-
-                  ( coord_shard.Shard.shard_id,
-                    Replication.Group.view coord_shard.Shard.repl )
-                  :: cs.cs_vote_views;
-                cs.cs_local_ready <- true;
-                maybe_decide ctx coord_shard ~txn
-              end
-            in
             match res with
             | Error () ->
               cs.cs_abort <- true;
@@ -595,6 +652,14 @@ let make_ctx engine net tt txns config =
       n_terminate_commits = 0;
       n_in_doubt_resolved = 0;
       tracer = Obs.Trace.disabled;
+      directory =
+        Place.Directory.create ~n_shards:config.Config.n_shards
+          ~base:(fun key -> Config.shard_of_key config key)
+          ();
+      place_stats = Place.Migrate.stats_create ();
+      n_redirects = 0;
+      n_fence_blocked = 0;
+      fence_bounced = Hashtbl.create 64;
     }
   in
   Array.iter
@@ -625,7 +690,12 @@ let enable_failover ctx ~rng ?config ~until_us () =
         ~until_us ())
     ctx.shards
 
-(* Execution-phase read at a shard: 2PL read lock, then the newest version. *)
+(* Execution-phase read at a shard: 2PL read lock, then the newest version.
+   Ownership and fence are checked before any lock is taken: a request for
+   a key this shard no longer owns (the client routed on a stale view) or
+   a key inside a migration fence bounces — the reply-None path the client
+   already treats as an abort-and-retry, by which time the fence is down
+   or the refreshed view routes to the new owner. *)
 let handle_rw_read ctx shard ~txn ~priority ~keys
     ~(reply : (int * int option) list option -> unit) =
   let rec loop keys acc =
@@ -639,7 +709,17 @@ let handle_rw_read ctx shard ~txn ~priority ~keys
           let observed = Option.map (fun (v : Types.version) -> v.Types.value) v in
           loop rest ((key, observed) :: acc))
   in
-  if Types.is_wounded ctx.txns txn then reply None else loop keys []
+  if List.exists (fun key -> not (owns ctx shard key)) keys then begin
+    ctx.n_redirects <- ctx.n_redirects + 1;
+    reply None
+  end
+  else if List.exists (Shard.fenced shard) keys then begin
+    ctx.n_fence_blocked <- ctx.n_fence_blocked + 1;
+    Hashtbl.replace ctx.fence_bounced txn ();
+    reply None
+  end
+  else if Types.is_wounded ctx.txns txn then reply None
+  else loop keys []
 
 (* Forcing outcome query from a client that stopped hearing from its
    coordinator. If the transaction is known and undecided, abort it; if it
@@ -662,8 +742,8 @@ let handle_terminate ctx shard ~txn ~reply =
       if meta.Types.outcome = None then meta.Types.outcome <- Some Types.Aborted;
       reply (`Decided (Types.Aborted, 0)))
 
-let rw_txn ?(on_attempt = fun (_ : int) -> ()) ?deadline_us ctx ~client_site
-    ~proc ~read_keys ~writes k =
+let rw_txn ?(on_attempt = fun (_ : int) -> ()) ?deadline_us ?view ctx
+    ~client_site ~proc ~read_keys ~writes k =
   if writes = [] then invalid_arg "Protocol.rw_txn: empty write set";
   let write_keys = List.map fst writes in
   if List.length (List.sort_uniq compare write_keys) <> List.length write_keys then
@@ -672,20 +752,51 @@ let rw_txn ?(on_attempt = fun (_ : int) -> ()) ?deadline_us ctx ~client_site
   (* Retries keep this first-attempt priority (classic wound-wait), and the
      tiebreak makes priorities a strict total order. *)
   let priority = (Sim.Engine.now ctx.engine, Types.tiebreak ctx.txns) in
-  let write_shards = group_by_shard ctx (List.map fst writes) in
-  let read_shards = group_by_shard ctx read_keys in
-  let participant_ids =
-    List.sort_uniq compare (List.map fst write_shards @ List.map fst read_shards)
-  in
-  let coord, est_latency =
-    Config.estimate_commit_latency_us ctx.config ~client_site
-      ~participants:(List.map fst write_shards)
-  in
   let attempts = ref 0 in
   let rec attempt () =
+    (* Routing is re-derived per attempt from the client's cached view:
+       an attempt bounced off a moved range refreshes the view in [retry]
+       and the next attempt addresses the new owner. *)
+    let write_shards = group_by_shard ?view ctx (List.map fst writes) in
+    let read_shards = group_by_shard ?view ctx read_keys in
+    let participant_ids =
+      List.sort_uniq compare
+        (List.map fst write_shards @ List.map fst read_shards)
+    in
+    let coord, est_latency =
+      Config.estimate_commit_latency_us ctx.config ~client_site
+        ~participants:(List.map fst write_shards)
+    in
     let meta = Types.fresh ctx.txns ~proc ~priority in
     let txn = meta.Types.id in
     on_attempt txn;
+    let retry txn =
+      (* Release everything this attempt still holds (at the shards this
+         attempt actually addressed), then retry with the original
+         wound-wait priority. *)
+      (Types.find ctx.txns txn).Types.outcome <- Some Types.Aborted;
+      List.iter
+        (fun shard_id ->
+          to_shard ctx ~src:client_site ~bytes:32 shard_id (fun sh ->
+              release_at_shard ctx sh ~txn Types.Aborted))
+        participant_ids;
+      (match view with
+      | Some v when Place.Directory.stale v -> Place.Directory.refresh v
+      | Some _ | None -> ());
+      (* Exponential backoff, capped: retry storms on hot keys otherwise
+         multiply wound-wait convoys. A fence bounce gets a much higher cap:
+         the fence stands for the whole drain + barrier, and retrying at
+         wound-wait cadence keeps a rolling stream of old-priority read
+         locks on the hot keys that starves the writers the drain itself is
+         waiting on (the retry keeps its first-attempt priority, so a
+         fence-stuck session outranks every later transaction it touches). *)
+      let fence_hit = Hashtbl.mem ctx.fence_bounced txn in
+      Hashtbl.remove ctx.fence_bounced txn;
+      incr attempts;
+      let shift = min !attempts (if fence_hit then 9 else 5) in
+      let backoff = (5_000 * (1 lsl shift)) + (txn mod 5_000) in
+      Sim.Engine.schedule ~kind:"txn.backoff" ctx.engine ~after:backoff attempt
+    in
     (* --- execution (read) phase --- *)
     let pending = ref (List.length read_shards) in
     let observed = ref [] in
@@ -808,21 +919,6 @@ let rw_txn ?(on_attempt = fun (_ : int) -> ()) ?deadline_us ctx ~client_site
                         read_views := (shard_id, view_at_read) :: !read_views);
                       read_done ()))))
         read_shards
-  and retry txn =
-    (* Release everything this attempt still holds, then retry with the
-       original wound-wait priority. *)
-    (Types.find ctx.txns txn).Types.outcome <- Some Types.Aborted;
-    List.iter
-      (fun shard_id ->
-        to_shard ctx ~src:client_site ~bytes:32 shard_id (fun sh ->
-            release_at_shard ctx sh ~txn Types.Aborted))
-      participant_ids;
-    (* Exponential backoff, capped: retry storms on hot keys otherwise
-       multiply wound-wait convoys. *)
-    incr attempts;
-    let shift = min !attempts 5 in
-    let backoff = (5_000 * (1 lsl shift)) + (txn mod 5_000) in
-    Sim.Engine.schedule ~kind:"txn.backoff" ctx.engine ~after:backoff attempt
   in
   attempt ()
 
@@ -914,10 +1010,10 @@ let handle_ro ctx shard ~keys ~t_read ~t_min ~(fast : fast_reply -> unit)
             if !pending = 0 then finish ()))
       blocking
 
-let ro_once ctx ~client_site ~t_min ~keys k =
+let rec ro_once ?view ctx ~client_site ~t_min ~keys k =
   ctx.n_ro <- ctx.n_ro + 1;
   let t_read = (Sim.Truetime.now ctx.tt).Sim.Truetime.latest in
-  let by_shard = group_by_shard ctx keys in
+  let by_shard = group_by_shard ?view ctx keys in
   let pending_fast = ref (List.length by_shard) in
   let versions : (int, Types.version list) Hashtbl.t = Hashtbl.create 8 in
   (* Newest timestamp per key among the fast-path values only: t_snap must
@@ -1028,16 +1124,35 @@ let ro_once ctx ~client_site ~t_min ~keys k =
       check_done ()
     end
   in
+  (* A shard that no longer owns some requested key bounces the whole RO:
+     the client refreshes its view and re-issues with a fresh t_read.
+     [finished] kills the dead attempt, so replies from its other shards
+     are ignored. Note a fenced range still serves ROs at the source — the
+     fence only blocks lock acquisition — so reads stay available through
+     the whole handoff. *)
+  let bounce () =
+    if not !finished then begin
+      finished := true;
+      refresh_view view;
+      ro_once ?view ctx ~client_site ~t_min ~keys k
+    end
+  in
   List.iter
     (fun (shard_id, shard_keys) ->
       to_shard ctx ~src:client_site shard_id (fun sh ->
-          handle_ro ctx sh ~keys:shard_keys ~t_read ~t_min
-            ~fast:(fun fr ->
-              to_client ctx ~src:sh.Shard.leader_site ~dst:client_site (fun () ->
-                  on_fast fr))
-            ~slow:(fun sr ->
-              to_client ctx ~src:sh.Shard.leader_site ~dst:client_site (fun () ->
-                  on_slow sr))))
+          if List.exists (fun key -> not (owns ctx sh key)) shard_keys then begin
+            ctx.n_redirects <- ctx.n_redirects + 1;
+            to_client ctx ~src:sh.Shard.leader_site ~bytes:32 ~dst:client_site
+              bounce
+          end
+          else
+            handle_ro ctx sh ~keys:shard_keys ~t_read ~t_min
+              ~fast:(fun fr ->
+                to_client ctx ~src:sh.Shard.leader_site ~dst:client_site
+                  (fun () -> on_fast fr))
+              ~slow:(fun sr ->
+                to_client ctx ~src:sh.Shard.leader_site ~dst:client_site
+                  (fun () -> on_slow sr))))
     by_shard
 
 (* A read-only transaction, optionally re-issued from scratch (fresh
@@ -1045,13 +1160,18 @@ let ro_once ctx ~client_site ~t_min ~keys k =
    shard reply may have been lost to a crashed leader. First completion
    wins; the attempt budget bounds the tail so an unservable read does not
    keep the simulation alive forever. *)
-let ro_txn ?deadline_us ctx ~client_site ~proc:_ ~t_min ~keys k =
+let ro_txn ?deadline_us ?view ctx ~client_site ~proc:_ ~t_min ~keys k =
   match deadline_us with
   | Some d when ctx.failover ->
     let done_ = ref false in
     let rec go attempts_left =
       if (not !done_) && attempts_left > 0 then begin
-        ro_once ctx ~client_site ~t_min ~keys (fun res ->
+        (* A re-issue may be retrying a read whose reply died with a moved
+           leader; catch the view up first so it addresses current owners. *)
+        (match view with
+        | Some v when Place.Directory.stale v -> Place.Directory.refresh v
+        | Some _ | None -> ());
+        ro_once ?view ctx ~client_site ~t_min ~keys (fun res ->
             if not !done_ then begin
               done_ := true;
               k res
@@ -1061,20 +1181,37 @@ let ro_txn ?deadline_us ctx ~client_site ~proc:_ ~t_min ~keys k =
       end
     in
     go 25
-  | Some _ | None -> ro_once ctx ~client_site ~t_min ~keys k
+  | Some _ | None -> ro_once ?view ctx ~client_site ~t_min ~keys k
 
 let fence ctx ~t_min k = wait_truetime ctx (t_min + ctx.config.Config.fence_l_us) k
 
 (* Snapshot reads (Spanner's read-at-timestamp API): a consistent view as of
    a caller-chosen timestamp. Shards block on prepared transactions that
    might still commit at or before [ts], then serve the versioned read. *)
-let snapshot_read ctx ~client_site ~ts ~keys k =
-  let by_shard = group_by_shard ctx keys in
+let rec snapshot_read ?view ctx ~client_site ~ts ~keys k =
+  let by_shard = group_by_shard ?view ctx keys in
   let pending = ref (List.length by_shard) in
   let acc = ref [] in
+  (* Stale route: refresh and re-issue the whole read; [dead] silences the
+     old attempt's other shard replies. *)
+  let dead = ref false in
+  let bounce () =
+    if not !dead then begin
+      dead := true;
+      refresh_view view;
+      snapshot_read ?view ctx ~client_site ~ts ~keys k
+    end
+  in
   List.iter
     (fun (shard_id, shard_keys) ->
       to_shard ctx ~src:client_site shard_id (fun sh ->
+          if List.exists (fun key -> not (owns ctx sh key)) shard_keys
+          then begin
+            ctx.n_redirects <- ctx.n_redirects + 1;
+            to_client ctx ~src:sh.Shard.leader_site ~bytes:32 ~dst:client_site
+              bounce
+          end
+          else begin
           Shard.advance_max_write_ts sh ts;
           let blocking = Shard.conflicting_prepared sh ~keys:shard_keys ~max_tp:ts in
           if ctx.failover then
@@ -1094,9 +1231,9 @@ let snapshot_read ctx ~client_site ~ts ~keys k =
             to_client ctx ~src:sh.Shard.leader_site ~dst:client_site (fun () ->
                 acc := values @ !acc;
                 decr pending;
-                if !pending = 0 then k !acc)
+                if !pending = 0 && not !dead then k !acc)
           in
-          match blocking with
+          (match blocking with
           | [] -> finish ()
           | _ ->
             let waiting = ref (List.length blocking) in
@@ -1105,5 +1242,95 @@ let snapshot_read ctx ~client_site ~ts ~keys k =
                 Shard.wait_prepared sh prepared (fun _ ->
                     decr waiting;
                     if !waiting = 0 then finish ()))
-              blocking))
+              blocking)
+          end))
     by_shard
+
+(* ------------------------------------------------------------------ *)
+(* Live key-range migration (elastic placement)                        *)
+(* ------------------------------------------------------------------ *)
+
+(* Shards currently owning keys in [lo, hi), destination excluded; these
+   are the sources the driver must fence and drain. Per-key lookup because
+   earlier migrations may have fragmented the range across owners. *)
+let migration_sources ctx ~lo ~hi ~dst =
+  let seen = Hashtbl.create 8 in
+  for key = lo to hi - 1 do
+    let o = Place.Directory.owner ctx.directory key in
+    if o <> dst && not (Hashtbl.mem seen o) then Hashtbl.add seen o ()
+  done;
+  List.sort compare (Hashtbl.fold (fun o () acc -> o :: acc) seen [])
+
+(* Migrate [lo, hi) to [dst]. The control loop runs co-located with the
+   shard leaders it manipulates (fence/drain/cut are direct state pokes, a
+   directory-service stand-in like [to_shard]'s leader discovery); the
+   snapshot ship is real traffic — durable log forces on both sides, a
+   leader-to-leader hop sized by the snapshot, an ack hop back — and is
+   what the driver's timeout/retry machinery covers. See Place.Migrate for
+   the protocol and the RSS argument. *)
+let migrate ?(no_fence = false) ctx ~lo ~hi ~dst k =
+  if lo < 0 || hi <= lo then invalid_arg "Protocol.migrate: bad key range";
+  if dst < 0 || dst >= Array.length ctx.shards then
+    invalid_arg "Protocol.migrate: bad destination shard";
+  let dir = ctx.directory in
+  let hooks =
+    {
+      Place.Migrate.h_now = (fun () -> Sim.Engine.now ctx.engine);
+      h_sleep =
+        (fun us f ->
+          Sim.Engine.schedule ~kind:"place.migrate" ctx.engine ~after:(max 1 us) f);
+      h_sources = (fun ~lo ~hi ~dst -> migration_sources ctx ~lo ~hi ~dst);
+      h_fence = (fun ~src ~lo ~hi -> Shard.set_fence ctx.shards.(src) ~lo ~hi);
+      h_fence_ok =
+        (fun ~src ~lo ~hi ->
+          match ctx.shards.(src).Shard.fence with
+          | Some f -> f.Shard.f_lo = lo && f.Shard.f_hi = hi
+          | None -> false);
+      h_drained =
+        (fun ~src ~lo ~hi ->
+          let sh = ctx.shards.(src) in
+          (not (Locks.any_busy_in sh.Shard.locks ~lo ~hi))
+          && not (Shard.prepared_in_range sh ~lo ~hi));
+      h_cut =
+        (fun ~src ->
+          let sh = ctx.shards.(src) in
+          let tm =
+            max
+              (sh.Shard.max_write_ts + 1)
+              ((Sim.Truetime.now ctx.tt).Sim.Truetime.latest + 1)
+          in
+          Shard.advance_max_write_ts sh tm;
+          tm);
+      h_ship =
+        (fun ~src ~lo ~hi ~tm ack ->
+          let sh = ctx.shards.(src) in
+          let snap =
+            Shard.snapshot_range sh ~lo ~hi ~owned:(fun key ->
+                Place.Directory.owner dir key = src)
+          in
+          let n_keys = List.length snap in
+          let n_versions =
+            List.fold_left (fun acc (_, vs) -> acc + List.length vs) 0 snap
+          in
+          let bytes = 96 + (24 * n_versions) in
+          let driver_site = sh.Shard.leader_site in
+          Replication.Group.replicate sh.Shard.repl
+            (Types.Rmigrate_out { m_lo = lo; m_hi = hi; m_tm = tm })
+            (fun () ->
+              to_shard ctx ~src:driver_site ~bytes dst (fun dsh ->
+                  ignore (Shard.install_versions dsh snap);
+                  Shard.advance_max_write_ts dsh tm;
+                  Replication.Group.replicate dsh.Shard.repl
+                    (Types.Rmigrate_in
+                       { m_lo = lo; m_hi = hi; m_tm = tm; m_versions = snap })
+                    (fun () ->
+                      to_client ctx ~src:dsh.Shard.leader_site ~bytes:32
+                        ~dst:driver_site (fun () -> ack n_keys)))));
+      h_barrier = (fun ~tm f -> wait_truetime ctx tm f);
+      h_commit =
+        (fun ~lo ~hi ~dst ~tm -> Place.Directory.commit dir ~lo ~hi ~owner:dst ~tm);
+      h_unfence = (fun ~src -> Shard.clear_fence ctx.shards.(src));
+    }
+  in
+  Place.Migrate.run hooks ~tracer:ctx.tracer ~no_fence ~stats:ctx.place_stats
+    ~lo ~hi ~dst k

@@ -35,6 +35,16 @@ type ctx = {
   mutable n_terminate_commits : int;  (** terminates that found a commit *)
   mutable n_in_doubt_resolved : int;  (** in-doubt prepares settled *)
   mutable tracer : Obs.Trace.t;  (** span sink; [Obs.Trace.disabled] = off *)
+  directory : Place.Directory.t;
+      (** authoritative key->shard ownership; epoch 0 matches
+          [Config.shard_of_key] *)
+  place_stats : Place.Migrate.stats;
+  mutable n_redirects : int;  (** ops bounced off a non-owning shard *)
+  mutable n_fence_blocked : int;  (** lock acquisitions refused by a fence *)
+  fence_bounced : (int, unit) Hashtbl.t;
+      (** attempts refused by a fence — stands in for a "fenced" error code
+          on the abort reply; the client's retry consumes it and backs off
+          far longer than for a wound (the fence holds for drain + barrier) *)
 }
 
 val make_ctx :
@@ -65,7 +75,8 @@ type rw_result = {
 }
 
 val rw_txn :
-  ?on_attempt:(int -> unit) -> ?deadline_us:int -> ctx -> client_site:int ->
+  ?on_attempt:(int -> unit) -> ?deadline_us:int -> ?view:Place.Directory.view ->
+  ctx -> client_site:int ->
   proc:int -> read_keys:int list -> writes:(int * int) list ->
   (rw_result -> unit) -> unit
 (** Runs to commit, retrying internally on wound-wait aborts with the
@@ -88,7 +99,8 @@ type ro_result = {
 }
 
 val ro_txn :
-  ?deadline_us:int -> ctx -> client_site:int -> proc:int -> t_min:int ->
+  ?deadline_us:int -> ?view:Place.Directory.view -> ctx -> client_site:int ->
+  proc:int -> t_min:int ->
   keys:int list -> (ro_result -> unit) -> unit
 (** The caller owns t_min tracking: pass the session's current t_min and
     update it to [max t_min ro_snap_ts] on completion (Client does this).
@@ -99,9 +111,28 @@ val fence : ctx -> t_min:int -> (unit -> unit) -> unit
 (** §5.1: block until t_min + L < TT.now.earliest. *)
 
 val snapshot_read :
-  ctx -> client_site:int -> ts:int -> keys:int list ->
-  ((int * int option) list -> unit) -> unit
+  ?view:Place.Directory.view -> ctx -> client_site:int -> ts:int ->
+  keys:int list -> ((int * int option) list -> unit) -> unit
 (** Spanner's read-at-timestamp API: a consistent multi-key snapshot as of
     [ts] (typically in the past). Blocks only on transactions prepared at or
     before [ts]. Deliberately outside the session/t_min machinery — it reads
     history — so it is not recorded into the run's consistency witness. *)
+
+(** {1 Elastic placement}
+
+    Requests are routed through the client's cached directory [?view]
+    (falling back to the authoritative directory); the owning shard checks
+    ownership authoritatively and bounces stale routes, which refresh the
+    view and retry/re-issue. RW lock acquisition additionally respects the
+    migration fence. With no migrations committed, every lookup returns
+    exactly what static [Config.shard_of_key] dispatch did and no extra
+    event or random draw occurs, so seeded schedules are unchanged. *)
+
+val migrate :
+  ?no_fence:bool -> ctx -> lo:int -> hi:int -> dst:int ->
+  (Place.Migrate.result -> unit) -> unit
+(** Live-migrate keys [\[lo, hi)] to shard [dst]: fence + drain each
+    source, cut [t_m], ship snapshots (durably logged on both sides), wait
+    the TrueTime barrier, re-verify fences, commit the directory epoch.
+    [?no_fence] is the unsafe mutation control for tests: it skips fence,
+    drain and barrier, and loses writes racing the snapshot. *)

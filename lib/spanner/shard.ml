@@ -8,6 +8,12 @@ type prepared = {
   p_participants : int list;
 }
 
+(* Migration fence: while set, the protocol layer refuses new lock
+   acquisitions on keys in [f_lo, f_hi) so the range can drain. Volatile by
+   design — a rebuilt leader forgets it, and the migration driver detects
+   the loss via its pre-commit fence re-check. *)
+type fence = { f_lo : int; f_hi : int; f_since : int }
+
 type t = {
   shard_id : int;
   mutable leader_site : int;
@@ -22,6 +28,7 @@ type t = {
   decided_tbl : (int, Types.outcome * int) Hashtbl.t;  (* outcome, max_tee *)
   in_doubt : (int, unit) Hashtbl.t;  (* status queries in flight *)
   mutable max_write_ts : int;
+  mutable fence : fence option;
   mutable n_ro_served : int;
   mutable n_ro_blocked : int;
   mutable n_rebuilds : int;
@@ -66,6 +73,7 @@ let create engine net tt txns (config : Config.t) ~shard_id =
     decided_tbl = Hashtbl.create 64;
     in_doubt = Hashtbl.create 8;
     max_write_ts = 0;
+    fence = None;
     n_ro_served = 0;
     n_ro_blocked = 0;
     n_rebuilds = 0;
@@ -132,6 +140,51 @@ let resolve_prepared t ~txn outcome =
     p.p_waiters <- [];
     List.iter (fun k -> k outcome) waiters
 
+(* ------------------------------------------------------------------ *)
+(* Placement: fence / snapshot / install                              *)
+(* ------------------------------------------------------------------ *)
+
+let set_fence t ~lo ~hi =
+  t.fence <- Some { f_lo = lo; f_hi = hi; f_since = Sim.Engine.now t.engine }
+
+let clear_fence t = t.fence <- None
+
+let fenced t key =
+  match t.fence with None -> false | Some f -> key >= f.f_lo && key < f.f_hi
+
+let prepared_in_range t ~lo ~hi =
+  Hashtbl.fold
+    (fun _ p acc ->
+      acc || List.exists (fun (k, _) -> k >= lo && k < hi) p.p_writes)
+    t.prepared_tbl false
+
+let snapshot_range t ~lo ~hi ~owned =
+  Hashtbl.fold
+    (fun key versions acc ->
+      if key >= lo && key < hi && owned key then (key, versions) :: acc else acc)
+    t.store []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+(* Merge shipped versions into the store by timestamp (both lists are
+   newest-first). Bypasses [apply_write]'s monotonicity check on purpose:
+   installation back-fills history below t_m, and a retried ship may
+   deliver the same versions twice — the merge makes that a no-op. *)
+let install_versions t entries =
+  let rec merge a b =
+    match (a, b) with
+    | [], rest | rest, [] -> rest
+    | (x : Types.version) :: xs, y :: ys ->
+      if x.Types.ts > y.Types.ts then x :: merge xs (y :: ys)
+      else if x.Types.ts < y.Types.ts then y :: merge (x :: xs) ys
+      else x :: merge xs ys
+  in
+  List.iter
+    (fun (key, versions) ->
+      let existing = try Hashtbl.find t.store key with Not_found -> [] in
+      Hashtbl.replace t.store key (merge existing versions))
+    entries;
+  List.length entries
+
 let decided t txn = Hashtbl.find_opt t.decided_tbl txn
 
 let set_decided t ~txn outcome ~max_tee =
@@ -152,6 +205,7 @@ let rebuild t ~entries =
   Hashtbl.reset t.decided_tbl;
   Hashtbl.reset t.in_doubt;
   t.max_write_ts <- 0;
+  t.fence <- None;
   t.locks <- make_locks t.engine t.txns t.prepared_tbl t.wound_prepared_hook;
   List.iter
     (function
@@ -179,7 +233,11 @@ let rebuild t ~entries =
               r.r_writes;
             advance_max_write_ts t tc
           | Types.Aborted -> ()
-        end)
+        end
+      | Types.Rmigrate_out m -> advance_max_write_ts t m.m_tm
+      | Types.Rmigrate_in m ->
+        ignore (install_versions t m.m_versions);
+        advance_max_write_ts t m.m_tm)
     entries;
   let survivors =
     List.sort compare (Hashtbl.fold (fun txn _ acc -> txn :: acc) t.prepared_tbl [])

@@ -25,6 +25,12 @@ type prepared = {
   p_participants : int list;  (** all participants; only at the coordinator *)
 }
 
+type fence = { f_lo : int; f_hi : int; f_since : int }
+(** Migration fence over [\[f_lo, f_hi)]: while set, the protocol layer
+    bounces new lock acquisitions on the range so it can drain.
+    Deliberately volatile — {!rebuild} clears it, and the migration driver
+    re-checks the fence before committing the epoch. *)
+
 type t = {
   shard_id : int;
   mutable leader_site : int;
@@ -42,6 +48,7 @@ type t = {
   in_doubt : (int, unit) Hashtbl.t;
       (** txns with a coordinator status query in flight *)
   mutable max_write_ts : int;
+  mutable fence : fence option;
   mutable n_ro_served : int;
   mutable n_ro_blocked : int;
   mutable n_rebuilds : int;
@@ -81,6 +88,25 @@ val wait_prepared : t -> prepared -> (Types.outcome -> unit) -> unit
 val resolve_prepared : t -> txn:int -> Types.outcome -> unit
 (** Apply writes (on commit), drop the entry, fire waiters. Does not touch
     locks — callers release via [t.locks]. No-op if absent. *)
+
+(** {2 Placement} *)
+
+val set_fence : t -> lo:int -> hi:int -> unit
+val clear_fence : t -> unit
+
+val fenced : t -> int -> bool
+(** Is this key inside the current fence (if any)? *)
+
+val prepared_in_range : t -> lo:int -> hi:int -> bool
+(** Does any prepared transaction write a key in [\[lo, hi)]? *)
+
+val snapshot_range : t -> lo:int -> hi:int -> owned:(int -> bool) -> (int * Types.version list) list
+(** Full version lists for every stored key in [\[lo, hi)] passing
+    [owned], sorted by key. *)
+
+val install_versions : t -> (int * Types.version list) list -> int
+(** Merge shipped version lists into the store (dedup by timestamp, so a
+    retried ship is idempotent); returns the number of keys touched. *)
 
 val decided : t -> int -> (Types.outcome * int) option
 

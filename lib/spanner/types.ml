@@ -22,6 +22,19 @@ type repl_entry =
       r_writes : (int * int) list;
       r_max_tee : int;
     }
+  (* Placement epoch bumps. [Rmigrate_out] pins the source's write
+     watermark at the migration timestamp so a rebuilt source leader can
+     never commit below [t_m] again; [Rmigrate_in] carries the shipped
+     snapshot so a rebuilt destination still holds every version below
+     [t_m]. Installation merges by timestamp, so replaying a duplicate
+     (from a retried ship) is a no-op. *)
+  | Rmigrate_out of { m_lo : int; m_hi : int; m_tm : int }
+  | Rmigrate_in of {
+      m_lo : int;
+      m_hi : int;
+      m_tm : int;
+      m_versions : (int * version list) list;
+    }
 
 type meta = {
   id : int;

@@ -26,6 +26,17 @@ type repl_entry =
       r_writes : (int * int) list;  (** this shard's writes, applied on commit *)
       r_max_tee : int;
     }
+  | Rmigrate_out of { m_lo : int; m_hi : int; m_tm : int }
+      (** placement epoch bump at the source: pins its write watermark at
+          the migration timestamp across rebuilds *)
+  | Rmigrate_in of {
+      m_lo : int;
+      m_hi : int;
+      m_tm : int;
+      m_versions : (int * version list) list;
+    }
+      (** placement epoch bump at the destination, carrying the shipped
+          snapshot; replay re-installs it (idempotent merge by ts) *)
 
 type meta = {
   id : int;

@@ -53,6 +53,40 @@ let prop_heap_sorts =
       in
       drain [] = List.sort compare xs)
 
+let prop_heap_stable_tiebreak =
+  (* The engine's event ordering is (time, seq) lexicographic; under that
+     comparator a drain is exactly a *stable* sort of the insertion
+     sequence by time. Times are drawn from a tiny range so nearly every
+     case exercises same-timestamp ties. *)
+  QCheck.Test.make ~name:"heap under (time,seq) = stable sort by time" ~count:300
+    QCheck.(list (int_range 0 15))
+    (fun times ->
+      let h =
+        Sim.Heap.create ~cmp:(fun (t1, s1) (t2, s2) ->
+            if t1 <> t2 then compare t1 t2 else compare s1 s2)
+      in
+      List.iteri (fun i t -> Sim.Heap.add h (t, i)) times;
+      let rec drain acc =
+        match Sim.Heap.pop h with None -> List.rev acc | Some x -> drain (x :: acc)
+      in
+      drain []
+      = List.stable_sort
+          (fun (t1, _) (t2, _) -> compare t1 t2)
+          (List.mapi (fun i t -> (t, i)) times))
+
+let test_heap_clear_reuse () =
+  let h = Sim.Heap.create ~cmp:compare in
+  List.iter (Sim.Heap.add h) [ 3; 1; 2 ];
+  Sim.Heap.clear h;
+  check bool "cleared" true (Sim.Heap.is_empty h);
+  check bool "pop after clear" true (Sim.Heap.pop h = None);
+  List.iter (Sim.Heap.add h) [ 9; 4; 6 ];
+  check int "size after reuse" 3 (Sim.Heap.size h);
+  let rec drain acc =
+    match Sim.Heap.pop h with None -> List.rev acc | Some x -> drain (x :: acc)
+  in
+  check (Alcotest.list int) "reused heap sorts" [ 4; 6; 9 ] (drain [])
+
 (* ------------------------------------------------------------------ *)
 (* Engine                                                              *)
 (* ------------------------------------------------------------------ *)
@@ -113,6 +147,54 @@ let test_engine_past_schedule () =
       Sim.Engine.schedule_at e ~at:5 (fun () -> at := Sim.Engine.now e));
   Sim.Engine.run e;
   check int "past event fires now" 100 !at
+
+let prop_engine_stable_order =
+  (* N seeded random events against the stable-sort oracle: the flat-array
+     event heap must execute same-instant events FIFO in scheduling order
+     (this is what pins seeded schedules byte for byte). *)
+  QCheck.Test.make ~name:"engine runs seeded events in stable-sorted order"
+    ~count:200
+    QCheck.(pair small_int (int_range 1 300))
+    (fun (seed, n) ->
+      let rng = Sim.Rng.make seed in
+      let delays = List.init n (fun _ -> Sim.Rng.int rng 25) in
+      let e = Sim.Engine.create () in
+      let log = ref [] in
+      List.iteri
+        (fun i d -> Sim.Engine.schedule e ~after:d (fun () -> log := (d, i) :: !log))
+        delays;
+      Sim.Engine.run e;
+      List.rev !log
+      = List.stable_sort
+          (fun (a, _) (b, _) -> compare a b)
+          (List.mapi (fun i d -> (d, i)) delays))
+
+let prop_engine_slot_reuse =
+  (* Popped slots are cleared by [remove_root] and reused by later pushes;
+     several fill/drain rounds over the same engine must each still match
+     the oracle, with nothing lost, duplicated, or resurrected. *)
+  QCheck.Test.make ~name:"cleared event slots are reused soundly" ~count:100
+    QCheck.(pair small_int (int_range 1 60))
+    (fun (seed, n) ->
+      let rng = Sim.Rng.make seed in
+      let e = Sim.Engine.create () in
+      let ok = ref true in
+      for _round = 1 to 4 do
+        let delays = List.init n (fun _ -> Sim.Rng.int rng 10) in
+        let log = ref [] in
+        List.iteri
+          (fun i d ->
+            Sim.Engine.schedule e ~after:d (fun () -> log := (d, i) :: !log))
+          delays;
+        Sim.Engine.run e;
+        let oracle =
+          List.stable_sort
+            (fun (a, _) (b, _) -> compare a b)
+            (List.mapi (fun i d -> (d, i)) delays)
+        in
+        if List.rev !log <> oracle then ok := false
+      done;
+      !ok && Sim.Engine.pending e = 0 && Sim.Engine.executed e = 4 * n)
 
 let test_time_conversions () =
   check int "ms" 62_000 (Sim.Engine.ms 62.0);
@@ -441,7 +523,9 @@ let suites =
         Alcotest.test_case "orders elements" `Quick test_heap_order;
         Alcotest.test_case "empty behaviour" `Quick test_heap_empty;
         Alcotest.test_case "keeps duplicates" `Quick test_heap_duplicates;
+        Alcotest.test_case "clear then reuse" `Quick test_heap_clear_reuse;
         qt prop_heap_sorts;
+        qt prop_heap_stable_tiebreak;
       ] );
     ( "sim.engine",
       [
@@ -451,6 +535,8 @@ let suites =
         Alcotest.test_case "run ~until" `Quick test_engine_until;
         Alcotest.test_case "past schedule clamps" `Quick test_engine_past_schedule;
         Alcotest.test_case "time conversions" `Quick test_time_conversions;
+        qt prop_engine_stable_order;
+        qt prop_engine_slot_reuse;
       ] );
     ( "sim.rng",
       [
