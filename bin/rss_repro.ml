@@ -445,7 +445,19 @@ let chaos_cmd =
           ~doc:
             "Fault preset: partition-heal, link-loss, crash-recover, \
              latency-spike, eps-inflate, reorder-storm, mixed, leader-kill, \
-             rolling-crash, reshard, or hot-split.")
+             rolling-crash, reshard, hot-split, disk-tear, bit-rot, or \
+             torn-migration.")
+  in
+  let disk_fault_rate =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "disk-fault-rate" ] ~docv:"R"
+          ~doc:
+            "Scale storage-damage probabilities by R (0 disables). The disk \
+             presets (disk-tear, bit-rot, torn-migration) default to their \
+             tuned fault mix; any positive R arms disk faults under every \
+             preset.")
   in
   let failover =
     Arg.(
@@ -482,7 +494,7 @@ let chaos_cmd =
              presets, 0 otherwise.")
   in
   let run protocol nemesis duration seed nemesis_seed slots migrations failover
-      trace_out =
+      disk_fault_rate trace_out =
     if duration <= 0.0 then (Fmt.epr "error: --duration must be positive@."; exit 1);
     if slots <= 0 then (Fmt.epr "error: --slots must be positive@."; exit 1);
     if seed < 0 then (Fmt.epr "error: --seed must be non-negative@."; exit 1);
@@ -501,6 +513,33 @@ let chaos_cmd =
     in
     let failover = failover || Chaos.Nemesis.requires_failover nemesis in
     let nseed = Option.value nemesis_seed ~default:seed in
+    let disk_faults =
+      let scale r (s : Sim.Durable.Faults.spec) =
+        let p x = min 1.0 (x *. r) in
+        {
+          s with
+          Sim.Durable.Faults.tear_prob = p s.Sim.Durable.Faults.tear_prob;
+          corrupt_prob = p s.Sim.Durable.Faults.corrupt_prob;
+          stale_prob = p s.Sim.Durable.Faults.stale_prob;
+          lost_int_prob = p s.Sim.Durable.Faults.lost_int_prob;
+        }
+      in
+      let tuned = Chaos.Nemesis.disk_spec nemesis in
+      match disk_fault_rate with
+      | Some r when r < 0.0 ->
+        Fmt.epr "error: --disk-fault-rate must be non-negative@.";
+        exit 1
+      | Some r when r = 0.0 -> None
+      | Some r ->
+        let base =
+          match tuned with Some s -> s | None -> Sim.Durable.Faults.default_spec
+        in
+        Some (Chaos.Audit.default_disk_faults ~spec:(scale r base) ~seed:nseed ())
+      | None -> (
+        match tuned with
+        | Some s -> Some (Chaos.Audit.default_disk_faults ~spec:s ~seed:nseed ())
+        | None -> None)
+    in
     let schedule =
       Chaos.Audit.nemesis_schedule protocol nemesis ~duration_s:duration
         ~seed:nseed
@@ -513,13 +552,18 @@ let chaos_cmd =
          schedule);
     let tracer = tracer_for trace_out in
     let r =
-      Chaos.Audit.run protocol ~tracer ~schedule ~n_slots:slots ~failover
-        ~n_migrations ~duration_s:duration ~seed ()
+      Chaos.Audit.run protocol ~tracer ~schedule ?disk_faults ~n_slots:slots
+        ~failover ~n_migrations ~duration_s:duration ~seed ()
     in
     Chaos.Audit.print_report r;
     save_trace tracer trace_out;
     match (r.Chaos.Audit.check, Chaos.Audit.liveness_ok r) with
-    | Ok (), true -> ()
+    | Ok (), true ->
+      if r.Chaos.Audit.unrepaired > 0 then begin
+        Fmt.epr "error: %d members still quarantined at run end@."
+          r.Chaos.Audit.unrepaired;
+        exit 4
+      end
     | Error _, _ -> exit 2
     | Ok (), false -> exit 3
   in
@@ -531,7 +575,7 @@ let chaos_cmd =
           liveness resumes after heal.")
     Term.(
       const run $ protocol $ nemesis $ duration $ seed $ nemesis_seed $ slots
-      $ migrations $ failover $ trace_out_arg)
+      $ migrations $ failover $ disk_fault_rate $ trace_out_arg)
 
 let () =
   let doc = "RSS / RSC reproduction playground" in

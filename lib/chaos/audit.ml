@@ -39,6 +39,56 @@ let nemesis_schedule protocol preset ~duration_s ~seed =
     ~epsilon_us:(protocol_epsilon_us protocol)
     ~duration_us:(Sim.Engine.sec duration_s) ~seed ()
 
+(* ------------------------------------------------------------------ *)
+(* Storage fault injection                                             *)
+(* ------------------------------------------------------------------ *)
+
+type disk_faults = {
+  df_spec : Sim.Durable.Faults.spec;
+  df_seed : int;
+  df_scrub_period_us : int;
+  df_integrity : bool;
+}
+
+let default_disk_faults ?spec ~seed () =
+  {
+    df_spec =
+      (match spec with Some s -> s | None -> Sim.Durable.Faults.default_spec);
+    df_seed = seed;
+    df_scrub_period_us = 250_000;
+    df_integrity = true;
+  }
+
+let zero_disk_stats =
+  {
+    Sim.Durable.Faults.fs_torn = 0;
+    fs_corrupt = 0;
+    fs_resurfaced = 0;
+    fs_lost_ints = 0;
+    fs_crashes = 0;
+  }
+
+(* Install the control before the cluster exists — stores register with the
+   ambient control at creation time. *)
+let install_disk_faults = function
+  | None -> None
+  | Some df ->
+    Some
+      (Sim.Durable.Faults.install ~spec:df.df_spec ~integrity:df.df_integrity
+         ~seed:df.df_seed ())
+
+(* Arm the background scrub pass: one store verified per period, the scan
+   costed on its own station so it competes for simulated CPU. *)
+let arm_scrub engine ~tracer ~dctl ~disk_faults ~duration_s =
+  match (dctl, disk_faults) with
+  | Some ctl, Some df when df.df_scrub_period_us > 0 ->
+    let station = Sim.Station.create engine ~service_time_us:40 in
+    Some
+      (Sim.Scrub.start engine ~station ~ctl ~tracer
+         ~period_us:df.df_scrub_period_us
+         ~until_us:(Sim.Engine.sec duration_s) ())
+  | _ -> None
+
 type run = {
   protocol : protocol;
   check : (unit, string) result;
@@ -67,6 +117,19 @@ type run = {
   migrations : int;
   migration_retries : int;
   redirects : int;
+  disk_torn : int;
+  disk_corrupt : int;
+  disk_resurfaced : int;
+  disk_lost_ints : int;
+  disk_crashes : int;
+  scrub_passes : int;
+  scrub_entries : int;
+  scrub_flagged : int;
+  repairs_torn : int;
+  repairs_quarantined : int;
+  repairs_peer : int;
+  place_repairs : int;
+  unrepaired : int;
 }
 
 (* Drive [n_slots] session slots against [issue_op]. Each slot runs one
@@ -243,10 +306,14 @@ type pending_rw = {
 }
 
 let spanner ?config ?(tracer = Obs.Trace.disabled) ~mode ~schedule
-    ?(n_slots = 12) ?(theta = 0.5) ?(n_keys = 5_000) ?(timeout_us = 2_000_000)
-    ?(failover = false) ?(n_migrations = 0) ~duration_s ~seed () =
+    ?disk_faults ?(n_slots = 12) ?(theta = 0.5) ?(n_keys = 5_000)
+    ?(timeout_us = 2_000_000) ?(failover = false) ?(n_migrations = 0)
+    ~duration_s ~seed () =
   let engine = Sim.Engine.create () in
   let rng = Sim.Rng.make seed in
+  let dctl = install_disk_faults disk_faults in
+  Fun.protect ~finally:(fun () -> Option.iter Sim.Durable.Faults.retire dctl)
+  @@ fun () ->
   let config = match config with Some c -> c | None -> Spanner.Config.wan3 ~mode () in
   let cluster = Spanner.Cluster.create engine ~rng config in
   if Obs.Trace.enabled tracer then Spanner.Cluster.set_tracer cluster tracer;
@@ -260,11 +327,28 @@ let spanner ?config ?(tracer = Obs.Trace.disabled) ~mode ~schedule
       ();
   let deadline_us = if failover then Some (timeout_us - 200_000) else None in
   let faults = ref 0 in
+  (* Wherever the nemesis crashes a site, the same event damages the site's
+     durable stores; when the directory replica's site recovers, its
+     assignment log is re-verified and healed from the overlay. *)
+  let on_disk_fault (ev : Schedule.event) =
+    match dctl with
+    | None -> ()
+    | Some ctl -> (
+      match ev.Schedule.fault with
+      | Schedule.Crash ss ->
+        List.iter (Sim.Durable.Faults.crash_site ctl) ss
+      | Schedule.Recover ss when List.mem 0 ss ->
+        ignore (Place.Directory.recover (Spanner.Cluster.directory cluster))
+      | _ -> ())
+  in
   ignore
     (Schedule.apply schedule ~engine ~net:(Spanner.Cluster.net cluster)
        ~tt:(Spanner.Cluster.truetime cluster) ~tracer
-       ~on_fault:(fun _ -> incr faults)
+       ~on_fault:(fun ev ->
+         incr faults;
+         on_disk_fault ev)
        ());
+  let scrub_stats = arm_scrub engine ~tracer ~dctl ~disk_faults ~duration_s in
   let retwis = Workload.Retwis.create ~rng:(Sim.Rng.split rng) ~n_keys ~theta in
   let until = Sim.Engine.sec duration_s in
   (* Live migrations of the Zipfian head — the hottest eighth of the
@@ -337,6 +421,11 @@ let spanner ?config ?(tracer = Obs.Trace.disabled) ~mode ~schedule
   let net = Spanner.Cluster.net cluster in
   let fstats = Spanner.Cluster.failover_stats cluster in
   let pstats = Spanner.Cluster.place_stats cluster in
+  let dstats =
+    match dctl with
+    | Some ctl -> Sim.Durable.Faults.stats ctl
+    | None -> zero_disk_stats
+  in
   let wmode = match mode with Spanner.Config.Strict -> `Strict | Spanner.Config.Rss -> `Rss in
   {
     protocol = (match mode with Spanner.Config.Strict -> Spanner_strict | Spanner.Config.Rss -> Spanner_rss);
@@ -366,6 +455,19 @@ let spanner ?config ?(tracer = Obs.Trace.disabled) ~mode ~schedule
     migrations = pstats.Spanner.Cluster.migrations;
     migration_retries = pstats.Spanner.Cluster.migration_retries;
     redirects = pstats.Spanner.Cluster.redirects;
+    disk_torn = dstats.Sim.Durable.Faults.fs_torn;
+    disk_corrupt = dstats.Sim.Durable.Faults.fs_corrupt;
+    disk_resurfaced = dstats.Sim.Durable.Faults.fs_resurfaced;
+    disk_lost_ints = dstats.Sim.Durable.Faults.fs_lost_ints;
+    disk_crashes = dstats.Sim.Durable.Faults.fs_crashes;
+    scrub_passes = (match scrub_stats with Some s -> s.Sim.Scrub.passes | None -> 0);
+    scrub_entries = (match scrub_stats with Some s -> s.Sim.Scrub.entries | None -> 0);
+    scrub_flagged = (match scrub_stats with Some s -> s.Sim.Scrub.flagged | None -> 0);
+    repairs_torn = fstats.Spanner.Cluster.torn_repaired;
+    repairs_quarantined = fstats.Spanner.Cluster.corrupt_quarantined;
+    repairs_peer = fstats.Spanner.Cluster.peer_repairs;
+    place_repairs = Place.Directory.repairs (Spanner.Cluster.directory cluster);
+    unrepaired = fstats.Spanner.Cluster.unrepaired;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -454,11 +556,17 @@ type pending_write = {
 }
 
 let gryff ?config ?client_sites ?(tracer = Obs.Trace.disabled) ~mode ~schedule
-    ?(n_slots = 10) ?(write_ratio = 0.3) ?(conflict = 0.1) ?(n_keys = 2_000)
-    ?(timeout_us = 2_000_000) ?(unsafe_no_deps = false) ?(failover = false)
-    ~duration_s ~seed () =
+    ?disk_faults ?(n_slots = 10) ?(write_ratio = 0.3) ?(conflict = 0.1)
+    ?(n_keys = 2_000) ?(timeout_us = 2_000_000) ?(unsafe_no_deps = false)
+    ?(failover = false) ~duration_s ~seed () =
   let engine = Sim.Engine.create () in
   let rng = Sim.Rng.make seed in
+  (* Gryff keeps no durable stores, so the control registers nothing and
+     every disk counter stays zero — but accepting the spec keeps the
+     battery uniform across protocols. *)
+  let dctl = install_disk_faults disk_faults in
+  Fun.protect ~finally:(fun () -> Option.iter Sim.Durable.Faults.retire dctl)
+  @@ fun () ->
   let config = match config with Some c -> c | None -> Gryff.Config.wan5 ~mode () in
   let cluster = Gryff.Cluster.create engine ~rng config in
   if Obs.Trace.enabled tracer then Gryff.Cluster.set_tracer cluster tracer;
@@ -467,8 +575,14 @@ let gryff ?config ?client_sites ?(tracer = Obs.Trace.disabled) ~mode ~schedule
   let faults = ref 0 in
   ignore
     (Schedule.apply schedule ~engine ~net:(Gryff.Cluster.net cluster) ~tracer
-       ~on_fault:(fun _ -> incr faults)
+       ~on_fault:(fun ev ->
+         incr faults;
+         match (dctl, ev.Schedule.fault) with
+         | Some ctl, Schedule.Crash ss ->
+           List.iter (Sim.Durable.Faults.crash_site ctl) ss
+         | _ -> ())
        ());
+  let scrub_stats = arm_scrub engine ~tracer ~dctl ~disk_faults ~duration_s in
   let ycsb =
     Workload.Ycsb.create ~rng:(Sim.Rng.split rng) ~n_keys ~write_ratio ~conflict
   in
@@ -556,27 +670,43 @@ let gryff ?config ?client_sites ?(tracer = Obs.Trace.disabled) ~mode ~schedule
     migrations = 0;
     migration_retries = 0;
     redirects = 0;
+    disk_torn =
+      (match dctl with
+      | Some ctl -> (Sim.Durable.Faults.stats ctl).Sim.Durable.Faults.fs_torn
+      | None -> 0);
+    disk_corrupt = 0;
+    disk_resurfaced = 0;
+    disk_lost_ints = 0;
+    disk_crashes = 0;
+    scrub_passes = (match scrub_stats with Some s -> s.Sim.Scrub.passes | None -> 0);
+    scrub_entries = (match scrub_stats with Some s -> s.Sim.Scrub.entries | None -> 0);
+    scrub_flagged = (match scrub_stats with Some s -> s.Sim.Scrub.flagged | None -> 0);
+    repairs_torn = 0;
+    repairs_quarantined = 0;
+    repairs_peer = 0;
+    place_repairs = 0;
+    unrepaired = 0;
   }
 
 (* ------------------------------------------------------------------ *)
 (* Dispatch and reporting                                              *)
 (* ------------------------------------------------------------------ *)
 
-let run protocol ?tracer ~schedule ?n_slots ?n_keys ?timeout_us ?failover
-    ?n_migrations ~duration_s ~seed () =
+let run protocol ?tracer ~schedule ?disk_faults ?n_slots ?n_keys ?timeout_us
+    ?failover ?n_migrations ~duration_s ~seed () =
   match protocol with
   | Spanner_strict ->
-    spanner ?tracer ~mode:Spanner.Config.Strict ~schedule ?n_slots ?n_keys
-      ?timeout_us ?failover ?n_migrations ~duration_s ~seed ()
+    spanner ?tracer ~mode:Spanner.Config.Strict ~schedule ?disk_faults ?n_slots
+      ?n_keys ?timeout_us ?failover ?n_migrations ~duration_s ~seed ()
   | Spanner_rss ->
-    spanner ?tracer ~mode:Spanner.Config.Rss ~schedule ?n_slots ?n_keys
-      ?timeout_us ?failover ?n_migrations ~duration_s ~seed ()
+    spanner ?tracer ~mode:Spanner.Config.Rss ~schedule ?disk_faults ?n_slots
+      ?n_keys ?timeout_us ?failover ?n_migrations ~duration_s ~seed ()
   | Gryff_lin ->
-    gryff ?tracer ~mode:Gryff.Config.Lin ~schedule ?n_slots ?n_keys ?timeout_us
-      ?failover ~duration_s ~seed ()
+    gryff ?tracer ~mode:Gryff.Config.Lin ~schedule ?disk_faults ?n_slots ?n_keys
+      ?timeout_us ?failover ~duration_s ~seed ()
   | Gryff_rsc ->
-    gryff ?tracer ~mode:Gryff.Config.Rsc ~schedule ?n_slots ?n_keys ?timeout_us
-      ?failover ~duration_s ~seed ()
+    gryff ?tracer ~mode:Gryff.Config.Rsc ~schedule ?disk_faults ?n_slots ?n_keys
+      ?timeout_us ?failover ~duration_s ~seed ()
 
 let liveness_ok ?(min_post_quiet = 1) (r : run) =
   r.post_quiet_completed >= min_post_quiet
@@ -609,6 +739,19 @@ let metrics_of_run r =
           ("place.migrations", r.migrations);
           ("place.migration_retries", r.migration_retries);
           ("place.redirects", r.redirects);
+          ("durable.fault.torn", r.disk_torn);
+          ("durable.fault.corrupt", r.disk_corrupt);
+          ("durable.fault.resurfaced", r.disk_resurfaced);
+          ("durable.fault.lost_ints", r.disk_lost_ints);
+          ("durable.fault.crashes", r.disk_crashes);
+          ("durable.scrub.passes", r.scrub_passes);
+          ("durable.scrub.entries", r.scrub_entries);
+          ("durable.scrub.flagged", r.scrub_flagged);
+          ("durable.repair.torn", r.repairs_torn);
+          ("durable.repair.quarantined", r.repairs_quarantined);
+          ("durable.repair.peer", r.repairs_peer);
+          ("durable.repair.place", r.place_repairs);
+          ("durable.repair.unrepaired", r.unrepaired);
         ];
     gauges = [];
     histograms =
@@ -624,4 +767,10 @@ let print_report r =
   | Error m -> Fmt.pr "history: VIOLATION — %s@." m);
   Fmt.pr "liveness: %s (%d ops completed after heal)@."
     (if liveness_ok r then "ok" else "STALLED")
-    r.post_quiet_completed
+    r.post_quiet_completed;
+  if r.disk_crashes > 0 || r.unrepaired > 0 then
+    Fmt.pr
+      "storage: %d crash-damage events — %d torn-tail repairs, %d quarantined \
+       (%d healed by peer transfer, %d place re-persists), %d UNREPAIRED@."
+      r.disk_crashes r.repairs_torn r.repairs_quarantined r.repairs_peer
+      r.place_repairs r.unrepaired

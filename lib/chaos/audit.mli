@@ -32,6 +32,41 @@ val nemesis_schedule :
   protocol -> Nemesis.preset -> duration_s:float -> seed:int -> Schedule.t
 (** A nemesis schedule sized for the protocol's default deployment. *)
 
+(** {1 Storage fault injection}
+
+    When a driver is given a [disk_faults] spec it installs a
+    {!Sim.Durable.Faults} control {e before} building the cluster (stores
+    register at creation), ties storage damage to the schedule's [Crash]
+    events, re-verifies the placement directory's log on site-0 [Recover],
+    and arms the background {!Sim.Scrub} pass. Fault placement draws from
+    the control's own seeded stream, so network schedules stay
+    byte-identical with or without disk faults armed. *)
+
+type disk_faults = {
+  df_spec : Sim.Durable.Faults.spec;  (** per-crash damage probabilities *)
+  df_seed : int;  (** the control's dedicated stream *)
+  df_scrub_period_us : int;  (** 0 disables the background scrub *)
+  df_integrity : bool;
+      (** [false] builds checksum-blind stores — the broken control
+          configuration the battery must catch *)
+}
+
+val default_disk_faults :
+  ?spec:Sim.Durable.Faults.spec -> seed:int -> unit -> disk_faults
+(** Integrity on, 250 ms scrub period, [spec] defaulting to
+    {!Sim.Durable.Faults.default_spec}. *)
+
+val install_disk_faults : disk_faults option -> Sim.Durable.Faults.ctl option
+(** Install the control — call {e before} building the cluster, and
+    {!Sim.Durable.Faults.retire} the result even on exceptional exit.
+    Shared by the audit drivers and the chaos-enabled harness drivers. *)
+
+val arm_scrub :
+  Sim.Engine.t -> tracer:Obs.Trace.t -> dctl:Sim.Durable.Faults.ctl option ->
+  disk_faults:disk_faults option -> duration_s:float -> Sim.Scrub.stats option
+(** Arm the background scrub pass on a dedicated station; [None] without an
+    installed control or with a zero scrub period. *)
+
 type run = {
   protocol : protocol;
   check : (unit, string) result;  (** the consistency verdict *)
@@ -65,6 +100,19 @@ type run = {
   migrations : int;  (** completed live migrations (Spanner only) *)
   migration_retries : int;  (** per-source fence/ship re-attempts *)
   redirects : int;  (** client ops bounced off a non-owning shard *)
+  disk_torn : int;  (** log entries lost to tail tears *)
+  disk_corrupt : int;  (** misdirected-write corruptions injected *)
+  disk_resurfaced : int;  (** stale truncated entries resurfaced *)
+  disk_lost_ints : int;  (** register writes lost at crashes *)
+  disk_crashes : int;  (** crash events that damaged ≥1 store *)
+  scrub_passes : int;  (** background store scans completed *)
+  scrub_entries : int;  (** log entries the scrub verified *)
+  scrub_flagged : int;  (** logs the scrub caught damaged *)
+  repairs_torn : int;  (** torn/suspect suffixes truncated and refetched *)
+  repairs_quarantined : int;  (** members quarantined for mid-log damage *)
+  repairs_peer : int;  (** quarantines healed by peer state transfer *)
+  place_repairs : int;  (** directory assignments re-persisted *)
+  unrepaired : int;  (** members still quarantined at run end (fail-stop) *)
 }
 
 val sweep_spanner_txn :
@@ -83,7 +131,7 @@ val sweep_gryff_write :
 
 val spanner :
   ?config:Spanner.Config.t -> ?tracer:Obs.Trace.t ->
-  mode:Spanner.Config.mode -> schedule:Schedule.t ->
+  mode:Spanner.Config.mode -> schedule:Schedule.t -> ?disk_faults:disk_faults ->
   ?n_slots:int -> ?theta:float -> ?n_keys:int -> ?timeout_us:int ->
   ?failover:bool -> ?n_migrations:int -> duration_s:float -> seed:int ->
   unit -> run
@@ -99,7 +147,8 @@ val spanner :
 
 val gryff :
   ?config:Gryff.Config.t -> ?client_sites:int array -> ?tracer:Obs.Trace.t ->
-  mode:Gryff.Config.mode -> schedule:Schedule.t -> ?n_slots:int ->
+  mode:Gryff.Config.mode -> schedule:Schedule.t -> ?disk_faults:disk_faults ->
+  ?n_slots:int ->
   ?write_ratio:float -> ?conflict:float -> ?n_keys:int -> ?timeout_us:int ->
   ?unsafe_no_deps:bool -> ?failover:bool -> duration_s:float -> seed:int ->
   unit -> run
@@ -109,9 +158,10 @@ val gryff :
     [failover] arms {!Gryff.Cluster.enable_retrans}. *)
 
 val run :
-  protocol -> ?tracer:Obs.Trace.t -> schedule:Schedule.t -> ?n_slots:int ->
-  ?n_keys:int -> ?timeout_us:int -> ?failover:bool -> ?n_migrations:int ->
-  duration_s:float -> seed:int -> unit -> run
+  protocol -> ?tracer:Obs.Trace.t -> schedule:Schedule.t ->
+  ?disk_faults:disk_faults -> ?n_slots:int -> ?n_keys:int -> ?timeout_us:int ->
+  ?failover:bool -> ?n_migrations:int -> duration_s:float -> seed:int ->
+  unit -> run
 (** Dispatch on {!protocol} with that protocol's default deployment.
     [tracer] (default disabled) records spans cluster-wide plus a
     [Fault]-kind instant per injected event. [n_migrations] applies to the

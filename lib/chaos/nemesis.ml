@@ -10,6 +10,9 @@ type preset =
   | Rolling_crash
   | Reshard
   | Hot_split
+  | Disk_tear
+  | Bit_rot
+  | Torn_migration
 
 let presets =
   [
@@ -24,25 +27,70 @@ let presets =
     ("rolling-crash", Rolling_crash);
     ("reshard", Reshard);
     ("hot-split", Hot_split);
+    ("disk-tear", Disk_tear);
+    ("bit-rot", Bit_rot);
+    ("torn-migration", Torn_migration);
   ]
 
 let requires_failover = function
   (* Reshard and Hot_split arm failover because live migration leans on
      2PC in-doubt resolution: without it, a participant whose commit
      message a fault swallowed stays prepared forever and the drain never
-     completes. *)
-  | Leader_kill | Rolling_crash | Reshard | Hot_split -> true
+     completes. The disk presets arm it because storage repair leans on
+     elections and catch-up state transfer. *)
+  | Leader_kill | Rolling_crash | Reshard | Hot_split | Disk_tear | Bit_rot
+  | Torn_migration ->
+    true
   | Partition_heal | Link_loss | Crash_recover | Latency_spike | Eps_inflate
   | Reorder_storm | Mixed ->
     false
 
 let requires_reshard = function
-  | Reshard | Hot_split -> true
+  | Reshard | Hot_split | Torn_migration -> true
   | _ -> false
 
 let preset_name p = fst (List.find (fun (_, q) -> q = p) presets)
 
 let preset_of_string s = List.assoc_opt s presets
+
+let disk_spec = function
+  | Disk_tear ->
+    (* Tear-heavy: every crash likely loses an un-fsynced tail; corruption
+       and resurfacing stay rare. *)
+    Some
+      {
+        Sim.Durable.Faults.tear_prob = 0.9;
+        max_tear = 5;
+        corrupt_prob = 0.1;
+        stale_prob = 0.1;
+        max_stale = 2;
+        lost_int_prob = 0.15;
+      }
+  | Bit_rot ->
+    (* Corruption-heavy: misdirected writes mid-log, the case that forces
+       quarantine + peer state transfer. *)
+    Some
+      {
+        Sim.Durable.Faults.tear_prob = 0.25;
+        max_tear = 2;
+        corrupt_prob = 0.85;
+        stale_prob = 0.15;
+        max_stale = 2;
+        lost_int_prob = 0.1;
+      }
+  | Torn_migration ->
+    (* Tears plus stale-sector resurfacing while placement records are in
+       flight: the migration-replay hazard. *)
+    Some
+      {
+        Sim.Durable.Faults.tear_prob = 0.75;
+        max_tear = 4;
+        corrupt_prob = 0.25;
+        stale_prob = 0.5;
+        max_stale = 3;
+        lost_int_prob = 0.15;
+      }
+  | _ -> None
 
 (* A nemesis window: one fault armed at [w_start], undone at [w_stop]. *)
 
@@ -131,6 +179,16 @@ let rec window spec kind =
     (* Partition windows around a hot-range migration: the directory epoch
        bump must survive clients that temporarily cannot reach the source. *)
     window spec Partition_heal
+  | Disk_tear | Bit_rot ->
+    (* The network-visible fault is a leader crash; the storage damage rides
+       on the same Crash event via the drivers' disk-fault hook (the crash
+       is what loses the un-fsynced tail / misdirects the write). *)
+    window spec Leader_kill
+  | Torn_migration ->
+    (* Leader crashes while the audit driver live-migrates key ranges: the
+       migration records and directory assignments are exactly the entries
+       the crash damages. *)
+    window spec Leader_kill
   | Mixed ->
     let kinds =
       [| Partition_heal; Link_loss; Crash_recover; Latency_spike; Eps_inflate;

@@ -26,6 +26,16 @@ type preset =
       (** partition windows around a hot-range migration; no leader dies,
           but failover stays armed — migration drains depend on in-doubt
           2PC resolution when a fault swallows a commit message *)
+  | Disk_tear
+      (** leader crashes whose disk loses the un-fsynced log tail (see
+          {!disk_spec}; the storage damage itself is armed by the driver's
+          {!Sim.Durable.Faults} control) *)
+  | Bit_rot
+      (** leader crashes that misdirect a write mid-log — the case that
+          forces quarantine + repair by peer state transfer *)
+  | Torn_migration
+      (** disk tears + stale-sector resurfacing while the audit driver
+          live-migrates key ranges (implies {!requires_reshard}) *)
 
 val presets : (string * preset) list
 (** CLI-name / preset pairs, e.g. [("partition-heal", Partition_heal)]. *)
@@ -42,6 +52,12 @@ val requires_reshard : preset -> bool
 (** Presets whose point is concurrent placement change: audit drivers should
     schedule live migrations during the run (protocols without elastic
     placement ignore this and see only the network faults). *)
+
+val disk_spec : preset -> Sim.Durable.Faults.spec option
+(** The storage-fault mix a disk preset is tuned for ([None] for the pure
+    network presets). Drivers install it as a {!Sim.Durable.Faults} control
+    before building the cluster; without one armed, the disk presets
+    degrade to plain crash schedules. *)
 
 val generate :
   preset -> n_sites:int -> ?protect:int list -> ?leaders:int list ->

@@ -60,17 +60,48 @@ end
 type check_mode = [ `Offline | `Online | `No_check ]
 
 (* Arm a chaos schedule on the run's engine; returns the injected-event
-   counter to read after the run. *)
-let arm_chaos ?chaos ?(tracer = Obs.Trace.disabled) ~engine ~net ?tt () =
+   counter to read after the run. With a disk-fault control installed
+   ([dctl]), every Crash event also damages the crashed sites' durable
+   stores, and [on_recover] lets drivers re-verify site-local storage (the
+   placement directory) as sites come back. *)
+let arm_chaos ?chaos ?(tracer = Obs.Trace.disabled) ?dctl ?on_recover ~engine
+    ~net ?tt () =
   match chaos with
   | None -> ref 0
   | Some schedule ->
     let faults = ref 0 in
     ignore
       (Chaos.Schedule.apply schedule ~engine ~net ?tt ~tracer
-         ~on_fault:(fun _ -> incr faults)
+         ~on_fault:(fun (ev : Chaos.Schedule.event) ->
+           incr faults;
+           match (dctl, ev.Chaos.Schedule.fault) with
+           | Some ctl, Chaos.Schedule.Crash ss ->
+             List.iter (Sim.Durable.Faults.crash_site ctl) ss
+           | Some _, Chaos.Schedule.Recover ss -> (
+             match on_recover with Some f -> f ss | None -> ())
+           | _ -> ())
          ());
     faults
+
+(* Disk-fault and scrub accounting for chaos-enabled drivers. Fault-free
+   runs never install a control, so the counters stay absent. *)
+let durable_metrics reg ~dctl ~scrub =
+  match dctl with
+  | None -> ()
+  | Some ctl ->
+    let c name v = Obs.Metrics.add (Obs.Metrics.counter reg name) v in
+    let ds = Sim.Durable.Faults.stats ctl in
+    c "durable.fault.torn" ds.Sim.Durable.Faults.fs_torn;
+    c "durable.fault.corrupt" ds.Sim.Durable.Faults.fs_corrupt;
+    c "durable.fault.resurfaced" ds.Sim.Durable.Faults.fs_resurfaced;
+    c "durable.fault.lost_ints" ds.Sim.Durable.Faults.fs_lost_ints;
+    c "durable.fault.crashes" ds.Sim.Durable.Faults.fs_crashes;
+    (match scrub with
+    | Some (s : Sim.Scrub.stats) ->
+      c "durable.scrub.passes" s.Sim.Scrub.passes;
+      c "durable.scrub.entries" s.Sim.Scrub.entries;
+      c "durable.scrub.flagged" s.Sim.Scrub.flagged
+    | None -> ())
 
 (* Fold the network/fault accounting into a registry. All-zero counters are
    harmless: snapshots keep them, the table renderer filters them. *)
@@ -120,7 +151,13 @@ let spanner_metrics ~faults ~failover cluster =
     c "failover.rpc_retries" fs.Spanner.Cluster.rpc_retries;
     c "failover.rpc_exhausted" fs.Spanner.Cluster.rpc_exhausted;
     c "failover.durable_appends" fs.Spanner.Cluster.durable_appends;
-    c "failover.durable_bytes" fs.Spanner.Cluster.durable_bytes
+    c "failover.durable_bytes" fs.Spanner.Cluster.durable_bytes;
+    c "durable.repair.torn" fs.Spanner.Cluster.torn_repaired;
+    c "durable.repair.quarantined" fs.Spanner.Cluster.corrupt_quarantined;
+    c "durable.repair.peer" fs.Spanner.Cluster.peer_repairs;
+    c "durable.repair.unrepaired" fs.Spanner.Cluster.unrepaired;
+    c "durable.repair.place"
+      (Place.Directory.repairs (Spanner.Cluster.directory cluster))
   end;
   reg
 
@@ -262,11 +299,14 @@ type reshard_spec = {
 (* The paper's §6.1 wide-area Retwis experiment: partly-open clients
    (sessions at [arrival_rate_per_sec], stay probability 0.9, zero think
    time, a fresh t_min per session), Zipfian keys. *)
-let spanner_wan ?(config = None) ?chaos ?(failover = false)
+let spanner_wan ?(config = None) ?chaos ?disk_faults ?(failover = false)
     ?(trace = Obs.Trace.disabled) ?(check = `Offline) ?(reshard = []) ~mode
     ~theta ~n_keys ~arrival_rate_per_sec ~duration_s ~seed () =
   let engine = Sim.Engine.create () in
   let rng = Sim.Rng.make seed in
+  let dctl = Chaos.Audit.install_disk_faults disk_faults in
+  Fun.protect ~finally:(fun () -> Option.iter Sim.Durable.Faults.retire dctl)
+  @@ fun () ->
   let config =
     match config with Some c -> c | None -> Spanner.Config.wan3 ~mode ()
   in
@@ -282,8 +322,15 @@ let spanner_wan ?(config = None) ?chaos ?(failover = false)
      congestion collapse. *)
   let deadline_us = if failover then Some 10_000_000 else None in
   let faults =
-    arm_chaos ?chaos ~tracer:trace ~engine ~net:(Spanner.Cluster.net cluster)
+    arm_chaos ?chaos ~tracer:trace ?dctl
+      ~on_recover:(fun ss ->
+        if List.mem 0 ss then
+          ignore (Place.Directory.recover (Spanner.Cluster.directory cluster)))
+      ~engine ~net:(Spanner.Cluster.net cluster)
       ~tt:(Spanner.Cluster.truetime cluster) ()
+  in
+  let scrub =
+    Chaos.Audit.arm_scrub engine ~tracer:trace ~dctl ~disk_faults ~duration_s
   in
   let online =
     match check with `Online -> Some (arm_spanner_online cluster) | _ -> None
@@ -366,6 +413,7 @@ let spanner_wan ?(config = None) ?chaos ?(failover = false)
              ~inv:info.pr_inv ~writes:info.pr_writes ~txn:info.pr_last_txn))
     (List.rev !pending);
   let reg = spanner_metrics ~faults:!faults ~failover cluster in
+  durable_metrics reg ~dctl ~scrub;
   let t0_check = Sys.time () in
   let verdict =
     match (check, online) with
@@ -518,18 +566,27 @@ let sweep_gryff cluster pending =
 
 (* The §7.2 YCSB experiment: 16 closed-loop clients spread over five
    regions, tunable conflict percentage and write ratio. *)
-let gryff_wan ?(n_clients = 16) ?chaos ?(failover = false)
+let gryff_wan ?(n_clients = 16) ?chaos ?disk_faults ?(failover = false)
     ?(trace = Obs.Trace.disabled) ?(check = `Offline) ~mode ~conflict
     ~write_ratio ~n_keys ~duration_s ~seed () =
   let engine = Sim.Engine.create () in
   let rng = Sim.Rng.make seed in
+  (* Gryff keeps no durable stores; the control registers nothing, but
+     accepting the spec keeps chaos batteries uniform across protocols. *)
+  let dctl = Chaos.Audit.install_disk_faults disk_faults in
+  Fun.protect ~finally:(fun () -> Option.iter Sim.Durable.Faults.retire dctl)
+  @@ fun () ->
   let config = Gryff.Config.wan5 ~mode () in
   let cluster = Gryff.Cluster.create engine ~rng config in
   if Obs.Trace.enabled trace then Gryff.Cluster.set_tracer cluster trace;
   if failover then
     Gryff.Cluster.enable_retrans cluster ~rng:(Sim.Rng.make (0xfa11 + seed)) ();
   let faults =
-    arm_chaos ?chaos ~tracer:trace ~engine ~net:(Gryff.Cluster.net cluster) ()
+    arm_chaos ?chaos ~tracer:trace ?dctl ~engine
+      ~net:(Gryff.Cluster.net cluster) ()
+  in
+  let scrub =
+    Chaos.Audit.arm_scrub engine ~tracer:trace ~dctl ~disk_faults ~duration_s
   in
   let online =
     match check with `Online -> Some (arm_gryff_online cluster) | _ -> None
@@ -574,6 +631,7 @@ let gryff_wan ?(n_clients = 16) ?chaos ?(failover = false)
   Sim.Engine.run ~max_events:600_000_000 engine;
   sweep_gryff cluster !pending;
   let reg = gryff_metrics ~faults:!faults ~failover cluster in
+  durable_metrics reg ~dctl ~scrub;
   let t0_check = Sys.time () in
   let verdict =
     match (check, online) with

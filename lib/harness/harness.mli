@@ -92,6 +92,7 @@ type reshard_spec = {
 
 val spanner_wan :
   ?config:Spanner.Config.t option -> ?chaos:Chaos.Schedule.t ->
+  ?disk_faults:Chaos.Audit.disk_faults ->
   ?failover:bool -> ?trace:Obs.Trace.t -> ?check:check_mode ->
   ?reshard:reshard_spec list -> mode:Spanner.Config.mode ->
   theta:float -> n_keys:int -> arrival_rate_per_sec:float ->
@@ -103,7 +104,11 @@ val spanner_wan :
     deadlines on every operation — required for liveness under
     leader-killing schedules. [reshard] (default none) arms live key-range
     migrations via {!Spanner.Cluster.migrate}; reshard statistics land in
-    the run's [place.*] counters. Latencies: ["ro"], ["rw"]. *)
+    the run's [place.*] counters. [disk_faults] installs a
+    {!Sim.Durable.Faults} control before the cluster is built, ties storage
+    damage to the schedule's crash events, and arms the background scrub
+    pass; accounting lands in the run's [durable.*] counters.
+    Latencies: ["ro"], ["rw"]. *)
 
 val spanner_dc :
   ?chaos:Chaos.Schedule.t -> ?trace:Obs.Trace.t -> ?check:check_mode ->
@@ -114,14 +119,17 @@ val spanner_dc :
     ["p50_ms"], ["msgs_per_txn"]. *)
 
 val gryff_wan :
-  ?n_clients:int -> ?chaos:Chaos.Schedule.t -> ?failover:bool ->
+  ?n_clients:int -> ?chaos:Chaos.Schedule.t ->
+  ?disk_faults:Chaos.Audit.disk_faults -> ?failover:bool ->
   ?trace:Obs.Trace.t -> ?check:check_mode -> mode:Gryff.Config.mode ->
   conflict:float ->
   write_ratio:float -> n_keys:int -> duration_s:float -> seed:int -> unit ->
   Run.t
 (** §7.2: YCSB over the five-region deployment, closed-loop clients.
     [failover] (default false) arms {!Gryff.Cluster.enable_retrans}.
-    Latencies: ["read"], ["write"]. *)
+    [disk_faults] is accepted for battery uniformity — Gryff keeps no
+    durable stores, so the control registers nothing. Latencies: ["read"],
+    ["write"]. *)
 
 val gryff_dc :
   ?chaos:Chaos.Schedule.t -> ?trace:Obs.Trace.t -> ?check:check_mode ->

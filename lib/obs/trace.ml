@@ -7,6 +7,7 @@ type kind =
   | Fault
   | Mark
   | Migration
+  | Repair
 
 let kind_name = function
   | Client_op -> "client"
@@ -17,6 +18,7 @@ let kind_name = function
   | Fault -> "fault"
   | Mark -> "mark"
   | Migration -> "migration"
+  | Repair -> "repair"
 
 let kind_tag = function
   | Client_op -> 0
@@ -27,6 +29,7 @@ let kind_tag = function
   | Fault -> 5
   | Mark -> 6
   | Migration -> 7
+  | Repair -> 8
 
 let kind_of_tag = function
   | 0 -> Some Client_op
@@ -37,6 +40,7 @@ let kind_of_tag = function
   | 5 -> Some Fault
   | 6 -> Some Mark
   | 7 -> Some Migration
+  | 8 -> Some Repair
   | _ -> None
 
 type span = int

@@ -22,6 +22,9 @@ type kind =
   | Fault  (** a chaos fault injection marker *)
   | Mark  (** generic instant annotation *)
   | Migration  (** a placement change: key-range fence/ship/epoch commit *)
+  | Repair
+      (** a durable-storage integrity event: scrub flag, quarantine,
+          torn-tail truncation, peer state-transfer repair *)
 
 val kind_name : kind -> string
 

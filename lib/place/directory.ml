@@ -27,13 +27,74 @@ type t = {
   mutable overrides : assignment list;  (* newest first *)
   store : Sim.Durable.t;
   log : assignment Sim.Durable.log;
+  mutable n_repairs : int;  (* assignments re-persisted by [recover] *)
+  mutable failstop : string option;
 }
+
+(* Verified recovery of the durable assignment log.
+
+   The running overlay is the replicated state machine (conceptually backed
+   by a quorum of directory replicas); the log is this replica's durable
+   copy. [recover] classifies storage damage with [read_verified] and heals
+   the log from the overlay — truncate the torn or resurfaced suffix, then
+   re-append the assignments the journal lost. Mid-log corruption needs
+   that peer copy: with [peer:false] (no quorum reachable) the directory
+   fail-stops with a diagnostic instead of replaying garbage. *)
+let recover ?(peer = true) t =
+  let heal_from verified_len =
+    Sim.Durable.truncate t.log (min verified_len (Sim.Durable.length t.log));
+    Sim.Durable.repair_torn_tail t.log;
+    let missing =
+      List.filteri (fun i _ -> i >= verified_len) (List.rev t.overrides)
+    in
+    List.iter (fun a -> ignore (Sim.Durable.append t.log ~bytes:40 a)) missing;
+    let k = List.length missing in
+    t.n_repairs <- t.n_repairs + k;
+    k
+  in
+  match Sim.Durable.read_verified t.log with
+  | Sim.Durable.Ok -> `Ok
+  | Sim.Durable.Torn_tail n -> `Repaired (heal_from n)
+  | Sim.Durable.Corrupt i ->
+    if i >= Sim.Durable.journalled_length t.log || peer then
+      (* Resurfaced junk past the journal, or a peer copy (the overlay)
+         vouches for the prefix: drop the suspect suffix and re-persist. *)
+      `Repaired (heal_from i)
+    else begin
+      let msg =
+        Fmt.str
+          "place.directory: log corrupt at index %d (journalled %d) and no \
+           peer holds the assignments — refusing to replay"
+          i
+          (Sim.Durable.journalled_length t.log)
+      in
+      t.failstop <- Some msg;
+      `Failstop msg
+    end
 
 let create ?base ~n_shards () =
   if n_shards <= 0 then invalid_arg "Directory.create: n_shards must be positive";
   let base = match base with Some f -> f | None -> fun key -> key mod n_shards in
   let store = Sim.Durable.create ~site:0 ~name:"place.directory" in
-  { n_shards; base; epoch = 0; overrides = []; store; log = Sim.Durable.log store }
+  let t =
+    {
+      n_shards;
+      base;
+      epoch = 0;
+      overrides = [];
+      store;
+      log = Sim.Durable.log store;
+      n_repairs = 0;
+      failstop = None;
+    }
+  in
+  (* A background scrub that flags this log repairs it the same way
+     recovery would. *)
+  Sim.Durable.set_repairer t.log (fun _ -> ignore (recover t));
+  t
+
+let repairs t = t.n_repairs
+let failstopped t = t.failstop
 
 let n_shards t = t.n_shards
 let epoch t = t.epoch

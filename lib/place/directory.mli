@@ -50,6 +50,25 @@ val log_entries : t -> assignment list
 val durable_appends : t -> int
 val durable_bytes : t -> int
 
+(** {1 Verified recovery}
+
+    The durable log is one replica's persistence of the (conceptually
+    quorum-replicated) assignment overlay. After a crash that may have
+    damaged it, {!recover} verifies the framing and heals: a torn or
+    resurfaced suffix is truncated and the lost assignments are re-appended
+    from the overlay (the "peer" copy). Mid-log corruption with
+    [peer:false] — no quorum reachable — fail-stops with a diagnostic
+    rather than replaying a wrong ownership map. *)
+
+val recover : ?peer:bool -> t -> [ `Ok | `Repaired of int | `Failstop of string ]
+(** [`Repaired k] re-persisted [k] assignments. Default [peer:true]. *)
+
+val repairs : t -> int
+(** Total assignments re-persisted by {!recover} (and the scrub pass). *)
+
+val failstopped : t -> string option
+(** The diagnostic, if the directory ever refused to replay. *)
+
 (** {1 Cached client views} *)
 
 type view

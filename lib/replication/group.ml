@@ -25,9 +25,14 @@ type 'a member = {
   mutable m_last_heard : int;  (* last leader contact (follower side) *)
   mutable m_vc_view : int;  (* view being elected while [View_change] *)
   mutable m_vc_since : int;
-  mutable m_dvc : 'a entry list option array;  (* candidate: DoViewChange logs *)
+  mutable m_dvc : ('a entry list * int) option array;
+      (* candidate: DoViewChange (log, durable commit count) per member *)
   mutable m_sv_acked : bool array;  (* new leader: StartView acks *)
   mutable m_was_down : bool;
+  mutable m_quarantined : bool;
+      (* mid-log corruption below the durable commit index: refuse to serve,
+         ack, or answer catch-ups until a peer state transfer repairs us *)
+  mutable m_repair_span : Obs.Trace.span;
 }
 
 type pending = {
@@ -57,6 +62,9 @@ type 'a t = {
   mutable n_heartbeats : int;
   mutable n_catchups : int;
   mutable n_dup_acks : int;
+  mutable n_torn_repaired : int;  (* torn/suspect suffixes truncated locally *)
+  mutable n_corrupt_quarantined : int;  (* quarantine entries (transitions) *)
+  mutable n_peer_repairs : int;  (* quarantines cleared by state transfer *)
   mutable vc_detect_at : int;  (* -1 when no election is in flight *)
   mutable max_election_us : int;
   mutable tracer : Obs.Trace.t;
@@ -86,6 +94,8 @@ let create net ?station ~leader_site ~replica_sites () =
           m_dvc = Array.make n None;
           m_sv_acked = Array.make n false;
           m_was_down = false;
+          m_quarantined = false;
+          m_repair_span = Obs.Trace.none;
         })
       sites
   in
@@ -108,6 +118,9 @@ let create net ?station ~leader_site ~replica_sites () =
     n_heartbeats = 0;
     n_catchups = 0;
     n_dup_acks = 0;
+    n_torn_repaired = 0;
+    n_corrupt_quarantined = 0;
+    n_peer_repairs = 0;
     vc_detect_at = -1;
     max_election_us = 0;
     tracer = Obs.Trace.disabled;
@@ -145,9 +158,95 @@ let adopt_view (m : 'a member) v =
   m.m_view <- v;
   Sim.Durable.set_int m.m_store "view" v
 
-let install_log (m : 'a member) entries =
+(* ------------------------------------------------------------------ *)
+(* Storage integrity: verification + repair policy                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Durable count of entries this member has seen commit: the leader writes
+   it when a proposal gathers its majority, and followers learn it from the
+   commit count piggybacked on heartbeats (clamped to their own log — only
+   entries a follower actually holds are known-committed to it). The repair
+   policy pivots on it — damage at or above the commit count is a suspect
+   suffix we can drop and refetch; damage below it means locally-lost
+   committed state, which only a peer state transfer can restore. *)
+let commit_count (m : 'a member) =
+  Sim.Durable.get_int m.m_store "commit" ~default:0
+
+let record_commit (m : 'a member) idx =
+  (* Majorities for different indices can land out of order. *)
+  if idx + 1 > commit_count m then Sim.Durable.set_int m.m_store "commit" (idx + 1)
+
+let learn_commit (m : 'a member) count =
+  let count = min count (Sim.Durable.length m.m_log) in
+  if count > commit_count m then Sim.Durable.set_int m.m_store "commit" count
+
+let quarantine t (m : 'a member) ~at =
+  if not m.m_quarantined then begin
+    m.m_quarantined <- true;
+    t.n_corrupt_quarantined <- t.n_corrupt_quarantined + 1;
+    if Obs.Trace.enabled t.tracer then
+      m.m_repair_span <-
+        Obs.Trace.begin_span ~parent:Obs.Trace.none ~site:m.m_site t.tracer
+          ~kind:Obs.Trace.Repair
+          ~name:(Fmt.str "quarantine m%d idx=%d" m.m_idx at)
+          ~ts:(now t)
+  end
+
+(* Check the member's log against its framing and apply the repair policy:
+   torn tails are truncated to the surviving prefix; a corrupt or resurfaced
+   suffix at/above the commit count is dropped (catch-up refetches it); any
+   damage below the commit count quarantines the member until a peer state
+   transfer restores the committed prefix. No-op (and message-free) on a
+   clean log, so fault-free schedules are untouched. *)
+let verify_storage t (m : 'a member) =
+  match Sim.Durable.read_verified m.m_log with
+  | Sim.Durable.Ok -> ()
+  | Sim.Durable.Torn_tail n ->
+    Sim.Durable.repair_torn_tail m.m_log;
+    t.n_torn_repaired <- t.n_torn_repaired + 1;
+    if Obs.Trace.enabled t.tracer then
+      Obs.Trace.instant ~site:m.m_site t.tracer ~kind:Obs.Trace.Repair
+        ~name:(Fmt.str "torn-tail m%d len=%d" m.m_idx n)
+        ~ts:(now t);
+    if n < commit_count m then quarantine t m ~at:n
+  | Sim.Durable.Corrupt i ->
+    if i >= commit_count m then begin
+      Sim.Durable.truncate m.m_log i;
+      t.n_torn_repaired <- t.n_torn_repaired + 1;
+      if Obs.Trace.enabled t.tracer then
+        Obs.Trace.instant ~site:m.m_site t.tracer ~kind:Obs.Trace.Repair
+          ~name:(Fmt.str "drop-suspect-suffix m%d idx=%d" m.m_idx i)
+          ~ts:(now t)
+    end
+    else quarantine t m ~at:i
+
+let install_log t (m : 'a member) entries =
   Sim.Durable.replace m.m_log entries;
-  Hashtbl.reset m.m_stash
+  Hashtbl.reset m.m_stash;
+  if m.m_quarantined then
+    if List.length entries >= commit_count m then begin
+      m.m_quarantined <- false;
+      t.n_peer_repairs <- t.n_peer_repairs + 1;
+      if Obs.Trace.enabled t.tracer then begin
+        Obs.Trace.end_span t.tracer m.m_repair_span ~ts:(now t);
+        m.m_repair_span <- Obs.Trace.none
+      end
+    end
+    else if Obs.Trace.enabled t.tracer then
+      (* No peer had the committed suffix: stay quarantined (fail-stop);
+         the run's [unrepaired] stat carries the diagnostic. *)
+      Obs.Trace.instant ~site:m.m_site t.tracer ~kind:Obs.Trace.Repair
+        ~name:
+          (Fmt.str "state-transfer-short m%d got=%d need=%d" m.m_idx
+             (List.length entries) (commit_count m))
+        ~ts:(now t)
+
+(* What this member may contribute to an election: a quarantined log is
+   trusted only up to the first verified frame. *)
+let dvc_entries t (m : 'a member) =
+  verify_storage t m;
+  if m.m_quarantined then Sim.Durable.verified_prefix m.m_log
+  else Sim.Durable.to_list m.m_log
 
 (* ------------------------------------------------------------------ *)
 (* Replication (both modes)                                            *)
@@ -190,12 +289,18 @@ let rec request_catchup t (m : 'a member) =
     t.members
 
 and recv_catchup_req t (m : 'a member) ~from =
-  (* Only a member that believes itself the leader of its view answers. *)
+  (* Only a member that believes itself the leader of its view answers —
+     and only from a log that verifies, or corruption would spread through
+     the very channel meant to repair it. *)
   if m.m_status = Normal && candidate_of t m.m_view = m.m_idx then begin
+    verify_storage t m;
+    if m.m_quarantined then ()
+    else begin
     let entries = Sim.Durable.to_list m.m_log in
     let v = m.m_view in
     msend t ~src:m ~bytes:(log_bytes entries) from (fun () ->
         recv_catchup_rep t from ~view:v ~entries)
+    end
   end
 
 and recv_catchup_rep t (m : 'a member) ~view ~entries =
@@ -203,10 +308,11 @@ and recv_catchup_rep t (m : 'a member) ~view ~entries =
     view > m.m_view
     || (view = m.m_view
         && List.length entries > Sim.Durable.length m.m_log)
+    || (m.m_quarantined && view >= m.m_view)
   then begin
     adopt_view m view;
     m.m_status <- Normal;
-    install_log m entries;
+    install_log t m entries;
     m.m_last_heard <- now t;
     t.n_catchups <- t.n_catchups + 1
   end
@@ -219,7 +325,10 @@ let recv_append t (m : 'a member) ~from ~idx ~entry =
     ignore (Sim.Durable.append m.m_log ~bytes:entry.e_bytes entry);
     send_ack t m ~to_m:from ~view:entry.e_view ~idx
   | Some _ ->
-    if m.m_status <> Normal || entry.e_view < m.m_view then ()
+    (* A quarantined member must not ack: its ack claims a prefix it does
+       not intactly hold. The periodic tick keeps requesting repair. *)
+    if m.m_status <> Normal || m.m_quarantined || entry.e_view < m.m_view
+    then ()
     else if entry.e_view > m.m_view then
       (* We missed a view change; learn the new state before acking. *)
       request_catchup t m
@@ -253,7 +362,10 @@ let replicate t ?(bytes = 128) payload k =
   let lm = t.members.(t.leader_idx) in
   let entry = { e_view = t.view; e_payload = payload; e_bytes = bytes } in
   let idx = Sim.Durable.append lm.m_log ~bytes entry in
-  if t.majority - 1 = 0 then k ()
+  if t.majority - 1 = 0 then begin
+    record_commit lm idx;
+    k ()
+  end
   else begin
     let pd =
       {
@@ -261,7 +373,10 @@ let replicate t ?(bytes = 128) payload k =
         pd_acked = Array.make t.n false;
         pd_acks = 0;
         pd_fired = false;
-        pd_k = k;
+        pd_k =
+          (fun () ->
+            record_commit lm idx;
+            k ());
       }
     in
     pd.pd_acked.(lm.m_idx) <- true;
@@ -303,7 +418,7 @@ let rec recv_start_view t (m : 'a member) ~from ~view ~entries =
   if view > m.m_view || (view = m.m_view && m.m_status = View_change) then begin
     adopt_view m view;
     m.m_status <- Normal;
-    install_log m entries;
+    install_log t m entries;
     m.m_last_heard <- now t;
     send_sv_ack t m ~to_m:from ~view
   end
@@ -336,27 +451,45 @@ let rec check_dvc_quorum t (m : 'a member) cfg =
       | last :: _ -> (last.e_view, List.length entries)
     in
     let best = ref [] in
+    let need = ref 0 in
     Array.iter
       (function
-        | Some entries -> if rank entries > rank !best then best := entries
+        | Some (entries, commit) ->
+          if rank entries > rank !best then best := entries;
+          if commit > !need then need := commit
         | None -> ())
       m.m_dvc;
     let v = m.m_vc_view in
     adopt_view m v;
     m.m_status <- Normal;
-    install_log m !best;
+    install_log t m !best;
     m.m_last_heard <- now t;
-    m.m_sv_acked <- Array.make t.n false;
-    m.m_sv_acked.(m.m_idx) <- true;
-    let entries = !best in
-    Array.iter
-      (fun o ->
-        if o.m_idx <> m.m_idx then
-          msend t ~src:m ~bytes:(log_bytes entries) o (fun () ->
-              recv_start_view t o ~from:m ~view:v ~entries))
-      t.members;
-    maybe_activate t m cfg
-
+    if List.length !best < !need then begin
+      (* Every quorum log is damaged below some member's durable commit
+         count: committed state is lost and no peer in this quorum has the
+         suffix. Fail-stop — take the view but stay quarantined (no
+         StartView, no serving), so the group halts with a diagnostic
+         instead of silently serving a truncated history. *)
+      quarantine t m ~at:(List.length !best);
+      if Obs.Trace.enabled t.tracer then
+        Obs.Trace.instant ~site:m.m_site t.tracer ~kind:Obs.Trace.Repair
+          ~name:
+            (Fmt.str "elected-log-short m%d got=%d need=%d" m.m_idx
+               (List.length !best) !need)
+          ~ts:(now t)
+    end
+    else begin
+      m.m_sv_acked <- Array.make t.n false;
+      m.m_sv_acked.(m.m_idx) <- true;
+      let entries = !best in
+      Array.iter
+        (fun o ->
+          if o.m_idx <> m.m_idx then
+            msend t ~src:m ~bytes:(log_bytes entries) o (fun () ->
+                recv_start_view t o ~from:m ~view:v ~entries))
+        t.members;
+      maybe_activate t m cfg
+    end
   end
 
 and start_view_change t (m : 'a member) cfg v =
@@ -377,14 +510,15 @@ and start_view_change t (m : 'a member) cfg v =
         msend t ~src:m ~bytes:16 o (fun () -> recv_svc t o cfg ~view:v))
     t.members;
   let cand = candidate_of t v in
-  let entries = Sim.Durable.to_list m.m_log in
+  let entries = dvc_entries t m in
+  let commit = commit_count m in
   if cand = m.m_idx then begin
-    m.m_dvc.(m.m_idx) <- Some entries;
+    m.m_dvc.(m.m_idx) <- Some (entries, commit);
     check_dvc_quorum t m cfg
   end
   else
     msend t ~src:m ~bytes:(log_bytes entries) t.members.(cand) (fun () ->
-        recv_dvc t t.members.(cand) cfg ~from:m.m_idx ~view:v ~entries)
+        recv_dvc t t.members.(cand) cfg ~from:m.m_idx ~view:v ~entries ~commit)
 
 and recv_svc t (m : 'a member) cfg ~view =
   let interested =
@@ -394,7 +528,7 @@ and recv_svc t (m : 'a member) cfg ~view =
   in
   if interested then start_view_change t m cfg view
 
-and recv_dvc t (m : 'a member) cfg ~from ~view ~entries =
+and recv_dvc t (m : 'a member) cfg ~from ~view ~entries ~commit =
   let joined =
     match m.m_status with
     | View_change -> view > m.m_vc_view
@@ -403,7 +537,7 @@ and recv_dvc t (m : 'a member) cfg ~from ~view ~entries =
   if joined then start_view_change t m cfg view;
   if m.m_status = View_change && view = m.m_vc_view && candidate_of t view = m.m_idx
   then begin
-    m.m_dvc.(from) <- Some entries;
+    m.m_dvc.(from) <- Some (entries, commit);
     check_dvc_quorum t m cfg
   end
 
@@ -423,7 +557,7 @@ let recv_pong_stale t (m : 'a member) ~newer_view =
     request_catchup t m
   end
 
-let recv_ping t (m : 'a member) ~from ~view ~len =
+let recv_ping t (m : 'a member) ~from ~view ~len ~commit =
   if view > m.m_view then begin
     m.m_last_heard <- now t;
     request_catchup t m
@@ -434,6 +568,7 @@ let recv_ping t (m : 'a member) ~from ~view ~len =
   else begin
     m.m_last_heard <- now t;
     if m.m_status = Normal then begin
+      learn_commit m commit;
       if len > Sim.Durable.length m.m_log then request_catchup t m;
       msend t ~src:m ~bytes:16 from (fun () ->
           recv_pong t from ~from:m.m_idx ~view)
@@ -443,11 +578,13 @@ let recv_ping t (m : 'a member) ~from ~view ~len =
 let leader_duties t (m : 'a member) =
   let len = Sim.Durable.length m.m_log in
   let v = m.m_view in
+  let commit = commit_count m in
   Array.iter
     (fun o ->
       if o.m_idx <> m.m_idx then begin
         t.n_heartbeats <- t.n_heartbeats + 1;
-        msend t ~src:m ~bytes:24 o (fun () -> recv_ping t o ~from:m ~view:v ~len)
+        msend t ~src:m ~bytes:24 o (fun () ->
+            recv_ping t o ~from:m ~view:v ~len ~commit)
       end)
     t.members
 
@@ -459,15 +596,22 @@ let rec tick t (m : 'a member) () =
       (if Sim.Net.is_down t.net m.m_site then m.m_was_down <- true
        else if m.m_was_down then begin
          (* First tick after recovery: volatile state is gone; rejoin from
-            the durable log + view and let catch-up repair the rest. *)
+            the durable log + view — after checking the log survived the
+            crash intact — and let catch-up repair the rest. *)
          m.m_was_down <- false;
          m.m_status <- Normal;
          Hashtbl.reset m.m_stash;
          m.m_last_heard <- now t;
+         verify_storage t m;
          request_catchup t m
        end
        else
          match m.m_status with
+         | Normal when m.m_quarantined ->
+           (* No duties (a quarantined leader goes silent so the lease
+              expires and followers elect around it); keep begging for the
+              state transfer that repairs us. *)
+           request_catchup t m
          | Normal when candidate_of t m.m_view = m.m_idx -> leader_duties t m
          | Normal ->
            if now t - m.m_last_heard > cfg.lease_us then
@@ -488,6 +632,15 @@ let enable_failover t ?(config = default_failover) ?on_leader_change ~until_us (
   Array.fill t.heard 0 t.n (now t);
   Array.iter
     (fun m ->
+      (* Wire the scrub pass into the repair policy: a background scan that
+         flags this log runs the same verify-and-repair path recovery uses,
+         then asks peers for the missing state. Repair needs the failover
+         machinery (elections, catch-up), hence registered here. *)
+      Sim.Durable.set_repairer m.m_log (fun _ ->
+          if not (Sim.Net.is_down t.net m.m_site) then begin
+            verify_storage t m;
+            request_catchup t m
+          end);
       m.m_last_heard <- now t;
       (* Stagger first ticks so members never probe in lockstep. *)
       Sim.Engine.schedule ~kind:"repl.timer" t.engine
@@ -514,6 +667,7 @@ let serving t =
   | Some cfg ->
     let lm = t.members.(t.leader_idx) in
     lm.m_status = Normal && lm.m_view = t.view
+    && (not lm.m_quarantined)
     && (not (Sim.Net.is_down t.net lm.m_site))
     && now t >= t.serve_after && has_lease t cfg
 
@@ -525,6 +679,10 @@ type stats = {
   max_election_us : int;
   durable_appends : int;
   durable_bytes : int;
+  torn_repaired : int;
+  corrupt_quarantined : int;
+  peer_repairs : int;
+  unrepaired : int;
 }
 
 let stats t =
@@ -542,6 +700,13 @@ let stats t =
     max_election_us = t.max_election_us;
     durable_appends = appends;
     durable_bytes = bytes;
+    torn_repaired = t.n_torn_repaired;
+    corrupt_quarantined = t.n_corrupt_quarantined;
+    peer_repairs = t.n_peer_repairs;
+    unrepaired =
+      Array.fold_left
+        (fun a m -> if m.m_quarantined then a + 1 else a)
+        0 t.members;
   }
 
 let _ = entry_bytes

@@ -24,7 +24,17 @@
 
     Entries carry an arbitrary payload ['a] so upper layers can rebuild
     their volatile state (prepared-transaction tables, multi-version
-    stores) from the log a new leader hands them via [on_leader_change]. *)
+    stores) from the log a new leader hands them via [on_leader_change].
+
+    With failover armed the group also survives {e storage} faults
+    ({!Sim.Durable.Faults}): every recovery, election contribution, and
+    catch-up answer first verifies the member's log framing. A torn tail or
+    a suspect suffix at/above the member's durable commit count is
+    truncated and refetched; damage below the commit count quarantines the
+    member — it stops serving, acking, and answering catch-ups, and
+    contributes only its verified prefix to elections — until a peer state
+    transfer restores the committed prefix (a quarantine that never clears
+    is a fail-stop, reported via [stats.unrepaired]). *)
 
 type 'a t
 
@@ -94,6 +104,18 @@ type stats = {
   max_election_us : int;  (** worst detection-to-activation time *)
   durable_appends : int;  (** log writes across all members *)
   durable_bytes : int;
+  torn_repaired : int;
+      (** torn tails and suspect suffixes truncated locally (damage at or
+          above the member's durable commit count: safe to drop + refetch) *)
+  corrupt_quarantined : int;
+      (** members quarantined for damage below their commit count — they
+          stop serving, acking, and answering catch-ups until repaired *)
+  peer_repairs : int;
+      (** quarantines cleared by a peer state transfer (catch-up or
+          election log install) restoring the committed prefix *)
+  unrepaired : int;
+      (** members still quarantined now — nonzero means no peer had the
+          committed suffix and the member has fail-stopped *)
 }
 
 val stats : 'a t -> stats

@@ -1,0 +1,28 @@
+(** Background durable-log scrubbing.
+
+    Walks the stores registered with a {!Durable.Faults} control block, one
+    per period, verifying every log frame on a {!Station} (so the scan
+    costs simulated CPU) and invoking each flagged log's registered
+    repairer — latent corruption surfaces during idle time instead of at
+    the moment recovery needs the entry. Draws no randomness; a run
+    without an armed control never starts one, so fault-free schedules
+    stay byte-identical. *)
+
+type stats = {
+  mutable passes : int;  (** store scans completed *)
+  mutable entries : int;  (** log entries verified *)
+  mutable flagged : int;  (** logs that failed verification *)
+}
+
+val start :
+  Engine.t ->
+  station:Station.t ->
+  ctl:Durable.Faults.ctl ->
+  ?tracer:Obs.Trace.t ->
+  period_us:int ->
+  until_us:int ->
+  unit ->
+  stats
+(** Schedule a scan every [period_us] until [until_us]; each scan verifies
+    one store (round-robin) and emits an [Obs.Trace.Repair] instant per
+    flagged log. *)

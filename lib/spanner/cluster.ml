@@ -154,6 +154,10 @@ type failover_stats = {
   rpc_exhausted : int;
   durable_appends : int;
   durable_bytes : int;
+  torn_repaired : int;
+  corrupt_quarantined : int;
+  peer_repairs : int;
+  unrepaired : int;
 }
 
 let failover_stats t =
@@ -177,6 +181,10 @@ let failover_stats t =
         | None -> 0);
       durable_appends = 0;
       durable_bytes = 0;
+      torn_repaired = 0;
+      corrupt_quarantined = 0;
+      peer_repairs = 0;
+      unrepaired = 0;
     }
   in
   Array.fold_left
@@ -192,5 +200,10 @@ let failover_stats t =
           max acc.max_election_us g.Replication.Group.max_election_us;
         durable_appends = acc.durable_appends + g.Replication.Group.durable_appends;
         durable_bytes = acc.durable_bytes + g.Replication.Group.durable_bytes;
+        torn_repaired = acc.torn_repaired + g.Replication.Group.torn_repaired;
+        corrupt_quarantined =
+          acc.corrupt_quarantined + g.Replication.Group.corrupt_quarantined;
+        peer_repairs = acc.peer_repairs + g.Replication.Group.peer_repairs;
+        unrepaired = acc.unrepaired + g.Replication.Group.unrepaired;
       })
     z t.pctx.Protocol.shards

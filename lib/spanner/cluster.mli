@@ -112,6 +112,10 @@ type failover_stats = {
   rpc_exhausted : int;
   durable_appends : int;
   durable_bytes : int;
+  torn_repaired : int;  (** log suffixes truncated by the repair policy *)
+  corrupt_quarantined : int;  (** members quarantined for mid-log damage *)
+  peer_repairs : int;  (** quarantines cleared by peer state transfer *)
+  unrepaired : int;  (** members still quarantined (fail-stopped) *)
 }
 
 val failover_stats : t -> failover_stats
