@@ -68,28 +68,37 @@ let harness_demo () =
       ~duration_us:(Sim.Engine.sec duration_s) ~seed:7 ()
   in
   let r =
-    Harness.spanner_wan ~chaos ~mode:Spanner.Config.Rss ~theta:0.5
-      ~n_keys:5_000 ~arrival_rate_per_sec:400.0 ~duration_s ~seed:7 ()
+    Harness.spanner_wan
+      ~env:Harness.Env.(default |> with_chaos chaos)
+      ~mode:Spanner.Config.Rss ~theta:0.5 ~n_keys:5_000
+      ~arrival_rate_per_sec:400.0 ~duration_s ~seed:7 ()
   in
   Harness.Run.print_summary ~header:"spanner-rss" r;
   Fmt.pr "@.";
   Fmt.pr "== chaos-wrapped spanner_wan (leader-kill, failover armed) ==@.";
   let lk =
     Harness.spanner_wan
-      ~chaos:
-        (Chaos.Nemesis.generate Chaos.Nemesis.Leader_kill ~n_sites:3
-           ~leaders:[ 0; 1; 2 ]
-           ~duration_us:(Sim.Engine.sec duration_s) ~seed:7 ())
-      ~failover:true ~mode:Spanner.Config.Rss ~theta:0.5 ~n_keys:5_000
+      ~env:
+        Harness.Env.(
+          default
+          |> with_chaos
+               (Chaos.Nemesis.generate Chaos.Nemesis.Leader_kill ~n_sites:3
+                  ~leaders:[ 0; 1; 2 ]
+                  ~duration_us:(Sim.Engine.sec duration_s) ~seed:7 ())
+          |> with_failover true)
+      ~mode:Spanner.Config.Rss ~theta:0.5 ~n_keys:5_000
       ~arrival_rate_per_sec:100.0 ~duration_s ~seed:7 ()
   in
   Harness.Run.print_summary ~header:"spanner-rss failover" lk;
   Fmt.pr "@.";
   let gr =
     Harness.gryff_wan
-      ~chaos:
-        (Chaos.Nemesis.generate Chaos.Nemesis.Link_loss ~n_sites:5
-           ~duration_us:(Sim.Engine.sec duration_s) ~seed:7 ())
+      ~env:
+        Harness.Env.(
+          default
+          |> with_chaos
+               (Chaos.Nemesis.generate Chaos.Nemesis.Link_loss ~n_sites:5
+                  ~duration_us:(Sim.Engine.sec duration_s) ~seed:7 ()))
       ~mode:Gryff.Config.Rsc ~conflict:0.1 ~write_ratio:0.3 ~n_keys:2_000
       ~duration_s ~seed:7 ()
   in

@@ -68,8 +68,10 @@ let pct rec_ p =
 let measure ~name ~reshard ~theta ~n_keys ~rate ~duration_s ~seed =
   let t0 = Sys.time () in
   let r =
-    Harness.spanner_wan ~check:`Online ~reshard ~mode:Spanner.Config.Rss ~theta
-      ~n_keys ~arrival_rate_per_sec:rate ~duration_s ~seed ()
+    Harness.spanner_wan
+      ~env:Harness.Env.(default |> with_check `Online |> with_reshard reshard)
+      ~mode:Spanner.Config.Rss ~theta ~n_keys ~arrival_rate_per_sec:rate
+      ~duration_s ~seed ()
   in
   let cpu_s = Sys.time () -. t0 in
   let c = Harness.Run.counter r in

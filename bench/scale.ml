@@ -104,9 +104,10 @@ let scenarios ~seed =
       smoke_duration_s = 2.0;
       run =
         (fun ~check_mode ~duration_s ->
-          Harness.spanner_dc ~check:check_mode ~mode:Spanner.Config.Rss
-            ~n_shards:4 ~service_time_us:10 ~n_clients:16 ~n_keys:2000
-            ~duration_s ~seed ());
+          Harness.spanner_dc
+            ~env:Harness.Env.(default |> with_check check_mode)
+            ~mode:Spanner.Config.Rss ~n_shards:4 ~service_time_us:10
+            ~n_clients:16 ~n_keys:2000 ~duration_s ~seed ());
     };
     (* ~67k ops per simulated second: 8 s -> ~530k operations. *)
     {
@@ -116,9 +117,10 @@ let scenarios ~seed =
       smoke_duration_s = 0.5;
       run =
         (fun ~check_mode ~duration_s ->
-          Harness.gryff_dc ~check:check_mode ~mode:Gryff.Config.Lin
-            ~service_time_us:10 ~n_clients:24 ~conflict:0.1 ~write_ratio:0.5
-            ~n_keys:2000 ~duration_s ~seed ());
+          Harness.gryff_dc
+            ~env:Harness.Env.(default |> with_check check_mode)
+            ~mode:Gryff.Config.Lin ~service_time_us:10 ~n_clients:24
+            ~conflict:0.1 ~write_ratio:0.5 ~n_keys:2000 ~duration_s ~seed ());
     };
     (* WAN latencies bound throughput (~220 ops/s of simulated time), so
        scale comes from duration; host cost stays small. *)
@@ -129,7 +131,8 @@ let scenarios ~seed =
       smoke_duration_s = 20.0;
       run =
         (fun ~check_mode ~duration_s ->
-          Harness.gryff_wan ~n_clients:32 ~check:check_mode
+          Harness.gryff_wan ~n_clients:32
+            ~env:Harness.Env.(default |> with_check check_mode)
             ~mode:Gryff.Config.Rsc ~conflict:0.2 ~write_ratio:0.5 ~n_keys:2000
             ~duration_s ~seed ());
     };

@@ -48,6 +48,53 @@ let save_trace tracer = function
     Obs.Trace.save_chrome tracer ~path;
     Fmt.pr "trace: %d spans written to %s@." (Obs.Trace.n_spans tracer) path
 
+(* Shared --batch-* plumbing: group commit / adaptive message batching on
+   the run's simulated network. Off by default — an unbatched run is
+   byte-identical to pre-batching builds. *)
+let batch_us_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "batch-us" ] ~docv:"US"
+        ~doc:
+          "Enable link-level message batching: buffer messages per directed \
+           site pair and flush each buffer as one envelope after $(docv) \
+           microseconds (or earlier; see $(b,--batch-max) and \
+           $(b,--batch-adaptive)). Replication appends and acks coalesced \
+           into one envelope are the simulator's group commit. Off by \
+           default; batch.* counters appear in the metrics table when any \
+           envelope flushed.")
+
+let batch_max_arg =
+  Arg.(
+    value & opt int 32
+    & info [ "batch-max" ] ~docv:"N"
+        ~doc:
+          "Flush a link's buffer immediately once it holds $(docv) messages, \
+           without waiting for the $(b,--batch-us) deadline (requires \
+           $(b,--batch-us)).")
+
+let batch_adaptive_arg =
+  Arg.(
+    value & flag
+    & info [ "batch-adaptive" ]
+        ~doc:
+          "Adaptive flush policy: send immediately while the link is idle \
+           and fall back to the $(b,--batch-us) deadline only under load \
+           (requires $(b,--batch-us)).")
+
+let batching_of ~batch_us ~batch_max ~batch_adaptive =
+  match batch_us with
+  | None ->
+    if batch_adaptive then
+      (Fmt.epr "error: --batch-adaptive requires --batch-us@."; exit 1);
+    None
+  | Some us ->
+    if us <= 0 then (Fmt.epr "error: --batch-us must be positive@."; exit 1);
+    if batch_max <= 0 then
+      (Fmt.epr "error: --batch-max must be positive@."; exit 1);
+    Some { Sim.Net.batch_us = us; batch_max; adaptive = batch_adaptive }
+
 let spanner_cmd =
   let mode =
     Arg.(
@@ -112,7 +159,8 @@ let spanner_cmd =
                 search checkers).")
   in
   let run mode theta duration rate keys seed reshard reshard_range reshard_dst
-      reshard_no_fence export trace_out check =
+      reshard_no_fence export trace_out check batch_us batch_max batch_adaptive
+      =
     if rate <= 0.0 then (Fmt.epr "error: --rate must be positive@."; exit 1);
     if theta < 0.0 then (Fmt.epr "error: --theta must be non-negative@."; exit 1);
     if duration <= 0.0 then (Fmt.epr "error: --duration must be positive@."; exit 1);
@@ -148,10 +196,15 @@ let spanner_cmd =
         ]
     in
     let tracer = tracer_for trace_out in
+    let env =
+      Harness.Env.(
+        default |> with_trace tracer |> with_check check
+        |> with_reshard reshard_specs
+        |> with_batching (batching_of ~batch_us ~batch_max ~batch_adaptive))
+    in
     let r =
-      Harness.spanner_wan ~trace:tracer ~check ~reshard:reshard_specs ~mode
-        ~theta ~n_keys:keys ~arrival_rate_per_sec:rate ~duration_s:duration
-        ~seed ()
+      Harness.spanner_wan ~env ~mode ~theta ~n_keys:keys
+        ~arrival_rate_per_sec:rate ~duration_s:duration ~seed ()
     in
     Harness.Run.print_latencies ~header:"latency (ms)" r;
     Harness.Run.print_metrics ~header:"spanner" r;
@@ -194,7 +247,8 @@ let spanner_cmd =
     Term.(
       const run $ mode $ theta $ duration $ rate $ keys $ seed $ reshard
       $ reshard_range $ reshard_dst $ reshard_no_fence $ export
-      $ trace_out_arg $ check_arg)
+      $ trace_out_arg $ check_arg $ batch_us_arg $ batch_max_arg
+      $ batch_adaptive_arg)
 
 let gryff_cmd =
   let mode =
@@ -214,7 +268,8 @@ let gryff_cmd =
     Arg.(value & opt float 30.0 & info [ "duration" ] ~doc:"Simulated seconds.")
   in
   let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Random seed.") in
-  let run mode conflict write_ratio duration seed trace_out check =
+  let run mode conflict write_ratio duration seed trace_out check batch_us
+      batch_max batch_adaptive =
     if conflict < 0.0 || conflict > 1.0 then
       (Fmt.epr "error: --conflict must be in [0, 1]@."; exit 1);
     if write_ratio < 0.0 || write_ratio > 1.0 then
@@ -222,9 +277,14 @@ let gryff_cmd =
     if duration <= 0.0 then (Fmt.epr "error: --duration must be positive@."; exit 1);
     if seed < 0 then (Fmt.epr "error: --seed must be non-negative@."; exit 1);
     let tracer = tracer_for trace_out in
+    let env =
+      Harness.Env.(
+        default |> with_trace tracer |> with_check check
+        |> with_batching (batching_of ~batch_us ~batch_max ~batch_adaptive))
+    in
     let r =
-      Harness.gryff_wan ~trace:tracer ~check ~mode ~conflict ~write_ratio
-        ~n_keys:100_000 ~duration_s:duration ~seed ()
+      Harness.gryff_wan ~env ~mode ~conflict ~write_ratio ~n_keys:100_000
+        ~duration_s:duration ~seed ()
     in
     Harness.Run.print_latencies ~header:"latency (ms)" r;
     Harness.Run.print_metrics ~header:"gryff" r;
@@ -237,7 +297,8 @@ let gryff_cmd =
   Cmd.v
     (Cmd.info "gryff" ~doc:"Simulate Gryff / Gryff-RSC on YCSB.")
     Term.(const run $ mode $ conflict $ write_ratio $ duration $ seed
-          $ trace_out_arg $ check_arg)
+          $ trace_out_arg $ check_arg $ batch_us_arg $ batch_max_arg
+          $ batch_adaptive_arg)
 
 let check_cmd =
   let demo =
@@ -386,11 +447,17 @@ let trace_cmd =
       & info [ "binary-out" ] ~docv:"FILE"
           ~doc:"Also write the compact binary span log (magic OBSB1).")
   in
-  let run protocol duration rate seed out binary_out =
+  let run protocol duration rate seed out binary_out batch_us batch_max
+      batch_adaptive =
     if duration <= 0.0 then (Fmt.epr "error: --duration must be positive@."; exit 1);
     if rate <= 0.0 then (Fmt.epr "error: --rate must be positive@."; exit 1);
     if seed < 0 then (Fmt.epr "error: --seed must be non-negative@."; exit 1);
     let tracer = Obs.Trace.create () in
+    let env =
+      Harness.Env.(
+        default |> with_trace tracer
+        |> with_batching (batching_of ~batch_us ~batch_max ~batch_adaptive))
+    in
     let header, r =
       match protocol with
       | (`Spanner | `Spanner_rss) as p ->
@@ -398,12 +465,12 @@ let trace_cmd =
           if p = `Spanner then Spanner.Config.Strict else Spanner.Config.Rss
         in
         ( (if p = `Spanner then "spanner" else "spanner-rss"),
-          Harness.spanner_wan ~trace:tracer ~mode ~theta:0.75 ~n_keys:100_000
+          Harness.spanner_wan ~env ~mode ~theta:0.75 ~n_keys:100_000
             ~arrival_rate_per_sec:rate ~duration_s:duration ~seed () )
       | (`Gryff | `Gryff_rsc) as p ->
         let mode = if p = `Gryff then Gryff.Config.Lin else Gryff.Config.Rsc in
         ( (if p = `Gryff then "gryff" else "gryff-rsc"),
-          Harness.gryff_wan ~trace:tracer ~n_clients:4 ~mode ~conflict:0.1
+          Harness.gryff_wan ~env ~n_clients:4 ~mode ~conflict:0.1
             ~write_ratio:0.3 ~n_keys:100_000 ~duration_s:duration ~seed () )
     in
     Harness.Run.print_summary ~header r;
@@ -422,7 +489,9 @@ let trace_cmd =
          "Run a short traced simulation and export its span tree — client \
           operations decomposed into protocol phases and per-shard network \
           hops — as Chrome trace_event JSON.")
-    Term.(const run $ protocol $ duration $ rate $ seed $ out $ binary_out)
+    Term.(
+      const run $ protocol $ duration $ rate $ seed $ out $ binary_out
+      $ batch_us_arg $ batch_max_arg $ batch_adaptive_arg)
 
 let chaos_cmd =
   let protocol =

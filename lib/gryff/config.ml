@@ -8,24 +8,18 @@ type t = {
   jitter : float;
 }
 
-let wan5_names = [| "CA"; "VA"; "IR"; "OR"; "JP" |]
-
-(* Table 2 of the paper. *)
-let table2 =
-  [|
-    [| 0.2; 72.0; 151.0; 59.0; 113.0 |];
-    [| 72.0; 0.2; 88.0; 93.0; 162.0 |];
-    [| 151.0; 88.0; 0.2; 145.0; 220.0 |];
-    [| 59.0; 93.0; 145.0; 0.2; 121.0 |];
-    [| 113.0; 162.0; 220.0; 121.0; 0.2 |];
-  |]
-
 let wan5 ~mode () =
-  { mode; n_replicas = 5; rtt_ms = table2; service_time_us = 0; jitter = 0.02 }
+  {
+    mode;
+    n_replicas = 5;
+    rtt_ms = Sim.Topology.wan5.Sim.Topology.rtt_ms;
+    service_time_us = 0;
+    jitter = 0.02;
+  }
 
 let single_dc ~mode ~service_time_us () =
   let n = 5 in
-  let rtt_ms = Array.make_matrix n n 0.2 in
+  let rtt_ms = (Sim.Topology.single_dc ~n).Sim.Topology.rtt_ms in
   { mode; n_replicas = n; rtt_ms; service_time_us; jitter = 0.02 }
 
 let quorum t = (t.n_replicas / 2) + 1
@@ -34,4 +28,5 @@ let fast_quorum t =
   let f = (t.n_replicas - 1) / 2 in
   f + ((f + 1) / 2)
 
-let site_name t i = if t.n_replicas = 5 then wan5_names.(i) else Fmt.str "r%d" i
+let site_name t i =
+  if t.n_replicas = 5 then Sim.Topology.(site_name wan5 i) else Fmt.str "r%d" i

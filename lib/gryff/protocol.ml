@@ -71,9 +71,14 @@ let make_ctx engine net config =
             | None -> ())
           else
             (* execution ack back to the coordinator *)
-            Sim.Net.send ~bytes:32 ctx.net ~src:r.Replica.replica_id ~dst:coord
-              (fun () ->
-                Sim.Station.submit ctx.replicas.(coord).Replica.station (fun () ->
+            Sim.Net.post ~bytes:32 ctx.net ~src:r.Replica.replica_id ~dst:coord
+              (fun env_idx ->
+                let station = ctx.replicas.(coord).Replica.station in
+                let cost =
+                  Sim.Station.amortized
+                    ~full:(Sim.Station.service_time_us station) env_idx
+                in
+                Sim.Station.submit ~cost station (fun () ->
                     match Hashtbl.find_opt ctx.rmw_waiters inst_id with
                     | Some p ->
                       p.p_acks <- p.p_acks + 1;
@@ -82,20 +87,29 @@ let make_ctx engine net config =
     replicas;
   ctx
 
+(* Replica- and client-bound messages ride [Sim.Net.post]: with a batching
+   policy armed, a client's quorum fan-out to one replica, the replica's
+   replies, and write-back propagates coalesce per directed link into
+   envelopes whose members amortize the replica's station cost. With
+   batching off, [post] is [send] and behaviour is byte-identical. *)
 let to_replica ctx ~src ?(bytes = 64) replica_id handler =
   let r = ctx.replicas.(replica_id) in
-  Sim.Net.send ~bytes ctx.net ~src ~dst:replica_id (fun () ->
+  Sim.Net.post ~bytes ctx.net ~src ~dst:replica_id (fun env_idx ->
+      let cost =
+        Sim.Station.amortized
+          ~full:(Sim.Station.service_time_us r.Replica.station) env_idx
+      in
       let tr = ctx.tracer in
       if Obs.Trace.enabled tr then begin
         (* Carry the ambient span across the station's job queue. *)
         let sp = Obs.Trace.current tr in
-        Sim.Station.submit r.Replica.station (fun () ->
+        Sim.Station.submit ~cost r.Replica.station (fun () ->
             Obs.Trace.with_current tr sp (fun () -> handler r))
       end
-      else Sim.Station.submit r.Replica.station (fun () -> handler r))
+      else Sim.Station.submit ~cost r.Replica.station (fun () -> handler r))
 
 let to_client ctx ~src ?(bytes = 64) ~dst handler =
-  Sim.Net.send ~bytes ctx.net ~src ~dst handler
+  Sim.Net.post ~bytes ctx.net ~src ~dst (fun _env_idx -> handler ())
 
 (* One request/reply exchange with a replica. With retransmission armed
    ([retrans <> None]) the exchange rides an {!Sim.Rpc} call: a lost request

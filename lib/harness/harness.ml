@@ -34,6 +34,18 @@ module Run = struct
 
   let gauge t name = Obs.Metrics.gauge_value t.metrics name
 
+  (* Option-returning accessors: absent (or NaN, e.g. a p50 over an empty
+     recorder) gauges and empty recorders come back as [None], so callers
+     render "n/a" instead of leaking [nan] into tables and jq gates. *)
+  let gauge_opt t name =
+    let v = Obs.Metrics.gauge_value t.metrics name in
+    if Float.is_nan v then None else Some v
+
+  let latency_opt t name =
+    match List.assoc_opt name t.latencies with
+    | Some r when not (Stats.Recorder.is_empty r) -> Some r
+    | Some _ | None -> None
+
   let completed t =
     List.fold_left (fun acc (_, r) -> acc + Stats.Recorder.count r) 0 t.latencies
 
@@ -114,7 +126,24 @@ let net_metrics reg ~faults net =
   c "fault.dropped_partition" (Sim.Net.dropped_partition net);
   c "fault.dropped_loss" (Sim.Net.dropped_loss net);
   c "fault.duplicated" (Sim.Net.messages_duplicated net);
-  c "fault.delayed" (Sim.Net.messages_delayed net)
+  c "fault.delayed" (Sim.Net.messages_delayed net);
+  (* Batching accounting — absent on unbatched runs. *)
+  if Sim.Net.batch_envelopes net > 0 then begin
+    c "batch.envelopes" (Sim.Net.batch_envelopes net);
+    c "batch.members" (Sim.Net.batch_members net);
+    c "batch.flush.deadline" (Sim.Net.batch_flush_deadline net);
+    c "batch.flush.size" (Sim.Net.batch_flush_size net);
+    c "batch.flush.idle" (Sim.Net.batch_flush_idle net);
+    c "batch.max_members" (Sim.Net.batch_max_members net);
+    (* Members-per-envelope distribution. Registry histograms follow the
+       µs convention and render in ms, so sizes are stored ×1000: the
+       printed table and [Recorder.percentile_ms] read directly in whole
+       members. *)
+    let h = Obs.Metrics.histogram reg "batch.size" in
+    Array.iter
+      (fun n -> Stats.Recorder.add h (n * 1000))
+      (Stats.Recorder.to_sorted_array (Sim.Net.batch_sizes net))
+  end
 
 let spanner_metrics ~faults ~failover cluster =
   let reg = Obs.Metrics.create () in
@@ -296,12 +325,72 @@ type reshard_spec = {
   rs_no_fence : bool;
 }
 
+(* One record for the cross-cutting run environment every driver used to
+   take as six separate optional keywords. Drivers accept [?env]; the old
+   keywords survive as thin shims that override the corresponding field. *)
+module Env = struct
+  type t = {
+    chaos : Chaos.Schedule.t option;
+    disk_faults : Chaos.Audit.disk_faults option;
+    failover : bool;
+    trace : Obs.Trace.t;
+    check : check_mode;
+    reshard : reshard_spec list;
+    batching : Sim.Net.policy option;
+  }
+
+  let default =
+    {
+      chaos = None;
+      disk_faults = None;
+      failover = false;
+      trace = Obs.Trace.disabled;
+      check = `Offline;
+      reshard = [];
+      batching = None;
+    }
+
+  let with_chaos s t = { t with chaos = Some s }
+  let with_disk_faults d t = { t with disk_faults = Some d }
+  let with_failover b t = { t with failover = b }
+  let with_trace tr t = { t with trace = tr }
+  let with_check c t = { t with check = c }
+  let with_reshard r t = { t with reshard = r }
+  let with_batching p t = { t with batching = p }
+end
+
+(* Fold the deprecated per-driver keywords over [?env]: an explicitly passed
+   keyword wins, otherwise the env field stands. *)
+let resolve_env ?env ?chaos ?disk_faults ?failover ?trace ?check ?reshard () =
+  let e = Option.value env ~default:Env.default in
+  {
+    Env.chaos = (match chaos with Some _ -> chaos | None -> e.Env.chaos);
+    disk_faults =
+      (match disk_faults with Some _ -> disk_faults | None -> e.Env.disk_faults);
+    failover = Option.value failover ~default:e.Env.failover;
+    trace = Option.value trace ~default:e.Env.trace;
+    check = Option.value check ~default:e.Env.check;
+    reshard = Option.value reshard ~default:e.Env.reshard;
+    batching = e.Env.batching;
+  }
+
+let apply_batching env net = Sim.Net.set_batching net env.Env.batching
+
 (* The paper's §6.1 wide-area Retwis experiment: partly-open clients
    (sessions at [arrival_rate_per_sec], stay probability 0.9, zero think
    time, a fresh t_min per session), Zipfian keys. *)
-let spanner_wan ?(config = None) ?chaos ?disk_faults ?(failover = false)
-    ?(trace = Obs.Trace.disabled) ?(check = `Offline) ?(reshard = []) ~mode
-    ~theta ~n_keys ~arrival_rate_per_sec ~duration_s ~seed () =
+let spanner_wan ?(config = None) ?env ?chaos ?disk_faults ?failover ?trace
+    ?check ?reshard ~mode ~theta ~n_keys ~arrival_rate_per_sec ~duration_s
+    ~seed () =
+  let env =
+    resolve_env ?env ?chaos ?disk_faults ?failover ?trace ?check ?reshard ()
+  in
+  let chaos = env.Env.chaos in
+  let disk_faults = env.Env.disk_faults in
+  let failover = env.Env.failover in
+  let trace = env.Env.trace in
+  let check = env.Env.check in
+  let reshard = env.Env.reshard in
   let engine = Sim.Engine.create () in
   let rng = Sim.Rng.make seed in
   let dctl = Chaos.Audit.install_disk_faults disk_faults in
@@ -311,6 +400,7 @@ let spanner_wan ?(config = None) ?chaos ?disk_faults ?(failover = false)
     match config with Some c -> c | None -> Spanner.Config.wan3 ~mode ()
   in
   let cluster = Spanner.Cluster.create engine ~rng config in
+  apply_batching env (Spanner.Cluster.net cluster);
   if Obs.Trace.enabled trace then Spanner.Cluster.set_tracer cluster trace;
   if failover then
     Spanner.Cluster.enable_failover cluster
@@ -440,12 +530,17 @@ let spanner_wan ?(config = None) ?chaos ?disk_faults ?(failover = false)
 
 (* The §6.2 single-data-center saturation experiment: closed-loop clients,
    uniform keys, ε = 0, per-message CPU cost at shard leaders. *)
-let spanner_dc ?chaos ?(trace = Obs.Trace.disabled) ?(check = `Offline) ~mode
-    ~n_shards ~service_time_us ~n_clients ~n_keys ~duration_s ~seed () =
+let spanner_dc ?env ?chaos ?trace ?check ~mode ~n_shards ~service_time_us
+    ~n_clients ~n_keys ~duration_s ~seed () =
+  let env = resolve_env ?env ?chaos ?trace ?check () in
+  let chaos = env.Env.chaos in
+  let trace = env.Env.trace in
+  let check = env.Env.check in
   let engine = Sim.Engine.create () in
   let rng = Sim.Rng.make seed in
   let config = Spanner.Config.single_dc ~mode ~n_shards ~service_time_us () in
   let cluster = Spanner.Cluster.create engine ~rng config in
+  apply_batching env (Spanner.Cluster.net cluster);
   if Obs.Trace.enabled trace then Spanner.Cluster.set_tracer cluster trace;
   let faults =
     arm_chaos ?chaos ~tracer:trace ~engine ~net:(Spanner.Cluster.net cluster)
@@ -566,9 +661,14 @@ let sweep_gryff cluster pending =
 
 (* The §7.2 YCSB experiment: 16 closed-loop clients spread over five
    regions, tunable conflict percentage and write ratio. *)
-let gryff_wan ?(n_clients = 16) ?chaos ?disk_faults ?(failover = false)
-    ?(trace = Obs.Trace.disabled) ?(check = `Offline) ~mode ~conflict
-    ~write_ratio ~n_keys ~duration_s ~seed () =
+let gryff_wan ?(n_clients = 16) ?env ?chaos ?disk_faults ?failover ?trace
+    ?check ~mode ~conflict ~write_ratio ~n_keys ~duration_s ~seed () =
+  let env = resolve_env ?env ?chaos ?disk_faults ?failover ?trace ?check () in
+  let chaos = env.Env.chaos in
+  let disk_faults = env.Env.disk_faults in
+  let failover = env.Env.failover in
+  let trace = env.Env.trace in
+  let check = env.Env.check in
   let engine = Sim.Engine.create () in
   let rng = Sim.Rng.make seed in
   (* Gryff keeps no durable stores; the control registers nothing, but
@@ -578,6 +678,7 @@ let gryff_wan ?(n_clients = 16) ?chaos ?disk_faults ?(failover = false)
   @@ fun () ->
   let config = Gryff.Config.wan5 ~mode () in
   let cluster = Gryff.Cluster.create engine ~rng config in
+  apply_batching env (Gryff.Cluster.net cluster);
   if Obs.Trace.enabled trace then Gryff.Cluster.set_tracer cluster trace;
   if failover then
     Gryff.Cluster.enable_retrans cluster ~rng:(Sim.Rng.make (0xfa11 + seed)) ();
@@ -655,13 +756,17 @@ let gryff_wan ?(n_clients = 16) ?chaos ?disk_faults ?(failover = false)
   }
 
 (* The §7.4 overhead experiment: in-DC latencies, per-message CPU cost. *)
-let gryff_dc ?chaos ?(trace = Obs.Trace.disabled) ?(check = `Offline) ~mode
-    ~service_time_us ~n_clients ~conflict ~write_ratio ~n_keys ~duration_s
-    ~seed () =
+let gryff_dc ?env ?chaos ?trace ?check ~mode ~service_time_us ~n_clients
+    ~conflict ~write_ratio ~n_keys ~duration_s ~seed () =
+  let env = resolve_env ?env ?chaos ?trace ?check () in
+  let chaos = env.Env.chaos in
+  let trace = env.Env.trace in
+  let check = env.Env.check in
   let engine = Sim.Engine.create () in
   let rng = Sim.Rng.make seed in
   let config = Gryff.Config.single_dc ~mode ~service_time_us () in
   let cluster = Gryff.Cluster.create engine ~rng config in
+  apply_batching env (Gryff.Cluster.net cluster);
   if Obs.Trace.enabled trace then Gryff.Cluster.set_tracer cluster trace;
   let faults =
     arm_chaos ?chaos ~tracer:trace ~engine ~net:(Gryff.Cluster.net cluster) ()

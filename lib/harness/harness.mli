@@ -55,6 +55,14 @@ module Run : sig
   val gauge : t -> string -> float
   (** Metric gauge by name; [nan] when absent. *)
 
+  val gauge_opt : t -> string -> float option
+  (** Like {!gauge} but [None] when the gauge is absent {e or} NaN (e.g. a
+      p50 over an empty recorder) — so callers render "n/a" instead of
+      leaking [nan] into tables and jq comparisons. *)
+
+  val latency_opt : t -> string -> Stats.Recorder.t option
+  (** Like {!latency} but [None] when the recorder is absent or empty. *)
+
   val completed : t -> int
   (** Total recorded (post-warm-up) operations across all recorders. *)
 
@@ -90,8 +98,47 @@ type reshard_spec = {
 }
 (** A live migration armed partway through a [spanner_wan] run. *)
 
+(** The cross-cutting run environment. Every driver used to take the same
+    six optional keywords ([?chaos ?disk_faults ?failover ?trace ?check
+    ?reshard]); they are one record now, built with {!Env.default} and the
+    [with_*] combinators:
+
+    {[ Harness.spanner_dc
+         ~env:Env.(default |> with_check `Online
+                   |> with_batching (Some policy)) ... ]}
+
+    The old keywords remain as thin deprecated shims for one release: an
+    explicitly passed keyword overrides the corresponding [env] field.
+    [batching] has no legacy keyword — it is reachable only through [Env]. *)
+module Env : sig
+  type t = {
+    chaos : Chaos.Schedule.t option;
+    disk_faults : Chaos.Audit.disk_faults option;
+    failover : bool;
+    trace : Obs.Trace.t;
+    check : check_mode;
+    reshard : reshard_spec list;
+        (** consumed by [spanner_wan] only; other drivers ignore it *)
+    batching : Sim.Net.policy option;
+        (** installed on the run's network before any traffic flows; [None]
+            keeps seeded schedules byte-identical to unbatched runs *)
+  }
+
+  val default : t
+  (** No chaos, no disk faults, no failover, tracing disabled, [`Offline]
+      checking, no reshard, batching off. *)
+
+  val with_chaos : Chaos.Schedule.t -> t -> t
+  val with_disk_faults : Chaos.Audit.disk_faults -> t -> t
+  val with_failover : bool -> t -> t
+  val with_trace : Obs.Trace.t -> t -> t
+  val with_check : check_mode -> t -> t
+  val with_reshard : reshard_spec list -> t -> t
+  val with_batching : Sim.Net.policy option -> t -> t
+end
+
 val spanner_wan :
-  ?config:Spanner.Config.t option -> ?chaos:Chaos.Schedule.t ->
+  ?config:Spanner.Config.t option -> ?env:Env.t -> ?chaos:Chaos.Schedule.t ->
   ?disk_faults:Chaos.Audit.disk_faults ->
   ?failover:bool -> ?trace:Obs.Trace.t -> ?check:check_mode ->
   ?reshard:reshard_spec list -> mode:Spanner.Config.mode ->
@@ -111,15 +158,15 @@ val spanner_wan :
     Latencies: ["ro"], ["rw"]. *)
 
 val spanner_dc :
-  ?chaos:Chaos.Schedule.t -> ?trace:Obs.Trace.t -> ?check:check_mode ->
-  mode:Spanner.Config.mode ->
+  ?env:Env.t -> ?chaos:Chaos.Schedule.t -> ?trace:Obs.Trace.t ->
+  ?check:check_mode -> mode:Spanner.Config.mode ->
   n_shards:int -> service_time_us:int -> n_clients:int -> n_keys:int ->
   duration_s:float -> seed:int -> unit -> Run.t
 (** §6.2 saturation. Latencies: ["txn"]; gauges: ["throughput_tps"],
     ["p50_ms"], ["msgs_per_txn"]. *)
 
 val gryff_wan :
-  ?n_clients:int -> ?chaos:Chaos.Schedule.t ->
+  ?n_clients:int -> ?env:Env.t -> ?chaos:Chaos.Schedule.t ->
   ?disk_faults:Chaos.Audit.disk_faults -> ?failover:bool ->
   ?trace:Obs.Trace.t -> ?check:check_mode -> mode:Gryff.Config.mode ->
   conflict:float ->
@@ -132,8 +179,8 @@ val gryff_wan :
     ["write"]. *)
 
 val gryff_dc :
-  ?chaos:Chaos.Schedule.t -> ?trace:Obs.Trace.t -> ?check:check_mode ->
-  mode:Gryff.Config.mode ->
+  ?env:Env.t -> ?chaos:Chaos.Schedule.t -> ?trace:Obs.Trace.t ->
+  ?check:check_mode -> mode:Gryff.Config.mode ->
   service_time_us:int -> n_clients:int -> conflict:float ->
   write_ratio:float -> n_keys:int -> duration_s:float -> seed:int -> unit ->
   Run.t

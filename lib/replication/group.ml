@@ -154,6 +154,18 @@ let msend t ~src ~bytes (m : 'a member) f =
   Sim.Net.send ~bytes t.net ~src:src.m_site ~dst:m.m_site (fun () ->
       if not (Sim.Net.is_down t.net m.m_site) then f ())
 
+(* Batched counterpart of [msend], used by the replication data plane only
+   (appends and acks). When the network has a batching policy this is what
+   turns leader-side replication into group commit: appends buffered on the
+   leader->follower link ship as one envelope (one quorum round per batch),
+   the follower's acks coalesce on the way back, and the handler's envelope
+   index lets ack processing amortize station cost. Control-plane traffic
+   (heartbeats, view changes, catch-up) stays on [msend] — batching a
+   failure detector would distort the very timeouts it measures. *)
+let mpost t ~src ~bytes (m : 'a member) f =
+  Sim.Net.post ~bytes t.net ~src:src.m_site ~dst:m.m_site (fun env_idx ->
+      if not (Sim.Net.is_down t.net m.m_site) then f env_idx)
+
 let adopt_view (m : 'a member) v =
   m.m_view <- v;
   Sim.Durable.set_int m.m_store "view" v
@@ -253,7 +265,7 @@ let dvc_entries t (m : 'a member) =
 (* ------------------------------------------------------------------ *)
 
 let send_ack t (m : 'a member) ~to_m ~view ~idx =
-  msend t ~src:m ~bytes:16 to_m (fun () ->
+  mpost t ~src:m ~bytes:16 to_m (fun env_idx ->
       let process () =
         (* Acks for an entry are deduplicated per replica: Net duplication
            must not count one replica's ack twice toward the majority. *)
@@ -279,7 +291,11 @@ let send_ack t (m : 'a member) ~to_m ~view ~idx =
       in
       match t.station with
       | None -> process ()
-      | Some st -> Sim.Station.submit st process)
+      | Some st ->
+        Sim.Station.submit st process
+          ~cost:
+            (Sim.Station.amortized ~full:(Sim.Station.service_time_us st)
+               env_idx))
 
 let rec request_catchup t (m : 'a member) =
   Array.iter
@@ -384,7 +400,8 @@ let replicate t ?(bytes = 128) payload k =
     Array.iter
       (fun m ->
         if m.m_idx <> lm.m_idx then
-          msend t ~src:lm ~bytes m (fun () -> recv_append t m ~from:lm ~idx ~entry))
+          mpost t ~src:lm ~bytes m (fun _env_idx ->
+              recv_append t m ~from:lm ~idx ~entry))
       t.members
   end
 

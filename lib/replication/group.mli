@@ -60,7 +60,16 @@ val replicate : 'a t -> ?bytes:int -> 'a -> (unit -> unit) -> unit
     ack never counts twice). With no replicas the callback fires
     synchronously. Entries proposed in a view that gets superseded before
     reaching a majority are discarded with their callbacks — callers that
-    armed failover must treat an unanswered [replicate] as in doubt. *)
+    armed failover must treat an unanswered [replicate] as in doubt.
+
+    {b Group commit.} Appends and acks travel via {!Sim.Net.post}: when the
+    network has a batching policy, appends buffered on a leader→follower
+    link ship as one envelope (one quorum round per batch of entries), the
+    follower's acks for the whole batch coalesce on the return link, and
+    the leader processes an ack envelope at amortized station cost. The
+    durable commit floor is a monotone maximum, so an ack envelope advances
+    it once to the batch's highest index regardless of arrival interleaving.
+    Control traffic (heartbeats, elections, catch-up) never batches. *)
 
 val enable_failover :
   'a t -> ?config:failover_config ->

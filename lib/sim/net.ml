@@ -13,7 +13,31 @@ type link = {
   mutable extra_us : int;
   mutable reorder : float;
   mutable reorder_max_us : int;
+  (* Batching buffer — only touched when a batching policy is installed, so
+     an unbatched run never reads or writes these fields on the send path. *)
+  mutable q : (int * (int -> unit)) list;  (* (bytes, handler), newest first *)
+  mutable q_n : int;
+  mutable q_bytes : int;
+  mutable q_armed : bool;
+  mutable q_gen : int;  (* invalidates stale deadline timers across flushes *)
+  mutable inflight : int;  (* envelopes scheduled but not yet delivered *)
 }
+
+type policy = {
+  batch_us : int;  (** flush deadline: first enqueue arms a timer this far out *)
+  batch_max : int;  (** flush when this many messages are buffered *)
+  adaptive : bool;
+      (** flush immediately while the link has no envelope in flight, and
+          again as soon as an in-flight envelope lands *)
+}
+
+type flush_cause = Flush_deadline | Flush_size | Flush_idle
+
+(* Fixed per-envelope framing cost; an envelope's wire size is this header
+   plus the sum of its members' bytes. Plain [send] (and [post] with batching
+   off) charges exactly the message's bytes, no header — a lone message is
+   its own frame. *)
+let envelope_header_bytes = 32
 
 type t = {
   engine : Engine.t;
@@ -36,6 +60,16 @@ type t = {
      [set_tracer] so traced sends don't build strings per message. *)
   mutable tracer : Obs.Trace.t;
   mutable hop_names : string array array;
+  (* Batching policy + accounting. [None] (the default) makes [post]
+     byte-identical to [send]. *)
+  mutable policy : policy option;
+  mutable b_envelopes : int;
+  mutable b_members : int;
+  mutable b_flush_deadline : int;
+  mutable b_flush_size : int;
+  mutable b_flush_idle : int;
+  mutable b_max_members : int;
+  b_sizes : Stats.Recorder.t;  (* members per flushed envelope *)
 }
 
 let fresh_link () =
@@ -46,6 +80,12 @@ let fresh_link () =
     extra_us = 0;
     reorder = 0.0;
     reorder_max_us = 0;
+    q = [];
+    q_n = 0;
+    q_bytes = 0;
+    q_armed = false;
+    q_gen = 0;
+    inflight = 0;
   }
 
 let create engine ~rng ~rtt_ms ?(jitter = 0.02) () =
@@ -78,6 +118,14 @@ let create engine ~rng ~rtt_ms ?(jitter = 0.02) () =
     n_delayed = 0;
     tracer = Obs.Trace.disabled;
     hop_names = [||];
+    policy = None;
+    b_envelopes = 0;
+    b_members = 0;
+    b_flush_deadline = 0;
+    b_flush_size = 0;
+    b_flush_idle = 0;
+    b_max_members = 0;
+    b_sizes = Stats.Recorder.create ();
   }
 
 let n_sites t = Array.length t.one_way_us
@@ -188,6 +236,128 @@ let send ?(bytes = 64) t ~src ~dst handler =
         deliver (sample_delay t ~src ~dst)
       end
   end
+
+(* {2 Batching}
+
+   [post] enqueues onto the directed link's buffer; a flush turns the whole
+   buffer into one envelope that pays one classify (so drop/dup faults apply
+   per envelope, charged once to the usual per-cause counters), one delay
+   sample, and one delivery event that runs the member handlers in posted
+   order, each told its index so the destination can amortize service cost
+   across the envelope. With no policy installed [post] routes through
+   [send] — same RNG draws, same schedule — so batching off is
+   byte-identical to the unbatched network. *)
+
+let set_batching t policy =
+  (match policy with
+  | Some p ->
+    if p.batch_us <= 0 then invalid_arg "Net.set_batching: batch_us must be positive";
+    if p.batch_max <= 0 then invalid_arg "Net.set_batching: batch_max must be positive"
+  | None -> ());
+  t.policy <- policy
+
+let batching t = t.policy
+
+let record_flush t l cause =
+  l.q_gen <- l.q_gen + 1;
+  l.q_armed <- false;
+  t.b_envelopes <- t.b_envelopes + 1;
+  t.b_members <- t.b_members + l.q_n;
+  if l.q_n > t.b_max_members then t.b_max_members <- l.q_n;
+  Stats.Recorder.add t.b_sizes l.q_n;
+  match cause with
+  | Flush_deadline -> t.b_flush_deadline <- t.b_flush_deadline + 1
+  | Flush_size -> t.b_flush_size <- t.b_flush_size + 1
+  | Flush_idle -> t.b_flush_idle <- t.b_flush_idle + 1
+
+let rec flush t ~src ~dst ~adaptive cause =
+  let l = t.links.(src).(dst) in
+  if l.q_n > 0 then begin
+    record_flush t l cause;
+    let members = List.rev l.q in
+    let bytes = envelope_header_bytes + l.q_bytes in
+    l.q <- [];
+    l.q_n <- 0;
+    l.q_bytes <- 0;
+    let tr = t.tracer in
+    match classify t ~src ~dst with
+    | Some cause ->
+      count_drop t cause;
+      if Obs.Trace.enabled tr then
+        Obs.Trace.instant ~site:dst tr ~name:(drop_name cause)
+          ~ts:(Engine.now t.engine)
+    | None ->
+      t.n_messages <- t.n_messages + 1;
+      t.n_bytes <- t.n_bytes + bytes;
+      let now = Engine.now t.engine in
+      let deliver delay =
+        l.inflight <- l.inflight + 1;
+        let run_members () =
+          List.iteri (fun i (_bytes, h) -> h i) members
+        in
+        let body =
+          if not (Obs.Trace.enabled tr) then run_members
+          else begin
+            (* One hop span per envelope; every member handler runs under
+               it, so spans opened inside chain to the envelope's hop. *)
+            let sp =
+              Obs.Trace.begin_span ~site:dst tr ~kind:Obs.Trace.Net_hop
+                ~name:t.hop_names.(src).(dst) ~ts:now
+            in
+            Obs.Trace.end_span tr sp ~ts:(now + delay);
+            fun () -> Obs.Trace.with_current tr sp run_members
+          end
+        in
+        Engine.schedule ~kind:"net.deliver" t.engine ~after:delay (fun () ->
+            l.inflight <- l.inflight - 1;
+            body ();
+            (* Group-commit heartbeat: once the link drains, ship whatever
+               accumulated while the previous envelope was in flight. *)
+            if adaptive && l.inflight = 0 && l.q_n > 0 then
+              flush t ~src ~dst ~adaptive Flush_idle)
+      in
+      deliver (sample_delay t ~src ~dst);
+      if l.dup > 0.0 && Rng.bool t.rng l.dup then begin
+        t.n_duplicated <- t.n_duplicated + 1;
+        deliver (sample_delay t ~src ~dst)
+      end
+  end
+
+let post ?(bytes = 64) t ~src ~dst handler =
+  match t.policy with
+  | None -> send ~bytes t ~src ~dst (fun () -> handler 0)
+  | Some p ->
+    let l = t.links.(src).(dst) in
+    l.q <- (bytes, handler) :: l.q;
+    l.q_n <- l.q_n + 1;
+    l.q_bytes <- l.q_bytes + bytes;
+    if p.adaptive && l.inflight = 0 then
+      flush t ~src ~dst ~adaptive:true Flush_idle
+    else if l.q_n >= p.batch_max then
+      flush t ~src ~dst ~adaptive:p.adaptive Flush_size
+    else if not l.q_armed then begin
+      l.q_armed <- true;
+      let gen = l.q_gen in
+      Engine.schedule ~kind:"net.flush" t.engine ~after:p.batch_us (fun () ->
+          if l.q_armed && l.q_gen = gen then
+            flush t ~src ~dst ~adaptive:p.adaptive Flush_deadline)
+    end
+
+(* Batch accounting *)
+
+let batch_envelopes t = t.b_envelopes
+
+let batch_members t = t.b_members
+
+let batch_flush_deadline t = t.b_flush_deadline
+
+let batch_flush_size t = t.b_flush_size
+
+let batch_flush_idle t = t.b_flush_idle
+
+let batch_max_members t = t.b_max_members
+
+let batch_sizes t = t.b_sizes
 
 (* {2 Crashes} — kept API; the send path treats a crashed site as every one
    of its links (in and out) being severed, charged to the crash counter. *)

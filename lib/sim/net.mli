@@ -42,6 +42,67 @@ val send : ?bytes:int -> t -> src:site -> dst:site -> (unit -> unit) -> unit
     handler — there is no link-level retransmission, exactly like a severed
     TCP connection. *)
 
+(** {2 Batching}
+
+    Each directed link owns a message buffer. {!post} enqueues onto it; the
+    buffer flushes into a single {e envelope} on a deadline ([batch_us]
+    after the first enqueue), on a size cap ([batch_max] members), or — with
+    [adaptive] — immediately whenever the link has no envelope in flight
+    (and again the moment an in-flight envelope lands), which gives
+    ping-pong traffic zero added latency while saturated links still
+    coalesce.
+
+    One envelope pays one fault classification (drop and duplication apply
+    to the whole envelope, charged once to the usual per-cause counters),
+    one delay sample, and one delivery event that runs the member handlers
+    in posted order. Each handler receives its index within the envelope so
+    the destination can amortize per-message service cost (see
+    {!Station.amortized}). On the wire an envelope costs
+    {!envelope_header_bytes} plus the sum of its members' bytes; {!send}
+    and un-batched {!post} charge exactly the message's bytes.
+
+    With no policy installed (the default), {!post} routes through {!send}
+    — same RNG draws, same schedule order — so seeded runs with batching
+    off are byte-identical to the pre-batching network. *)
+
+type policy = {
+  batch_us : int;  (** flush deadline: first enqueue arms a timer this far out *)
+  batch_max : int;  (** flush when this many messages are buffered *)
+  adaptive : bool;
+      (** flush immediately while the link has no envelope in flight, and
+          again as soon as an in-flight envelope lands *)
+}
+
+val envelope_header_bytes : int
+(** Fixed framing cost added to every flushed envelope. *)
+
+val set_batching : t -> policy option -> unit
+(** Install or remove the batching policy. Raises [Invalid_argument] if
+    [batch_us] or [batch_max] is non-positive. *)
+
+val batching : t -> policy option
+
+val post : ?bytes:int -> t -> src:site -> dst:site -> (int -> unit) -> unit
+(** Batched counterpart of {!send}. The handler receives the message's index
+    within its delivered envelope ([0] for the first member; always [0] when
+    batching is off). Messages still buffered when the simulation drains are
+    lost, like any in-flight message. *)
+
+(** {3 Batch accounting} — all zero unless a policy was installed. *)
+
+val batch_envelopes : t -> int
+(** Envelopes flushed (delivered or dropped; duplicates not counted). *)
+
+val batch_members : t -> int
+(** Total messages carried by flushed envelopes. *)
+
+val batch_flush_deadline : t -> int
+val batch_flush_size : t -> int
+val batch_flush_idle : t -> int
+val batch_max_members : t -> int
+val batch_sizes : t -> Stats.Recorder.t
+(** Members-per-envelope distribution across all flushed envelopes. *)
+
 (** {2 Tracing}
 
     With a live tracer installed every delivery records a [Net_hop] span on

@@ -11,7 +11,14 @@
     Determinism: backoff jitter is drawn from the [rng] stream handed to
     {!create}, and only when an attempt actually retries — a run in which
     every first attempt succeeds consumes no randomness here, so arming the
-    helper does not perturb fault-free seeded experiments. *)
+    helper does not perturb fault-free seeded experiments.
+
+    Batching: the retry timers here deliberately sit {e above} the
+    {!Net.post} batching layer. An attempt thunk that sends via a batched
+    path may see its request coalesced (and so delayed up to the flush
+    deadline), which the timeout already dwarfs; the timers themselves are
+    engine events and never buffer, so retransmission cadence is unaffected
+    by link batching. *)
 
 type t
 

@@ -9,6 +9,8 @@ type t = {
 let create engine ~service_time_us =
   { engine; service_time_us; busy_until = 0; busy_total = 0; n_jobs = 0 }
 
+let service_time_us t = t.service_time_us
+
 let submit ?cost t job =
   let cost = match cost with None -> t.service_time_us | Some c -> c in
   t.n_jobs <- t.n_jobs + 1;
@@ -21,6 +23,11 @@ let submit ?cost t job =
     t.busy_total <- t.busy_total + cost;
     Engine.schedule_at ~kind:"station.job" t.engine ~at:finish job
   end
+
+(* Batched-envelope amortization: the head member of an envelope pays the
+   full service cost; later members share the already-warm parse/dispatch
+   path and pay a quarter (rounded up, so they never become free). *)
+let amortized ~full idx = if idx <= 0 then full else (full + 3) / 4
 
 let busy_us t = t.busy_total
 

@@ -10,9 +10,18 @@ type t
 
 val create : Engine.t -> service_time_us:int -> t
 
+val service_time_us : t -> int
+(** The default per-job cost this station was created with. *)
+
 val submit : ?cost:int -> t -> (unit -> unit) -> unit
 (** Enqueue a job; it runs when the station reaches it. [cost] overrides the
     default service time for this job. *)
+
+val amortized : full:int -> int -> int
+(** [amortized ~full idx] is the service cost for the [idx]-th member of a
+    batched network envelope (see {!Net.post}): the head ([idx = 0]) pays
+    [full], later members pay [full / 4] rounded up — one envelope is parsed
+    and dispatched once, so its tail messages ride the warm path. *)
 
 val busy_us : t -> int
 (** Total busy time accumulated, for utilization reporting. *)

@@ -1,0 +1,47 @@
+type deployment = {
+  name : string;
+  site_names : string array;
+  rtt_ms : float array array;
+}
+
+(* §6.1 deployment: CA / VA / IR (CA-VA 62 ms, CA-IR 136 ms, VA-IR 68 ms). *)
+let wan3 =
+  {
+    name = "wan3";
+    site_names = [| "CA"; "VA"; "IR" |];
+    rtt_ms =
+      [| [| 0.2; 62.0; 136.0 |]; [| 62.0; 0.2; 68.0 |]; [| 136.0; 68.0; 0.2 |] |];
+  }
+
+(* Table 2 of the paper: CA, VA, IR, OR, JP. *)
+let wan5 =
+  {
+    name = "wan5";
+    site_names = [| "CA"; "VA"; "IR"; "OR"; "JP" |];
+    rtt_ms =
+      [|
+        [| 0.2; 72.0; 151.0; 59.0; 113.0 |];
+        [| 72.0; 0.2; 88.0; 93.0; 162.0 |];
+        [| 151.0; 88.0; 0.2; 145.0; 220.0 |];
+        [| 59.0; 93.0; 145.0; 0.2; 121.0 |];
+        [| 113.0; 162.0; 220.0; 121.0; 0.2 |];
+      |];
+  }
+
+let single_dc ~n =
+  {
+    name = "single-dc";
+    site_names = [||];
+    rtt_ms = Array.make_matrix n n 0.2;
+  }
+
+let n_sites d = Array.length d.rtt_ms
+
+let site_name d i =
+  if i < Array.length d.site_names then d.site_names.(i)
+  else "site" ^ string_of_int i
+
+let by_name = function
+  | "wan3" -> Some wan3
+  | "wan5" -> Some wan5
+  | _ -> None

@@ -1,0 +1,30 @@
+(** Named site topologies shared by every protocol's deployment config.
+
+    The paper's two testbeds — the three-region Spanner deployment (§6.1)
+    and the five-region Gryff deployment (§7.2, Table 2) — used to be
+    duplicated as literal RTT matrices inside [Spanner.Config] and
+    [Gryff.Config]. They live here once; configs consume a {!deployment}
+    and keep only protocol-specific knobs. *)
+
+type deployment = {
+  name : string;
+  site_names : string array;  (** may be shorter than the matrix (see {!site_name}) *)
+  rtt_ms : float array array;  (** symmetric; diagonal = in-DC RTT *)
+}
+
+val wan3 : deployment
+(** CA / VA / IR: CA-VA 62 ms, CA-IR 136 ms, VA-IR 68 ms, 0.2 ms in-DC. *)
+
+val wan5 : deployment
+(** CA / VA / IR / OR / JP with Table 2's round-trip times. *)
+
+val single_dc : n:int -> deployment
+(** [n] sites all 0.2 ms apart (including the diagonal). *)
+
+val n_sites : deployment -> int
+
+val site_name : deployment -> int -> string
+(** Region name when known, else ["site<i>"]. *)
+
+val by_name : string -> deployment option
+(** Look up a named WAN deployment (["wan3"], ["wan5"]). *)

@@ -14,12 +14,8 @@ type t = {
   tee_pad_us : int;
 }
 
-let wan3_names = [| "CA"; "VA"; "IR" |]
-
 let wan3 ~mode () =
-  let rtt_ms =
-    [| [| 0.2; 62.0; 136.0 |]; [| 62.0; 0.2; 68.0 |]; [| 136.0; 68.0; 0.2 |] |]
-  in
+  let rtt_ms = Sim.Topology.wan3.Sim.Topology.rtt_ms in
   {
     mode;
     n_shards = 3;
@@ -37,7 +33,7 @@ let wan3 ~mode () =
 let single_dc ~mode ~n_shards ~service_time_us () =
   (* Everything in one site; replicas are distinct machines but latency is
      the in-DC 0.2 ms. We keep a single logical site. *)
-  let rtt_ms = [| [| 0.2 |] |] in
+  let rtt_ms = (Sim.Topology.single_dc ~n:1).Sim.Topology.rtt_ms in
   {
     mode;
     n_shards;
@@ -53,7 +49,8 @@ let single_dc ~mode ~n_shards ~service_time_us () =
   }
 
 let site_name t site =
-  if Array.length t.rtt_ms = 3 then wan3_names.(site) else Fmt.str "site%d" site
+  if Array.length t.rtt_ms = 3 then Sim.Topology.(site_name wan3 site)
+  else Fmt.str "site%d" site
 
 let shard_of_key t key = key mod t.n_shards
 

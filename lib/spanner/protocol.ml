@@ -52,31 +52,46 @@ type ctx = {
    a request is dropped at delivery unless the target site is still the
    serving leader — messages into a crashed or deposed leader vanish, and
    the sender's deadline machinery re-routes. *)
+(* All shard-bound and client-bound traffic goes through [Sim.Net.post], so
+   with a batching policy installed the whole 2PC data plane coalesces
+   per directed link: prepare/commit requests batch on the way in,
+   participant votes batch toward the coordinator, and a coordinator's
+   outcome broadcasts share envelopes with the prepare traffic already
+   flowing to each participant — the commit decision piggybacks on the
+   link's next frame instead of paying its own. Members of one envelope
+   amortize the destination leader's station cost ([Station.amortized]).
+   With batching off, [post] is [send] — byte-identical to the unbatched
+   protocol. *)
 let to_shard ctx ~src ?(bytes = 96) shard_id handler =
   let shard = ctx.shards.(shard_id) in
   let dst = shard.Shard.leader_site in
-  Sim.Net.send ~bytes ctx.net ~src ~dst (fun () ->
+  Sim.Net.post ~bytes ctx.net ~src ~dst (fun env_idx ->
       if
         (not ctx.failover)
         || (dst = shard.Shard.leader_site
             && (not (Sim.Net.is_down ctx.net dst))
             && Replication.Group.serving shard.Shard.repl)
       then begin
+        let cost =
+          Sim.Station.amortized
+            ~full:(Sim.Station.service_time_us shard.Shard.station)
+            env_idx
+        in
         let tr = ctx.tracer in
         if Obs.Trace.enabled tr then begin
           (* Station queueing runs the handler from a fresh engine event,
              which would lose the delivery hop as ambient parent — carry it
              across explicitly. *)
           let sp = Obs.Trace.current tr in
-          Sim.Station.submit shard.Shard.station (fun () ->
+          Sim.Station.submit ~cost shard.Shard.station (fun () ->
               Obs.Trace.with_current tr sp (fun () -> handler shard))
         end
-        else Sim.Station.submit shard.Shard.station (fun () -> handler shard)
+        else Sim.Station.submit ~cost shard.Shard.station (fun () -> handler shard)
       end)
 
 (* Deliver a reply to a client (client CPUs are not the modelled bottleneck). *)
 let to_client ctx ~src ?(bytes = 96) ~dst handler =
-  Sim.Net.send ~bytes ctx.net ~src ~dst handler
+  Sim.Net.post ~bytes ctx.net ~src ~dst (fun _env_idx -> handler ())
 
 (* Authoritative ownership (the directory's current epoch). Clients route
    through their cached [?view] instead and get bounced + refreshed when it
