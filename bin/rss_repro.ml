@@ -646,10 +646,193 @@ let chaos_cmd =
       const run $ protocol $ nemesis $ duration $ seed $ nemesis_seed $ slots
       $ migrations $ failover $ disk_fault_rate $ trace_out_arg)
 
+let explore_cmd =
+  let protocols =
+    Arg.(
+      value
+      & opt_all
+          (enum
+             (List.map
+                (fun p -> (Chaos.Audit.protocol_name p, p))
+                Chaos.Audit.protocols))
+          []
+      & info [ "protocol" ]
+          ~doc:
+            "Protocol(s) to explore (repeatable). Defaults to all four \
+             drivers.")
+  in
+  let presets =
+    Arg.(
+      value
+      & opt_all (enum Chaos.Nemesis.presets) []
+      & info [ "preset" ]
+          ~doc:
+            "Nemesis preset pool the search mutates over (repeatable). \
+             Defaults to partition-heal, link-loss, reorder-storm, \
+             leader-kill, asym-block and mixed — or asym-block alone under \
+             $(b,--control).")
+  in
+  let budget =
+    Arg.(
+      value & opt int 0
+      & info [ "budget" ] ~docv:"N"
+          ~doc:
+            "Total executions, shrink trials included (default 400; 1500 \
+             under $(b,--control)).")
+  in
+  let corpus =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "corpus" ] ~docv:"DIR"
+          ~doc:"Directory where shrunk repros are serialized.")
+  in
+  let no_shrink =
+    Arg.(
+      value & flag
+      & info [ "no-shrink" ]
+          ~doc:"Report failures as found, without delta-debugging them.")
+  in
+  let shrink_budget =
+    Arg.(
+      value & opt int 400
+      & info [ "shrink-budget" ] ~docv:"N"
+          ~doc:"Max executions spent minimizing each failure.")
+  in
+  let search_seed =
+    Arg.(
+      value & opt int 1
+      & info [ "search-seed" ]
+          ~doc:
+            "Seed of the search's own mutation stream. The whole \
+             exploration is a pure function of (config, this seed).")
+  in
+  let max_failures =
+    Arg.(
+      value & opt int 3
+      & info [ "max-failures" ] ~docv:"K"
+          ~doc:"Stop after K distinct failures.")
+  in
+  let control =
+    Arg.(
+      value & flag
+      & info [ "control" ]
+          ~doc:
+            "Hunt the seeded-bug control: Gryff-RSC clients with the RSC \
+             dependency fence disabled (unsafe_no_deps), over the \
+             asym-block preset. Exit 0 iff the planted violation is found \
+             within budget.")
+  in
+  let replay =
+    Arg.(
+      value & opt_all file []
+      & info [ "replay" ] ~docv:"FILE"
+          ~doc:
+            "Replay corpus file(s) instead of searching: re-execute each \
+             repro and compare its verdict byte-for-byte against the \
+             file's expected line (repeatable).")
+  in
+  let run protocols presets budget corpus no_shrink shrink_budget search_seed
+      max_failures control replay =
+    if replay <> [] then begin
+      let bad = ref 0 in
+      List.iter
+        (fun path ->
+          match Explore.Corpus.replay_file path with
+          | Error m ->
+            incr bad;
+            Fmt.pr "%s: ERROR %s@." path m
+          | Ok r ->
+            if not r.Explore.Corpus.matches then incr bad;
+            Fmt.pr "%s: %s@.  expected %s@.  got      %s@." path
+              (if r.Explore.Corpus.matches then "MATCH" else "MISMATCH")
+              r.Explore.Corpus.entry.Explore.Corpus.expected
+              (Explore.Exec.verdict_string
+                 r.Explore.Corpus.outcome.Explore.Exec.verdict))
+        replay;
+      exit (if !bad = 0 then 0 else 5)
+    end;
+    if budget < 0 then (Fmt.epr "error: --budget must be non-negative@."; exit 1);
+    let d = Explore.Search.default_config () in
+    let budget =
+      if budget > 0 then budget else if control then 1_500 else 400
+    in
+    let cfg =
+      {
+        d with
+        Explore.Search.protocols =
+          (if protocols <> [] then protocols
+           else if control then [ Chaos.Audit.Gryff_rsc ]
+           else d.Explore.Search.protocols);
+        presets =
+          (if presets <> [] then presets
+           else if control then [ Chaos.Nemesis.Asym_block ]
+           else d.Explore.Search.presets @ [ Chaos.Nemesis.Asym_block ]);
+        budget;
+        search_seed;
+        shrink = not no_shrink;
+        shrink_budget;
+        max_failures = (if control then 1 else max_failures);
+        corpus_dir = corpus;
+        base =
+          (if control then fun p ->
+             {
+               (Explore.Exec.base p) with
+               Explore.Exec.duration_ms = 2_500;
+               timeout_ms = 600;
+               n_slots = 10;
+               n_keys = 2;
+               conflict_pct = 100;
+               write_pct = 28;
+               unsafe = true;
+             }
+           else d.Explore.Search.base);
+      }
+    in
+    let r = Explore.Search.run cfg in
+    Fmt.pr "explored %d executions: %d coverage signatures (%d novel), %d \
+            unknown verdicts, %d failure(s)@."
+      r.Explore.Search.execs r.Explore.Search.signatures
+      r.Explore.Search.novel r.Explore.Search.unknowns
+      (List.length r.Explore.Search.failures);
+    List.iter
+      (fun (f : Explore.Search.failure) ->
+        Fmt.pr "@.failure at execution %d:@.  %s@.  %s@."
+          f.Explore.Search.found_at
+          (Explore.Exec.describe f.Explore.Search.input)
+          f.Explore.Search.verdict;
+        if f.Explore.Search.shrunk <> f.Explore.Search.input then
+          Fmt.pr "  shrunk (%d execs):@.  %s@.  %s@."
+            f.Explore.Search.shrink_execs
+            (Explore.Exec.describe f.Explore.Search.shrunk)
+            f.Explore.Search.shrunk_verdict;
+        match f.Explore.Search.corpus_file with
+        | Some path -> Fmt.pr "  corpus: %s@." path
+        | None -> ())
+      r.Explore.Search.failures;
+    if control then
+      if r.Explore.Search.failures = [] then begin
+        Fmt.epr "control: planted violation NOT found within budget@.";
+        exit 1
+      end
+      else Fmt.pr "@.control: planted violation found and minimized@."
+    else if r.Explore.Search.failures <> [] then exit 2
+  in
+  Cmd.v
+    (Cmd.info "explore"
+       ~doc:
+         "Coverage-guided schedule exploration: mutate seeds, fault \
+          presets, perturbation vectors and environment knobs, dedup by \
+          coverage signature, delta-debug every consistency violation to a \
+          minimal replayable repro.")
+    Term.(
+      const run $ protocols $ presets $ budget $ corpus $ no_shrink
+      $ shrink_budget $ search_seed $ max_failures $ control $ replay)
+
 let () =
   let doc = "RSS / RSC reproduction playground" in
   exit
     (Cmd.eval
        (Cmd.group (Cmd.info "rss_repro" ~doc)
           [ spanner_cmd; gryff_cmd; check_cmd; check_trace_cmd; trace_cmd;
-            chaos_cmd ]))
+            chaos_cmd; explore_cmd ]))

@@ -89,9 +89,17 @@ let arm_scrub engine ~tracer ~dctl ~disk_faults ~duration_s =
          ~until_us:(Sim.Engine.sec duration_s) ())
   | _ -> None
 
+(* The raw per-protocol history, exposed so callers (the schedule explorer
+   in particular) can re-judge a run with [Rss_core.Check_online] or other
+   oracles without re-executing the simulation. *)
+type records =
+  | Spanner_records of Rss_core.Witness.txn array
+  | Gryff_records of Gryff.Cluster.record array
+
 type run = {
   protocol : protocol;
   check : (unit, string) result;
+  records : records;
   stale_control : unit -> (unit, string) result option;
   trace : string;
   history_len : int;
@@ -305,7 +313,7 @@ type pending_rw = {
   mutable pr_done : bool;
 }
 
-let spanner ?config ?(tracer = Obs.Trace.disabled) ~mode ~schedule
+let spanner ?config ?(tracer = Obs.Trace.disabled) ?prepare ~mode ~schedule
     ?disk_faults ?(n_slots = 12) ?(theta = 0.5) ?(n_keys = 5_000)
     ?(timeout_us = 2_000_000) ?(failover = false) ?(n_migrations = 0)
     ~duration_s ~seed () =
@@ -316,6 +324,9 @@ let spanner ?config ?(tracer = Obs.Trace.disabled) ~mode ~schedule
   @@ fun () ->
   let config = match config with Some c -> c | None -> Spanner.Config.wan3 ~mode () in
   let cluster = Spanner.Cluster.create engine ~rng config in
+  (match prepare with
+  | Some f -> f engine (Spanner.Cluster.net cluster)
+  | None -> ());
   if Obs.Trace.enabled tracer then Spanner.Cluster.set_tracer cluster tracer;
   if failover then
     (* A dedicated seeded stream for retry jitter: the workload stream stays
@@ -430,6 +441,7 @@ let spanner ?config ?(tracer = Obs.Trace.disabled) ~mode ~schedule
   {
     protocol = (match mode with Spanner.Config.Strict -> Spanner_strict | Spanner.Config.Rss -> Spanner_rss);
     check = Spanner.Cluster.check_history cluster;
+    records = Spanner_records records;
     stale_control = (fun () -> spanner_stale_control ~mode:wmode records);
     trace = spanner_trace records;
     history_len = Array.length records;
@@ -555,8 +567,8 @@ type pending_write = {
   mutable pw_done : bool;
 }
 
-let gryff ?config ?client_sites ?(tracer = Obs.Trace.disabled) ~mode ~schedule
-    ?disk_faults ?(n_slots = 10) ?(write_ratio = 0.3) ?(conflict = 0.1)
+let gryff ?config ?client_sites ?(tracer = Obs.Trace.disabled) ?prepare ~mode
+    ~schedule ?disk_faults ?(n_slots = 10) ?(write_ratio = 0.3) ?(conflict = 0.1)
     ?(n_keys = 2_000) ?(timeout_us = 2_000_000) ?(unsafe_no_deps = false)
     ?(failover = false) ~duration_s ~seed () =
   let engine = Sim.Engine.create () in
@@ -569,6 +581,9 @@ let gryff ?config ?client_sites ?(tracer = Obs.Trace.disabled) ~mode ~schedule
   @@ fun () ->
   let config = match config with Some c -> c | None -> Gryff.Config.wan5 ~mode () in
   let cluster = Gryff.Cluster.create engine ~rng config in
+  (match prepare with
+  | Some f -> f engine (Gryff.Cluster.net cluster)
+  | None -> ());
   if Obs.Trace.enabled tracer then Gryff.Cluster.set_tracer cluster tracer;
   if failover then
     Gryff.Cluster.enable_retrans cluster ~rng:(Sim.Rng.make (0xfa11 + seed)) ();
@@ -645,6 +660,7 @@ let gryff ?config ?client_sites ?(tracer = Obs.Trace.disabled) ~mode ~schedule
   {
     protocol = (match mode with Gryff.Config.Lin -> Gryff_lin | Gryff.Config.Rsc -> Gryff_rsc);
     check = Gryff.Cluster.check_history cluster;
+    records = Gryff_records records;
     stale_control = (fun () -> gryff_stale_control cluster records);
     trace = gryff_trace records;
     history_len = Array.length records;
@@ -692,21 +708,24 @@ let gryff ?config ?client_sites ?(tracer = Obs.Trace.disabled) ~mode ~schedule
 (* Dispatch and reporting                                              *)
 (* ------------------------------------------------------------------ *)
 
-let run protocol ?tracer ~schedule ?disk_faults ?n_slots ?n_keys ?timeout_us
-    ?failover ?n_migrations ~duration_s ~seed () =
+let run protocol ?tracer ?prepare ~schedule ?disk_faults ?n_slots ?n_keys
+    ?timeout_us ?conflict ?write_ratio ?unsafe_no_deps ?failover ?n_migrations
+    ~duration_s ~seed () =
   match protocol with
   | Spanner_strict ->
-    spanner ?tracer ~mode:Spanner.Config.Strict ~schedule ?disk_faults ?n_slots
-      ?n_keys ?timeout_us ?failover ?n_migrations ~duration_s ~seed ()
+    spanner ?tracer ?prepare ~mode:Spanner.Config.Strict ~schedule ?disk_faults
+      ?n_slots ?n_keys ?timeout_us ?failover ?n_migrations ~duration_s ~seed ()
   | Spanner_rss ->
-    spanner ?tracer ~mode:Spanner.Config.Rss ~schedule ?disk_faults ?n_slots
-      ?n_keys ?timeout_us ?failover ?n_migrations ~duration_s ~seed ()
+    spanner ?tracer ?prepare ~mode:Spanner.Config.Rss ~schedule ?disk_faults
+      ?n_slots ?n_keys ?timeout_us ?failover ?n_migrations ~duration_s ~seed ()
   | Gryff_lin ->
-    gryff ?tracer ~mode:Gryff.Config.Lin ~schedule ?disk_faults ?n_slots ?n_keys
-      ?timeout_us ?failover ~duration_s ~seed ()
+    gryff ?tracer ?prepare ~mode:Gryff.Config.Lin ~schedule ?disk_faults
+      ?n_slots ?n_keys ?timeout_us ?conflict ?write_ratio ?unsafe_no_deps
+      ?failover ~duration_s ~seed ()
   | Gryff_rsc ->
-    gryff ?tracer ~mode:Gryff.Config.Rsc ~schedule ?disk_faults ?n_slots ?n_keys
-      ?timeout_us ?failover ~duration_s ~seed ()
+    gryff ?tracer ?prepare ~mode:Gryff.Config.Rsc ~schedule ?disk_faults
+      ?n_slots ?n_keys ?timeout_us ?conflict ?write_ratio ?unsafe_no_deps
+      ?failover ~duration_s ~seed ()
 
 let liveness_ok ?(min_post_quiet = 1) (r : run) =
   r.post_quiet_completed >= min_post_quiet

@@ -67,9 +67,18 @@ val arm_scrub :
 (** Arm the background scrub pass on a dedicated station; [None] without an
     installed control or with a zero scrub period. *)
 
+(** The raw collected history, exposed so callers (notably the schedule
+    explorer) can re-judge a finished run with {!Rss_core.Check_online} or
+    other oracles without re-executing the simulation. Spanner runs carry
+    witness transactions; Gryff runs carry per-key register records. *)
+type records =
+  | Spanner_records of Rss_core.Witness.txn array
+  | Gryff_records of Gryff.Cluster.record array
+
 type run = {
   protocol : protocol;
   check : (unit, string) result;  (** the consistency verdict *)
+  records : records;  (** the raw history behind [check] and [trace] *)
   stale_control : unit -> (unit, string) result option;
       (** Corrupt one read in the collected history to an older version and
           re-check. [None] if no eligible read exists; otherwise the result
@@ -131,6 +140,7 @@ val sweep_gryff_write :
 
 val spanner :
   ?config:Spanner.Config.t -> ?tracer:Obs.Trace.t ->
+  ?prepare:(Sim.Engine.t -> Sim.Net.t -> unit) ->
   mode:Spanner.Config.mode -> schedule:Schedule.t -> ?disk_faults:disk_faults ->
   ?n_slots:int -> ?theta:float -> ?n_keys:int -> ?timeout_us:int ->
   ?failover:bool -> ?n_migrations:int -> duration_s:float -> seed:int ->
@@ -143,10 +153,14 @@ val spanner :
     leader-killing schedules. [n_migrations] (default 0) schedules that many
     live migrations of the Zipfian-hot eighth of the keyspace, spread over
     the run, each to a different destination shard — the workload for
-    {!Nemesis.Reshard} / {!Nemesis.Hot_split} schedules. *)
+    {!Nemesis.Reshard} / {!Nemesis.Hot_split} schedules. [prepare] runs
+    right after the cluster is built, before any fault or workload event is
+    scheduled — the schedule explorer uses it to install perturbation hooks
+    and batching policies on the engine/net. *)
 
 val gryff :
   ?config:Gryff.Config.t -> ?client_sites:int array -> ?tracer:Obs.Trace.t ->
+  ?prepare:(Sim.Engine.t -> Sim.Net.t -> unit) ->
   mode:Gryff.Config.mode -> schedule:Schedule.t -> ?disk_faults:disk_faults ->
   ?n_slots:int ->
   ?write_ratio:float -> ?conflict:float -> ?n_keys:int -> ?timeout_us:int ->
@@ -158,14 +172,17 @@ val gryff :
     [failover] arms {!Gryff.Cluster.enable_retrans}. *)
 
 val run :
-  protocol -> ?tracer:Obs.Trace.t -> schedule:Schedule.t ->
+  protocol -> ?tracer:Obs.Trace.t ->
+  ?prepare:(Sim.Engine.t -> Sim.Net.t -> unit) -> schedule:Schedule.t ->
   ?disk_faults:disk_faults -> ?n_slots:int -> ?n_keys:int -> ?timeout_us:int ->
+  ?conflict:float -> ?write_ratio:float -> ?unsafe_no_deps:bool ->
   ?failover:bool -> ?n_migrations:int -> duration_s:float -> seed:int ->
   unit -> run
 (** Dispatch on {!protocol} with that protocol's default deployment.
     [tracer] (default disabled) records spans cluster-wide plus a
     [Fault]-kind instant per injected event. [n_migrations] applies to the
-    Spanner protocols only (Gryff has no elastic placement). *)
+    Spanner protocols only (Gryff has no elastic placement); [conflict],
+    [write_ratio] and [unsafe_no_deps] apply to the Gryff protocols only. *)
 
 val liveness_ok : ?min_post_quiet:int -> run -> bool
 (** True when at least [min_post_quiet] (default 1) operations invoked after

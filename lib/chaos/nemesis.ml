@@ -5,6 +5,7 @@ type preset =
   | Latency_spike
   | Eps_inflate
   | Reorder_storm
+  | Asym_block
   | Mixed
   | Leader_kill
   | Rolling_crash
@@ -22,6 +23,7 @@ let presets =
     ("latency-spike", Latency_spike);
     ("eps-inflate", Eps_inflate);
     ("reorder-storm", Reorder_storm);
+    ("asym-block", Asym_block);
     ("mixed", Mixed);
     ("leader-kill", Leader_kill);
     ("rolling-crash", Rolling_crash);
@@ -42,7 +44,7 @@ let requires_failover = function
   | Torn_migration ->
     true
   | Partition_heal | Link_loss | Crash_recover | Latency_spike | Eps_inflate
-  | Reorder_storm | Mixed ->
+  | Reorder_storm | Asym_block | Mixed ->
     false
 
 let requires_reshard = function
@@ -152,6 +154,19 @@ let rec window spec kind =
     let prob = 0.2 +. Sim.Rng.float spec.rng 0.3 in
     let max_extra_us = pick_range spec.rng 5_000 50_000 in
     (Reorder { links; prob; max_extra_us }, Clear_links)
+  | Asym_block ->
+    (* One-way blocks: messages from 1-2 source sites stop reaching a
+       subset of the rest; every other direction keeps working. Progress
+       never stalls, but which replicas can contribute replies to a
+       quorum shifts — the visibility hazard symmetric partitions cannot
+       produce (a write stranded at a few replicas stays observable from
+       some vantage points and invisible from others). *)
+    let g = pick_range spec.rng 1 (min 2 (spec.n_sites - 1)) in
+    let srcs = pick_subset spec.rng ~from:(all_sites spec) ~size:g in
+    let rest = Schedule.sites_except ~n:spec.n_sites srcs in
+    let k = pick_range spec.rng 1 (min 3 (List.length rest)) in
+    let dsts = pick_subset spec.rng ~from:rest ~size:k in
+    (Block (srcs, dsts), Heal)
   | Leader_kill ->
     (* Crash one leader site at a time (any crashable site if the deployment
        is leaderless): the fault the view-change machinery exists for. *)

@@ -15,6 +15,12 @@ type preset =
   | Latency_spike  (** 20-150 ms extra delay on one site's links *)
   | Eps_inflate  (** TrueTime ε inflated 3-10x *)
   | Reorder_storm  (** random bounded extra delays, reordering messages *)
+  | Asym_block
+      (** one-way blocks: 1-2 source sites stop reaching a subset of the
+          rest while every other direction keeps working. The cluster never
+          stalls — the fault silently changes which replicas can contribute
+          replies to quorums, the visibility hazard asymmetric network
+          failures create (and the one symmetric partitions cannot) *)
   | Mixed  (** each window picks one of the above *)
   | Leader_kill  (** crash one leader site per window, later recovered *)
   | Rolling_crash

@@ -1,0 +1,332 @@
+type input = {
+  protocol : Chaos.Audit.protocol;
+  preset : Chaos.Nemesis.preset;
+  seed : int;
+  nemesis_seed : int;
+  duration_ms : int;
+  n_slots : int;
+  n_keys : int;
+  timeout_ms : int;
+  conflict_pct : int;
+  write_pct : int;
+  batch_us : int;
+  batch_max : int;
+  disk_rate_pct : int;
+  check_budget : int;
+  unsafe : bool;
+  perturb : Perturb.t;
+}
+
+(* Small hot keyspaces and short runs: contention is what makes races
+   (and the seeded-bug control) reachable within a search budget, and a
+   trial has to be cheap enough to run hundreds of times. *)
+let base protocol =
+  let gryff =
+    match protocol with
+    | Chaos.Audit.Gryff_lin | Chaos.Audit.Gryff_rsc -> true
+    | Chaos.Audit.Spanner_strict | Chaos.Audit.Spanner_rss -> false
+  in
+  {
+    protocol;
+    preset = Chaos.Nemesis.Partition_heal;
+    seed = 1;
+    nemesis_seed = 1;
+    duration_ms = 1_500;
+    n_slots = 8;
+    n_keys = (if gryff then 8 else 64);
+    timeout_ms = 2_000;
+    conflict_pct = 80;
+    write_pct = 40;
+    batch_us = 0;
+    batch_max = 16;
+    disk_rate_pct = 0;
+    check_budget = 0;
+    unsafe = false;
+    perturb = Perturb.none;
+  }
+
+let validate i =
+  let err fmt = Fmt.kstr Result.error fmt in
+  if i.duration_ms <= 0 then err "duration_ms must be positive"
+  else if i.n_slots <= 0 then err "n_slots must be positive"
+  else if i.n_keys <= 0 then err "n_keys must be positive"
+  else if i.timeout_ms <= 0 then err "timeout_ms must be positive"
+  else if i.conflict_pct < 0 || i.conflict_pct > 100 then
+    err "conflict_pct out of [0, 100]"
+  else if i.write_pct < 0 || i.write_pct > 100 then
+    err "write_pct out of [0, 100]"
+  else if i.batch_us < 0 then err "batch_us must be non-negative"
+  else if i.batch_us > 0 && i.batch_max <= 0 then
+    err "batch_max must be positive when batching is on"
+  else if i.disk_rate_pct < 0 then err "disk_rate_pct must be non-negative"
+  else if i.check_budget < 0 then err "check_budget must be non-negative"
+  else Ok ()
+
+let describe i =
+  let tie, jitter = Perturb.to_string i.perturb in
+  Fmt.str
+    "%s/%s seed=%d nseed=%d dur=%dms slots=%d keys=%d%s%s%s%s%s tie=%s \
+     jitter=%s"
+    (Chaos.Audit.protocol_name i.protocol)
+    (Chaos.Nemesis.preset_name i.preset)
+    i.seed i.nemesis_seed i.duration_ms i.n_slots i.n_keys
+    (if i.batch_us > 0 then Fmt.str " batch=%dus/%d" i.batch_us i.batch_max
+     else "")
+    (if i.disk_rate_pct > 0 then Fmt.str " disk=%d%%" i.disk_rate_pct else "")
+    (if i.check_budget > 0 then Fmt.str " budget=%d" i.check_budget else "")
+    (if i.unsafe then " UNSAFE" else "")
+    (match i.protocol with
+    | Chaos.Audit.Gryff_lin | Chaos.Audit.Gryff_rsc ->
+      Fmt.str " conflict=%d%% write=%d%%" i.conflict_pct i.write_pct
+    | _ -> "")
+    tie jitter
+
+let equal a b =
+  a.protocol = b.protocol && a.preset = b.preset && a.seed = b.seed
+  && a.nemesis_seed = b.nemesis_seed
+  && a.duration_ms = b.duration_ms
+  && a.n_slots = b.n_slots && a.n_keys = b.n_keys
+  && a.timeout_ms = b.timeout_ms
+  && a.conflict_pct = b.conflict_pct
+  && a.write_pct = b.write_pct && a.batch_us = b.batch_us
+  && a.batch_max = b.batch_max
+  && a.disk_rate_pct = b.disk_rate_pct
+  && a.check_budget = b.check_budget && a.unsafe = b.unsafe
+  && Perturb.equal a.perturb b.perturb
+
+type outcome = {
+  verdict : Rss_core.Check_online.verdict;
+  offline_check : (unit, string) result;
+  signature : string;
+  trace_digest : string;
+  checker_work : int;
+  checker_displacement : int;
+  run : Chaos.Audit.run;
+}
+
+let verdict_string = function
+  | Rss_core.Check_online.Pass -> "pass"
+  | Rss_core.Check_online.Fail m -> "fail: " ^ m
+  | Rss_core.Check_online.Unknown m -> "unknown: " ^ m
+
+let is_fail = function Rss_core.Check_online.Fail _ -> true | _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* Oracle: re-judge the audit's collected history with Check_online     *)
+(* ------------------------------------------------------------------ *)
+
+let witness_mode = function
+  | Chaos.Audit.Spanner_strict | Chaos.Audit.Gryff_lin -> `Strict
+  | Chaos.Audit.Spanner_rss | Chaos.Audit.Gryff_rsc -> `Rss
+
+let make_checker ~mode ~check_budget =
+  if check_budget > 0 then
+    Rss_core.Check_online.create ~work_budget:check_budget
+      ~fallback_states:check_budget ~mode ()
+  else Rss_core.Check_online.create ~mode ()
+
+(* Same conversion the harness's online arm uses: a Gryff register record
+   as a one-op witness transaction, reads ranked above writes at equal
+   carstamps. *)
+let gryff_witness_txn (r : Gryff.Cluster.record) =
+  let key = string_of_int r.Gryff.Cluster.g_key in
+  let reads =
+    match r.Gryff.Cluster.g_kind with
+    | Gryff.Cluster.Read | Gryff.Cluster.Rmw ->
+      [ (key, r.Gryff.Cluster.g_observed) ]
+    | Gryff.Cluster.Write -> []
+  in
+  let writes =
+    match (r.Gryff.Cluster.g_kind, r.Gryff.Cluster.g_written) with
+    | (Gryff.Cluster.Write | Gryff.Cluster.Rmw), Some v -> [ (key, v) ]
+    | _ -> []
+  in
+  {
+    Rss_core.Witness.proc = r.Gryff.Cluster.g_proc;
+    reads;
+    writes;
+    inv = r.Gryff.Cluster.g_inv;
+    resp = r.Gryff.Cluster.g_resp;
+    ts = Gryff.Carstamp.pack r.Gryff.Cluster.g_cs;
+    rank = (match r.Gryff.Cluster.g_kind with Gryff.Cluster.Read -> 1 | _ -> 0);
+  }
+
+(* Registers are per-key: carstamp order is only meaningful within a key,
+   so each key gets its own online checker (mirroring the harness). Keys
+   are settled in sorted order so the combined verdict — in particular
+   which key a Fail message names — is canonical. *)
+let judge ~protocol ~check_budget records =
+  let mode = witness_mode protocol in
+  match records with
+  | Chaos.Audit.Spanner_records arr ->
+    let oc = make_checker ~mode ~check_budget in
+    Array.iter (Rss_core.Check_online.add oc) arr;
+    ( Rss_core.Check_online.result oc,
+      Rss_core.Check_online.work oc,
+      Rss_core.Check_online.max_displacement oc )
+  | Chaos.Audit.Gryff_records arr ->
+    let tbl : (int, Rss_core.Check_online.t) Hashtbl.t = Hashtbl.create 64 in
+    Array.iter
+      (fun (r : Gryff.Cluster.record) ->
+        let oc =
+          match Hashtbl.find_opt tbl r.Gryff.Cluster.g_key with
+          | Some oc -> oc
+          | None ->
+            let oc = make_checker ~mode ~check_budget in
+            Hashtbl.add tbl r.Gryff.Cluster.g_key oc;
+            oc
+        in
+        Rss_core.Check_online.add oc (gryff_witness_txn r))
+      arr;
+    let keys =
+      List.sort compare (Hashtbl.fold (fun k _ acc -> k :: acc) tbl [])
+    in
+    List.fold_left
+      (fun (verdict, work, disp) key ->
+        let oc = Hashtbl.find tbl key in
+        let work = work + Rss_core.Check_online.work oc in
+        let disp = max disp (Rss_core.Check_online.max_displacement oc) in
+        let verdict =
+          match verdict with
+          | Rss_core.Check_online.Fail _ -> verdict
+          | Rss_core.Check_online.Pass | Rss_core.Check_online.Unknown _ -> (
+            match Rss_core.Check_online.result oc with
+            | Rss_core.Check_online.Pass -> verdict
+            | Rss_core.Check_online.Fail m ->
+              Rss_core.Check_online.Fail (Fmt.str "key %d: %s" key m)
+            | Rss_core.Check_online.Unknown m -> (
+              match verdict with
+              | Rss_core.Check_online.Unknown _ -> verdict
+              | _ -> Rss_core.Check_online.Unknown (Fmt.str "key %d: %s" key m)
+              ))
+        in
+        (verdict, work, disp))
+      (Rss_core.Check_online.Pass, 0, 0)
+      keys
+
+(* ------------------------------------------------------------------ *)
+(* Coverage signature                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Log2 buckets: 0, 1, 2-3, 4-7, ... Counters only need to land in the
+   same bucket to count as "the same behaviour"; the signature is the
+   dedup key of the search's coverage map. *)
+let bucket v =
+  if v <= 0 then 0
+  else begin
+    let b = ref 0 and v = ref v in
+    while !v > 0 do
+      incr b;
+      v := !v lsr 1
+    done;
+    !b
+  end
+
+let signature_of_run ~displacement (r : Chaos.Audit.run) =
+  let b = bucket in
+  Fmt.str "v%d c%d p%d l%d d%d y%d q%d m%d r%d t%d u%d s%d w%d"
+    (b r.Chaos.Audit.view_changes)
+    (b r.Chaos.Audit.dropped_crash)
+    (b r.Chaos.Audit.dropped_partition)
+    (b r.Chaos.Audit.dropped_loss)
+    (b r.Chaos.Audit.duplicated)
+    (b r.Chaos.Audit.delayed)
+    (b r.Chaos.Audit.in_doubt_resolved)
+    (b (r.Chaos.Audit.migrations + r.Chaos.Audit.migration_retries))
+    (b r.Chaos.Audit.redirects)
+    (b r.Chaos.Audit.ops_timed_out)
+    (b r.Chaos.Audit.unacked_commits)
+    (b (r.Chaos.Audit.disk_crashes + r.Chaos.Audit.scrub_flagged))
+    (b displacement)
+
+(* ------------------------------------------------------------------ *)
+(* Execution                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let scale_spec pct (s : Sim.Durable.Faults.spec) =
+  let r = float_of_int pct /. 100.0 in
+  let p x = min 1.0 (x *. r) in
+  {
+    s with
+    Sim.Durable.Faults.tear_prob = p s.Sim.Durable.Faults.tear_prob;
+    corrupt_prob = p s.Sim.Durable.Faults.corrupt_prob;
+    stale_prob = p s.Sim.Durable.Faults.stale_prob;
+    lost_int_prob = p s.Sim.Durable.Faults.lost_int_prob;
+  }
+
+let run i =
+  (match validate i with
+  | Ok () -> ()
+  | Error m -> invalid_arg ("Explore.Exec.run: " ^ m));
+  let duration_s = float_of_int i.duration_ms /. 1_000.0 in
+  let schedule =
+    Chaos.Audit.nemesis_schedule i.protocol i.preset ~duration_s
+      ~seed:i.nemesis_seed
+  in
+  let failover = Chaos.Nemesis.requires_failover i.preset in
+  let n_migrations =
+    match i.protocol with
+    | Chaos.Audit.Spanner_strict | Chaos.Audit.Spanner_rss ->
+      if Chaos.Nemesis.requires_reshard i.preset then 2 else 0
+    | _ -> 0
+  in
+  let disk_faults =
+    if i.disk_rate_pct = 0 then None
+    else
+      let base =
+        match Chaos.Nemesis.disk_spec i.preset with
+        | Some s -> s
+        | None -> Sim.Durable.Faults.default_spec
+      in
+      Some
+        (Chaos.Audit.default_disk_faults
+           ~spec:(scale_spec i.disk_rate_pct base)
+           ~seed:i.nemesis_seed ())
+  in
+  let prepare engine net =
+    Perturb.install i.perturb ~engine ~net;
+    if i.batch_us > 0 then
+      Sim.Net.set_batching net
+        (Some
+           {
+             Sim.Net.batch_us = i.batch_us;
+             batch_max = i.batch_max;
+             adaptive = false;
+           })
+  in
+  let conflict = float_of_int i.conflict_pct /. 100.0 in
+  let write_ratio = float_of_int i.write_pct /. 100.0 in
+  let run =
+    Chaos.Audit.run i.protocol ~prepare ~schedule ?disk_faults
+      ~n_slots:i.n_slots ~n_keys:i.n_keys ~timeout_us:(i.timeout_ms * 1_000)
+      ~conflict ~write_ratio ~unsafe_no_deps:i.unsafe ~failover ~n_migrations
+      ~duration_s ~seed:i.seed ()
+  in
+  let verdict, work, displacement =
+    judge ~protocol:i.protocol ~check_budget:i.check_budget
+      run.Chaos.Audit.records
+  in
+  let signature =
+    (* Protocol and preset belong in the dedup key — the same counter
+       buckets under a different fault mix are a different behaviour. *)
+    let v =
+      match verdict with
+      | Rss_core.Check_online.Pass -> "P"
+      | Rss_core.Check_online.Fail _ -> "F"
+      | Rss_core.Check_online.Unknown _ -> "U"
+    in
+    Fmt.str "%s|%s|%s|%s"
+      (Chaos.Audit.protocol_name i.protocol)
+      (Chaos.Nemesis.preset_name i.preset)
+      (signature_of_run ~displacement run)
+      v
+  in
+  {
+    verdict;
+    offline_check = run.Chaos.Audit.check;
+    signature;
+    trace_digest = Digest.to_hex (Digest.string run.Chaos.Audit.trace);
+    checker_work = work;
+    checker_displacement = displacement;
+    run;
+  }

@@ -1,0 +1,72 @@
+(** One schedule-explorer trial: a fully-specified, replayable execution.
+
+    An {!input} pins everything a run depends on — protocol, nemesis
+    preset, both seeds, workload shape, Env-style knobs (batching, disk
+    fault rate, online-checker budget), the seeded-bug control toggle and
+    the {!Perturb} vectors — as plain integers/strings so it serializes
+    to a corpus line set and shrinks by simple arithmetic. {!run} builds
+    the cluster through {!Chaos.Audit}, installs the perturbation via the
+    audit's [prepare] hook, re-judges the collected history with
+    {!Rss_core.Check_online} (the oracle verdict), and condenses the
+    run's behaviour into a coverage {!signature}. Same input, same
+    binary → byte-identical outcome. *)
+
+type input = {
+  protocol : Chaos.Audit.protocol;
+  preset : Chaos.Nemesis.preset;
+  seed : int;  (** workload/cluster stream *)
+  nemesis_seed : int;  (** fault-schedule stream *)
+  duration_ms : int;
+  n_slots : int;  (** concurrent client-session slots — the op-count knob *)
+  n_keys : int;
+  timeout_ms : int;  (** per-op abandon threshold *)
+  conflict_pct : int;  (** Gryff hot-key share, percent *)
+  write_pct : int;  (** Gryff write ratio, percent *)
+  batch_us : int;  (** batching flush deadline; 0 = batching off *)
+  batch_max : int;  (** batching size cap; meaningful when [batch_us > 0] *)
+  disk_rate_pct : int;  (** disk-fault probability scale, percent; 0 = off *)
+  check_budget : int;
+      (** {!Rss_core.Check_online} work budget; 0 = unlimited. Small
+          budgets force [Unknown] verdicts — the corpus round-trip for
+          the checker's degraded path. *)
+  unsafe : bool;  (** seeded-bug control: Gryff client with the RSC
+                      dependency fence disabled *)
+  perturb : Perturb.t;
+}
+
+val base : Chaos.Audit.protocol -> input
+(** A deliberately contentious baseline for [protocol]: small hot
+    keyspace, short run, no perturbation, all knobs off. The search
+    mutates outward from here. *)
+
+val validate : input -> (unit, string) result
+(** Bounds-check every field (positive durations/slots, percentages in
+    range, batching sanity) — corpus files pass through this on load. *)
+
+val describe : input -> string
+(** One-line human summary: protocol, preset, seeds, size knobs. *)
+
+val equal : input -> input -> bool
+
+type outcome = {
+  verdict : Rss_core.Check_online.verdict;
+      (** the oracle: the history re-judged by the online checker *)
+  offline_check : (unit, string) result;
+      (** the audit's own offline verdict, kept as a cross-check *)
+  signature : string;
+      (** coverage signature — bucketized behaviour counters; two runs
+          with the same signature explored the same region *)
+  trace_digest : string;  (** MD5 of the canonical history serialization *)
+  checker_work : int;
+  checker_displacement : int;  (** feeds the signature *)
+  run : Chaos.Audit.run;  (** full counters for reporting *)
+}
+
+val run : input -> outcome
+(** Execute the trial. Deterministic: a pure function of [input]. *)
+
+val verdict_string : Rss_core.Check_online.verdict -> string
+(** Canonical wire form ["pass"], ["fail: m"], ["unknown: m"] — what
+    corpus replay compares byte-for-byte. *)
+
+val is_fail : Rss_core.Check_online.verdict -> bool

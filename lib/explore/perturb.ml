@@ -1,0 +1,78 @@
+type t = { tie : int array; jitter_us : int array }
+
+let none = { tie = [||]; jitter_us = [||] }
+
+let max_tie = 64
+
+(* Wide enough to reorder quorum replies across WAN sites (one-way
+   inter-site deltas in the wan5 matrix run 25-75 ms): a jitter cap
+   below the latency spread can only reorder same-link deliveries, never
+   change which replicas form a read quorum. *)
+let max_jitter_us = 75_000
+
+let clamp lo hi v = if v < lo then lo else if v > hi then hi else v
+
+let is_none p =
+  Array.for_all (fun v -> v = 0) p.tie
+  && Array.for_all (fun v -> v = 0) p.jitter_us
+
+let equal a b = a.tie = b.tie && a.jitter_us = b.jitter_us
+
+let trim_zeros a =
+  let n = ref (Array.length a) in
+  while !n > 0 && a.(!n - 1) = 0 do
+    decr n
+  done;
+  if !n = Array.length a then a else Array.sub a 0 !n
+
+let normalize p =
+  {
+    tie = trim_zeros (Array.map (clamp (-max_tie) max_tie) p.tie);
+    jitter_us = trim_zeros (Array.map (clamp 0 max_jitter_us) p.jitter_us);
+  }
+
+let install p ~engine ~net =
+  (* Fresh counters per install: the vectors are consulted in
+     delivery-scheduling order starting from index 0, so the same input
+     always sees the same per-delivery perturbation. *)
+  let tie = Array.map (clamp (-max_tie) max_tie) p.tie in
+  let jit = Array.map (clamp 0 max_jitter_us) p.jitter_us in
+  let ti = ref 0 and ji = ref 0 in
+  Sim.Engine.set_tie_perturb engine
+    (Some
+       (fun kind ->
+         if String.equal kind "net.deliver" && Array.length tie > 0 then begin
+           let v = tie.(!ti mod Array.length tie) in
+           incr ti;
+           v
+         end
+         else 0));
+  Sim.Net.set_delay_perturb net
+    (Some
+       (fun () ->
+         if Array.length jit = 0 then 0
+         else begin
+           let v = jit.(!ji mod Array.length jit) in
+           incr ji;
+           v
+         end))
+
+let vec_to_string a =
+  if Array.length a = 0 then "-"
+  else String.concat "," (Array.to_list (Array.map string_of_int a))
+
+let to_string p = (vec_to_string p.tie, vec_to_string p.jitter_us)
+
+let vec_of_string s =
+  if String.equal s "-" then Ok [||]
+  else
+    try
+      Ok
+        (Array.of_list
+           (List.map int_of_string (String.split_on_char ',' (String.trim s))))
+    with _ -> Error (Fmt.str "bad perturbation vector %S" s)
+
+let of_string ~tie ~jitter =
+  match (vec_of_string tie, vec_of_string jitter) with
+  | Ok t, Ok j -> Ok { tie = t; jitter_us = j }
+  | Error e, _ | _, Error e -> Error e

@@ -1,0 +1,66 @@
+(** Seeded schedule perturbation vectors.
+
+    A perturbation is a pair of finite integer vectors applied to a run's
+    message deliveries, in delivery-scheduling order:
+
+    - [tie]: same-timestamp tie-break priorities. The [i]-th scheduled
+      network delivery gets priority [tie.(i mod length)] (0 when the
+      vector is empty), and {!Sim.Engine} orders same-instant events by
+      (priority, FIFO) instead of pure FIFO. This permutes genuine message
+      races — events at the same microsecond — without moving any event in
+      time.
+    - [jitter_us]: bounded extra one-way delays. The [i]-th sampled
+      delivery delay is stretched by [jitter_us.(i mod length)]
+      microseconds (clamped to [\[0, max_jitter_us\]]).
+
+    Only the ["net.deliver"] event class is perturbed: message arrival
+    order is the nondeterminism a real network exhibits, so permuting it
+    can only surface real protocol races — local timers and fault
+    injections keep their exact schedule, which keeps the consistency
+    oracle sound.
+
+    {!none} (and any all-zero vector) is byte-identical to an unperturbed
+    run: priorities are all 0, stretches all 0, and neither hook draws
+    from any RNG stream. Both vectors are cycled with private counters set
+    up fresh at {!install}, so replaying the same vectors over the same
+    seeds reproduces the exact schedule. *)
+
+type t = {
+  tie : int array;  (** cyclic same-timestamp priorities, clamped to ±{!max_tie} *)
+  jitter_us : int array;  (** cyclic delay stretches, clamped to [0, {!max_jitter_us}] *)
+}
+
+val none : t
+(** Both vectors empty: installing it is a no-op. *)
+
+val max_tie : int
+(** Priority magnitude bound (64). *)
+
+val max_jitter_us : int
+(** Per-delivery stretch bound (75 000 µs — wide enough to cover the
+    wan5 matrix's one-way inter-site latency spread, so a stretched
+    delivery can change which replicas form a read quorum, not merely
+    reorder same-link messages). *)
+
+val is_none : t -> bool
+(** True when both vectors are empty or all-zero — i.e. installing this
+    perturbation cannot change any schedule. *)
+
+val equal : t -> t -> bool
+
+val normalize : t -> t
+(** Clamp entries to the bounds and drop trailing zeros; an all-zero
+    vector normalizes to empty. [is_none (normalize p)] iff installing
+    [p] is a no-op. *)
+
+val install : t -> engine:Sim.Engine.t -> net:Sim.Net.t -> unit
+(** Arm both hooks with fresh cycle counters. Installing {!none} still
+    registers the hooks (priority 0 / stretch 0 for every delivery),
+    which must be — and is tested to be — byte-identical to never
+    installing them. *)
+
+val to_string : t -> string * string
+(** [(tie, jitter)] as comma-separated decimal lists, ["-"] for empty —
+    the corpus-file wire form. *)
+
+val of_string : tie:string -> jitter:string -> (t, string) result

@@ -357,22 +357,25 @@ module Env = struct
   let with_check c t = { t with check = c }
   let with_reshard r t = { t with reshard = r }
   let with_batching p t = { t with batching = p }
+
+  (* Fold the deprecated per-driver keywords over [?env]: an explicitly
+     passed keyword wins, otherwise the env field stands. Exposed so the
+     shim semantics can be property-tested directly. *)
+  let resolve ?env ?chaos ?disk_faults ?failover ?trace ?check ?reshard () =
+    let e = Option.value env ~default in
+    {
+      chaos = (match chaos with Some _ -> chaos | None -> e.chaos);
+      disk_faults =
+        (match disk_faults with Some _ -> disk_faults | None -> e.disk_faults);
+      failover = Option.value failover ~default:e.failover;
+      trace = Option.value trace ~default:e.trace;
+      check = Option.value check ~default:e.check;
+      reshard = Option.value reshard ~default:e.reshard;
+      batching = e.batching;
+    }
 end
 
-(* Fold the deprecated per-driver keywords over [?env]: an explicitly passed
-   keyword wins, otherwise the env field stands. *)
-let resolve_env ?env ?chaos ?disk_faults ?failover ?trace ?check ?reshard () =
-  let e = Option.value env ~default:Env.default in
-  {
-    Env.chaos = (match chaos with Some _ -> chaos | None -> e.Env.chaos);
-    disk_faults =
-      (match disk_faults with Some _ -> disk_faults | None -> e.Env.disk_faults);
-    failover = Option.value failover ~default:e.Env.failover;
-    trace = Option.value trace ~default:e.Env.trace;
-    check = Option.value check ~default:e.Env.check;
-    reshard = Option.value reshard ~default:e.Env.reshard;
-    batching = e.Env.batching;
-  }
+let resolve_env = Env.resolve
 
 let apply_batching env net = Sim.Net.set_batching net env.Env.batching
 

@@ -135,6 +135,17 @@ module Env : sig
   val with_check : check_mode -> t -> t
   val with_reshard : reshard_spec list -> t -> t
   val with_batching : Sim.Net.policy option -> t -> t
+
+  val resolve :
+    ?env:t -> ?chaos:Chaos.Schedule.t -> ?disk_faults:Chaos.Audit.disk_faults ->
+    ?failover:bool -> ?trace:Obs.Trace.t -> ?check:check_mode ->
+    ?reshard:reshard_spec list -> unit -> t
+  (** The exact deprecated-keyword shim every driver applies: fold the
+      legacy keywords over [?env] (default {!default}), an explicitly
+      passed keyword winning over the corresponding field. [batching] has
+      no keyword, so it always passes through. Exposed so the shim
+      semantics can be property-tested — drivers behave as if called with
+      [~env:(resolve ?env ?chaos ... ())] and no keywords. *)
 end
 
 val spanner_wan :

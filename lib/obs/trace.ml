@@ -8,6 +8,7 @@ type kind =
   | Mark
   | Migration
   | Repair
+  | Search
 
 let kind_name = function
   | Client_op -> "client"
@@ -19,6 +20,7 @@ let kind_name = function
   | Mark -> "mark"
   | Migration -> "migration"
   | Repair -> "repair"
+  | Search -> "search"
 
 let kind_tag = function
   | Client_op -> 0
@@ -30,6 +32,7 @@ let kind_tag = function
   | Mark -> 6
   | Migration -> 7
   | Repair -> 8
+  | Search -> 9
 
 let kind_of_tag = function
   | 0 -> Some Client_op
@@ -41,6 +44,7 @@ let kind_of_tag = function
   | 6 -> Some Mark
   | 7 -> Some Migration
   | 8 -> Some Repair
+  | 9 -> Some Search
   | _ -> None
 
 type span = int

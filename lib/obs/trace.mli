@@ -25,6 +25,10 @@ type kind =
   | Repair
       (** a durable-storage integrity event: scrub flag, quarantine,
           torn-tail truncation, peer state-transfer repair *)
+  | Search
+      (** one schedule-explorer execution: an [Explore.Search] trial run
+          of the simulator under a candidate input (appended last so the
+          OBSB1 binary tags of earlier kinds are unchanged) *)
 
 val kind_name : kind -> string
 

@@ -13,10 +13,18 @@ type t = {
   mutable next_seq : int;
   mutable n_executed : int;
   mutable ev_time : int array;
+  mutable ev_prio : int array;
   mutable ev_seq : int array;
   mutable ev_kind : string array;
   mutable ev_action : (unit -> unit) array;
   mutable len : int;
+  (* Tie-break perturbation hook for schedule exploration: when set, each
+     scheduled event asks the callback for a priority keyed on its [kind];
+     ordering becomes (time, prio, seq). When unset every event gets
+     priority 0 and (time, 0, seq) degenerates to the historical
+     (time, seq) FIFO order, so seeded runs without a hook installed
+     execute byte-identical schedules. *)
+  mutable tie_perturb : (string -> int) option;
   (* Profiling is host-side observation only: it reads [Sys.time] and the
      queue size but never touches simulated time or event order, so
      enabling it cannot perturb a seeded run. *)
@@ -34,10 +42,12 @@ let create () =
     next_seq = 0;
     n_executed = 0;
     ev_time = Array.make 16 0;
+    ev_prio = Array.make 16 0;
     ev_seq = Array.make 16 0;
     ev_kind = Array.make 16 "";
     ev_action = Array.make 16 no_op;
     len = 0;
+    tie_perturb = None;
     profiling = false;
     sample_every = 1024;
     profile = Hashtbl.create 16;
@@ -51,29 +61,39 @@ let grow t =
   if t.len = cap then begin
     let ncap = cap * 2 in
     let time = Array.make ncap 0
+    and prio = Array.make ncap 0
     and seq = Array.make ncap 0
     and kind = Array.make ncap ""
     and action = Array.make ncap no_op in
     Array.blit t.ev_time 0 time 0 t.len;
+    Array.blit t.ev_prio 0 prio 0 t.len;
     Array.blit t.ev_seq 0 seq 0 t.len;
     Array.blit t.ev_kind 0 kind 0 t.len;
     Array.blit t.ev_action 0 action 0 t.len;
     t.ev_time <- time;
+    t.ev_prio <- prio;
     t.ev_seq <- seq;
     t.ev_kind <- kind;
     t.ev_action <- action
   end
 
-(* (time, seq) lexicographic — seq ties break FIFO among same-instant
+(* (time, prio, seq) lexicographic — prio is 0 for every event unless a
+   tie-break perturbation hook is installed, in which case it reorders
+   same-instant events; seq ties break FIFO among same-(time, prio)
    events, which is what makes runs reproducible. *)
 let less t i j =
   t.ev_time.(i) < t.ev_time.(j)
-  || (t.ev_time.(i) = t.ev_time.(j) && t.ev_seq.(i) < t.ev_seq.(j))
+  || (t.ev_time.(i) = t.ev_time.(j)
+     && (t.ev_prio.(i) < t.ev_prio.(j)
+        || (t.ev_prio.(i) = t.ev_prio.(j) && t.ev_seq.(i) < t.ev_seq.(j))))
 
 let swap t i j =
   let ti = t.ev_time.(i) in
   t.ev_time.(i) <- t.ev_time.(j);
   t.ev_time.(j) <- ti;
+  let pi = t.ev_prio.(i) in
+  t.ev_prio.(i) <- t.ev_prio.(j);
+  t.ev_prio.(j) <- pi;
   let si = t.ev_seq.(i) in
   t.ev_seq.(i) <- t.ev_seq.(j);
   t.ev_seq.(j) <- si;
@@ -108,6 +128,8 @@ let schedule_at ?(kind = "other") t ~at action =
   grow t;
   let i = t.len in
   t.ev_time.(i) <- time;
+  t.ev_prio.(i) <-
+    (match t.tie_perturb with None -> 0 | Some f -> f kind);
   t.ev_seq.(i) <- t.next_seq;
   t.ev_kind.(i) <- kind;
   t.ev_action.(i) <- action;
@@ -118,6 +140,8 @@ let schedule_at ?(kind = "other") t ~at action =
 let schedule ?kind t ~after action =
   let after = if after < 0 then 0 else after in
   schedule_at ?kind t ~at:(t.clock + after) action
+
+let set_tie_perturb t f = t.tie_perturb <- f
 
 let enable_profiling ?(sample_queue_every = 1024) t =
   t.profiling <- true;
@@ -146,6 +170,7 @@ let remove_root t =
   t.len <- last;
   if last > 0 then begin
     t.ev_time.(0) <- t.ev_time.(last);
+    t.ev_prio.(0) <- t.ev_prio.(last);
     t.ev_seq.(0) <- t.ev_seq.(last);
     t.ev_kind.(0) <- t.ev_kind.(last);
     t.ev_action.(0) <- t.ev_action.(last)

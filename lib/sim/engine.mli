@@ -27,6 +27,18 @@ val run : ?until:int -> ?max_events:int -> t -> unit
     (events beyond it stay queued); [max_events] bounds work as a runaway
     guard. *)
 
+val set_tie_perturb : t -> (string -> int) option -> unit
+(** Install (or clear) a same-timestamp tie-break perturbation hook for
+    schedule exploration. When set, each event is assigned a priority by
+    calling the hook with its [kind] at scheduling time, and the queue
+    orders events by (time, priority, seq) instead of (time, seq): events
+    at the same instant with distinct priorities fire in priority order,
+    equal priorities keep FIFO order. [None] (the default) gives every
+    event priority 0, which is byte-identical to the historical
+    (time, seq) schedule — installing [Some (fun _ -> 0)] is likewise a
+    no-op. The hook must be deterministic for replay to be exact; it
+    affects only same-instant ordering, never times. *)
+
 val pending : t -> int
 (** Number of queued events. *)
 

@@ -70,6 +70,12 @@ type t = {
   mutable b_flush_idle : int;
   mutable b_max_members : int;
   b_sizes : Stats.Recorder.t;  (* members per flushed envelope *)
+  (* Delay perturbation hook for schedule exploration: when set, every
+     delivery delay sample adds the hook's (non-negative) extra
+     microseconds. The hook draws from its own state, never from [rng],
+     so installing it does not shift the network's RNG stream; [None]
+     (the default) is byte-identical to the unhooked network. *)
+  mutable delay_perturb : (unit -> int) option;
 }
 
 let fresh_link () =
@@ -126,6 +132,7 @@ let create engine ~rng ~rtt_ms ?(jitter = 0.02) () =
     b_flush_idle = 0;
     b_max_members = 0;
     b_sizes = Stats.Recorder.create ();
+    delay_perturb = None;
   }
 
 let n_sites t = Array.length t.one_way_us
@@ -167,7 +174,16 @@ let sample_delay t ~src ~dst =
        else 0)
   in
   if injected > 0 then t.n_delayed <- t.n_delayed + 1;
-  d + injected
+  let perturbed =
+    match t.delay_perturb with
+    | None -> 0
+    | Some f ->
+      let p = f () in
+      if p > 0 then p else 0
+  in
+  d + injected + perturbed
+
+let set_delay_perturb t f = t.delay_perturb <- f
 
 let set_tracer t tracer =
   t.tracer <- tracer;

@@ -116,6 +116,14 @@ val batch_sizes : t -> Stats.Recorder.t
 val set_tracer : t -> Obs.Trace.t -> unit
 val tracer : t -> Obs.Trace.t
 
+val set_delay_perturb : t -> (unit -> int) option -> unit
+(** Install (or clear) a delay-perturbation hook for schedule exploration.
+    When set, every sampled delivery delay adds the hook's extra
+    microseconds (negative returns are clamped to 0). The hook must keep
+    its own deterministic state — it is called instead of drawing from the
+    network RNG, so arming it never shifts the fault model's random
+    stream, and [None] (the default) leaves delays byte-identical. *)
+
 val messages_sent : t -> int
 val bytes_sent : t -> int
 val rtt_ms : t -> src:site -> dst:site -> float

@@ -1,0 +1,485 @@
+(* Schedule-space exploration: the perturbation layer's byte-identity
+   contract, coverage-signature stability, the shrinker on the seeded-bug
+   control, corpus round trips (including the checked-in repros), the
+   Env.resolve keyword shim, and Sim.Rpc retry determinism. *)
+
+let check = Alcotest.check
+let string = Alcotest.string
+let bool = Alcotest.bool
+let int = Alcotest.int
+let qt = QCheck_alcotest.to_alcotest
+
+(* ------------------------------------------------------------------ *)
+(* Perturbation layer                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let small_input =
+  {
+    (Explore.Exec.base Chaos.Audit.Gryff_rsc) with
+    Explore.Exec.seed = 11;
+    nemesis_seed = 7;
+    duration_ms = 800;
+  }
+
+(* The reference: what Chaos.Audit.run produces with the explorer entirely
+   out of the loop (no [prepare] hook installed at all). *)
+let raw_digest (i : Explore.Exec.input) =
+  let duration_s = float_of_int i.Explore.Exec.duration_ms /. 1_000.0 in
+  let schedule =
+    Chaos.Audit.nemesis_schedule i.Explore.Exec.protocol i.Explore.Exec.preset
+      ~duration_s ~seed:i.Explore.Exec.nemesis_seed
+  in
+  let r =
+    Chaos.Audit.run i.Explore.Exec.protocol ~schedule
+      ~n_slots:i.Explore.Exec.n_slots ~n_keys:i.Explore.Exec.n_keys
+      ~timeout_us:(i.Explore.Exec.timeout_ms * 1_000)
+      ~conflict:(float_of_int i.Explore.Exec.conflict_pct /. 100.0)
+      ~write_ratio:(float_of_int i.Explore.Exec.write_pct /. 100.0)
+      ~failover:(Chaos.Nemesis.requires_failover i.Explore.Exec.preset)
+      ~duration_s ~seed:i.Explore.Exec.seed ()
+  in
+  Digest.to_hex (Digest.string r.Chaos.Audit.trace)
+
+let test_perturb_off_identity () =
+  let reference = raw_digest small_input in
+  let off = Explore.Exec.run small_input in
+  check string "no-perturbation run is byte-identical to a raw audit run"
+    reference off.Explore.Exec.trace_digest;
+  (* Installing explicit all-zero vectors must also be invisible: the hooks
+     fire but return 0 extra priority / 0 extra delay. *)
+  let zeros =
+    {
+      small_input with
+      Explore.Exec.perturb =
+        { Explore.Perturb.tie = [| 0; 0; 0 |]; jitter_us = [| 0; 0 |] };
+    }
+  in
+  let z = Explore.Exec.run zeros in
+  check string "installed zero vectors are byte-identical too" reference
+    z.Explore.Exec.trace_digest
+
+let perturbed_input =
+  {
+    small_input with
+    Explore.Exec.perturb =
+      {
+        Explore.Perturb.tie = [| 3; -5; 0; 7 |];
+        jitter_us = [| 40_000; 0; 15_000 |];
+      };
+  }
+
+let test_perturb_changes_and_replays () =
+  let off = Explore.Exec.run small_input in
+  let p1 = Explore.Exec.run perturbed_input in
+  let p2 = Explore.Exec.run perturbed_input in
+  check bool "a non-zero perturbation changes the schedule" true
+    (not (String.equal p1.Explore.Exec.trace_digest off.Explore.Exec.trace_digest));
+  check string "the perturbed schedule replays byte-identically"
+    p1.Explore.Exec.trace_digest p2.Explore.Exec.trace_digest;
+  check string "and its coverage signature is stable" p1.Explore.Exec.signature
+    p2.Explore.Exec.signature
+
+let test_perturb_string_round_trip () =
+  let p =
+    { Explore.Perturb.tie = [| 1; -64; 0; 9 |]; jitter_us = [| 0; 75_000; 3 |] }
+  in
+  let tie, jitter = Explore.Perturb.to_string p in
+  (match Explore.Perturb.of_string ~tie ~jitter with
+  | Ok q -> check bool "round trip" true (Explore.Perturb.equal p q)
+  | Error m -> Alcotest.failf "round trip failed: %s" m);
+  let tie0, jitter0 = Explore.Perturb.to_string Explore.Perturb.none in
+  check string "empty tie prints as '-'" "-" tie0;
+  check string "empty jitter prints as '-'" "-" jitter0;
+  (match Explore.Perturb.of_string ~tie:"-" ~jitter:"-" with
+  | Ok q -> check bool "'-' parses to none" true (Explore.Perturb.is_none q)
+  | Error m -> Alcotest.failf "'-' failed to parse: %s" m);
+  let n =
+    Explore.Perturb.normalize
+      { Explore.Perturb.tie = [| 900; 0; 0 |]; jitter_us = [| 1_000_000; 0 |] }
+  in
+  check int "tie clamped to max_tie" Explore.Perturb.max_tie n.Explore.Perturb.tie.(0);
+  check int "jitter clamped to max_jitter_us" Explore.Perturb.max_jitter_us
+    n.Explore.Perturb.jitter_us.(0);
+  check int "trailing zeros trimmed" 1 (Array.length n.Explore.Perturb.tie)
+
+let test_signature_stable () =
+  let o1 = Explore.Exec.run small_input in
+  let o2 = Explore.Exec.run small_input in
+  let o3 = Explore.Exec.run small_input in
+  check string "signature repeat 1" o1.Explore.Exec.signature
+    o2.Explore.Exec.signature;
+  check string "signature repeat 2" o1.Explore.Exec.signature
+    o3.Explore.Exec.signature
+
+(* ------------------------------------------------------------------ *)
+(* Corpus: the checked-in repros must replay byte-for-byte             *)
+(* ------------------------------------------------------------------ *)
+
+(* Staged by the test stanza's deps. [dune runtest] runs the binary in
+   test/ (so the staged copy is at ../corpus); [dune exec] from the
+   project root sees the source tree's corpus/ directly. *)
+let corpus_dir =
+  if Sys.file_exists "corpus" && Sys.is_directory "corpus" then "corpus"
+  else Filename.concat ".." "corpus"
+
+let corpus_files () =
+  Sys.readdir corpus_dir |> Array.to_list
+  |> List.filter (fun f -> Filename.check_suffix f ".corpus")
+  |> List.sort compare
+  |> List.map (Filename.concat corpus_dir)
+
+let test_corpus_replays () =
+  let files = corpus_files () in
+  check bool "at least three checked-in repros" true (List.length files >= 3);
+  List.iter
+    (fun path ->
+      match Explore.Corpus.replay_file path with
+      | Error m -> Alcotest.failf "%s: %s" path m
+      | Ok r ->
+        check bool (path ^ " replays to its expected verdict") true
+          r.Explore.Corpus.matches;
+        (* Determinism: a second replay reproduces the same verdict string
+           byte-for-byte, not merely the same verdict class. *)
+        let again = Explore.Corpus.replay r.Explore.Corpus.entry in
+        check string (path ^ " replays deterministically")
+          (Explore.Exec.verdict_string
+             r.Explore.Corpus.outcome.Explore.Exec.verdict)
+          (Explore.Exec.verdict_string
+             again.Explore.Corpus.outcome.Explore.Exec.verdict))
+    (corpus_files ())
+
+(* The three verdict classes are all represented: the shrunk control
+   (Fail), its safe twin (Pass) and its budget-starved twin (Unknown) —
+   the Check_reg/Check_txn [satisfies = None] path round-trips through
+   serialization like any other repro. *)
+let test_corpus_covers_verdict_classes () =
+  let expected_of path =
+    match Explore.Corpus.load path with
+    | Ok e -> e.Explore.Corpus.expected
+    | Error m -> Alcotest.failf "%s: %s" path m
+  in
+  let expecteds = List.map expected_of (corpus_files ()) in
+  let has prefix =
+    List.exists
+      (fun e ->
+        String.length e >= String.length prefix
+        && String.equal (String.sub e 0 (String.length prefix)) prefix)
+      expecteds
+  in
+  check bool "a failing repro is checked in" true (has "fail:");
+  check bool "a passing repro is checked in" true (has "pass");
+  check bool "an unknown-verdict repro is checked in" true (has "unknown:")
+
+let test_corpus_rejects_garbage () =
+  (match Explore.Corpus.of_string "not-a-corpus\nprotocol gryff-rsc\n" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "bad header accepted");
+  match Explore.Corpus.of_string "rss-explore/corpus/v1\nprotocol gryff-rsc\n" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "missing fields accepted"
+
+(* ------------------------------------------------------------------ *)
+(* Shrinker on the seeded-bug control                                  *)
+(* ------------------------------------------------------------------ *)
+
+let control_entry () =
+  let failing =
+    List.filter
+      (fun path ->
+        match Explore.Corpus.load path with
+        | Ok e ->
+          String.length e.Explore.Corpus.expected >= 5
+          && String.equal (String.sub e.Explore.Corpus.expected 0 5) "fail:"
+        | Error _ -> false)
+      (corpus_files ())
+  in
+  match failing with
+  | path :: _ -> (
+    match Explore.Corpus.load path with
+    | Ok e -> e
+    | Error m -> Alcotest.failf "%s: %s" path m)
+  | [] -> Alcotest.fail "no failing repro in corpus/"
+
+let test_shrinker_minimal_still_failing () =
+  let e = control_entry () in
+  (* Inflate the repro a little so the shrinker has work to do. *)
+  let inflated =
+    {
+      e.Explore.Corpus.input with
+      Explore.Exec.n_slots = e.Explore.Corpus.input.Explore.Exec.n_slots;
+      perturb =
+        {
+          e.Explore.Corpus.input.Explore.Exec.perturb with
+          Explore.Perturb.tie = [| 0; 0; 0; 0 |];
+        };
+    }
+  in
+  let o = Explore.Exec.run inflated in
+  check bool "inflated control still fails" true
+    (Explore.Exec.is_fail o.Explore.Exec.verdict);
+  let shrunk, verdict, execs =
+    Explore.Search.shrink ~budget:150 inflated
+      (Explore.Exec.verdict_string o.Explore.Exec.verdict)
+  in
+  check bool "shrunk repro still fails" true
+    (String.length verdict >= 5 && String.equal (String.sub verdict 0 5) "fail:");
+  check bool "shrinking never increases cost" true
+    (Explore.Search.cost shrunk <= Explore.Search.cost inflated);
+  check bool "all-zero tie padding was dropped" true
+    (Array.length shrunk.Explore.Exec.perturb.Explore.Perturb.tie = 0);
+  check bool "shrink spent executions" true (execs > 0);
+  (* The minimized repro replays: the exact property the corpus relies on. *)
+  let again = Explore.Exec.run shrunk in
+  check string "shrunk repro replays to the same verdict" verdict
+    (Explore.Exec.verdict_string again.Explore.Exec.verdict)
+
+(* A small safe search is deterministic end to end and finds nothing. *)
+let test_search_deterministic_and_clean () =
+  let cfg =
+    {
+      (Explore.Search.default_config ()) with
+      Explore.Search.protocols = [ Chaos.Audit.Gryff_rsc ];
+      presets = [ Chaos.Nemesis.Asym_block ];
+      budget = 25;
+      search_seed = 42;
+    }
+  in
+  let r1 = Explore.Search.run cfg in
+  let r2 = Explore.Search.run cfg in
+  check int "searches execute the full budget" 25 r1.Explore.Search.execs;
+  check int "signature count is reproducible" r1.Explore.Search.signatures
+    r2.Explore.Search.signatures;
+  check int "novelty count is reproducible" r1.Explore.Search.novel
+    r2.Explore.Search.novel;
+  check int "safe configurations never fail" 0
+    (List.length r1.Explore.Search.failures)
+
+(* ------------------------------------------------------------------ *)
+(* Satellite: Harness.Env.resolve keyword shim                         *)
+(* ------------------------------------------------------------------ *)
+
+(* Distinct per-field values so "which one won" is unambiguous. *)
+let kw_chaos = Chaos.Schedule.[ at_s 0.5 (Crash [ 0 ]) ]
+let env_chaos = Chaos.Schedule.[ at_s 0.25 Heal ]
+let kw_trace = Obs.Trace.create ()
+let env_trace = Obs.Trace.create ()
+let kw_reshard =
+  [ { Harness.rs_at = 0.5; rs_lo = 0; rs_hi = 10; rs_dst = 1; rs_no_fence = false } ]
+
+let env_reshard =
+  [ { Harness.rs_at = 0.75; rs_lo = 0; rs_hi = 5; rs_dst = 0; rs_no_fence = false } ]
+
+let kw_disk () = Chaos.Audit.default_disk_faults ~seed:1 ()
+let env_disk () = Chaos.Audit.default_disk_faults ~seed:2 ()
+
+let test_env_resolve_keyword_wins () =
+  let kw_disk = kw_disk () and env_disk = env_disk () in
+  let env =
+    Harness.Env.default
+    |> Harness.Env.with_chaos env_chaos
+    |> Harness.Env.with_disk_faults env_disk
+    |> Harness.Env.with_failover false
+    |> Harness.Env.with_trace env_trace
+    |> Harness.Env.with_check `No_check
+    |> Harness.Env.with_reshard env_reshard
+    |> Harness.Env.with_batching
+         (Some { Sim.Net.batch_us = 40; batch_max = 8; adaptive = false })
+  in
+  (* All 2^6 combinations of supplying / omitting each legacy keyword. *)
+  for mask = 0 to 63 do
+    let on bit = mask land (1 lsl bit) <> 0 in
+    let r =
+      Harness.Env.resolve ~env
+        ?chaos:(if on 0 then Some kw_chaos else None)
+        ?disk_faults:(if on 1 then Some kw_disk else None)
+        ?failover:(if on 2 then Some true else None)
+        ?trace:(if on 3 then Some kw_trace else None)
+        ?check:(if on 4 then Some `Offline else None)
+        ?reshard:(if on 5 then Some kw_reshard else None)
+        ()
+    in
+    let ctx = Printf.sprintf "mask %d" mask in
+    check bool (ctx ^ ": chaos") true
+      (r.Harness.Env.chaos == Some (if on 0 then kw_chaos else env_chaos)
+      || r.Harness.Env.chaos = Some (if on 0 then kw_chaos else env_chaos));
+    check bool (ctx ^ ": disk_faults") true
+      (match r.Harness.Env.disk_faults with
+      | Some d -> d == (if on 1 then kw_disk else env_disk)
+      | None -> false);
+    check bool (ctx ^ ": failover") (on 2) r.Harness.Env.failover;
+    check bool (ctx ^ ": trace") true
+      (r.Harness.Env.trace == if on 3 then kw_trace else env_trace);
+    check bool (ctx ^ ": check") true
+      (r.Harness.Env.check = if on 4 then `Offline else `No_check);
+    check bool (ctx ^ ": reshard") true
+      (r.Harness.Env.reshard == if on 5 then kw_reshard else env_reshard);
+    (* batching has no legacy keyword: always the env's. *)
+    check bool (ctx ^ ": batching passes through") true
+      (r.Harness.Env.batching = env.Harness.Env.batching)
+  done;
+  (* No env at all: keywords land on the defaults. *)
+  let bare = Harness.Env.resolve ~failover:true () in
+  check bool "bare resolve keeps defaults" true
+    (bare.Harness.Env.chaos = None
+    && bare.Harness.Env.failover
+    && bare.Harness.Env.check = `Offline
+    && bare.Harness.Env.batching = None)
+
+(* The shim is not just structurally right — a driver run behaves
+   identically whichever spelling picked the setting (golden equality
+   between the two paths). *)
+let test_env_resolve_digest_pinned () =
+  let digest r =
+    let b = Buffer.create 4096 in
+    (match r.Harness.Run.records with
+    | Harness.Run.Gryff_ops a ->
+      Array.iter
+        (fun (g : Gryff.Cluster.record) ->
+          Buffer.add_string b
+            (Printf.sprintf "p%d k%d i%d r%d\n" g.Gryff.Cluster.g_proc
+               g.Gryff.Cluster.g_key g.Gryff.Cluster.g_inv
+               g.Gryff.Cluster.g_resp))
+        a
+    | Harness.Run.Spanner_txns _ -> assert false);
+    Buffer.add_string b (Printf.sprintf "d=%d" r.Harness.Run.duration_us);
+    Digest.to_hex (Digest.string (Buffer.contents b))
+  in
+  let via_env =
+    Harness.gryff_wan
+      ~env:(Harness.Env.default |> Harness.Env.with_failover true)
+      ~check:`No_check ~n_clients:4 ~mode:Gryff.Config.Rsc ~conflict:0.3
+      ~write_ratio:0.4 ~n_keys:64 ~duration_s:0.6 ~seed:21 ()
+  in
+  let via_keyword =
+    Harness.gryff_wan ~failover:true ~check:`No_check ~n_clients:4
+      ~mode:Gryff.Config.Rsc ~conflict:0.3 ~write_ratio:0.4 ~n_keys:64
+      ~duration_s:0.6 ~seed:21 ()
+  in
+  check string "builder and keyword spellings produce identical schedules"
+    (digest via_env) (digest via_keyword)
+
+(* ------------------------------------------------------------------ *)
+(* Satellite: Sim.Rpc retry/backoff properties                         *)
+(* ------------------------------------------------------------------ *)
+
+(* Drive a call whose attempts never succeed and record when each attempt
+   fires; [t_reply] optionally schedules a success for the first attempt. *)
+let rpc_attempt_times ~seed ~timeout_us ~max_backoff_us ~max_attempts
+    ~first_succeeds =
+  let engine = Sim.Engine.create () in
+  let rng = Sim.Rng.make seed in
+  let rpc =
+    Sim.Rpc.create engine ~rng ~timeout_us ~max_backoff_us ~max_attempts ()
+  in
+  let times = ref [] in
+  let result = ref `Pending in
+  Sim.Rpc.call rpc
+    ~attempt:(fun ~attempt ~ok ->
+      times := (attempt, Sim.Engine.now engine) :: !times;
+      if first_succeeds && attempt = 1 then
+        Sim.Engine.schedule engine ~after:1_000 (fun () -> ok ()))
+    ~on_result:(fun r ->
+      result := (match r with Some () -> `Ok | None -> `Exhausted));
+  Sim.Engine.run engine;
+  (List.rev !times, !result, rng)
+
+let prop_rpc_no_draw_without_retry =
+  QCheck.Test.make ~name:"rpc: first-attempt success draws no randomness"
+    ~count:50
+    QCheck.(int_range 0 10_000)
+    (fun seed ->
+      let _, result, rng =
+        rpc_attempt_times ~seed ~timeout_us:50_000 ~max_backoff_us:400_000
+          ~max_attempts:5 ~first_succeeds:true
+      in
+      (* The helper's stream must be untouched: it yields exactly what a
+         fresh stream at the same seed yields. *)
+      let fresh = Sim.Rng.make seed in
+      result = `Ok
+      && Sim.Rng.int rng 1_000_000 = Sim.Rng.int fresh 1_000_000
+      && Sim.Rng.int rng 1_000_000 = Sim.Rng.int fresh 1_000_000)
+
+let prop_rpc_backoff_capped =
+  QCheck.Test.make
+    ~name:"rpc: retry gaps follow the capped doubling backoff (+ <=25% jitter)"
+    ~count:50
+    QCheck.(triple (int_range 0 10_000) (int_range 10_000 200_000)
+              (int_range 2 6))
+    (fun (seed, timeout_us, max_attempts) ->
+      let max_backoff_us = 4 * timeout_us in
+      let times, result, _ =
+        rpc_attempt_times ~seed ~timeout_us ~max_backoff_us ~max_attempts
+          ~first_succeeds:false
+      in
+      result = `Exhausted
+      && List.length times = max_attempts
+      &&
+      let rec gaps_ok = function
+        | (n1, t1) :: ((_, t2) :: _ as rest) ->
+          let backoff = min max_backoff_us (timeout_us lsl min (n1 - 1) 16) in
+          let gap = t2 - t1 in
+          (* Jitter is non-negative and strictly under backoff/4; the
+             deadline itself never exceeds the cap. *)
+          gap >= backoff
+          && gap < backoff + max 1 (backoff / 4)
+          && backoff <= max_backoff_us
+          && gaps_ok rest
+        | _ -> true
+      in
+      gaps_ok times)
+
+let prop_rpc_schedule_deterministic =
+  QCheck.Test.make ~name:"rpc: seeded retransmission schedule is deterministic"
+    ~count:50
+    QCheck.(pair (int_range 0 10_000) (int_range 2 6))
+    (fun (seed, max_attempts) ->
+      let run () =
+        rpc_attempt_times ~seed ~timeout_us:30_000 ~max_backoff_us:200_000
+          ~max_attempts ~first_succeeds:false
+      in
+      let t1, r1, _ = run () and t2, r2, _ = run () in
+      r1 = `Exhausted && r2 = `Exhausted && t1 = t2)
+
+let suites =
+  [
+    ( "explore.perturb",
+      [
+        Alcotest.test_case "perturbation off is byte-identical" `Quick
+          test_perturb_off_identity;
+        Alcotest.test_case "perturbation changes and replays" `Quick
+          test_perturb_changes_and_replays;
+        Alcotest.test_case "vector string round trip" `Quick
+          test_perturb_string_round_trip;
+        Alcotest.test_case "coverage signature is stable" `Quick
+          test_signature_stable;
+      ] );
+    ( "explore.corpus",
+      [
+        Alcotest.test_case "checked-in repros replay byte-for-byte" `Quick
+          test_corpus_replays;
+        Alcotest.test_case "all verdict classes are covered" `Quick
+          test_corpus_covers_verdict_classes;
+        Alcotest.test_case "bad corpus files are rejected" `Quick
+          test_corpus_rejects_garbage;
+      ] );
+    ( "explore.search",
+      [
+        Alcotest.test_case "shrinker keeps the control failing" `Quick
+          test_shrinker_minimal_still_failing;
+        Alcotest.test_case "safe search is deterministic and clean" `Quick
+          test_search_deterministic_and_clean;
+      ] );
+    ( "explore.env",
+      [
+        Alcotest.test_case "resolve: keyword wins for all 64 combinations"
+          `Quick test_env_resolve_keyword_wins;
+        Alcotest.test_case "resolve: spellings produce identical schedules"
+          `Quick test_env_resolve_digest_pinned;
+      ] );
+    ( "explore.rpc",
+      [
+        qt prop_rpc_no_draw_without_retry;
+        qt prop_rpc_backoff_capped;
+        qt prop_rpc_schedule_deterministic;
+      ] );
+  ]
