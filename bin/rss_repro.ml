@@ -83,6 +83,27 @@ let batch_adaptive_arg =
            and fall back to the $(b,--batch-us) deadline only under load \
            (requires $(b,--batch-us)).")
 
+(* Shared --deadline-us plumbing: a client deadline on every operation.
+   None (the default) keeps each driver's historical behavior. *)
+let deadline_us_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "deadline-us" ] ~docv:"US"
+        ~doc:
+          "Put a client deadline of $(docv) microseconds on every \
+           operation. Operations past their deadline abandon instead of \
+           retrying forever; under the chaos subcommand this bounds how \
+           long a client slot waits before retiring its session. Off by \
+           default (the spanner driver still arms its 10 s failover \
+           fallback when crash recovery is on).")
+
+let deadline_us_of = function
+  | Some d when d <= 0 ->
+    Fmt.epr "error: --deadline-us must be positive@.";
+    exit 1
+  | d -> d
+
 let batching_of ~batch_us ~batch_max ~batch_adaptive =
   match batch_us with
   | None ->
@@ -160,7 +181,7 @@ let spanner_cmd =
   in
   let run mode theta duration rate keys seed reshard reshard_range reshard_dst
       reshard_no_fence export trace_out check batch_us batch_max batch_adaptive
-      =
+      deadline_us =
     if rate <= 0.0 then (Fmt.epr "error: --rate must be positive@."; exit 1);
     if theta < 0.0 then (Fmt.epr "error: --theta must be non-negative@."; exit 1);
     if duration <= 0.0 then (Fmt.epr "error: --duration must be positive@."; exit 1);
@@ -200,7 +221,8 @@ let spanner_cmd =
       Harness.Env.(
         default |> with_trace tracer |> with_check check
         |> with_reshard reshard_specs
-        |> with_batching (batching_of ~batch_us ~batch_max ~batch_adaptive))
+        |> with_batching (batching_of ~batch_us ~batch_max ~batch_adaptive)
+        |> with_deadline_us (deadline_us_of deadline_us))
     in
     let r =
       Harness.spanner_wan ~env ~mode ~theta ~n_keys:keys
@@ -248,7 +270,7 @@ let spanner_cmd =
       const run $ mode $ theta $ duration $ rate $ keys $ seed $ reshard
       $ reshard_range $ reshard_dst $ reshard_no_fence $ export
       $ trace_out_arg $ check_arg $ batch_us_arg $ batch_max_arg
-      $ batch_adaptive_arg)
+      $ batch_adaptive_arg $ deadline_us_arg)
 
 let gryff_cmd =
   let mode =
@@ -269,7 +291,7 @@ let gryff_cmd =
   in
   let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Random seed.") in
   let run mode conflict write_ratio duration seed trace_out check batch_us
-      batch_max batch_adaptive =
+      batch_max batch_adaptive deadline_us =
     if conflict < 0.0 || conflict > 1.0 then
       (Fmt.epr "error: --conflict must be in [0, 1]@."; exit 1);
     if write_ratio < 0.0 || write_ratio > 1.0 then
@@ -280,7 +302,8 @@ let gryff_cmd =
     let env =
       Harness.Env.(
         default |> with_trace tracer |> with_check check
-        |> with_batching (batching_of ~batch_us ~batch_max ~batch_adaptive))
+        |> with_batching (batching_of ~batch_us ~batch_max ~batch_adaptive)
+        |> with_deadline_us (deadline_us_of deadline_us))
     in
     let r =
       Harness.gryff_wan ~env ~mode ~conflict ~write_ratio ~n_keys:100_000
@@ -298,7 +321,7 @@ let gryff_cmd =
     (Cmd.info "gryff" ~doc:"Simulate Gryff / Gryff-RSC on YCSB.")
     Term.(const run $ mode $ conflict $ write_ratio $ duration $ seed
           $ trace_out_arg $ check_arg $ batch_us_arg $ batch_max_arg
-          $ batch_adaptive_arg)
+          $ batch_adaptive_arg $ deadline_us_arg)
 
 let check_cmd =
   let demo =
@@ -514,8 +537,9 @@ let chaos_cmd =
           ~doc:
             "Fault preset: partition-heal, link-loss, crash-recover, \
              latency-spike, eps-inflate, reorder-storm, mixed, leader-kill, \
-             rolling-crash, reshard, hot-split, disk-tear, bit-rot, or \
-             torn-migration.")
+             rolling-crash, reshard, hot-split, disk-tear, bit-rot, \
+             torn-migration, or slow-node (gray failure: one site serves \
+             slower and its links lag, no crash).")
   in
   let disk_fault_rate =
     Arg.(
@@ -563,7 +587,8 @@ let chaos_cmd =
              presets, 0 otherwise.")
   in
   let run protocol nemesis duration seed nemesis_seed slots migrations failover
-      disk_fault_rate trace_out =
+      disk_fault_rate trace_out deadline_us =
+    let deadline_us = deadline_us_of deadline_us in
     if duration <= 0.0 then (Fmt.epr "error: --duration must be positive@."; exit 1);
     if slots <= 0 then (Fmt.epr "error: --slots must be positive@."; exit 1);
     if seed < 0 then (Fmt.epr "error: --seed must be non-negative@."; exit 1);
@@ -622,7 +647,8 @@ let chaos_cmd =
     let tracer = tracer_for trace_out in
     let r =
       Chaos.Audit.run protocol ~tracer ~schedule ?disk_faults ~n_slots:slots
-        ~failover ~n_migrations ~duration_s:duration ~seed ()
+        ?timeout_us:deadline_us ~failover ~n_migrations ~duration_s:duration
+        ~seed ()
     in
     Chaos.Audit.print_report r;
     save_trace tracer trace_out;
@@ -644,7 +670,8 @@ let chaos_cmd =
           liveness resumes after heal.")
     Term.(
       const run $ protocol $ nemesis $ duration $ seed $ nemesis_seed $ slots
-      $ migrations $ failover $ disk_fault_rate $ trace_out_arg)
+      $ migrations $ failover $ disk_fault_rate $ trace_out_arg
+      $ deadline_us_arg)
 
 let explore_cmd =
   let protocols =

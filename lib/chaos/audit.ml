@@ -105,6 +105,7 @@ type run = {
   history_len : int;
   ops_completed : int;
   ops_timed_out : int;
+  timed_out_by_kind : (string * int) list;
   post_quiet_completed : int;
   post_quiet_timed_out : int;
   aborted_attempts : int;
@@ -151,15 +152,26 @@ type slot_stats = {
   mutable timed_out : int;
   mutable post_quiet_completed : int;
   mutable post_quiet_timed_out : int;
+  timed_out_kinds : (string, int) Hashtbl.t;
+      (* which op kinds the timeouts hit (ro/rw for Spanner,
+         read/write/rmw for Gryff) — a schedule that only starves one kind
+         (e.g. ROs stuck behind a gray leader) shows up here, where the
+         aggregate hides it *)
 }
 
+let timed_out_by_kind stats =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) stats.timed_out_kinds []
+  |> List.sort compare
+
 let drive_slots engine ~n_slots ~until ~timeout_us ~quiet_us ~latency
-    ~(new_session : int -> 'c) ~(issue_op : 'c -> finish:(unit -> unit) -> unit) =
+    ~(new_session : int -> 'c)
+    ~(issue_op : 'c -> kind:(string -> unit) -> finish:(unit -> unit) -> unit) =
   let stats =
     { completed = 0; timed_out = 0; post_quiet_completed = 0;
-      post_quiet_timed_out = 0 }
+      post_quiet_timed_out = 0; timed_out_kinds = Hashtbl.create 8 }
   in
   let gen = Array.make n_slots 0 in
+  let slot_kind = Array.make n_slots "?" in
   let rec start_session slot =
     if Sim.Engine.now engine < until then run_op slot (new_session slot)
   and run_op slot session =
@@ -169,12 +181,17 @@ let drive_slots engine ~n_slots ~until ~timeout_us ~quiet_us ~latency
     Sim.Engine.schedule engine ~after:timeout_us (fun () ->
         if (not !finished) && gen.(slot) = g then begin
           stats.timed_out <- stats.timed_out + 1;
+          (let k = slot_kind.(slot) in
+           let prev = try Hashtbl.find stats.timed_out_kinds k with Not_found -> 0 in
+           Hashtbl.replace stats.timed_out_kinds k (prev + 1));
           if t0 >= quiet_us then
             stats.post_quiet_timed_out <- stats.post_quiet_timed_out + 1;
           gen.(slot) <- g + 1;
           start_session slot
         end);
-    issue_op session ~finish:(fun () ->
+    issue_op session
+      ~kind:(fun k -> slot_kind.(slot) <- k)
+      ~finish:(fun () ->
         finished := true;
         if gen.(slot) = g then begin
           stats.completed <- stats.completed + 1;
@@ -357,6 +374,14 @@ let spanner ?config ?(tracer = Obs.Trace.disabled) ?prepare ~mode ~schedule
        ~tt:(Spanner.Cluster.truetime cluster) ~tracer
        ~on_fault:(fun ev ->
          incr faults;
+         (* Gray failures live in the protocol deployment's stations, which
+            the network-level injector cannot see — apply them here, like
+            the Crash-coupled disk damage below. *)
+         (match ev.Schedule.fault with
+         | Schedule.Slow { site; factor } ->
+           Spanner.Cluster.set_site_slowdown cluster ~site ~factor
+         | Schedule.Slow_clear -> Spanner.Cluster.clear_slowdowns cluster
+         | _ -> ());
          on_disk_fault ev)
        ());
   let scrub_stats = arm_scrub engine ~tracer ~dctl ~disk_faults ~duration_s in
@@ -385,12 +410,15 @@ let spanner ?config ?(tracer = Obs.Trace.disabled) ?prepare ~mode ~schedule
     drive_slots engine ~n_slots ~until ~timeout_us ~quiet_us ~latency
       ~new_session:(fun slot ->
         Spanner.Client.create cluster ~site:client_sites.(slot mod n_sites))
-      ~issue_op:(fun c ~finish ->
+      ~issue_op:(fun c ~kind ~finish ->
         let txn = Workload.Retwis.sample retwis in
-        if Workload.Retwis.is_read_only txn then
+        if Workload.Retwis.is_read_only txn then begin
+          kind "ro";
           Spanner.Client.ro ?deadline_us c ~keys:txn.Workload.Retwis.read_keys
             (fun _ -> finish ())
+        end
         else begin
+          kind "rw";
           let writes =
             List.map
               (fun key -> (key, Spanner.Cluster.fresh_value cluster))
@@ -447,6 +475,7 @@ let spanner ?config ?(tracer = Obs.Trace.disabled) ?prepare ~mode ~schedule
     history_len = Array.length records;
     ops_completed = stats.completed;
     ops_timed_out = stats.timed_out;
+    timed_out_by_kind = timed_out_by_kind stats;
     post_quiet_completed = stats.post_quiet_completed;
     post_quiet_timed_out = stats.post_quiet_timed_out;
     aborted_attempts = (Spanner.Cluster.ctx cluster).Spanner.Protocol.n_rw_aborted_attempts;
@@ -595,6 +624,9 @@ let gryff ?config ?client_sites ?(tracer = Obs.Trace.disabled) ?prepare ~mode
          match (dctl, ev.Schedule.fault) with
          | Some ctl, Schedule.Crash ss ->
            List.iter (Sim.Durable.Faults.crash_site ctl) ss
+         | _, Schedule.Slow { site; factor } ->
+           Gryff.Cluster.set_site_slowdown cluster ~site ~factor
+         | _, Schedule.Slow_clear -> Gryff.Cluster.clear_slowdowns cluster
          | _ -> ())
        ());
   let scrub_stats = arm_scrub engine ~tracer ~dctl ~disk_faults ~duration_s in
@@ -617,9 +649,10 @@ let gryff ?config ?client_sites ?(tracer = Obs.Trace.disabled) ?prepare ~mode
       ~new_session:(fun slot ->
         Gryff.Client.create ~unsafe_no_deps cluster
           ~site:client_sites.(slot mod n_sites))
-      ~issue_op:(fun c ~finish ->
+      ~issue_op:(fun c ~kind ~finish ->
         let op = Workload.Ycsb.sample ycsb in
         if op.Workload.Ycsb.is_write then begin
+          kind "write";
           incr next_val;
           let info =
             {
@@ -639,7 +672,10 @@ let gryff ?config ?client_sites ?(tracer = Obs.Trace.disabled) ?prepare ~mode
               info.pw_done <- true;
               finish ())
         end
-        else Gryff.Client.read c ~key:op.Workload.Ycsb.key (fun _ -> finish ()))
+        else begin
+          kind "read";
+          Gryff.Client.read c ~key:op.Workload.Ycsb.key (fun _ -> finish ())
+        end)
   in
   Sim.Engine.run ~max_events:600_000_000 engine;
   (* Sweep writes whose propagate phase started but whose acks never came
@@ -666,6 +702,7 @@ let gryff ?config ?client_sites ?(tracer = Obs.Trace.disabled) ?prepare ~mode
     history_len = Array.length records;
     ops_completed = stats.completed;
     ops_timed_out = stats.timed_out;
+    timed_out_by_kind = timed_out_by_kind stats;
     post_quiet_completed = stats.post_quiet_completed;
     post_quiet_timed_out = stats.post_quiet_timed_out;
     aborted_attempts = 0;
@@ -736,7 +773,10 @@ let metrics_of_run r =
   {
     Obs.Metrics.counters =
       List.sort compare
-        [
+        (List.map
+           (fun (k, v) -> ("op.timed_out." ^ k, v))
+           r.timed_out_by_kind
+        @ [
           ("op.completed", r.ops_completed);
           ("op.timed_out", r.ops_timed_out);
           ("op.post_heal_completed", r.post_quiet_completed);
@@ -771,7 +811,7 @@ let metrics_of_run r =
           ("durable.repair.peer", r.repairs_peer);
           ("durable.repair.place", r.place_repairs);
           ("durable.repair.unrepaired", r.unrepaired);
-        ];
+        ]);
     gauges = [];
     histograms =
       (if Stats.Recorder.is_empty r.latency then [] else [ ("ops", r.latency) ]);

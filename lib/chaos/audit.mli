@@ -88,6 +88,11 @@ type run = {
   history_len : int;
   ops_completed : int;
   ops_timed_out : int;  (** abandoned after [timeout_us]; session retired *)
+  timed_out_by_kind : (string * int) list;
+      (** the timeouts split by op kind, sorted — ["ro"]/["rw"] for
+          Spanner, ["read"]/["write"]/["rmw"] for Gryff. A fault that only
+          starves one kind (ROs stuck behind a gray leader, say) is
+          visible here and invisible in the aggregate. *)
   post_quiet_completed : int;
       (** ops invoked after {!Schedule.end_of_faults} that completed *)
   post_quiet_timed_out : int;

@@ -14,6 +14,7 @@ type preset =
   | Disk_tear
   | Bit_rot
   | Torn_migration
+  | Slow_node
 
 let presets =
   [
@@ -32,6 +33,7 @@ let presets =
     ("disk-tear", Disk_tear);
     ("bit-rot", Bit_rot);
     ("torn-migration", Torn_migration);
+    ("slow-node", Slow_node);
   ]
 
 let requires_failover = function
@@ -43,8 +45,10 @@ let requires_failover = function
   | Leader_kill | Rolling_crash | Reshard | Hot_split | Disk_tear | Bit_rot
   | Torn_migration ->
     true
+  (* Slow_node keeps every site alive — the point of a gray failure is that
+     nothing crashes, so no failover machinery is owed. *)
   | Partition_heal | Link_loss | Crash_recover | Latency_spike | Eps_inflate
-  | Reorder_storm | Asym_block | Mixed ->
+  | Reorder_storm | Asym_block | Mixed | Slow_node ->
     false
 
 let requires_reshard = function
@@ -204,6 +208,13 @@ let rec window spec kind =
        migration records and directory assignments are exactly the entries
        the crash damages. *)
     window spec Leader_kill
+  | Slow_node ->
+    (* The station half of a gray failure (the link-delay half is emitted
+       structurally by [generate], which draws the victim once for both).
+       A direct call still yields a usable degraded-node window. *)
+    let s = List.nth (all_sites spec) (Sim.Rng.int spec.rng spec.n_sites) in
+    let factor = pick_range spec.rng 4 12 in
+    (Slow { site = s; factor }, Slow_clear)
   | Mixed ->
     let kinds =
       [| Partition_heal; Link_loss; Crash_recover; Latency_spike; Eps_inflate;
@@ -242,18 +253,39 @@ let generate preset ~n_sites ?(protect = []) ?(leaders = [])
     let start = frac (lo +. Sim.Rng.float rng (slot *. 0.4)) in
     let len = frac (0.05 +. Sim.Rng.float rng 0.15) in
     let stop = min (start + len) (frac (lo +. slot)) in
-    let inject, undo =
-      match rolling_victims with
-      | [] -> window spec preset
-      | vs ->
+    let pairs =
+      match (rolling_victims, preset) with
+      | (_ :: _ as vs), _ ->
         let v = List.nth vs w in
-        (Schedule.Crash [ v ], Schedule.Recover [ v ])
+        [ (Schedule.Crash [ v ], Schedule.Recover [ v ]) ]
+      | [], Slow_node ->
+        (* One victim drawn for both halves of the gray failure: its station
+           serves [factor]x slower AND its links carry extra delay — alive
+           (heartbeats answered, quorums joined) but dragging every request
+           routed through it. *)
+        let s = List.nth (all_sites spec) (Sim.Rng.int spec.rng spec.n_sites) in
+        let factor = pick_range spec.rng 4 12 in
+        let links = Schedule.links_of_site ~n:spec.n_sites s in
+        let extra_us = pick_range spec.rng 20_000 80_000 in
+        [
+          (Schedule.Slow { site = s; factor }, Schedule.Slow_clear);
+          (Schedule.Delay { links; extra_us }, Schedule.Clear_links);
+        ]
+      | [], _ -> [ window spec preset ]
     in
-    events :=
-      Schedule.at_us stop undo :: Schedule.at_us start inject :: !events
+    List.iter
+      (fun (inject, undo) ->
+        events :=
+          Schedule.at_us stop undo :: Schedule.at_us start inject :: !events)
+      pairs
   done;
   let cleanup = frac 0.8 in
-  !events
+  let slow_cleanup =
+    match preset with
+    | Slow_node -> [ Schedule.at_us cleanup Schedule.Slow_clear ]
+    | _ -> []
+  in
+  !events @ slow_cleanup
   @ Schedule.
       [
         at_us cleanup Heal;

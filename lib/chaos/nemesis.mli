@@ -42,6 +42,15 @@ type preset =
   | Torn_migration
       (** disk tears + stale-sector resurfacing while the audit driver
           live-migrates key ranges (implies {!requires_reshard}) *)
+  | Slow_node
+      (** gray failure: one site's station serves 4-12x slower {e and} its
+          links carry 20-80 ms extra delay, but nothing crashes — the
+          degraded-but-alive replica that answers heartbeats, joins
+          quorums, and drags every request routed through it. Emitted as a
+          {!Schedule.Slow} + [Delay] pair per window (one victim for
+          both); drivers apply the station half from their [on_fault]
+          hook. No failover is armed — the hazard is precisely that
+          failure detectors see a live node *)
 
 val presets : (string * preset) list
 (** CLI-name / preset pairs, e.g. [("partition-heal", Partition_heal)]. *)

@@ -12,6 +12,8 @@ type fault =
   | Clear_links
   | Epsilon of int
   | Epsilon_reset
+  | Slow of { site : int; factor : int }
+  | Slow_clear
 
 type event = { at_us : int; fault : fault }
 
@@ -53,6 +55,8 @@ let pp_fault ppf = function
   | Clear_links -> Fmt.pf ppf "clear link faults"
   | Epsilon e -> Fmt.pf ppf "truetime epsilon := %.1fms" (float_of_int e /. 1000.0)
   | Epsilon_reset -> Fmt.pf ppf "truetime epsilon reset"
+  | Slow { site; factor } -> Fmt.pf ppf "slow site %d x%d" site factor
+  | Slow_clear -> Fmt.pf ppf "clear slowdowns"
 
 let pp_event ppf { at_us; fault } =
   Fmt.pf ppf "at %.2fs: %a" (Sim.Engine.to_sec at_us) pp_fault fault
@@ -92,6 +96,10 @@ let inject ~net ?tt ~epsilon0 fault =
     match tt with None -> () | Some tt -> Sim.Truetime.set_epsilon tt e)
   | Epsilon_reset -> (
     match tt with None -> () | Some tt -> Sim.Truetime.set_epsilon tt epsilon0)
+  (* Station slowdowns live in the protocol deployments, which [inject]
+     cannot see — drivers apply them from their [on_fault] hook, exactly
+     like the Crash-coupled storage damage. *)
+  | Slow _ | Slow_clear -> ()
 
 let apply t ~engine ~net ?tt ?(tracer = Obs.Trace.disabled) ?(on_fault = fun _ -> ())
     () =

@@ -28,6 +28,13 @@ type fault =
   | Clear_links  (** Reset loss / duplication / delay / reorder everywhere. *)
   | Epsilon of int  (** Set TrueTime ε (µs) — no-op without a clock. *)
   | Epsilon_reset  (** Restore ε as it was when {!apply} ran. *)
+  | Slow of { site : int; factor : int }
+      (** Gray failure: multiply the service cost of every station at the
+          site by [factor]. {!apply}'s network-level injector treats this as
+          a no-op — stations belong to the protocol deployment, so drivers
+          apply the slowdown from their [on_fault] hook (exactly as the
+          disk presets couple storage damage to [Crash] events). *)
+  | Slow_clear  (** Restore every station to normal service. *)
 
 type event = { at_us : int; fault : fault }
 

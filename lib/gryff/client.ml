@@ -34,7 +34,7 @@ let op_span t ~name ~ts =
       ~kind:Obs.Trace.Client_op ~name ~ts
   else Obs.Trace.none
 
-let read t ~key k =
+let read ?deadline_us t ~key k =
   let inv = now t in
   let deps = t.deps in
   (* The read phase propagates the pending dependencies to a quorum. *)
@@ -42,7 +42,7 @@ let read t ~key k =
   let tr = Cluster.tracer t.cluster in
   let sp = op_span t ~name:"gryff.read" ~ts:inv in
   Obs.Trace.with_current tr sp (fun () ->
-      Protocol.read (Cluster.ctx t.cluster) ~client_site:t.site ~cid:t.proc ~deps
+      Protocol.read ?deadline_us (Cluster.ctx t.cluster) ~client_site:t.site ~cid:t.proc ~deps
         ~key (fun res ->
           let resp = now t in
           Obs.Trace.end_span tr sp ~ts:resp;
@@ -64,7 +64,7 @@ let read t ~key k =
             };
           k res))
 
-let write ?on_apply t ~key ~value k =
+let write ?on_apply ?deadline_us t ~key ~value k =
   let inv = now t in
   let deps = t.deps in
   (* The first phase propagates the dependencies to a quorum. *)
@@ -72,7 +72,7 @@ let write ?on_apply t ~key ~value k =
   let tr = Cluster.tracer t.cluster in
   let sp = op_span t ~name:"gryff.write" ~ts:inv in
   Obs.Trace.with_current tr sp (fun () ->
-      Protocol.write ?on_apply (Cluster.ctx t.cluster) ~client_site:t.site
+      Protocol.write ?on_apply ?deadline_us (Cluster.ctx t.cluster) ~client_site:t.site
         ~cid:t.proc ~deps ~key ~value (fun res ->
           let resp = now t in
           Obs.Trace.end_span tr sp ~ts:resp;

@@ -22,11 +22,15 @@ val deps : t -> Protocol.dep list
     single tuple; the list generalizes it for out-of-band context
     propagation between processes. *)
 
-val read : t -> key:int -> (Protocol.read_result -> unit) -> unit
+val read :
+  ?deadline_us:int -> t -> key:int -> (Protocol.read_result -> unit) -> unit
+(** [deadline_us] is the op's remaining deadline: with the cluster's
+    [drop_expired] armed it rides every request leg and replicas drop the
+    work once it cannot start in time. *)
 
 val write :
-  ?on_apply:(Carstamp.t -> unit) -> t -> key:int -> value:int ->
-  (Protocol.write_result -> unit) -> unit
+  ?on_apply:(Carstamp.t -> unit) -> ?deadline_us:int -> t -> key:int ->
+  value:int -> (Protocol.write_result -> unit) -> unit
 (** [on_apply] is {!Protocol.write}'s visibility hook (chaos audits use it
     to account for writes whose acknowledgements a fault swallowed). *)
 

@@ -155,6 +155,44 @@ let tracer t = t.pctx.Protocol.tracer
 let enable_retrans t ~rng ?timeout_us () =
   Protocol.enable_retrans t.pctx ~rng ?timeout_us ()
 
+(* ------------------------------------------------------------------ *)
+(* Overload & gray-failure controls                                   *)
+(* ------------------------------------------------------------------ *)
+
+let stations t = Protocol.stations t.pctx
+
+let set_site_slowdown t ~site ~factor =
+  Protocol.set_site_slowdown t.pctx ~site ~factor
+
+let clear_slowdowns t = Protocol.clear_slowdowns t.pctx
+
+let set_admission t limits = Protocol.set_admission t.pctx limits
+
+let set_drop_expired t on = Protocol.set_drop_expired t.pctx on
+
+let set_read_fanout t fanout = Protocol.set_read_fanout t.pctx fanout
+
+let set_hedge_us t us = Protocol.set_hedge_us t.pctx us
+
+let set_retry_budget t budget = Protocol.set_retry_budget t.pctx budget
+
+type flow_stats = {
+  expired : int;
+  shed : int;
+  abandoned : int;
+  hedges : int;
+  hedge_wins : int;
+}
+
+let flow_stats t =
+  {
+    expired = t.pctx.Protocol.n_expired;
+    shed = t.pctx.Protocol.n_shed;
+    abandoned = t.pctx.Protocol.n_abandoned;
+    hedges = t.pctx.Protocol.n_hedges;
+    hedge_wins = t.pctx.Protocol.n_hedge_wins;
+  }
+
 type retrans_stats = { rpc_calls : int; rpc_retries : int; rpc_exhausted : int }
 
 let retrans_stats t =

@@ -84,3 +84,44 @@ val enable_retrans : t -> rng:Sim.Rng.t -> ?timeout_us:int -> unit -> unit
 type retrans_stats = { rpc_calls : int; rpc_retries : int; rpc_exhausted : int }
 
 val retrans_stats : t -> retrans_stats
+
+(** {2 Overload & gray-failure controls}
+
+    Cluster-level passthroughs to {!Protocol}'s flow controls; all
+    default-off and byte-identity-preserving when unarmed. *)
+
+val stations : t -> Sim.Station.t list
+(** Every replica's station (queue-depth / sojourn recorders live there
+    once admission or observation is armed). *)
+
+val set_site_slowdown : t -> site:int -> factor:int -> unit
+(** Gray failure: the replica at [site] serves [factor]x slower. *)
+
+val clear_slowdowns : t -> unit
+
+val set_admission : t -> Sim.Station.limits option -> unit
+(** Bounded queues + load shedding at every replica; shed request legs
+    NACK with a server-suggested backoff (see {!Protocol.set_admission}). *)
+
+val set_drop_expired : t -> bool -> unit
+(** Deadline propagation: replicas drop request legs whose riding deadline
+    precedes their projected service start. *)
+
+val set_read_fanout : t -> Protocol.read_fanout -> unit
+(** Read fan-out policy: [Fan_all] (default, historical), [Fan_quorum], or
+    [Hedged] (bare quorum, widened after {!set_hedge_us} µs). *)
+
+val set_hedge_us : t -> int -> unit
+
+val set_retry_budget : t -> Sim.Rpc.Budget.t option -> unit
+(** Fleet-wide retry token bucket for shed-leg re-offers. *)
+
+type flow_stats = {
+  expired : int;  (** request legs dropped expired at dequeue *)
+  shed : int;  (** request legs NACKed by admission control *)
+  abandoned : int;  (** legs given up (shed and out of budget/cap) *)
+  hedges : int;  (** hedge fan-outs actually issued *)
+  hedge_wins : int;  (** hedge replies that completed a quorum *)
+}
+
+val flow_stats : t -> flow_stats

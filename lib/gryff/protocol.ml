@@ -23,7 +23,24 @@ type ctx = {
       (* per-request retransmission for the idempotent phases; [None] keeps
          the exact failure-free wire behavior *)
   mutable tracer : Obs.Trace.t;
+  (* Overload robustness — all default-off; armed via Harness.Env.flow. *)
+  mutable drop_expired : bool;
+  mutable fanout : read_fanout;
+  mutable hedge_us : int;
+  mutable retry_budget : Sim.Rpc.Budget.t option;
+  mutable n_expired : int;  (* requests dropped expired at dequeue *)
+  mutable n_shed : int;  (* requests NACKed by admission control *)
+  mutable n_abandoned : int;  (* per-replica legs given up (shed, no budget) *)
+  mutable n_hedges : int;  (* hedge fan-outs actually issued *)
+  mutable n_hedge_wins : int;  (* hedge replies that completed the quorum *)
 }
+
+and read_fanout = Fan_all | Fan_quorum | Hedged
+
+(* A replica's refusal to serve a request, delivered back to the sender
+   when it supplied a [reject] continuation: already past its deadline at
+   dequeue, or shed by admission control with a server-suggested backoff. *)
+type server_reject = Expired | Pushback of Sim.Station.pushback
 
 let make_ctx engine net config =
   let replicas =
@@ -45,6 +62,15 @@ let make_ctx engine net config =
       n_rmw_slow = 0;
       retrans = None;
       tracer = Obs.Trace.disabled;
+      drop_expired = false;
+      fanout = Fan_all;
+      hedge_us = 0;
+      retry_budget = None;
+      n_expired = 0;
+      n_shed = 0;
+      n_abandoned = 0;
+      n_hedges = 0;
+      n_hedge_wins = 0;
     }
   in
   (* An rmw completes only once its result is applied at a quorum: the
@@ -92,24 +118,58 @@ let make_ctx engine net config =
    replies, and write-back propagates coalesce per directed link into
    envelopes whose members amortize the replica's station cost. With
    batching off, [post] is [send] and behaviour is byte-identical. *)
-let to_replica ctx ~src ?(bytes = 64) replica_id handler =
-  let r = ctx.replicas.(replica_id) in
-  Sim.Net.post ~bytes ctx.net ~src ~dst:replica_id (fun env_idx ->
-      let cost =
-        Sim.Station.amortized
-          ~full:(Sim.Station.service_time_us r.Replica.station) env_idx
-      in
-      let tr = ctx.tracer in
-      if Obs.Trace.enabled tr then begin
-        (* Carry the ambient span across the station's job queue. *)
-        let sp = Obs.Trace.current tr in
-        Sim.Station.submit ~cost r.Replica.station (fun () ->
-            Obs.Trace.with_current tr sp (fun () -> handler r))
-      end
-      else Sim.Station.submit ~cost r.Replica.station (fun () -> handler r))
-
 let to_client ctx ~src ?(bytes = 64) ~dst handler =
   Sim.Net.post ~bytes ctx.net ~src ~dst (fun _env_idx -> handler ())
+
+(* [expires] is the op's absolute deadline riding the request: the station's
+   queue is its busy_until horizon with deterministic FIFO service, so the
+   projected start (now + backlog) at enqueue equals the dequeue-time state
+   exactly — work that would only start past its deadline is dropped before
+   any cost is charged. [reject] (client-facing request legs only) gets an
+   explicit NACK so the sender can back off instead of timing out. *)
+let to_replica ctx ~src ?(bytes = 64) ?expires ?reject replica_id handler =
+  let r = ctx.replicas.(replica_id) in
+  Sim.Net.post ~bytes ctx.net ~src ~dst:replica_id (fun env_idx ->
+      let station = r.Replica.station in
+      let nack rej =
+        match reject with
+        | None -> ()
+        | Some k ->
+          to_client ctx ~src:replica_id ~bytes:32 ~dst:src (fun () -> k rej)
+      in
+      let expired =
+        ctx.drop_expired
+        && (match expires with
+           | Some e -> Sim.Engine.now ctx.engine + Sim.Station.backlog_us station > e
+           | None -> false)
+      in
+      if expired then begin
+        ctx.n_expired <- ctx.n_expired + 1;
+        nack Expired
+      end
+      else begin
+        let cost =
+          Sim.Station.amortized
+            ~full:(Sim.Station.service_time_us station) env_idx
+        in
+        let tr = ctx.tracer in
+        let job =
+          if Obs.Trace.enabled tr then begin
+            (* Carry the ambient span across the station's job queue. *)
+            let sp = Obs.Trace.current tr in
+            fun () -> Obs.Trace.with_current tr sp (fun () -> handler r)
+          end
+          else fun () -> handler r
+        in
+        match reject with
+        | None -> Sim.Station.submit ~cost station job
+        | Some _ -> (
+          match Sim.Station.try_submit ~cost station job with
+          | Sim.Station.Admitted -> ()
+          | Sim.Station.Shed pb ->
+            ctx.n_shed <- ctx.n_shed + 1;
+            nack (Pushback pb))
+      end)
 
 (* One request/reply exchange with a replica. With retransmission armed
    ([retrans <> None]) the exchange rides an {!Sim.Rpc} call: a lost request
@@ -118,12 +178,40 @@ let to_client ctx ~src ?(bytes = 64) ~dst handler =
    live ones to answer). Only valid for idempotent handlers — base reads,
    carstamp queries and propagates are (carstamp max-merge makes re-applying
    a write a no-op); rmw pre-accepts are not and stay bare. *)
-let exchange ctx ~src ?bytes replica_id ~(request : Replica.t -> 'a)
+let exchange ctx ~src ?bytes ?expires replica_id ~(request : Replica.t -> 'a)
     ~(reply : 'a -> unit) =
   let attempt deliver =
-    to_replica ctx ~src ?bytes replica_id (fun r ->
-        let resp = request r in
-        to_client ctx ~src:replica_id ~dst:src (fun () -> deliver resp))
+    (* With admission control armed, a shed leg re-offers to the same
+       replica after the server-suggested backoff (the quorum keeps
+       forming from the others meanwhile), bounded by the retry budget and
+       a hard cap; giving up just leaves this replica out of the quorum.
+       An expired leg gives up outright — its deadline has passed. *)
+    let sends = ref 0 in
+    let rec send () =
+      incr sends;
+      let reject = function
+        | Expired -> ()
+        | Pushback pb ->
+          let budgeted =
+            match ctx.retry_budget with
+            | None -> true
+            | Some b -> Sim.Rpc.Budget.try_take b
+          in
+          let in_time =
+            match expires with
+            | None -> true
+            | Some e -> Sim.Engine.now ctx.engine + pb.retry_after_us < e
+          in
+          if !sends < 8 && budgeted && in_time then
+            Sim.Engine.schedule ~kind:"txn.backoff" ctx.engine
+              ~after:pb.retry_after_us send
+          else ctx.n_abandoned <- ctx.n_abandoned + 1
+      in
+      to_replica ctx ~src ?bytes ?expires ~reject replica_id (fun r ->
+          let resp = request r in
+          to_client ctx ~src:replica_id ~dst:src (fun () -> deliver resp))
+    in
+    send ()
   in
   match ctx.retrans with
   | None -> attempt reply
@@ -162,12 +250,12 @@ let quorum_collector ~quorum k =
 
 (* Propagate (key, value, cs) to a quorum — a read's write-back phase, a
    write's second phase, or a fence. *)
-let propagate ctx ~client_site ~key ~value ~cs k =
+let propagate ?expires ctx ~client_site ~key ~value ~cs k =
   let quorum = Config.quorum ctx.config in
   let on_ack = quorum_collector ~quorum (fun _ -> k ()) in
   Array.iteri
     (fun i _ ->
-      exchange ctx ~src:client_site i
+      exchange ctx ~src:client_site ?expires i
         ~request:(fun r ->
           match value with
           | Some v -> Replica.apply r ~key ~value:v ~cs
@@ -186,10 +274,19 @@ type read_result = {
   r_dep : dep option;
 }
 
-let read ctx ~client_site ~cid:_ ~deps ~key k =
+let read ?deadline_us ctx ~client_site ~cid:_ ~deps ~key k =
   ctx.n_reads <- ctx.n_reads + 1;
   let quorum = Config.quorum ctx.config in
+  let expires =
+    match deadline_us with
+    | Some d when ctx.drop_expired -> Some (Sim.Engine.now ctx.engine + d)
+    | Some _ | None -> None
+  in
+  let complete = ref false in
+  let hedge_won = ref false in
   let process replies =
+    complete := true;
+    if !hedge_won then ctx.n_hedge_wins <- ctx.n_hedge_wins + 1;
     let best_v, best_cs =
       match replies with
       | first :: rest ->
@@ -216,7 +313,8 @@ let read ctx ~client_site ~cid:_ ~deps ~key k =
           else Obs.Trace.none
         in
         Obs.Trace.with_current tr sp (fun () ->
-            propagate ctx ~client_site ~key ~value:(Some v) ~cs:best_cs (fun () ->
+            propagate ?expires ctx ~client_site ~key ~value:(Some v) ~cs:best_cs
+              (fun () ->
                 Obs.Trace.end_span tr sp ~ts:(Sim.Engine.now ctx.engine);
                 k { r_value = best_v; r_cs = best_cs; r_rounds = 2; r_dep = None }))
       | Config.Lin, None ->
@@ -240,14 +338,42 @@ let read ctx ~client_site ~cid:_ ~deps ~key k =
     end
   in
   let on_reply = quorum_collector ~quorum process in
-  Array.iteri
-    (fun i _ ->
-      exchange ctx ~src:client_site i
-        ~request:(fun r ->
-          apply_deps r deps;
-          Replica.get r key)
-        ~reply:on_reply)
-    ctx.replicas
+  let send_to ~hedge i =
+    exchange ctx ~src:client_site ?expires i
+      ~request:(fun r ->
+        apply_deps r deps;
+        Replica.get r key)
+      ~reply:(fun resp ->
+        if hedge && not !complete then hedge_won := true;
+        on_reply resp)
+  in
+  (* Fan-out policy. [Fan_all] (default, the historical behavior) asks every
+     replica and keeps the first quorum of replies — maximal implicit
+     hedging at maximal message cost. [Fan_quorum] asks only a bare quorum
+     chosen by ring locality from the client's site — cheapest, but one
+     gray-failed member drags the whole read to its speed. [Hedged] starts
+     from the bare quorum and, if the quorum has not completed after
+     [hedge_us] (sized to a healthy-run latency percentile), fans out to
+     the remaining replicas and lets the first quorum win — the classic
+     tail-tolerant middle ground. *)
+  let n = Array.length ctx.replicas in
+  let ring = List.init n (fun j -> (client_site + j) mod n) in
+  match ctx.fanout with
+  | Fan_all ->
+    (* Replica-id order, NOT ring order: this is the historical behavior
+       and seeded schedules are golden-digested against it. *)
+    Array.iteri (fun i _ -> send_to ~hedge:false i) ctx.replicas
+  | Fan_quorum -> List.iteri (fun j i -> if j < quorum then send_to ~hedge:false i) ring
+  | Hedged ->
+    List.iteri (fun j i -> if j < quorum then send_to ~hedge:false i) ring;
+    let rest = List.filteri (fun j _ -> j >= quorum) ring in
+    if rest <> [] then
+      Sim.Engine.schedule ~kind:"txn.hedge" ctx.engine ~after:(max 1 ctx.hedge_us)
+        (fun () ->
+          if not !complete then begin
+            ctx.n_hedges <- ctx.n_hedges + 1;
+            List.iter (send_to ~hedge:true) rest
+          end)
 
 (* ------------------------------------------------------------------ *)
 (* Writes                                                              *)
@@ -255,17 +381,22 @@ let read ctx ~client_site ~cid:_ ~deps ~key k =
 
 type write_result = { w_cs : Carstamp.t }
 
-let write ?(on_apply = fun (_ : Carstamp.t) -> ()) ctx ~client_site ~cid ~deps
-    ~key ~value k =
+let write ?(on_apply = fun (_ : Carstamp.t) -> ()) ?deadline_us ctx ~client_site
+    ~cid ~deps ~key ~value k =
   ctx.n_writes <- ctx.n_writes + 1;
   let quorum = Config.quorum ctx.config in
+  let expires =
+    match deadline_us with
+    | Some d when ctx.drop_expired -> Some (Sim.Engine.now ctx.engine + d)
+    | Some _ | None -> None
+  in
   let phase2 base_cs =
     let cs = Carstamp.for_write ~base:base_cs ~cid in
     (* The value is about to reach replicas: from here on the write can be
        observed even if the client never hears the acks, so chaos audits
        record the chosen carstamp for post-hoc history accounting. *)
     on_apply cs;
-    propagate ctx ~client_site ~key ~value:(Some value) ~cs (fun () ->
+    propagate ?expires ctx ~client_site ~key ~value:(Some value) ~cs (fun () ->
         k { w_cs = cs })
   in
   let process replies =
@@ -274,7 +405,7 @@ let write ?(on_apply = fun (_ : Carstamp.t) -> ()) ctx ~client_site ~cid ~deps
   let on_reply = quorum_collector ~quorum process in
   Array.iteri
     (fun i _ ->
-      exchange ctx ~src:client_site i
+      exchange ctx ~src:client_site ?expires i
         ~request:(fun r ->
           apply_deps r deps;
           snd (Replica.get r key))
@@ -393,3 +524,32 @@ let rec fence ctx ~client_site ~deps k =
   | { d_key; d_value; d_cs } :: rest ->
     propagate ctx ~client_site ~key:d_key ~value:(Some d_value) ~cs:d_cs (fun () ->
         fence ctx ~client_site ~deps:rest k)
+
+(* ------------------------------------------------------------------ *)
+(* Overload & gray-failure controls                                    *)
+(* ------------------------------------------------------------------ *)
+
+let stations ctx =
+  Array.to_list (Array.map (fun r -> r.Replica.station) ctx.replicas)
+
+(* Gray failure: the replica at [site] serves [factor]x slower (sites and
+   replicas are 1:1 in this deployment model). *)
+let set_site_slowdown ctx ~site ~factor =
+  if site >= 0 && site < Array.length ctx.replicas then
+    Sim.Station.set_slowdown ctx.replicas.(site).Replica.station factor
+
+let clear_slowdowns ctx =
+  Array.iter (fun r -> Sim.Station.set_slowdown r.Replica.station 1) ctx.replicas
+
+let set_admission ctx limits =
+  Array.iter (fun r -> Sim.Station.set_limits r.Replica.station limits) ctx.replicas
+
+let set_drop_expired ctx on = ctx.drop_expired <- on
+
+let set_read_fanout ctx fanout = ctx.fanout <- fanout
+
+let set_hedge_us ctx us =
+  if us < 0 then invalid_arg "Protocol.set_hedge_us: negative delay";
+  ctx.hedge_us <- us
+
+let set_retry_budget ctx budget = ctx.retry_budget <- budget

@@ -35,7 +35,36 @@ type ctx = {
   mutable retrans : Sim.Rpc.t option;
       (** per-request retransmission for the idempotent phases *)
   mutable tracer : Obs.Trace.t;  (** span sink; [Obs.Trace.disabled] = off *)
+  mutable drop_expired : bool;
+      (** deadline propagation: replicas drop requests whose riding
+          deadline has passed before any service cost is charged *)
+  mutable fanout : read_fanout;  (** read fan-out policy *)
+  mutable hedge_us : int;  (** [Hedged] fan-out delay *)
+  mutable retry_budget : Sim.Rpc.Budget.t option;
+      (** fleet-wide token bucket capping shed-retry amplification *)
+  mutable n_expired : int;  (** requests dropped expired at dequeue *)
+  mutable n_shed : int;  (** requests NACKed by admission control *)
+  mutable n_abandoned : int;  (** per-replica legs given up (shed, no budget) *)
+  mutable n_hedges : int;  (** hedge fan-outs actually issued *)
+  mutable n_hedge_wins : int;  (** hedge replies that completed a quorum *)
 }
+
+and read_fanout =
+  | Fan_all
+      (** ask every replica, keep the first quorum of replies (default —
+          the historical behavior; maximal implicit hedging, maximal
+          message cost) *)
+  | Fan_quorum
+      (** ask a bare quorum chosen by ring locality from the client's
+          site — cheapest, but one gray-failed member drags every read *)
+  | Hedged
+      (** bare quorum first; if it has not completed after [hedge_us],
+          fan out to the remaining replicas and let the first quorum win *)
+
+(** A replica's refusal (deadline passed at dequeue, or admission-control
+    shed with a suggested backoff), NACKed to senders on client-facing
+    request legs. *)
+type server_reject = Expired | Pushback of Sim.Station.pushback
 
 val make_ctx : Sim.Engine.t -> Sim.Net.t -> Config.t -> ctx
 
@@ -62,13 +91,18 @@ type read_result = {
 }
 
 val read :
-  ctx -> client_site:int -> cid:int -> deps:dep list -> key:int ->
-  (read_result -> unit) -> unit
+  ?deadline_us:int -> ctx -> client_site:int -> cid:int -> deps:dep list ->
+  key:int -> (read_result -> unit) -> unit
+(** With [drop_expired] armed, [deadline_us] stamps an absolute expiry on
+    every request leg; replicas drop expired legs before serving them and
+    the quorum forms from the rest (or never — the op is then late by
+    definition and the caller's deadline accounting records it). *)
 
 type write_result = { w_cs : Carstamp.t }
 
 val write :
-  ?on_apply:(Carstamp.t -> unit) -> ctx -> client_site:int -> cid:int ->
+  ?on_apply:(Carstamp.t -> unit) -> ?deadline_us:int -> ctx ->
+  client_site:int -> cid:int ->
   deps:dep list -> key:int -> value:int -> (write_result -> unit) -> unit
 (** The dependencies are propagated by the first phase; callers clear them.
     [on_apply] fires with the chosen carstamp when the propagate phase
@@ -88,3 +122,33 @@ val rmw :
 
 val fence : ctx -> client_site:int -> deps:dep list -> (unit -> unit) -> unit
 (** Write the pending dependencies back to a quorum; no-op without any. *)
+
+(** {1 Overload & gray-failure controls}
+
+    All default-off: with none armed, no extra event is scheduled and no
+    random draw occurs, so seeded schedules are byte-identical. *)
+
+val stations : ctx -> Sim.Station.t list
+(** Every replica's station, for queue-depth / sojourn observation. *)
+
+val set_site_slowdown : ctx -> site:int -> factor:int -> unit
+(** Gray failure: the replica at [site] serves [factor]x slower. Drivers
+    apply this from their fault hook on {!Chaos.Schedule.Slow}. *)
+
+val clear_slowdowns : ctx -> unit
+
+val set_admission : ctx -> Sim.Station.limits option -> unit
+(** Arm (or disarm) bounded queues with load shedding at every replica.
+    Shed request legs NACK back with a server-suggested backoff; the
+    sender re-offers to the same replica (budget- and cap-bounded) while
+    the quorum keeps forming from the others. *)
+
+val set_drop_expired : ctx -> bool -> unit
+
+val set_read_fanout : ctx -> read_fanout -> unit
+
+val set_hedge_us : ctx -> int -> unit
+(** Delay before the {!Hedged} fan-out widens past the bare quorum. Raises
+    [Invalid_argument] if negative. *)
+
+val set_retry_budget : ctx -> Sim.Rpc.Budget.t option -> unit

@@ -75,9 +75,11 @@ type check_mode = [ `Offline | `Online | `No_check ]
    counter to read after the run. With a disk-fault control installed
    ([dctl]), every Crash event also damages the crashed sites' durable
    stores, and [on_recover] lets drivers re-verify site-local storage (the
-   placement directory) as sites come back. *)
-let arm_chaos ?chaos ?(tracer = Obs.Trace.disabled) ?dctl ?on_recover ~engine
-    ~net ?tt () =
+   placement directory) as sites come back. [Slow]/[Slow_clear] events are
+   applied through [on_slow]/[on_slow_clear] — stations live in the
+   protocol deployments, so the schedule itself cannot reach them. *)
+let arm_chaos ?chaos ?(tracer = Obs.Trace.disabled) ?dctl ?on_recover ?on_slow
+    ?on_slow_clear ~engine ~net ?tt () =
   match chaos with
   | None -> ref 0
   | Some schedule ->
@@ -86,6 +88,12 @@ let arm_chaos ?chaos ?(tracer = Obs.Trace.disabled) ?dctl ?on_recover ~engine
       (Chaos.Schedule.apply schedule ~engine ~net ?tt ~tracer
          ~on_fault:(fun (ev : Chaos.Schedule.event) ->
            incr faults;
+           (match ev.Chaos.Schedule.fault with
+           | Chaos.Schedule.Slow { site; factor } -> (
+             match on_slow with Some f -> f ~site ~factor | None -> ())
+           | Chaos.Schedule.Slow_clear -> (
+             match on_slow_clear with Some f -> f () | None -> ())
+           | _ -> ());
            match (dctl, ev.Chaos.Schedule.fault) with
            | Some ctl, Chaos.Schedule.Crash ss ->
              List.iter (Sim.Durable.Faults.crash_site ctl) ss
@@ -325,6 +333,29 @@ type reshard_spec = {
   rs_no_fence : bool;
 }
 
+(* The overload-protection policy a driver applies to its cluster: all
+   fields off reproduce the unprotected run byte for byte. The budget is
+   given as (capacity, refill_period_us) rather than a built bucket because
+   the bucket needs the run's engine, which the driver owns. *)
+type flow_spec = {
+  fl_admission : Sim.Station.limits option;
+      (* bounded queues + shedding at every server station *)
+  fl_drop_expired : bool;  (* servers drop work already past its deadline *)
+  fl_hedge_us : int;  (* hedge reads still unfinished after this; 0 = off *)
+  fl_budget : (int * int) option;  (* retry bucket: capacity, refill µs *)
+  fl_gryff_fanout : Gryff.Protocol.read_fanout option;
+      (* read fan-out policy; None keeps each protocol's default *)
+}
+
+let flow_default =
+  {
+    fl_admission = None;
+    fl_drop_expired = false;
+    fl_hedge_us = 0;
+    fl_budget = None;
+    fl_gryff_fanout = None;
+  }
+
 (* One record for the cross-cutting run environment every driver used to
    take as six separate optional keywords. Drivers accept [?env]; the old
    keywords survive as thin shims that override the corresponding field. *)
@@ -337,6 +368,8 @@ module Env = struct
     check : check_mode;
     reshard : reshard_spec list;
     batching : Sim.Net.policy option;
+    deadline_us : int option;
+    flow : flow_spec option;
   }
 
   let default =
@@ -348,6 +381,8 @@ module Env = struct
       check = `Offline;
       reshard = [];
       batching = None;
+      deadline_us = None;
+      flow = None;
     }
 
   let with_chaos s t = { t with chaos = Some s }
@@ -358,9 +393,19 @@ module Env = struct
   let with_reshard r t = { t with reshard = r }
   let with_batching p t = { t with batching = p }
 
+  let with_deadline_us d t =
+    (match d with
+    | Some d when d <= 0 ->
+      invalid_arg "Harness.Env.with_deadline_us: deadline must be positive"
+    | _ -> ());
+    { t with deadline_us = d }
+
+  let with_flow f t = { t with flow = f }
+
   (* Fold the deprecated per-driver keywords over [?env]: an explicitly
      passed keyword wins, otherwise the env field stands. Exposed so the
-     shim semantics can be property-tested directly. *)
+     shim semantics can be property-tested directly. [batching],
+     [deadline_us] and [flow] predate no keyword, so they pass through. *)
   let resolve ?env ?chaos ?disk_faults ?failover ?trace ?check ?reshard () =
     let e = Option.value env ~default in
     {
@@ -372,12 +417,98 @@ module Env = struct
       check = Option.value check ~default:e.check;
       reshard = Option.value reshard ~default:e.reshard;
       batching = e.batching;
+      deadline_us = e.deadline_us;
+      flow = e.flow;
     }
 end
 
 let resolve_env = Env.resolve
 
 let apply_batching env net = Sim.Net.set_batching net env.Env.batching
+
+(* Build the run's retry bucket (if the policy asks for one) on the run's
+   engine — returned so the driver can read taken/denied after the run. *)
+let flow_budget env engine =
+  match env.Env.flow with
+  | None -> None
+  | Some f ->
+    Option.map
+      (fun (capacity, refill_period_us) ->
+        Sim.Rpc.Budget.create engine ~capacity ~refill_period_us)
+      f.fl_budget
+
+let apply_flow_spanner env ~budget cluster =
+  match env.Env.flow with
+  | None -> ()
+  | Some f ->
+    Spanner.Cluster.set_admission cluster f.fl_admission;
+    Spanner.Cluster.set_drop_expired cluster f.fl_drop_expired;
+    if f.fl_hedge_us > 0 then
+      Spanner.Cluster.set_hedge_us cluster f.fl_hedge_us;
+    Spanner.Cluster.set_retry_budget cluster budget
+
+let apply_flow_gryff env ~budget cluster =
+  match env.Env.flow with
+  | None -> ()
+  | Some f ->
+    Gryff.Cluster.set_admission cluster f.fl_admission;
+    Gryff.Cluster.set_drop_expired cluster f.fl_drop_expired;
+    if f.fl_hedge_us > 0 then Gryff.Cluster.set_hedge_us cluster f.fl_hedge_us;
+    (match f.fl_gryff_fanout with
+    | Some fanout -> Gryff.Cluster.set_read_fanout cluster fanout
+    | None -> ());
+    Gryff.Cluster.set_retry_budget cluster budget
+
+(* Flow-control accounting — absent unless a protection is armed or fired,
+   mirroring the batch.* convention. Queue-depth samples follow the ×1000
+   histogram convention (see batch.size above): the printed table reads in
+   whole jobs. *)
+let flow_metrics reg ~armed ~budget ~stations ~expired ~shed ~abandoned
+    ~hedges ~hedge_wins =
+  if armed || expired > 0 || shed > 0 || abandoned > 0 || hedges > 0 then begin
+    let c name v = Obs.Metrics.add (Obs.Metrics.counter reg name) v in
+    c "flow.expired" expired;
+    c "flow.shed" shed;
+    c "flow.abandoned" abandoned;
+    c "flow.hedges" hedges;
+    c "flow.hedge_wins" hedge_wins;
+    (match budget with
+    | Some b ->
+      c "flow.budget.taken" (Sim.Rpc.Budget.taken b);
+      c "flow.budget.denied" (Sim.Rpc.Budget.denied b)
+    | None -> ());
+    let qd = Obs.Metrics.histogram reg "flow.queue_depth" in
+    let sj = Obs.Metrics.histogram reg "flow.sojourn_us" in
+    List.iter
+      (fun st ->
+        Array.iter
+          (fun d -> Stats.Recorder.add qd (d * 1000))
+          (Stats.Recorder.to_sorted_array (Sim.Station.queue_depths st));
+        Array.iter
+          (fun s -> Stats.Recorder.add sj s)
+          (Stats.Recorder.to_sorted_array (Sim.Station.sojourns st)))
+      stations
+  end
+
+let spanner_flow_metrics reg ~env ~budget cluster =
+  let fs = Spanner.Cluster.flow_stats cluster in
+  flow_metrics reg
+    ~armed:(env.Env.flow <> None)
+    ~budget
+    ~stations:(Spanner.Cluster.stations cluster)
+    ~expired:fs.Spanner.Cluster.expired ~shed:fs.Spanner.Cluster.shed
+    ~abandoned:fs.Spanner.Cluster.abandoned ~hedges:fs.Spanner.Cluster.hedges
+    ~hedge_wins:fs.Spanner.Cluster.hedge_wins
+
+let gryff_flow_metrics reg ~env ~budget cluster =
+  let fs = Gryff.Cluster.flow_stats cluster in
+  flow_metrics reg
+    ~armed:(env.Env.flow <> None)
+    ~budget
+    ~stations:(Gryff.Cluster.stations cluster)
+    ~expired:fs.Gryff.Cluster.expired ~shed:fs.Gryff.Cluster.shed
+    ~abandoned:fs.Gryff.Cluster.abandoned ~hedges:fs.Gryff.Cluster.hedges
+    ~hedge_wins:fs.Gryff.Cluster.hedge_wins
 
 (* The paper's §6.1 wide-area Retwis experiment: partly-open clients
    (sessions at [arrival_rate_per_sec], stay probability 0.9, zero think
@@ -404,21 +535,32 @@ let spanner_wan ?(config = None) ?env ?chaos ?disk_faults ?failover ?trace
   in
   let cluster = Spanner.Cluster.create engine ~rng config in
   apply_batching env (Spanner.Cluster.net cluster);
+  let budget = flow_budget env engine in
+  apply_flow_spanner env ~budget cluster;
   if Obs.Trace.enabled trace then Spanner.Cluster.set_tracer cluster trace;
   if failover then
     Spanner.Cluster.enable_failover cluster
       ~rng:(Sim.Rng.make (0xfa11 + seed))
       ~until_us:(Sim.Engine.sec duration_s + Sim.Engine.sec 4.0) ();
-  (* The deadline exists to settle operations orphaned by a coordinator
-     crash, not to bound normal latency — it must sit well above the
-     workload's fault-free tail or deadline-aborts amplify load into
-     congestion collapse. *)
-  let deadline_us = if failover then Some 10_000_000 else None in
+  (* The failover fallback deadline exists to settle operations orphaned by
+     a coordinator crash, not to bound normal latency — it must sit well
+     above the workload's fault-free tail or deadline-aborts amplify load
+     into congestion collapse. An explicit [Env.deadline_us] overrides it:
+     that is the knob the overload experiments turn, with servers dropping
+     already-expired work when [flow.fl_drop_expired] is armed. *)
+  let deadline_us =
+    match env.Env.deadline_us with
+    | Some _ as d -> d
+    | None -> if failover then Some 10_000_000 else None
+  in
   let faults =
     arm_chaos ?chaos ~tracer:trace ?dctl
       ~on_recover:(fun ss ->
         if List.mem 0 ss then
           ignore (Place.Directory.recover (Spanner.Cluster.directory cluster)))
+      ~on_slow:(fun ~site ~factor ->
+        Spanner.Cluster.set_site_slowdown cluster ~site ~factor)
+      ~on_slow_clear:(fun () -> Spanner.Cluster.clear_slowdowns cluster)
       ~engine ~net:(Spanner.Cluster.net cluster)
       ~tt:(Spanner.Cluster.truetime cluster) ()
   in
@@ -506,6 +648,7 @@ let spanner_wan ?(config = None) ?env ?chaos ?disk_faults ?failover ?trace
              ~inv:info.pr_inv ~writes:info.pr_writes ~txn:info.pr_last_txn))
     (List.rev !pending);
   let reg = spanner_metrics ~faults:!faults ~failover cluster in
+  spanner_flow_metrics reg ~env ~budget cluster;
   durable_metrics reg ~dctl ~scrub;
   let t0_check = Sys.time () in
   let verdict =
@@ -544,9 +687,15 @@ let spanner_dc ?env ?chaos ?trace ?check ~mode ~n_shards ~service_time_us
   let config = Spanner.Config.single_dc ~mode ~n_shards ~service_time_us () in
   let cluster = Spanner.Cluster.create engine ~rng config in
   apply_batching env (Spanner.Cluster.net cluster);
+  let budget = flow_budget env engine in
+  apply_flow_spanner env ~budget cluster;
+  let deadline_us = env.Env.deadline_us in
   if Obs.Trace.enabled trace then Spanner.Cluster.set_tracer cluster trace;
   let faults =
     arm_chaos ?chaos ~tracer:trace ~engine ~net:(Spanner.Cluster.net cluster)
+      ~on_slow:(fun ~site ~factor ->
+        Spanner.Cluster.set_site_slowdown cluster ~site ~factor)
+      ~on_slow_clear:(fun () -> Spanner.Cluster.clear_slowdowns cluster)
       ~tt:(Spanner.Cluster.truetime cluster) ()
   in
   let online =
@@ -572,9 +721,10 @@ let spanner_dc ?env ?chaos ?trace ?check ~mode ~n_shards ~service_time_us
         k ()
       in
       if Workload.Retwis.is_read_only txn then
-        Spanner.Client.ro c ~keys:txn.Workload.Retwis.read_keys (fun _ -> finish ())
+        Spanner.Client.ro ?deadline_us c ~keys:txn.Workload.Retwis.read_keys
+          (fun _ -> finish ())
       else if chaos = None then
-        Spanner.Client.rw c ~read_keys:txn.Workload.Retwis.read_keys
+        Spanner.Client.rw ?deadline_us c ~read_keys:txn.Workload.Retwis.read_keys
           ~write_keys:txn.Workload.Retwis.write_keys (fun _ -> finish ())
       else begin
         let writes =
@@ -587,7 +737,7 @@ let spanner_dc ?env ?chaos ?trace ?check ~mode ~n_shards ~service_time_us
             pr_last_txn = -1; pr_done = false }
         in
         pending := info :: !pending;
-        Spanner.Client.rw_kv c
+        Spanner.Client.rw_kv ?deadline_us c
           ~on_attempt:(fun id -> info.pr_last_txn <- id)
           ~read_keys:txn.Workload.Retwis.read_keys ~writes
           (fun _ ->
@@ -605,6 +755,7 @@ let spanner_dc ?env ?chaos ?trace ?check ~mode ~n_shards ~service_time_us
     (List.rev !pending);
   let measured_us = until - warmup in
   let reg = spanner_metrics ~faults:!faults ~failover:false cluster in
+  spanner_flow_metrics reg ~env ~budget cluster;
   let stats = Spanner.Cluster.stats cluster in
   let total_txns =
     stats.Spanner.Cluster.rw_committed + stats.Spanner.Cluster.ro_count
@@ -663,9 +814,12 @@ let sweep_gryff cluster pending =
     (List.rev pending)
 
 (* The §7.2 YCSB experiment: 16 closed-loop clients spread over five
-   regions, tunable conflict percentage and write ratio. *)
-let gryff_wan ?(n_clients = 16) ?env ?chaos ?disk_faults ?failover ?trace
-    ?check ~mode ~conflict ~write_ratio ~n_keys ~duration_s ~seed () =
+   regions, tunable conflict percentage and write ratio. [client_sites]
+   restricts where clients run (e.g. off a gray node); the default spreads
+   them over all five regions exactly as before. *)
+let gryff_wan ?(n_clients = 16) ?(client_sites = [| 0; 1; 2; 3; 4 |]) ?env
+    ?chaos ?disk_faults ?failover ?trace ?check ~mode ~conflict ~write_ratio
+    ~n_keys ~duration_s ~seed () =
   let env = resolve_env ?env ?chaos ?disk_faults ?failover ?trace ?check () in
   let chaos = env.Env.chaos in
   let disk_faults = env.Env.disk_faults in
@@ -682,11 +836,17 @@ let gryff_wan ?(n_clients = 16) ?env ?chaos ?disk_faults ?failover ?trace
   let config = Gryff.Config.wan5 ~mode () in
   let cluster = Gryff.Cluster.create engine ~rng config in
   apply_batching env (Gryff.Cluster.net cluster);
+  let budget = flow_budget env engine in
+  apply_flow_gryff env ~budget cluster;
+  let deadline_us = env.Env.deadline_us in
   if Obs.Trace.enabled trace then Gryff.Cluster.set_tracer cluster trace;
   if failover then
     Gryff.Cluster.enable_retrans cluster ~rng:(Sim.Rng.make (0xfa11 + seed)) ();
   let faults =
     arm_chaos ?chaos ~tracer:trace ?dctl ~engine
+      ~on_slow:(fun ~site ~factor ->
+        Gryff.Cluster.set_site_slowdown cluster ~site ~factor)
+      ~on_slow_clear:(fun () -> Gryff.Cluster.clear_slowdowns cluster)
       ~net:(Gryff.Cluster.net cluster) ()
   in
   let scrub =
@@ -700,7 +860,11 @@ let gryff_wan ?(n_clients = 16) ?env ?chaos ?disk_faults ?failover ?trace
   let read_lat = Stats.Recorder.create () and write_lat = Stats.Recorder.create () in
   let until = Sim.Engine.sec duration_s in
   let warmup = Sim.Engine.sec (duration_s /. 10.0) in
-  let clients = Array.init n_clients (fun i -> Gryff.Client.create cluster ~site:(i mod 5)) in
+  let clients =
+    Array.init n_clients (fun i ->
+        Gryff.Client.create cluster
+          ~site:client_sites.(i mod Array.length client_sites))
+  in
   Workload.Client_model.closed_loop engine ~n_clients
     ~body:(fun ~client k ->
       let c = clients.(client) in
@@ -713,7 +877,7 @@ let gryff_wan ?(n_clients = 16) ?env ?chaos ?disk_faults ?failover ?trace
       if op.Workload.Ycsb.is_write then begin
         let value = Gryff.Cluster.fresh_value cluster in
         if chaos = None then
-          Gryff.Client.write c ~key:op.Workload.Ycsb.key ~value
+          Gryff.Client.write ?deadline_us c ~key:op.Workload.Ycsb.key ~value
             (fun _ -> finish write_lat ())
         else begin
           let info =
@@ -722,7 +886,7 @@ let gryff_wan ?(n_clients = 16) ?env ?chaos ?disk_faults ?failover ?trace
               pw_cs = None; pw_done = false }
           in
           pending := info :: !pending;
-          Gryff.Client.write c
+          Gryff.Client.write ?deadline_us c
             ~on_apply:(fun cs -> info.pw_cs <- Some cs)
             ~key:op.Workload.Ycsb.key ~value:info.pw_value
             (fun _ ->
@@ -730,11 +894,14 @@ let gryff_wan ?(n_clients = 16) ?env ?chaos ?disk_faults ?failover ?trace
               finish write_lat ())
         end
       end
-      else Gryff.Client.read c ~key:op.Workload.Ycsb.key (fun _ -> finish read_lat ()))
+      else
+        Gryff.Client.read ?deadline_us c ~key:op.Workload.Ycsb.key (fun _ ->
+            finish read_lat ()))
     ~until ();
   Sim.Engine.run ~max_events:600_000_000 engine;
   sweep_gryff cluster !pending;
   let reg = gryff_metrics ~faults:!faults ~failover cluster in
+  gryff_flow_metrics reg ~env ~budget cluster;
   durable_metrics reg ~dctl ~scrub;
   let t0_check = Sys.time () in
   let verdict =
@@ -770,9 +937,16 @@ let gryff_dc ?env ?chaos ?trace ?check ~mode ~service_time_us ~n_clients
   let config = Gryff.Config.single_dc ~mode ~service_time_us () in
   let cluster = Gryff.Cluster.create engine ~rng config in
   apply_batching env (Gryff.Cluster.net cluster);
+  let budget = flow_budget env engine in
+  apply_flow_gryff env ~budget cluster;
+  let deadline_us = env.Env.deadline_us in
   if Obs.Trace.enabled trace then Gryff.Cluster.set_tracer cluster trace;
   let faults =
-    arm_chaos ?chaos ~tracer:trace ~engine ~net:(Gryff.Cluster.net cluster) ()
+    arm_chaos ?chaos ~tracer:trace ~engine
+      ~on_slow:(fun ~site ~factor ->
+        Gryff.Cluster.set_site_slowdown cluster ~site ~factor)
+      ~on_slow_clear:(fun () -> Gryff.Cluster.clear_slowdowns cluster)
+      ~net:(Gryff.Cluster.net cluster) ()
   in
   let online =
     match check with `Online -> Some (arm_gryff_online cluster) | _ -> None
@@ -799,7 +973,7 @@ let gryff_dc ?env ?chaos ?trace ?check ~mode ~service_time_us ~n_clients
       if op.Workload.Ycsb.is_write then begin
         let value = Gryff.Cluster.fresh_value cluster in
         if chaos = None then
-          Gryff.Client.write c ~key:op.Workload.Ycsb.key ~value
+          Gryff.Client.write ?deadline_us c ~key:op.Workload.Ycsb.key ~value
             (fun _ -> finish ())
         else begin
           let info =
@@ -808,7 +982,7 @@ let gryff_dc ?env ?chaos ?trace ?check ~mode ~service_time_us ~n_clients
               pw_cs = None; pw_done = false }
           in
           pending := info :: !pending;
-          Gryff.Client.write c
+          Gryff.Client.write ?deadline_us c
             ~on_apply:(fun cs -> info.pw_cs <- Some cs)
             ~key:op.Workload.Ycsb.key ~value:info.pw_value
             (fun _ ->
@@ -816,12 +990,15 @@ let gryff_dc ?env ?chaos ?trace ?check ~mode ~service_time_us ~n_clients
               finish ())
         end
       end
-      else Gryff.Client.read c ~key:op.Workload.Ycsb.key (fun _ -> finish ()))
+      else
+        Gryff.Client.read ?deadline_us c ~key:op.Workload.Ycsb.key (fun _ ->
+            finish ()))
     ~until ();
   Sim.Engine.run ~max_events:600_000_000 engine;
   sweep_gryff cluster !pending;
   let measured_us = until - warmup in
   let reg = gryff_metrics ~faults:!faults ~failover:false cluster in
+  gryff_flow_metrics reg ~env ~budget cluster;
   Obs.Metrics.set_gauge reg "throughput_tps"
     (Stats.Summary.throughput ~count:!completed ~duration_us:measured_us);
   Obs.Metrics.set_gauge reg "p50_ms"

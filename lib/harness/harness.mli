@@ -98,6 +98,34 @@ type reshard_spec = {
 }
 (** A live migration armed partway through a [spanner_wan] run. *)
 
+type flow_spec = {
+  fl_admission : Sim.Station.limits option;
+      (** bounded queues + load shedding at every server station (see
+          {!Spanner.Cluster.set_admission} / {!Gryff.Cluster.set_admission}) *)
+  fl_drop_expired : bool;
+      (** servers drop request legs whose riding deadline has already
+          passed at their projected service start — pair with
+          [Env.deadline_us] or nothing rides the envelopes *)
+  fl_hedge_us : int;
+      (** hedge reads still unfinished after this many µs (0 = off):
+          Spanner duplicates the RO read, Gryff widens a bare-quorum
+          fan-out — see [fl_gryff_fanout] *)
+  fl_budget : (int * int) option;
+      (** fleet-wide retry token bucket as [(capacity,
+          refill_period_us)]; a dry bucket turns retries of shed work into
+          fast-fails instead of amplification *)
+  fl_gryff_fanout : Gryff.Protocol.read_fanout option;
+      (** Gryff read fan-out policy ([None] keeps the protocol default,
+          [Fan_all]); Spanner drivers ignore it *)
+}
+(** The overload-protection policy a driver applies to its cluster before
+    any traffic flows. Every field off ({!flow_default}) reproduces the
+    unprotected run byte for byte. *)
+
+val flow_default : flow_spec
+(** No admission limits, no expiry drops, no hedging, no budget, default
+    fan-out. *)
+
 (** The cross-cutting run environment. Every driver used to take the same
     six optional keywords ([?chaos ?disk_faults ?failover ?trace ?check
     ?reshard]); they are one record now, built with {!Env.default} and the
@@ -122,11 +150,19 @@ module Env : sig
     batching : Sim.Net.policy option;
         (** installed on the run's network before any traffic flows; [None]
             keeps seeded schedules byte-identical to unbatched runs *)
+    deadline_us : int option;
+        (** client deadline put on every operation. [None] (the default)
+            keeps the historical behavior: no deadline, except the 10 s
+            failover fallback [spanner_wan] arms with [failover]. An
+            explicit value overrides that fallback too. *)
+    flow : flow_spec option;
+        (** overload protections applied to the cluster before any traffic
+            flows; [None] runs unprotected and byte-identical to before *)
   }
 
   val default : t
   (** No chaos, no disk faults, no failover, tracing disabled, [`Offline]
-      checking, no reshard, batching off. *)
+      checking, no reshard, batching off, no deadline, no flow policy. *)
 
   val with_chaos : Chaos.Schedule.t -> t -> t
   val with_disk_faults : Chaos.Audit.disk_faults -> t -> t
@@ -136,16 +172,22 @@ module Env : sig
   val with_reshard : reshard_spec list -> t -> t
   val with_batching : Sim.Net.policy option -> t -> t
 
+  val with_deadline_us : int option -> t -> t
+  (** Raises [Invalid_argument] on a non-positive deadline. *)
+
+  val with_flow : flow_spec option -> t -> t
+
   val resolve :
     ?env:t -> ?chaos:Chaos.Schedule.t -> ?disk_faults:Chaos.Audit.disk_faults ->
     ?failover:bool -> ?trace:Obs.Trace.t -> ?check:check_mode ->
     ?reshard:reshard_spec list -> unit -> t
   (** The exact deprecated-keyword shim every driver applies: fold the
       legacy keywords over [?env] (default {!default}), an explicitly
-      passed keyword winning over the corresponding field. [batching] has
-      no keyword, so it always passes through. Exposed so the shim
-      semantics can be property-tested — drivers behave as if called with
-      [~env:(resolve ?env ?chaos ... ())] and no keywords. *)
+      passed keyword winning over the corresponding field. [batching],
+      [deadline_us] and [flow] have no keyword, so they always pass
+      through. Exposed so the shim semantics can be property-tested —
+      drivers behave as if called with [~env:(resolve ?env ?chaos ... ())]
+      and no keywords. *)
 end
 
 val spanner_wan :
@@ -177,17 +219,19 @@ val spanner_dc :
     ["p50_ms"], ["msgs_per_txn"]. *)
 
 val gryff_wan :
-  ?n_clients:int -> ?env:Env.t -> ?chaos:Chaos.Schedule.t ->
+  ?n_clients:int -> ?client_sites:int array -> ?env:Env.t ->
+  ?chaos:Chaos.Schedule.t ->
   ?disk_faults:Chaos.Audit.disk_faults -> ?failover:bool ->
   ?trace:Obs.Trace.t -> ?check:check_mode -> mode:Gryff.Config.mode ->
   conflict:float ->
   write_ratio:float -> n_keys:int -> duration_s:float -> seed:int -> unit ->
   Run.t
 (** §7.2: YCSB over the five-region deployment, closed-loop clients.
-    [failover] (default false) arms {!Gryff.Cluster.enable_retrans}.
-    [disk_faults] is accepted for battery uniformity — Gryff keeps no
-    durable stores, so the control registers nothing. Latencies: ["read"],
-    ["write"]. *)
+    [client_sites] restricts where clients run (e.g. off a slow-node
+    victim); the default spreads them over all five regions. [failover]
+    (default false) arms {!Gryff.Cluster.enable_retrans}. [disk_faults] is
+    accepted for battery uniformity — Gryff keeps no durable stores, so
+    the control registers nothing. Latencies: ["read"], ["write"]. *)
 
 val gryff_dc :
   ?env:Env.t -> ?chaos:Chaos.Schedule.t -> ?trace:Obs.Trace.t ->

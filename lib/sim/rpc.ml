@@ -1,12 +1,72 @@
+module Budget = struct
+  type t = {
+    engine : Engine.t;
+    capacity : int;
+    refill_period_us : int;
+    mutable tokens : int;
+    mutable last_refill : int;
+    mutable n_taken : int;
+    mutable n_denied : int;
+  }
+
+  let create engine ~capacity ~refill_period_us =
+    if capacity < 1 then invalid_arg "Rpc.Budget.create: capacity must be >= 1";
+    if refill_period_us < 1 then
+      invalid_arg "Rpc.Budget.create: refill_period_us must be >= 1";
+    {
+      engine;
+      capacity;
+      refill_period_us;
+      tokens = capacity;
+      last_refill = 0;
+      n_taken = 0;
+      n_denied = 0;
+    }
+
+  (* Lazy integer refill: tokens earned are whole periods elapsed since the
+     last refill, and the refill clock only advances by the periods actually
+     credited — no float drift, no timer events, deterministic for a given
+     schedule. *)
+  let refill t =
+    let now = Engine.now t.engine in
+    let earned = (now - t.last_refill) / t.refill_period_us in
+    if earned > 0 then begin
+      t.tokens <- min t.capacity (t.tokens + earned);
+      t.last_refill <- t.last_refill + (earned * t.refill_period_us)
+    end
+
+  let try_take t =
+    refill t;
+    if t.tokens > 0 then begin
+      t.tokens <- t.tokens - 1;
+      t.n_taken <- t.n_taken + 1;
+      true
+    end
+    else begin
+      t.n_denied <- t.n_denied + 1;
+      false
+    end
+
+  let tokens t =
+    refill t;
+    t.tokens
+
+  let taken t = t.n_taken
+
+  let denied t = t.n_denied
+end
+
 type t = {
   engine : Engine.t;
   rng : Rng.t;
   timeout_us : int;
   max_backoff_us : int;
   max_attempts : int;
+  mutable budget : Budget.t option;
   mutable n_calls : int;
   mutable n_retries : int;
   mutable n_exhausted : int;
+  mutable n_budget_denied : int;
   mutable tracer : Obs.Trace.t;
 }
 
@@ -20,13 +80,19 @@ let create engine ~rng ?(timeout_us = 500_000) ?(max_backoff_us = 2_000_000)
     timeout_us;
     max_backoff_us;
     max_attempts;
+    budget = None;
     n_calls = 0;
     n_retries = 0;
     n_exhausted = 0;
+    n_budget_denied = 0;
     tracer = Obs.Trace.disabled;
   }
 
 let set_tracer t tracer = t.tracer <- tracer
+
+let set_budget t budget = t.budget <- budget
+
+let budget t = t.budget
 
 let call ?(name = "rpc.call") t ~attempt ~on_result =
   t.n_calls <- t.n_calls + 1;
@@ -50,16 +116,33 @@ let call ?(name = "rpc.call") t ~attempt ~on_result =
       on_result (Some v)
     end
   in
+  let give_up marker =
+    if traced then begin
+      Obs.Trace.instant ~parent:call_sp tr ~name:marker
+        ~ts:(Engine.now t.engine);
+      Obs.Trace.end_span tr call_sp ~ts:(Engine.now t.engine)
+    end;
+    on_result None
+  in
+  (* A retry spends one budget token (the first attempt is free — budgets
+     cap amplification, not offered load). An empty bucket converts the
+     retry into an immediate fast-fail rather than queueing more work onto
+     an already-overloaded fleet. *)
+  let retry_allowed () =
+    match t.budget with
+    | None -> true
+    | Some b -> Budget.try_take b
+  in
   let rec go n =
     if not !settled then
       if n > t.max_attempts then begin
         t.n_exhausted <- t.n_exhausted + 1;
-        if traced then begin
-          Obs.Trace.instant ~parent:call_sp tr ~name:"rpc.exhausted"
-            ~ts:(Engine.now t.engine);
-          Obs.Trace.end_span tr call_sp ~ts:(Engine.now t.engine)
-        end;
-        on_result None
+        give_up "rpc.exhausted"
+      end
+      else if n > 1 && not (retry_allowed ()) then begin
+        t.n_exhausted <- t.n_exhausted + 1;
+        t.n_budget_denied <- t.n_budget_denied + 1;
+        give_up "rpc.budget_exhausted"
       end
       else begin
         if n > 1 then t.n_retries <- t.n_retries + 1;
@@ -86,3 +169,5 @@ let calls t = t.n_calls
 let retries t = t.n_retries
 
 let exhausted t = t.n_exhausted
+
+let budget_denied t = t.n_budget_denied

@@ -22,11 +22,43 @@
 
 type t
 
+(** Fleet-wide retry budget: a token bucket shared by any number of {!t}
+    instances that caps total retry {e amplification}. First attempts are
+    free; each retransmission spends one token, and an empty bucket turns
+    the retry into an immediate fast-fail ([on_result None]) instead of
+    adding more work to an overloaded fleet — the standard defense against
+    metastable retry storms. Refill is lazy integer arithmetic over
+    simulated time: no timer events, no randomness, fully deterministic. *)
+module Budget : sig
+  type t
+
+  val create : Engine.t -> capacity:int -> refill_period_us:int -> t
+  (** A bucket holding at most [capacity] tokens (starts full), earning one
+      token per [refill_period_us] of simulated time. Raises
+      [Invalid_argument] on non-positive parameters. *)
+
+  val try_take : t -> bool
+  (** Spend one token; [false] (and a denial counted) when empty. *)
+
+  val tokens : t -> int
+  (** Tokens currently available (after lazy refill). *)
+
+  val taken : t -> int
+  val denied : t -> int
+end
+
 val create :
   Engine.t -> rng:Rng.t -> ?timeout_us:int -> ?max_backoff_us:int ->
   ?max_attempts:int -> unit -> t
 (** Defaults: 500 ms first-attempt timeout (above the worst WAN round trip
     in the paper's deployments), 2 s backoff cap, 8 attempts. *)
+
+val set_budget : t -> Budget.t option -> unit
+(** Attach (or detach) a retry budget. Several helpers may share one bucket
+    — that is the point: the cap is fleet-wide. [None] (the default) keeps
+    the pre-budget behavior exactly. *)
+
+val budget : t -> Budget.t option
 
 val call :
   ?name:string ->
@@ -52,4 +84,10 @@ val set_tracer : t -> Obs.Trace.t -> unit
 
 val calls : t -> int
 val retries : t -> int
+
 val exhausted : t -> int
+(** Calls that delivered [None] — attempt budget spent {e or} retry budget
+    denied (the latter also counted in {!budget_denied}). *)
+
+val budget_denied : t -> int
+(** Calls fast-failed by an empty retry {!Budget}. *)

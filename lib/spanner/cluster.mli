@@ -71,6 +71,46 @@ val enable_failover :
     a {!Sim.Rng.split} the caller owns): it feeds retry jitter only, so the
     cluster's fault-free behavior stays byte-identical. *)
 
+(** {2 Overload & gray-failure controls}
+
+    Cluster-level passthroughs to {!Protocol}'s flow controls; all
+    default-off and byte-identity-preserving when unarmed. *)
+
+val stations : t -> Sim.Station.t list
+(** Every shard leader's station (queue-depth / sojourn recorders live
+    there once admission or observation is armed). *)
+
+val set_site_slowdown : t -> site:int -> factor:int -> unit
+(** Gray failure: shards currently led from [site] serve [factor]x slower. *)
+
+val clear_slowdowns : t -> unit
+
+val set_admission : t -> Sim.Station.limits option -> unit
+(** Bounded queues + load shedding at every shard leader (client-facing
+    entry points only; see {!Protocol.set_admission}). *)
+
+val set_drop_expired : t -> bool -> unit
+(** Deadline propagation: drop work whose riding deadline has passed
+    before its projected service start (see {!Protocol.set_drop_expired}). *)
+
+val set_hedge_us : t -> int -> unit
+(** Hedged RO reads: duplicate an RO still unfinished after this many µs,
+    first completion wins. 0 disables. *)
+
+val set_retry_budget : t -> Sim.Rpc.Budget.t option -> unit
+(** Fleet-wide retry token bucket; dry bucket → ops abandon instead of
+    amplifying overload. *)
+
+type flow_stats = {
+  expired : int;  (** requests dropped expired at dequeue *)
+  shed : int;  (** requests NACKed by admission control *)
+  abandoned : int;  (** ops given up: expired or out of budget *)
+  hedges : int;  (** hedge reads actually issued *)
+  hedge_wins : int;  (** hedges that beat the primary *)
+}
+
+val flow_stats : t -> flow_stats
+
 (** {2 Elastic placement} *)
 
 val directory : t -> Place.Directory.t

@@ -44,7 +44,22 @@ type ctx = {
          sessions re-reading hot unfenced keys at retry speed hold a rolling
          stream of old-priority read locks that can starve the very writers
          the drain is waiting on. *)
+  (* Overload robustness — all default-off; armed via Harness.Env.flow. *)
+  mutable drop_expired : bool;
+  mutable hedge_us : int;
+  mutable retry_budget : Sim.Rpc.Budget.t option;
+  mutable n_expired : int;  (* requests dropped expired at dequeue *)
+  mutable n_shed : int;  (* requests NACKed by admission control *)
+  mutable n_abandoned : int;  (* ops given up (expired / budget spent) *)
+  mutable n_hedges : int;  (* hedge reads actually issued *)
+  mutable n_hedge_wins : int;  (* hedges that beat the primary *)
 }
+
+(* A shard's refusal to serve a request, delivered back to the sender when
+   it supplied a [reject] continuation: the work was either already past
+   its deadline when the leader dequeued it, or shed by admission control
+   with a server-suggested backoff. *)
+type server_reject = Expired | Pushback of Sim.Station.pushback
 
 (* Deliver a message to a shard leader: network hop + leader CPU. The
    leader site is read at send time, so clients rediscover a moved leader
@@ -62,7 +77,23 @@ type ctx = {
    amortize the destination leader's station cost ([Station.amortized]).
    With batching off, [post] is [send] — byte-identical to the unbatched
    protocol. *)
-let to_shard ctx ~src ?(bytes = 96) shard_id handler =
+(* Deliver a reply to a client (client CPUs are not the modelled bottleneck). *)
+let to_client ctx ~src ?(bytes = 96) ~dst handler =
+  Sim.Net.post ~bytes ctx.net ~src ~dst (fun _env_idx -> handler ())
+
+(* [expires] is the op's absolute deadline riding the request: once the
+   leader would only *start* the work past it, the work is useless and is
+   dropped before any station cost is charged. The station's queue is its
+   [busy_until] horizon with deterministic FIFO service, so the projected
+   start (now + backlog) at enqueue equals the dequeue-time state exactly —
+   checking here is the dequeue-drop, just placed where it can still refuse
+   the cost. [reject] is supplied only on client-facing entry points (the
+   RW read phase and RO shard reads): those messages get an explicit NACK
+   (expired or shed-with-backoff) posted back so the client fast-fails
+   instead of timing out. Internal 2PC traffic never passes [reject] and is
+   never shed — refusing a commit-phase message would strand prepared
+   participants, the one queue where shedding costs more than serving. *)
+let to_shard ctx ~src ?(bytes = 96) ?expires ?reject shard_id handler =
   let shard = ctx.shards.(shard_id) in
   let dst = shard.Shard.leader_site in
   Sim.Net.post ~bytes ctx.net ~src ~dst (fun env_idx ->
@@ -72,26 +103,50 @@ let to_shard ctx ~src ?(bytes = 96) shard_id handler =
             && (not (Sim.Net.is_down ctx.net dst))
             && Replication.Group.serving shard.Shard.repl)
       then begin
-        let cost =
-          Sim.Station.amortized
-            ~full:(Sim.Station.service_time_us shard.Shard.station)
-            env_idx
+        let station = shard.Shard.station in
+        let nack r =
+          match reject with
+          | None -> ()
+          | Some k -> to_client ctx ~src:dst ~bytes:32 ~dst:src (fun () -> k r)
         in
-        let tr = ctx.tracer in
-        if Obs.Trace.enabled tr then begin
-          (* Station queueing runs the handler from a fresh engine event,
-             which would lose the delivery hop as ambient parent — carry it
-             across explicitly. *)
-          let sp = Obs.Trace.current tr in
-          Sim.Station.submit ~cost shard.Shard.station (fun () ->
-              Obs.Trace.with_current tr sp (fun () -> handler shard))
+        let expired =
+          ctx.drop_expired
+          && (match expires with
+             | Some e ->
+               Sim.Engine.now ctx.engine + Sim.Station.backlog_us station > e
+             | None -> false)
+        in
+        if expired then begin
+          ctx.n_expired <- ctx.n_expired + 1;
+          nack Expired
         end
-        else Sim.Station.submit ~cost shard.Shard.station (fun () -> handler shard)
+        else begin
+          let cost =
+            Sim.Station.amortized
+              ~full:(Sim.Station.service_time_us station)
+              env_idx
+          in
+          let tr = ctx.tracer in
+          let job =
+            if Obs.Trace.enabled tr then begin
+              (* Station queueing runs the handler from a fresh engine event,
+                 which would lose the delivery hop as ambient parent — carry
+                 it across explicitly. *)
+              let sp = Obs.Trace.current tr in
+              fun () -> Obs.Trace.with_current tr sp (fun () -> handler shard)
+            end
+            else fun () -> handler shard
+          in
+          match reject with
+          | None -> Sim.Station.submit ~cost station job
+          | Some _ -> (
+            match Sim.Station.try_submit ~cost station job with
+            | Sim.Station.Admitted -> ()
+            | Sim.Station.Shed pb ->
+              ctx.n_shed <- ctx.n_shed + 1;
+              nack (Pushback pb))
+        end
       end)
-
-(* Deliver a reply to a client (client CPUs are not the modelled bottleneck). *)
-let to_client ctx ~src ?(bytes = 96) ~dst handler =
-  Sim.Net.post ~bytes ctx.net ~src ~dst (fun _env_idx -> handler ())
 
 (* Authoritative ownership (the directory's current epoch). Clients route
    through their cached [?view] instead and get bounced + refreshed when it
@@ -675,6 +730,14 @@ let make_ctx engine net tt txns config =
       n_redirects = 0;
       n_fence_blocked = 0;
       fence_bounced = Hashtbl.create 64;
+      drop_expired = false;
+      hedge_us = 0;
+      retry_budget = None;
+      n_expired = 0;
+      n_shed = 0;
+      n_abandoned = 0;
+      n_hedges = 0;
+      n_hedge_wins = 0;
     }
   in
   Array.iter
@@ -768,6 +831,14 @@ let rw_txn ?(on_attempt = fun (_ : int) -> ()) ?deadline_us ?view ctx
      tiebreak makes priorities a strict total order. *)
   let priority = (Sim.Engine.now ctx.engine, Types.tiebreak ctx.txns) in
   let attempts = ref 0 in
+  (* Absolute expiry for deadline propagation: fixed at first issue, so
+     retries inherit the remaining (not a fresh) deadline — the property
+     that stops retry storms from doing useless work server-side. *)
+  let expires =
+    match deadline_us with
+    | Some d when ctx.drop_expired -> Some (Sim.Engine.now ctx.engine + d)
+    | Some _ | None -> None
+  in
   let rec attempt () =
     (* Routing is re-derived per attempt from the client's cached view:
        an attempt bounced off a moved range refreshes the view in [retry]
@@ -785,16 +856,30 @@ let rw_txn ?(on_attempt = fun (_ : int) -> ()) ?deadline_us ?view ctx
     let meta = Types.fresh ctx.txns ~proc ~priority in
     let txn = meta.Types.id in
     on_attempt txn;
-    let retry txn =
-      (* Release everything this attempt still holds (at the shards this
-         attempt actually addressed), then retry with the original
-         wound-wait priority. *)
+    (* Server-suggested backoff from an admission-control pushback on this
+       attempt's reads: folded into the retry backoff below so a shed
+       client waits at least as long as the server asked. *)
+    let pushback_us = ref 0 in
+    (* Release everything this attempt still holds (at the shards this
+       attempt actually addressed). *)
+    let release_attempt txn =
       (Types.find ctx.txns txn).Types.outcome <- Some Types.Aborted;
       List.iter
         (fun shard_id ->
           to_shard ctx ~src:client_site ~bytes:32 shard_id (fun sh ->
               release_at_shard ctx sh ~txn Types.Aborted))
-        participant_ids;
+        participant_ids
+    in
+    (* Give up for good: past its deadline (a retry cannot meet it) or out
+       of retry budget (a retry would amplify the very overload that failed
+       it). Locks still release — an abandoned txn must not strand
+       waiters. *)
+    let abandon txn =
+      ctx.n_abandoned <- ctx.n_abandoned + 1;
+      release_attempt txn
+    in
+    let retry txn =
+      release_attempt txn;
       (match view with
       | Some v when Place.Directory.stale v -> Place.Directory.refresh v
       | Some _ | None -> ());
@@ -810,7 +895,14 @@ let rw_txn ?(on_attempt = fun (_ : int) -> ()) ?deadline_us ?view ctx
       incr attempts;
       let shift = min !attempts (if fence_hit then 9 else 5) in
       let backoff = (5_000 * (1 lsl shift)) + (txn mod 5_000) in
-      Sim.Engine.schedule ~kind:"txn.backoff" ctx.engine ~after:backoff attempt
+      let backoff = max backoff !pushback_us in
+      match ctx.retry_budget with
+      | Some b when not (Sim.Rpc.Budget.try_take b) ->
+        (* Budget spent: fast-fail rather than join a retry storm. The
+           release already ran above. *)
+        ctx.n_abandoned <- ctx.n_abandoned + 1
+      | Some _ | None ->
+        Sim.Engine.schedule ~kind:"txn.backoff" ctx.engine ~after:backoff attempt
     in
     (* --- execution (read) phase --- *)
     let pending = ref (List.length read_shards) in
@@ -919,7 +1011,22 @@ let rw_txn ?(on_attempt = fun (_ : int) -> ()) ?deadline_us ?view ctx
     else
       List.iter
         (fun (shard_id, keys) ->
-          to_shard ctx ~src:client_site shard_id (fun sh ->
+          (* Only the read phase carries the deadline and accepts pushback:
+             it is the txn's front door, where refusing work is still
+             cheap. Once prepares are out, messages must land. *)
+          let reject = function
+            | Expired ->
+              if not !settled then begin
+                settled := true;
+                ctx.n_rw_aborted_attempts <- ctx.n_rw_aborted_attempts + 1;
+                abandon txn
+              end
+            | Pushback pb ->
+              pushback_us := max !pushback_us pb.retry_after_us;
+              failed := true;
+              read_done ()
+          in
+          to_shard ctx ~src:client_site ?expires ~reject shard_id (fun sh ->
               (* Conservative capture point: any view change after this —
                  even mid-batch, while later keys' locks are still being
                  granted — voids the whole attempt at decision time. *)
@@ -1025,7 +1132,7 @@ let handle_ro ctx shard ~keys ~t_read ~t_min ~(fast : fast_reply -> unit)
             if !pending = 0 then finish ()))
       blocking
 
-let rec ro_once ?view ctx ~client_site ~t_min ~keys k =
+let rec ro_once ?view ?expires ctx ~client_site ~t_min ~keys k =
   ctx.n_ro <- ctx.n_ro + 1;
   let t_read = (Sim.Truetime.now ctx.tt).Sim.Truetime.latest in
   let by_shard = group_by_shard ?view ctx keys in
@@ -1149,12 +1256,42 @@ let rec ro_once ?view ctx ~client_site ~t_min ~keys k =
     if not !finished then begin
       finished := true;
       refresh_view view;
-      ro_once ?view ctx ~client_site ~t_min ~keys k
+      ro_once ?view ?expires ctx ~client_site ~t_min ~keys k
     end
+  in
+  (* A shard's refusal kills this whole attempt ([finished] silences the
+     other shards' replies — a partial RO is worthless). Expired: the
+     deadline already passed, give up. Shed: re-issue the whole read after
+     the server-suggested backoff, but only if the retry budget allows it
+     and the deadline can still be met — otherwise fast-fail. *)
+  let reject = function
+    | Expired ->
+      if not !finished then begin
+        finished := true;
+        ctx.n_abandoned <- ctx.n_abandoned + 1
+      end
+    | Pushback pb ->
+      if not !finished then begin
+        finished := true;
+        let now = Sim.Engine.now ctx.engine in
+        let in_time =
+          match expires with None -> true | Some e -> now + pb.retry_after_us < e
+        in
+        let budgeted =
+          match ctx.retry_budget with
+          | None -> true
+          | Some b -> Sim.Rpc.Budget.try_take b
+        in
+        if in_time && budgeted then
+          Sim.Engine.schedule ~kind:"txn.backoff" ctx.engine
+            ~after:pb.retry_after_us (fun () ->
+              ro_once ?view ?expires ctx ~client_site ~t_min ~keys k)
+        else ctx.n_abandoned <- ctx.n_abandoned + 1
+      end
   in
   List.iter
     (fun (shard_id, shard_keys) ->
-      to_shard ctx ~src:client_site shard_id (fun sh ->
+      to_shard ctx ~src:client_site ?expires ~reject shard_id (fun sh ->
           if List.exists (fun key -> not (owns ctx sh key)) shard_keys then begin
             ctx.n_redirects <- ctx.n_redirects + 1;
             to_client ctx ~src:sh.Shard.leader_site ~bytes:32 ~dst:client_site
@@ -1176,6 +1313,11 @@ let rec ro_once ?view ctx ~client_site ~t_min ~keys k =
    wins; the attempt budget bounds the tail so an unservable read does not
    keep the simulation alive forever. *)
 let ro_txn ?deadline_us ?view ctx ~client_site ~proc:_ ~t_min ~keys k =
+  let expires =
+    match deadline_us with
+    | Some d when ctx.drop_expired -> Some (Sim.Engine.now ctx.engine + d)
+    | Some _ | None -> None
+  in
   match deadline_us with
   | Some d when ctx.failover ->
     let done_ = ref false in
@@ -1186,7 +1328,7 @@ let ro_txn ?deadline_us ?view ctx ~client_site ~proc:_ ~t_min ~keys k =
         (match view with
         | Some v when Place.Directory.stale v -> Place.Directory.refresh v
         | Some _ | None -> ());
-        ro_once ?view ctx ~client_site ~t_min ~keys (fun res ->
+        ro_once ?view ?expires ctx ~client_site ~t_min ~keys (fun res ->
             if not !done_ then begin
               done_ := true;
               k res
@@ -1196,9 +1338,76 @@ let ro_txn ?deadline_us ?view ctx ~client_site ~proc:_ ~t_min ~keys k =
       end
     in
     go 25
-  | Some _ | None -> ro_once ?view ctx ~client_site ~t_min ~keys k
+  | Some _ | None ->
+    if ctx.hedge_us <= 0 then ro_once ?view ?expires ctx ~client_site ~t_min ~keys k
+    else begin
+      (* Hedged read: if the primary has not completed after [hedge_us]
+         (sized to a healthy-run latency percentile), issue one duplicate
+         and let the first completion win. Against a gray-failed leader the
+         hedge re-routes through the client's refreshed view — and even on
+         an unchanged route it re-queues behind a shorter backlog than the
+         stuck primary. The loser is cancelled client-side ([done_]); its
+         server work completes harmlessly (reads take no locks). *)
+      let done_ = ref false in
+      let primary_done = ref false in
+      ro_once ?view ?expires ctx ~client_site ~t_min ~keys (fun res ->
+          primary_done := true;
+          if not !done_ then begin
+            done_ := true;
+            k res
+          end);
+      Sim.Engine.schedule ~kind:"txn.hedge" ctx.engine ~after:ctx.hedge_us
+        (fun () ->
+          if not !done_ then begin
+            ctx.n_hedges <- ctx.n_hedges + 1;
+            (match view with
+            | Some v when Place.Directory.stale v -> Place.Directory.refresh v
+            | Some _ | None -> ());
+            ro_once ?view ?expires ctx ~client_site ~t_min ~keys (fun res ->
+                if not !done_ then begin
+                  done_ := true;
+                  if not !primary_done then
+                    ctx.n_hedge_wins <- ctx.n_hedge_wins + 1;
+                  k res
+                end)
+          end)
+    end
 
 let fence ctx ~t_min k = wait_truetime ctx (t_min + ctx.config.Config.fence_l_us) k
+
+(* ------------------------------------------------------------------ *)
+(* Overload & gray-failure controls                                    *)
+(* ------------------------------------------------------------------ *)
+
+let stations ctx =
+  Array.to_list (Array.map (fun sh -> sh.Shard.station) ctx.shards)
+
+(* Gray failure: every shard whose leader currently serves from [site]
+   slows down. The station models the leader's CPU wherever it serves, so
+   if failover later moves the leader the slowdown rides along — an
+   acceptable approximation while the fault window is short (nemesis
+   windows undo with [Slow_clear] before leaders move in a no-crash
+   preset). *)
+let set_site_slowdown ctx ~site ~factor =
+  Array.iter
+    (fun sh ->
+      if sh.Shard.leader_site = site then
+        Sim.Station.set_slowdown sh.Shard.station factor)
+    ctx.shards
+
+let clear_slowdowns ctx =
+  Array.iter (fun sh -> Sim.Station.set_slowdown sh.Shard.station 1) ctx.shards
+
+let set_admission ctx limits =
+  Array.iter (fun sh -> Sim.Station.set_limits sh.Shard.station limits) ctx.shards
+
+let set_drop_expired ctx on = ctx.drop_expired <- on
+
+let set_hedge_us ctx us =
+  if us < 0 then invalid_arg "Protocol.set_hedge_us: negative delay";
+  ctx.hedge_us <- us
+
+let set_retry_budget ctx budget = ctx.retry_budget <- budget
 
 (* Snapshot reads (Spanner's read-at-timestamp API): a consistent view as of
    a caller-chosen timestamp. Shards block on prepared transactions that

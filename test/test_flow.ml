@@ -1,0 +1,282 @@
+(* Overload-robustness guarantees: (1) Station.amortized cost accounting is
+   exact — a drained batch charges the station head-cost plus quarter-cost
+   per follower, and arrival sampling observes the queue transient; (2)
+   admission control sheds exactly past the installed bounds and the typed
+   pushback carries a drainable backoff estimate; (3) the retry budget is a
+   strict token bucket — dry means fast-fail, refill is lazy and exact; (4)
+   a slowdown factor scales busy time linearly; (5) the whole flow layer
+   with every knob off reproduces the golden seeded digests byte-for-byte;
+   (6) hedged reads complete quorums under a gray-failed replica. *)
+
+let check = Alcotest.check
+let bool = Alcotest.bool
+let int = Alcotest.int
+let string = Alcotest.string
+let qt = QCheck_alcotest.to_alcotest
+
+(* ------------------------------------------------------------------ *)
+(* Amortized batch accounting (QCheck)                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* An envelope of [n] members with head cost [full] must charge the
+   station exactly [full + (n-1) * ceil(full/4)]: the head pays the parse
+   and dispatch, every follower rides the warm path at a quarter, rounded
+   up so a nonzero head never yields free followers. The queue-depth
+   recorder must observe the submit transient 0, 1, ..., n-1. *)
+let envelope_arb =
+  QCheck.make
+    ~print:(fun (full, n) -> Printf.sprintf "full=%d n=%d" full n)
+    QCheck.Gen.(pair (int_range 1 500) (int_range 1 48))
+
+let prop_amortized_accounting =
+  QCheck.Test.make ~name:"amortized envelope charges head + quarter-followers"
+    ~count:300 envelope_arb (fun (full, n) ->
+      let quarter = (full + 3) / 4 in
+      (* The formula itself, member by member. *)
+      if Sim.Station.amortized ~full 0 <> full then
+        QCheck.Test.fail_reportf "head must pay full cost %d" full;
+      for idx = 1 to n - 1 do
+        if Sim.Station.amortized ~full idx <> quarter then
+          QCheck.Test.fail_reportf "follower %d must pay %d" idx quarter
+      done;
+      (* And through a real station: submit the envelope, drain, reconcile
+         busy time against the closed form. *)
+      let e = Sim.Engine.create () in
+      let st = Sim.Station.create e ~service_time_us:full in
+      Sim.Station.set_observe st true;
+      let served = ref 0 in
+      for idx = 0 to n - 1 do
+        Sim.Station.submit ~cost:(Sim.Station.amortized ~full idx) st
+          (fun () -> incr served)
+      done;
+      Sim.Engine.run e;
+      let expect = full + ((n - 1) * quarter) in
+      if Sim.Station.busy_us st <> expect then
+        QCheck.Test.fail_reportf "busy %d, want %d" (Sim.Station.busy_us st)
+          expect;
+      if !served <> n then QCheck.Test.fail_reportf "served %d of %d" !served n;
+      (* Arrival sampling saw the transient: depth i at the i-th submit. *)
+      let depths = Sim.Station.queue_depths st in
+      Stats.Recorder.count depths = n
+      && Stats.Recorder.min depths = 0
+      && Stats.Recorder.max depths = n - 1)
+
+(* ------------------------------------------------------------------ *)
+(* Admission control                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_admission_sheds_past_queue_bound () =
+  let e = Sim.Engine.create () in
+  let st = Sim.Station.create e ~service_time_us:100 in
+  Sim.Station.set_limits st (Some { Sim.Station.max_queue = 3; max_sojourn_us = 1_000_000 });
+  let admitted = ref 0 and shed = ref 0 in
+  for _ = 1 to 8 do
+    match Sim.Station.try_submit st (fun () -> ()) with
+    | Sim.Station.Admitted -> incr admitted
+    | Sim.Station.Shed pb ->
+      incr shed;
+      (* The suggested backoff is the admitted backlog: 3 jobs deep. *)
+      check bool "retry_after covers backlog" true
+        (pb.Sim.Station.retry_after_us >= 100)
+  done;
+  check int "bound admits" 3 !admitted;
+  check int "rest shed" 5 !shed;
+  check int "shed counter" 5 (Sim.Station.shed st);
+  Sim.Engine.run e;
+  (* Shed work never ran: only the admitted jobs were charged. *)
+  check int "busy = admitted only" 300 (Sim.Station.busy_us st)
+
+let test_admission_sheds_past_sojourn_bound () =
+  let e = Sim.Engine.create () in
+  let st = Sim.Station.create e ~service_time_us:400 in
+  Sim.Station.set_limits st
+    (Some { Sim.Station.max_queue = 1000; max_sojourn_us = 1_000 });
+  let verdicts =
+    List.init 5 (fun _ -> Sim.Station.try_submit st (fun () -> ()))
+  in
+  (* Backlogs at arrival: 0, 400, 800 admitted; 1200 exceeds the bound. *)
+  let admitted =
+    List.length (List.filter (fun a -> a = Sim.Station.Admitted) verdicts)
+  in
+  check int "sojourn bound admits" 3 admitted;
+  Sim.Engine.run e
+
+let test_no_limits_never_sheds () =
+  let e = Sim.Engine.create () in
+  let st = Sim.Station.create e ~service_time_us:50 in
+  for _ = 1 to 100 do
+    match Sim.Station.try_submit st (fun () -> ()) with
+    | Sim.Station.Admitted -> ()
+    | Sim.Station.Shed _ -> Alcotest.fail "shed without limits"
+  done;
+  Sim.Engine.run e;
+  check int "all served" 5_000 (Sim.Station.busy_us st)
+
+(* ------------------------------------------------------------------ *)
+(* Retry budget                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_budget_fast_fails_when_dry () =
+  let e = Sim.Engine.create () in
+  let b = Sim.Rpc.Budget.create e ~capacity:4 ~refill_period_us:1_000 in
+  let takes = List.init 10 (fun _ -> Sim.Rpc.Budget.try_take b) in
+  check int "starts full" 4
+    (List.length (List.filter (fun x -> x) takes));
+  check int "taken" 4 (Sim.Rpc.Budget.taken b);
+  check int "denied" 6 (Sim.Rpc.Budget.denied b);
+  check int "dry" 0 (Sim.Rpc.Budget.tokens b);
+  (* Lazy refill: one token per period, capped at capacity. *)
+  Sim.Engine.schedule e ~after:2_500 (fun () ->
+      check int "two periods, two tokens" 2 (Sim.Rpc.Budget.tokens b);
+      check bool "grants again" true (Sim.Rpc.Budget.try_take b));
+  Sim.Engine.schedule e ~after:50_000 (fun () ->
+      check int "refill caps at capacity" 4 (Sim.Rpc.Budget.tokens b));
+  Sim.Engine.run e
+
+(* ------------------------------------------------------------------ *)
+(* Gray-failure slowdown                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_slowdown_scales_service () =
+  let e = Sim.Engine.create () in
+  let st = Sim.Station.create e ~service_time_us:10 in
+  Sim.Station.submit st (fun () -> ());
+  Sim.Station.set_slowdown st 7;
+  Sim.Station.submit st (fun () -> ());
+  Sim.Station.set_slowdown st 1;
+  Sim.Station.submit st (fun () -> ());
+  Sim.Engine.run e;
+  check int "10 + 70 + 10" 90 (Sim.Station.busy_us st);
+  Alcotest.check_raises "factor must be >= 1"
+    (Invalid_argument "Station.set_slowdown: factor must be >= 1") (fun () ->
+      Sim.Station.set_slowdown st 0)
+
+(* ------------------------------------------------------------------ *)
+(* Flow layer off is byte-identical                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* The same golden digests as test_scale and test_batch, reached with the
+   flow policy record *installed but every knob off* — pinning that arming
+   the layer without limits, deadlines, hedging or budget draws no
+   randomness and schedules no events. *)
+
+let flow_off_env =
+  Harness.Env.(
+    default |> with_check `No_check |> with_flow (Some Harness.flow_default))
+
+let digest_gryff ~env () =
+  let r =
+    Harness.gryff_wan ~env ~n_clients:8 ~mode:Gryff.Config.Rsc ~conflict:0.2
+      ~write_ratio:0.4 ~n_keys:500 ~duration_s:2.0 ~seed:13 ()
+  in
+  let b = Buffer.create 65536 in
+  (match r.Harness.Run.records with
+  | Harness.Run.Gryff_ops a ->
+    Array.iter
+      (fun (g : Gryff.Cluster.record) ->
+        Buffer.add_string b
+          (Printf.sprintf "p%d %s k%d o%s w%s cs%d.%d.%d i%d r%d\n"
+             g.Gryff.Cluster.g_proc
+             (match g.Gryff.Cluster.g_kind with
+             | Gryff.Cluster.Read -> "rd"
+             | Gryff.Cluster.Write -> "wr"
+             | Gryff.Cluster.Rmw -> "rmw")
+             g.Gryff.Cluster.g_key
+             (match g.Gryff.Cluster.g_observed with
+             | None -> "-"
+             | Some v -> string_of_int v)
+             (match g.Gryff.Cluster.g_written with
+             | None -> "-"
+             | Some v -> string_of_int v)
+             g.Gryff.Cluster.g_cs.Gryff.Carstamp.ts
+             g.Gryff.Cluster.g_cs.Gryff.Carstamp.cid
+             g.Gryff.Cluster.g_cs.Gryff.Carstamp.rmwc g.Gryff.Cluster.g_inv
+             g.Gryff.Cluster.g_resp))
+      a
+  | Harness.Run.Spanner_txns _ -> assert false);
+  Buffer.add_string b (Printf.sprintf "duration=%d\n" r.Harness.Run.duration_us);
+  Digest.to_hex (Digest.string (Buffer.contents b))
+
+let test_flow_off_is_byte_identical () =
+  check string "gryff digest with flow armed but every knob off"
+    "6600a5907cf2b98b5e72f80ff9a2ea42"
+    (digest_gryff ~env:flow_off_env ())
+
+(* ------------------------------------------------------------------ *)
+(* Hedged reads under a gray-failed replica                            *)
+(* ------------------------------------------------------------------ *)
+
+(* Closed-loop Gryff run with one replica serving 50x slower *and* its
+   links lagged: the hedged fan-out must fire, win quorums, and the
+   history must still verify — a hedge duplicates an idempotent read, it
+   never forks the protocol state. *)
+let hedged_run ~fanout ~seed =
+  let engine = Sim.Engine.create () in
+  let rng = Sim.Rng.make seed in
+  let config = Gryff.Config.wan5 ~mode:Gryff.Config.Rsc () in
+  let cluster = Gryff.Cluster.create engine ~rng config in
+  let victim = 2 in
+  Gryff.Cluster.set_site_slowdown cluster ~site:victim ~factor:50;
+  let net = Gryff.Cluster.net cluster in
+  for s = 0 to 4 do
+    if s <> victim then begin
+      Sim.Net.set_extra_delay net ~src:s ~dst:victim 200_000;
+      Sim.Net.set_extra_delay net ~src:victim ~dst:s 200_000
+    end
+  done;
+  Gryff.Cluster.set_read_fanout cluster fanout;
+  Gryff.Cluster.set_hedge_us cluster 10_000;
+  let wl = Sim.Rng.split rng in
+  (* Clients off the victim: hedging recovers a server-side tail. *)
+  let clients =
+    Array.init 8 (fun i ->
+        Gryff.Client.create cluster ~site:(let s = i mod 4 in if s >= victim then s + 1 else s))
+  in
+  Workload.Client_model.closed_loop engine ~n_clients:8
+    ~body:(fun ~client k ->
+      let c = clients.(client) in
+      let key = Sim.Rng.int wl 32 in
+      if Sim.Rng.bool wl 0.25 then
+        Gryff.Client.write c ~key ~value:(Gryff.Cluster.fresh_value cluster)
+          (fun _ -> k ())
+      else Gryff.Client.read c ~key (fun _ -> k ()))
+    ~until:(Sim.Engine.sec 3.0) ();
+  Sim.Engine.run engine;
+  (cluster, Gryff.Cluster.check_history cluster)
+
+let test_hedged_reads_win_under_slow_node () =
+  let cluster, verdict = hedged_run ~fanout:Gryff.Protocol.Hedged ~seed:7 in
+  let fs = Gryff.Cluster.flow_stats cluster in
+  check bool "hedges fired" true (fs.Gryff.Cluster.hedges > 0);
+  check bool "hedges won quorums" true (fs.Gryff.Cluster.hedge_wins > 0);
+  (match verdict with
+  | Ok () -> ()
+  | Error m -> Alcotest.fail ("hedged run failed verification: " ^ m));
+  (* Same seed, same schedule: hedging is deterministic. *)
+  let cluster2, _ = hedged_run ~fanout:Gryff.Protocol.Hedged ~seed:7 in
+  let fs2 = Gryff.Cluster.flow_stats cluster2 in
+  check int "deterministic hedge count" fs.Gryff.Cluster.hedges
+    fs2.Gryff.Cluster.hedges;
+  check int "deterministic hedge wins" fs.Gryff.Cluster.hedge_wins
+    fs2.Gryff.Cluster.hedge_wins
+
+let suites =
+  [
+    ( "flow",
+      [
+        qt prop_amortized_accounting;
+        Alcotest.test_case "admission sheds past queue bound" `Quick
+          test_admission_sheds_past_queue_bound;
+        Alcotest.test_case "admission sheds past sojourn bound" `Quick
+          test_admission_sheds_past_sojourn_bound;
+        Alcotest.test_case "no limits never sheds" `Quick test_no_limits_never_sheds;
+        Alcotest.test_case "budget fast-fails when dry" `Quick
+          test_budget_fast_fails_when_dry;
+        Alcotest.test_case "slowdown scales service" `Quick
+          test_slowdown_scales_service;
+        Alcotest.test_case "flow off is byte-identical" `Slow
+          test_flow_off_is_byte_identical;
+        Alcotest.test_case "hedged reads win under slow node" `Slow
+          test_hedged_reads_win_under_slow_node;
+      ] );
+  ]
